@@ -1,0 +1,110 @@
+//! The cooperative reduction kernels (the paper's Fig. 3, generalized over
+//! element type and reduction operator).
+
+use racc_core::{AccScalar, ReduceOp};
+use racc_gpusim::{DeviceSlice, DeviceSliceMut, PhasedKernel, SharedMem, ThreadCtx};
+
+/// Kernel 1 of the two-kernel reduction: each thread maps one index, the
+/// block tree-reduces in shared memory, thread 0 writes the block partial.
+pub(crate) struct BlockReduceMap<'a, T: AccScalar, F, O> {
+    /// Extent of the index space.
+    pub n: usize,
+    /// Threads per block (a power of two).
+    pub block_size: usize,
+    /// The map function.
+    pub f: &'a F,
+    /// The reduction operator.
+    pub op: O,
+    /// One partial per block.
+    pub partials: DeviceSliceMut<T>,
+}
+
+impl<T, F, O> PhasedKernel for BlockReduceMap<'_, T, F, O>
+where
+    T: AccScalar,
+    F: Fn(usize) -> T + Sync,
+    O: ReduceOp<T>,
+{
+    type State = ();
+
+    fn num_phases(&self) -> usize {
+        // map + log2(block) tree steps + writeback
+        2 + self.block_size.trailing_zeros() as usize
+    }
+
+    fn phase(&self, phase: usize, ctx: &ThreadCtx, _state: &mut (), shared: &SharedMem) {
+        let ti = ctx.thread_linear();
+        let steps = self.block_size.trailing_zeros() as usize;
+        if phase == 0 {
+            let i = ctx.global_id_x();
+            let v = if i < self.n {
+                (self.f)(i)
+            } else {
+                self.op.identity()
+            };
+            shared.set::<T>(ti, v);
+        } else if phase <= steps {
+            let half = self.block_size >> phase;
+            if ti < half {
+                let merged = self
+                    .op
+                    .combine(shared.get::<T>(ti), shared.get::<T>(ti + half));
+                shared.set::<T>(ti, merged);
+            }
+        } else if ti == 0 {
+            self.partials.set(ctx.block_linear(), shared.get::<T>(0));
+        }
+    }
+}
+
+/// Kernel 2: a single block strides over the partials (the paper's
+/// `reduce_kernel` loop `while ii <= SIZE ... ii += 512`), tree-reduces, and
+/// writes the scalar result.
+pub(crate) struct FinalReduce<T: AccScalar, O> {
+    /// Number of partials.
+    pub len: usize,
+    /// Threads in the (single) block — a power of two.
+    pub block_size: usize,
+    /// The reduction operator.
+    pub op: O,
+    /// The partials from kernel 1.
+    pub partials: DeviceSlice<T>,
+    /// One-element output buffer.
+    pub out: DeviceSliceMut<T>,
+}
+
+impl<T, O> PhasedKernel for FinalReduce<T, O>
+where
+    T: AccScalar,
+    O: ReduceOp<T>,
+{
+    type State = ();
+
+    fn num_phases(&self) -> usize {
+        2 + self.block_size.trailing_zeros() as usize
+    }
+
+    fn phase(&self, phase: usize, ctx: &ThreadCtx, _state: &mut (), shared: &SharedMem) {
+        let ti = ctx.thread_linear();
+        let steps = self.block_size.trailing_zeros() as usize;
+        if phase == 0 {
+            let mut acc = self.op.identity();
+            let mut ii = ti;
+            while ii < self.len {
+                acc = self.op.combine(acc, self.partials.get(ii));
+                ii += self.block_size;
+            }
+            shared.set::<T>(ti, acc);
+        } else if phase <= steps {
+            let half = self.block_size >> phase;
+            if ti < half {
+                let merged = self
+                    .op
+                    .combine(shared.get::<T>(ti), shared.get::<T>(ti + half));
+                shared.set::<T>(ti, merged);
+            }
+        } else if ti == 0 {
+            self.out.set(0, shared.get::<T>(0));
+        }
+    }
+}

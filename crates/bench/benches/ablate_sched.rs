@@ -1,0 +1,52 @@
+//! Ablation (DESIGN.md §6): static block scheduling vs dynamic
+//! chunk-stealing on the thread pool, real wall time, for a uniform and a
+//! skewed (triangular-cost) workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use racc_threadpool::{Schedule, ThreadPool};
+
+fn work(units: usize) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..units {
+        acc += (i as f64).sqrt();
+    }
+    acc
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n = 4096usize;
+    let mut group = c.benchmark_group("ablate_sched");
+    group.sample_size(10);
+
+    let schedules: [(&str, Schedule); 3] = [
+        ("static", Schedule::Static),
+        ("dynamic-auto", Schedule::Dynamic { chunk: 0 }),
+        ("dynamic-16", Schedule::Dynamic { chunk: 16 }),
+    ];
+
+    for (name, sched) in schedules {
+        // Uniform iteration cost: static should win (no stealing traffic).
+        group.bench_with_input(BenchmarkId::new("uniform", name), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            b.iter(|| {
+                let s = pool.parallel_reduce(n, sched, 0.0, |_| work(200), |a, b| a + b);
+                std::hint::black_box(s)
+            })
+        });
+        // Triangular cost (iteration i costs ~i): dynamic should win.
+        group.bench_with_input(BenchmarkId::new("skewed", name), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            b.iter(|| {
+                let s = pool.parallel_reduce(n, sched, 0.0, |i| work(i / 8), |a, b| a + b);
+                std::hint::black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

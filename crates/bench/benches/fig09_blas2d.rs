@@ -1,0 +1,23 @@
+//! Criterion companion to Fig. 9 (2D AXPY/DOT); modeled-time figure via
+//! `figures -- fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use racc_bench::{runners, Arch};
+
+fn bench_fig09(c: &mut Criterion) {
+    let s = 1 << 7;
+    let mut group = c.benchmark_group("fig09_blas2d");
+    group.sample_size(10);
+    for arch in Arch::all() {
+        group.bench_with_input(BenchmarkId::new("axpy2d", arch.label()), &s, |b, &s| {
+            b.iter(|| std::hint::black_box(runners::axpy_2d(arch, s)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot2d", arch.label()), &s, |b, &s| {
+            b.iter(|| std::hint::black_box(runners::dot_2d(arch, s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig09);
+criterion_main!(benches);

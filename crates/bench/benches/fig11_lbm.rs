@@ -1,0 +1,20 @@
+//! Criterion companion to Fig. 11 (LBM D2Q9 step); modeled-time figure via
+//! `figures -- fig11`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use racc_bench::{runners, Arch};
+
+fn bench_fig11(c: &mut Criterion) {
+    let s = 1 << 6;
+    let mut group = c.benchmark_group("fig11_lbm");
+    group.sample_size(10);
+    for arch in Arch::all() {
+        group.bench_with_input(BenchmarkId::new("step", arch.label()), &s, |b, &s| {
+            b.iter(|| std::hint::black_box(runners::lbm_step(arch, s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

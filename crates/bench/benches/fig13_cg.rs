@@ -1,0 +1,20 @@
+//! Criterion companion to Fig. 13 (one CG iteration); modeled-time figure
+//! via `figures -- fig13`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use racc_bench::{runners, Arch};
+
+fn bench_fig13(c: &mut Criterion) {
+    let n = 1 << 16;
+    let mut group = c.benchmark_group("fig13_cg");
+    group.sample_size(10);
+    for arch in Arch::all() {
+        group.bench_with_input(BenchmarkId::new("iteration", arch.label()), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(runners::cg_iteration(arch, n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

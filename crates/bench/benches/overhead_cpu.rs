@@ -1,0 +1,112 @@
+//! The overhead claim, measured in **real wall-clock time** on the CPU
+//! path: the portability layer (RACC Threads backend) versus hand-written
+//! thread-pool code versus a plain serial loop, for AXPY and DOT.
+//!
+//! This is the one claim the reproduction can verify with real time (no
+//! hardware model in the loop): if RACC's abstraction were expensive, the
+//! `racc/*` series would sit above `direct/*`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use racc_blas::portable as pblas;
+use racc_core::{Context, ThreadsBackend};
+use racc_threadpool::{Schedule, ThreadPool};
+
+fn bench_axpy(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("overhead_cpu_axpy");
+    for exp in [12u32, 16, 20] {
+        let n = 1usize << exp;
+        group.throughput(Throughput::Elements(n as u64));
+
+        // Plain serial loop.
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, &n| {
+            let mut x = vec![1.0f64; n];
+            let y = vec![2.0f64; n];
+            b.iter(|| {
+                for i in 0..n {
+                    x[i] += 2.5 * y[i];
+                }
+                std::hint::black_box(&mut x);
+            })
+        });
+
+        // Hand-written pool code (the "device-specific" CPU baseline).
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            let mut x = vec![1.0f64; n];
+            let y = vec![2.0f64; n];
+            b.iter(|| {
+                pool.parallel_for_slices(&mut x, |offset, block| {
+                    for (i, xi) in block.iter_mut().enumerate() {
+                        *xi += 2.5 * y[offset + i];
+                    }
+                });
+                std::hint::black_box(&mut x);
+            })
+        });
+
+        // The same operation through the RACC front end.
+        group.bench_with_input(BenchmarkId::new("racc", n), &n, |b, &n| {
+            let ctx = Context::new(ThreadsBackend::with_threads(threads));
+            let x = ctx.array_from(&vec![1.0f64; n]).unwrap();
+            let y = ctx.array_from(&vec![2.0f64; n]).unwrap();
+            b.iter(|| {
+                pblas::axpy(&ctx, 2.5, &x, &y);
+                std::hint::black_box(&x);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("overhead_cpu_dot");
+    for exp in [12u32, 16, 20] {
+        let n = 1usize << exp;
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, &n| {
+            let x = vec![1.5f64; n];
+            let y = vec![2.0f64; n];
+            b.iter(|| {
+                let s: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+                std::hint::black_box(s)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            let x = vec![1.5f64; n];
+            let y = vec![2.0f64; n];
+            b.iter(|| {
+                let s = pool.parallel_reduce(
+                    n,
+                    Schedule::Static,
+                    0.0f64,
+                    |i| x[i] * y[i],
+                    |a, b| a + b,
+                );
+                std::hint::black_box(s)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("racc", n), &n, |b, &n| {
+            let ctx = Context::new(ThreadsBackend::with_threads(threads));
+            let x = ctx.array_from(&vec![1.5f64; n]).unwrap();
+            let y = ctx.array_from(&vec![2.0f64; n]).unwrap();
+            b.iter(|| {
+                let s = pblas::dot(&ctx, &x, &y);
+                std::hint::black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_axpy, bench_dot);
+criterion_main!(benches);

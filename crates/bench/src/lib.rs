@@ -1,0 +1,57 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! The unit of measurement is **modeled nanoseconds** (see `DESIGN.md` §1):
+//! RACC timings come from the backend [`racc_core::Timeline`]; the
+//! device-specific timings come from the vendor device clocks (events), the
+//! same way the paper's device-specific codes time themselves.
+
+pub mod arch;
+pub mod runners;
+pub mod table;
+
+pub use arch::Arch;
+pub use table::Table;
+
+/// Geometric size sweep `start, start*2, ... <= end`.
+pub fn pow2_sizes(start: usize, end: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut n = start;
+    while n <= end {
+        sizes.push(n);
+        n *= 2;
+    }
+    sizes
+}
+
+/// Format nanoseconds with an adaptive unit, aligned for tables.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_geometric() {
+        assert_eq!(pow2_sizes(4, 32), vec![4, 8, 16, 32]);
+        assert_eq!(pow2_sizes(5, 4), Vec::<usize>::new());
+        assert_eq!(pow2_sizes(7, 7), vec![7]);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.500ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200s");
+    }
+}

@@ -1,0 +1,286 @@
+//! The portable RACC implementations — one body per operation, every
+//! back end (the paper's Fig. 2 front-end code).
+
+use racc_core::{Array1, Array2, Backend, Context};
+
+use crate::profiles;
+
+/// `x[i] += alpha * y[i]` over 1D arrays.
+pub fn axpy<B: Backend>(ctx: &Context<B>, alpha: f64, x: &Array1<f64>, y: &Array1<f64>) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    let n = x.len();
+    let (xv, yv) = (x.view_mut(), y.view());
+    ctx.parallel_for(n, &profiles::axpy(), move |i| {
+        xv.set(i, xv.get(i) + alpha * yv.get(i));
+    });
+}
+
+/// `sum(x[i] * y[i])` over 1D arrays.
+pub fn dot<B: Backend>(ctx: &Context<B>, x: &Array1<f64>, y: &Array1<f64>) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let n = x.len();
+    let (xv, yv) = (x.view(), y.view());
+    ctx.parallel_reduce(n, &profiles::dot(), move |i| xv.get(i) * yv.get(i))
+}
+
+/// `x[i] *= alpha`.
+pub fn scal<B: Backend>(ctx: &Context<B>, alpha: f64, x: &Array1<f64>) {
+    let n = x.len();
+    let xv = x.view_mut();
+    ctx.parallel_for(n, &profiles::scal(), move |i| {
+        xv.set(i, alpha * xv.get(i));
+    });
+}
+
+/// `y[i] = x[i]`.
+pub fn copy<B: Backend>(ctx: &Context<B>, x: &Array1<f64>, y: &Array1<f64>) {
+    assert_eq!(x.len(), y.len(), "copy length mismatch");
+    let n = x.len();
+    let (xv, yv) = (x.view(), y.view_mut());
+    ctx.parallel_for(n, &profiles::copy(), move |i| {
+        yv.set(i, xv.get(i));
+    });
+}
+
+/// `sqrt(sum(x[i]^2))`.
+pub fn nrm2<B: Backend>(ctx: &Context<B>, x: &Array1<f64>) -> f64 {
+    let n = x.len();
+    let xv = x.view();
+    let ss: f64 = ctx.parallel_reduce(n, &profiles::nrm2(), move |i| {
+        let v = xv.get(i);
+        v * v
+    });
+    ss.sqrt()
+}
+
+/// `y[i] = alpha * x[i] + beta * y[i]`.
+pub fn axpby<B: Backend>(
+    ctx: &Context<B>,
+    alpha: f64,
+    x: &Array1<f64>,
+    beta: f64,
+    y: &Array1<f64>,
+) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    let n = x.len();
+    let (xv, yv) = (x.view(), y.view_mut());
+    ctx.parallel_for(n, &profiles::axpby(), move |i| {
+        yv.set(i, alpha * xv.get(i) + beta * yv.get(i));
+    });
+}
+
+/// 2D AXPY over column-major matrices (the paper's multidimensional API).
+pub fn axpy_2d<B: Backend>(ctx: &Context<B>, alpha: f64, x: &Array2<f64>, y: &Array2<f64>) {
+    assert_eq!(x.dims(), y.dims(), "axpy_2d shape mismatch");
+    let (m, n) = x.dims();
+    let (xv, yv) = (x.view_mut(), y.view());
+    ctx.parallel_for_2d((m, n), &profiles::axpy(), move |i, j| {
+        xv.set(i, j, xv.get(i, j) + alpha * yv.get(i, j));
+    });
+}
+
+/// 2D DOT over column-major matrices.
+pub fn dot_2d<B: Backend>(ctx: &Context<B>, x: &Array2<f64>, y: &Array2<f64>) -> f64 {
+    assert_eq!(x.dims(), y.dims(), "dot_2d shape mismatch");
+    let (m, n) = x.dims();
+    let (xv, yv) = (x.view(), y.view());
+    ctx.parallel_reduce_2d((m, n), &profiles::dot(), move |i, j| {
+        xv.get(i, j) * yv.get(i, j)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use racc_core::{SerialBackend, ThreadsBackend};
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                (((i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 33)
+                    % 1000) as f64
+                    / 100.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let ctx = Context::new(ThreadsBackend::with_threads(4));
+        let n = 10_000;
+        let hx = data(n, 1);
+        let hy = data(n, 2);
+        let x = ctx.array_from(&hx).unwrap();
+        let y = ctx.array_from(&hy).unwrap();
+        axpy(&ctx, 2.5, &x, &y);
+        let mut expect = hx.clone();
+        reference::axpy(2.5, &mut expect, &hy);
+        assert_eq!(ctx.to_host(&x).unwrap(), expect);
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let ctx = Context::new(SerialBackend::new());
+        let n = 5_000;
+        let hx = data(n, 3);
+        let hy = data(n, 4);
+        let x = ctx.array_from(&hx).unwrap();
+        let y = ctx.array_from(&hy).unwrap();
+        let got = dot(&ctx, &x, &y);
+        let expect = reference::dot(&hx, &hy);
+        assert!((got - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn scal_copy_nrm2_axpby() {
+        let ctx = Context::new(ThreadsBackend::with_threads(2));
+        let hx = data(1000, 5);
+        let x = ctx.array_from(&hx).unwrap();
+        scal(&ctx, 3.0, &x);
+        let mut expect = hx.clone();
+        reference::scal(3.0, &mut expect);
+        assert_eq!(ctx.to_host(&x).unwrap(), expect);
+
+        let y = ctx.zeros::<f64>(1000).unwrap();
+        copy(&ctx, &x, &y);
+        assert_eq!(ctx.to_host(&y).unwrap(), expect);
+
+        let got = nrm2(&ctx, &x);
+        let want = reference::nrm2(&expect);
+        assert!((got - want).abs() < 1e-9 * want);
+
+        let hy = data(1000, 6);
+        let y2 = ctx.array_from(&hy).unwrap();
+        axpby(&ctx, 0.5, &x, -1.5, &y2);
+        let mut want_y = hy.clone();
+        reference::axpby(0.5, &expect, -1.5, &mut want_y);
+        assert_eq!(ctx.to_host(&y2).unwrap(), want_y);
+    }
+
+    #[test]
+    fn two_d_variants_match_flattened_reference() {
+        let ctx = Context::new(ThreadsBackend::with_threads(4));
+        let (m, n) = (100, 80);
+        let hx = data(m * n, 7);
+        let hy = data(m * n, 8);
+        let x = ctx.array2_from(m, n, &hx).unwrap();
+        let y = ctx.array2_from(m, n, &hy).unwrap();
+        axpy_2d(&ctx, 1.5, &x, &y);
+        let mut expect = hx.clone();
+        reference::axpy(1.5, &mut expect, &hy);
+        assert_eq!(ctx.to_host2(&x).unwrap(), expect);
+
+        let got = dot_2d(&ctx, &x, &y);
+        let want = reference::dot(&expect, &hy);
+        assert!((got - want).abs() < 1e-9 * want.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let ctx = Context::new(SerialBackend::new());
+        let x = ctx.zeros::<f64>(3).unwrap();
+        let y = ctx.zeros::<f64>(4).unwrap();
+        axpy(&ctx, 1.0, &x, &y);
+    }
+}
+
+/// `sum(|x[i]|)` (BLAS ASUM).
+pub fn asum<B: Backend>(ctx: &Context<B>, x: &Array1<f64>) -> f64 {
+    let n = x.len();
+    let xv = x.view();
+    ctx.parallel_reduce(n, &crate::profiles::nrm2(), move |i| xv.get(i).abs())
+}
+
+/// The reduction operator behind [`iamax`]: keeps the element with the
+/// largest magnitude, breaking ties toward the lower index (the BLAS
+/// "first occurrence" convention). A worked example of a *custom*
+/// [`racc_core::ReduceOp`] over a non-scalar accumulator type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbsArgMax;
+
+impl racc_core::ReduceOp<(f64, u64)> for AbsArgMax {
+    fn identity(&self) -> (f64, u64) {
+        (f64::NEG_INFINITY, u64::MAX)
+    }
+    fn combine(&self, a: (f64, u64), b: (f64, u64)) -> (f64, u64) {
+        if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Index of the element with the largest magnitude (BLAS IAMAX), first
+/// occurrence on ties. Returns `None` for an empty array.
+pub fn iamax<B: Backend>(ctx: &Context<B>, x: &Array1<f64>) -> Option<usize> {
+    let n = x.len();
+    if n == 0 {
+        return None;
+    }
+    let xv = x.view();
+    let (_, idx) = ctx.parallel_reduce_with(n, &crate::profiles::nrm2(), AbsArgMax, move |i| {
+        (xv.get(i).abs(), i as u64)
+    });
+    Some(idx as usize)
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use racc_core::{SerialBackend, ThreadsBackend};
+
+    #[test]
+    fn asum_matches_manual_sum() {
+        let ctx = Context::new(ThreadsBackend::with_threads(3));
+        let data: Vec<f64> = (0..5000).map(|i| ((i % 7) as f64 - 3.0) * 0.5).collect();
+        let x = ctx.array_from(&data).unwrap();
+        let got = asum(&ctx, &x);
+        let want: f64 = data.iter().map(|v| v.abs()).sum();
+        assert!((got - want).abs() < 1e-9 * want);
+    }
+
+    #[test]
+    fn iamax_finds_first_largest() {
+        let ctx = Context::new(SerialBackend::new());
+        let x = ctx.array_from(&[1.0, -5.0, 3.0, 5.0, -2.0]).unwrap();
+        // |-5| ties |5|; the lower index wins.
+        assert_eq!(iamax(&ctx, &x), Some(1));
+        let y = ctx.array_from(&[0.0f64; 0]).unwrap();
+        assert_eq!(iamax(&ctx, &y), None);
+        let z = ctx.array_from(&[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(iamax(&ctx, &z), Some(0));
+    }
+
+    #[test]
+    fn iamax_agrees_across_backends() {
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| (((i * 2654435761usize) % 99991) as f64 - 49995.0) * 1e-3)
+            .collect();
+        let serial = {
+            let ctx = Context::new(SerialBackend::new());
+            let x = ctx.array_from(&data).unwrap();
+            iamax(&ctx, &x)
+        };
+        let threads = {
+            let ctx = Context::new(ThreadsBackend::with_threads(4));
+            let x = ctx.array_from(&data).unwrap();
+            iamax(&ctx, &x)
+        };
+        assert_eq!(serial, threads);
+        // And it matches the obvious scan.
+        let want = data
+            .iter()
+            .enumerate()
+            .max_by(|(i, a), (j, b)| {
+                a.abs().partial_cmp(&b.abs()).unwrap().then(j.cmp(i)) // lower index wins ties
+            })
+            .map(|(i, _)| i);
+        assert_eq!(serial, want);
+    }
+}

@@ -1,0 +1,64 @@
+//! Plain serial reference implementations (test ground truth).
+
+/// `x[i] += alpha * y[i]`.
+pub fn axpy(alpha: f64, x: &mut [f64], y: &[f64]) {
+    assert_eq!(x.len(), y.len());
+    for (xi, yi) in x.iter_mut().zip(y) {
+        *xi += alpha * yi;
+    }
+}
+
+/// `sum(x[i] * y[i])`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `x[i] *= alpha`.
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// `sqrt(sum(x[i]^2))`.
+pub fn nrm2(x: &[f64]) -> f64 {
+    x.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+/// `y[i] = alpha * x[i] + beta * y[i]`.
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let mut x = vec![1.0, 2.0];
+        axpy(2.0, &mut x, &[10.0, 20.0]);
+        assert_eq!(x, vec![21.0, 42.0]);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn scal_nrm2_axpby() {
+        let mut x = vec![3.0, 4.0];
+        scal(2.0, &mut x);
+        assert_eq!(x, vec![6.0, 8.0]);
+        assert_eq!(nrm2(&[3.0, 4.0]), 5.0);
+        let mut y = vec![1.0, 1.0];
+        axpby(2.0, &[1.0, 2.0], 3.0, &mut y);
+        assert_eq!(y, vec![5.0, 7.0]);
+    }
+}

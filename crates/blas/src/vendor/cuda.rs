@@ -1,0 +1,266 @@
+//! CUDA-specific AXPY/DOT, transcribed from the paper's Fig. 3.
+
+use racc_cudasim::{CuArray, Cuda, DeviceAttribute};
+use racc_gpusim::{KernelCost, OpKind, PhasedKernel, SharedMem, ThreadCtx};
+
+use crate::profiles;
+use crate::vendor::GPU_BLOCK;
+
+fn cost(p: &racc_core::KernelProfile) -> KernelCost {
+    KernelCost::new(
+        p.flops_per_iter,
+        p.bytes_read_per_iter,
+        p.bytes_written_per_iter,
+        p.coalescing,
+    )
+}
+
+/// `x[i] += alpha * y[i]`, device-specific: one thread per element, blocks
+/// of `min(n, maxThreads)` (paper Fig. 6 geometry, hand-rolled).
+pub fn axpy(cuda: &Cuda, alpha: f64, x: &CuArray<f64>, y: &CuArray<f64>) -> u64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let threads = n.clamp(1, cuda.attribute(DeviceAttribute::MaxBlockDimX)) as u32;
+    let blocks = n.div_ceil(threads as usize) as u32;
+    let xs = cuda.view_mut(x).expect("device-owned");
+    let ys = cuda.view(y).expect("device-owned");
+    let e0 = cuda.record_event();
+    cuda.launch(threads, blocks, 0, cost(&profiles::axpy()), |t| {
+        let i = t.global_id_x();
+        if i < n {
+            xs.set(i, xs.get(i) + alpha * ys.get(i));
+        }
+    })
+    .expect("axpy launch");
+    let e1 = cuda.record_event();
+    e0.elapsed_ns(&e1)
+}
+
+/// Kernel 1 of `dot_cuda` (paper Fig. 3): per-thread product into dynamic
+/// shared memory, then the in-block tree reduction.
+struct DotKernel {
+    n: usize,
+    x: racc_gpusim::DeviceSlice<f64>,
+    y: racc_gpusim::DeviceSlice<f64>,
+    ret: racc_gpusim::DeviceSliceMut<f64>,
+}
+
+impl PhasedKernel for DotKernel {
+    type State = ();
+
+    fn num_phases(&self) -> usize {
+        2 + GPU_BLOCK.trailing_zeros() as usize
+    }
+
+    fn phase(&self, phase: usize, ctx: &ThreadCtx, _s: &mut (), shared: &SharedMem) {
+        let ti = ctx.thread_linear();
+        let steps = GPU_BLOCK.trailing_zeros() as usize;
+        if phase == 0 {
+            let i = ctx.global_id_x();
+            let tmp = if i < self.n {
+                self.x.get(i) * self.y.get(i)
+            } else {
+                0.0
+            };
+            shared.set::<f64>(ti, tmp);
+        } else if phase <= steps {
+            // if (ti <= 256) shared[ti] += shared[ti + 256]; sync; ... etc.
+            let half = GPU_BLOCK >> phase;
+            if ti < half {
+                shared.set::<f64>(ti, shared.get::<f64>(ti) + shared.get::<f64>(ti + half));
+            }
+        } else if ti == 0 {
+            self.ret.set(ctx.block_linear(), shared.get::<f64>(0));
+        }
+    }
+}
+
+/// Kernel 2 of `dot_cuda`: a single block strides over the partials
+/// (`while ii <= SIZE ... ii += 512`) and tree-reduces them.
+struct ReduceKernel {
+    len: usize,
+    red: racc_gpusim::DeviceSlice<f64>,
+    ret: racc_gpusim::DeviceSliceMut<f64>,
+}
+
+impl PhasedKernel for ReduceKernel {
+    type State = ();
+
+    fn num_phases(&self) -> usize {
+        2 + GPU_BLOCK.trailing_zeros() as usize
+    }
+
+    fn phase(&self, phase: usize, ctx: &ThreadCtx, _s: &mut (), shared: &SharedMem) {
+        let ti = ctx.thread_linear();
+        let steps = GPU_BLOCK.trailing_zeros() as usize;
+        if phase == 0 {
+            let mut tmp = 0.0;
+            let mut ii = ti;
+            while ii < self.len {
+                tmp += self.red.get(ii);
+                ii += GPU_BLOCK;
+            }
+            shared.set::<f64>(ti, tmp);
+        } else if phase <= steps {
+            let half = GPU_BLOCK >> phase;
+            if ti < half {
+                shared.set::<f64>(ti, shared.get::<f64>(ti) + shared.get::<f64>(ti + half));
+            }
+        } else if ti == 0 {
+            self.ret.set(0, shared.get::<f64>(0));
+        }
+    }
+}
+
+/// The paper's `dot_cuda`: two kernel launches plus the scalar readback and
+/// driver synchronization. Returns `(result, modeled_ns)`.
+pub fn dot(cuda: &Cuda, x: &CuArray<f64>, y: &CuArray<f64>) -> (f64, u64) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let threads = n.min(GPU_BLOCK) as u32;
+    let blocks = n.div_ceil(GPU_BLOCK).max(1);
+    let e0 = cuda.record_event();
+    let ret = cuda.zeros::<f64>(blocks).expect("partials");
+    let rret = cuda.zeros::<f64>(1).expect("result");
+    let k1 = DotKernel {
+        n,
+        x: cuda.view(x).expect("device-owned"),
+        y: cuda.view(y).expect("device-owned"),
+        ret: cuda.view_mut(&ret).expect("device-owned"),
+    };
+    cuda.launch_cooperative(
+        GPU_BLOCK as u32,
+        blocks as u32,
+        GPU_BLOCK * 8,
+        cost(&profiles::dot()),
+        &k1,
+    )
+    .expect("dot kernel");
+    let _ = threads;
+    let k2 = ReduceKernel {
+        len: blocks,
+        red: cuda.view(&ret).expect("device-owned"),
+        ret: cuda.view_mut(&rret).expect("device-owned"),
+    };
+    cuda.launch_cooperative(
+        GPU_BLOCK as u32,
+        1,
+        GPU_BLOCK * 8,
+        KernelCost::memory_bound(blocks as f64 * 8.0 / GPU_BLOCK as f64, 0.0),
+        &k2,
+    )
+    .expect("reduce kernel");
+    // Driver synchronization before the scalar readback (CUDA.@sync).
+    let spec = cuda.device().spec();
+    cuda.device().charge(
+        OpKind::Sync,
+        0,
+        0,
+        spec.link_latency_ns * (spec.reduce_sync_penalty - 1.0).max(0.0),
+    );
+    let result = cuda.read_scalar(&rret, 0).expect("readback");
+    let e1 = cuda.record_event();
+    (result, e0.elapsed_ns(&e1))
+}
+
+/// 2D AXPY with 16×16 thread tiles over a column-major `m × n` buffer.
+pub fn axpy_2d(
+    cuda: &Cuda,
+    alpha: f64,
+    m: usize,
+    n: usize,
+    x: &CuArray<f64>,
+    y: &CuArray<f64>,
+) -> u64 {
+    assert_eq!(x.len(), m * n);
+    assert_eq!(y.len(), m * n);
+    let tiles = 16u32;
+    let bx = m.div_ceil(tiles as usize) as u32;
+    let by = n.div_ceil(tiles as usize) as u32;
+    let xs = cuda.view_mut(x).expect("device-owned");
+    let ys = cuda.view(y).expect("device-owned");
+    let e0 = cuda.record_event();
+    cuda.launch_2d((tiles, tiles), (bx, by), 0, cost(&profiles::axpy()), |t| {
+        let (i, j) = (t.global_id_x(), t.global_id_y());
+        if i < m && j < n {
+            let idx = j * m + i;
+            xs.set(idx, xs.get(idx) + alpha * ys.get(idx));
+        }
+    })
+    .expect("axpy_2d launch");
+    let e1 = cuda.record_event();
+    e0.elapsed_ns(&e1)
+}
+
+/// 2D DOT: flatten to the 1D two-kernel structure (what the paper's JACC
+/// multidimensional reduce lowers to as well).
+pub fn dot_2d(cuda: &Cuda, m: usize, n: usize, x: &CuArray<f64>, y: &CuArray<f64>) -> (f64, u64) {
+    assert_eq!(x.len(), m * n);
+    assert_eq!(y.len(), m * n);
+    dot(cuda, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn axpy_matches_reference() {
+        let cuda = Cuda::new();
+        let n = 10_000;
+        let hx: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let hy: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        let dx = cuda.cu_array(&hx).unwrap();
+        let dy = cuda.cu_array(&hy).unwrap();
+        let ns = axpy(&cuda, 2.0, &dx, &dy);
+        assert!(ns > 0);
+        let mut expect = hx.clone();
+        reference::axpy(2.0, &mut expect, &hy);
+        assert_eq!(cuda.to_host(&dx).unwrap(), expect);
+    }
+
+    #[test]
+    fn dot_matches_reference_across_sizes() {
+        let cuda = Cuda::new();
+        for n in [1usize, 511, 512, 513, 100_000] {
+            let hx: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) * 0.5).collect();
+            let hy: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) * 0.25).collect();
+            let dx = cuda.cu_array(&hx).unwrap();
+            let dy = cuda.cu_array(&hy).unwrap();
+            let (got, ns) = dot(&cuda, &dx, &dy);
+            assert!(ns > 0);
+            let expect = reference::dot(&hx, &hy);
+            assert!((got - expect).abs() < 1e-9 * expect.max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn two_d_variants() {
+        let cuda = Cuda::new();
+        let (m, n) = (100, 60);
+        let hx: Vec<f64> = (0..m * n).map(|i| (i % 9) as f64).collect();
+        let hy: Vec<f64> = (0..m * n).map(|i| (i % 4) as f64).collect();
+        let dx = cuda.cu_array(&hx).unwrap();
+        let dy = cuda.cu_array(&hy).unwrap();
+        axpy_2d(&cuda, 1.5, m, n, &dx, &dy);
+        let mut expect = hx.clone();
+        reference::axpy(1.5, &mut expect, &hy);
+        assert_eq!(cuda.to_host(&dx).unwrap(), expect);
+        let (got, _) = dot_2d(&cuda, m, n, &dx, &dy);
+        let want = reference::dot(&expect, &hy);
+        assert!((got - want).abs() < 1e-9 * want.abs());
+    }
+
+    #[test]
+    fn dot_costs_more_than_axpy_at_small_sizes() {
+        // The paper's observation behind Fig. 8: two kernels + sync.
+        let cuda = Cuda::new();
+        let n = 1024;
+        let dx = cuda.cu_array(&vec![1.0; n]).unwrap();
+        let dy = cuda.cu_array(&vec![1.0; n]).unwrap();
+        let t_axpy = axpy(&cuda, 1.0, &dx, &dy);
+        let (_, t_dot) = dot(&cuda, &dx, &dy);
+        assert!(t_dot > 2 * t_axpy, "dot {t_dot} axpy {t_axpy}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Device-specific implementations — the paper's comparison baselines.
+//!
+//! Each submodule is written directly against one vendor API, the way the
+//! paper's device-specific benchmark codes are written against CUDA.jl /
+//! AMDGPU.jl / oneAPI.jl / Base.Threads. The GPU DOTs reproduce the
+//! two-kernel shared-memory structure of the paper's Fig. 3 per vendor.
+//!
+//! Every function returns the modeled nanoseconds of the operation
+//! (measured off the vendor device clock for GPUs, computed from the CPU
+//! machine model for the thread pool), which is what the figure harness
+//! plots against the portable RACC timings.
+
+pub mod cuda;
+pub mod hip;
+pub mod oneapi;
+pub mod threads;
+
+/// Block/workgroup size used by the device-specific GPU codes (paper
+/// Fig. 3 uses 512).
+pub const GPU_BLOCK: usize = 512;

@@ -1,0 +1,242 @@
+//! oneAPI/SYCL-specific AXPY/DOT (the oneAPI.jl analog codes).
+//!
+//! Uses items/groups vocabulary, SLM for the reduction tree, and — in the
+//! 2D kernel — the dimension-inverted `get_global_id` indexing of the
+//! paper's Fig. 7.
+
+use racc_gpusim::{KernelCost, OpKind, PhasedKernel, SharedMem, ThreadCtx};
+use racc_oneapisim::{OneApi, OneArray};
+
+use crate::profiles;
+use crate::vendor::GPU_BLOCK;
+
+fn cost(p: &racc_core::KernelProfile) -> KernelCost {
+    KernelCost::new(
+        p.flops_per_iter,
+        p.bytes_read_per_iter,
+        p.bytes_written_per_iter,
+        p.coalescing,
+    )
+}
+
+/// `x[i] += alpha * y[i]` with `min(n, maxTotalGroupSize)` items per group
+/// (the paper's Fig. 7 geometry).
+pub fn axpy(one: &OneApi, alpha: f64, x: &OneArray<f64>, y: &OneArray<f64>) -> u64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let items = n.clamp(1, one.max_total_group_size()) as u32;
+    let groups = n.div_ceil(items as usize) as u32;
+    let xs = one.view_mut(x).expect("device-owned");
+    let ys = one.view(y).expect("device-owned");
+    let e0 = one.record_event();
+    one.launch(items, groups, 0, cost(&profiles::axpy()), |item| {
+        let i = item.get_global_id(0);
+        if i < n {
+            xs.set(i, xs.get(i) + alpha * ys.get(i));
+        }
+    })
+    .expect("axpy launch");
+    let e1 = one.record_event();
+    e0.elapsed_ns(&e1)
+}
+
+/// SLM tree-reduction DOT kernel (per-group partials).
+struct DotKernelSlm {
+    n: usize,
+    x: racc_gpusim::DeviceSlice<f64>,
+    y: racc_gpusim::DeviceSlice<f64>,
+    partials: racc_gpusim::DeviceSliceMut<f64>,
+}
+
+impl PhasedKernel for DotKernelSlm {
+    type State = ();
+
+    fn num_phases(&self) -> usize {
+        2 + GPU_BLOCK.trailing_zeros() as usize
+    }
+
+    fn phase(&self, phase: usize, ctx: &ThreadCtx, _s: &mut (), slm: &SharedMem) {
+        let ti = ctx.thread_linear();
+        let steps = GPU_BLOCK.trailing_zeros() as usize;
+        if phase == 0 {
+            let i = ctx.global_id_x();
+            let v = if i < self.n {
+                self.x.get(i) * self.y.get(i)
+            } else {
+                0.0
+            };
+            slm.set::<f64>(ti, v);
+        } else if phase <= steps {
+            let half = GPU_BLOCK >> phase;
+            if ti < half {
+                slm.set::<f64>(ti, slm.get::<f64>(ti) + slm.get::<f64>(ti + half));
+            }
+        } else if ti == 0 {
+            self.partials.set(ctx.block_linear(), slm.get::<f64>(0));
+        }
+    }
+}
+
+/// Final fold of the per-group partials.
+struct FoldKernelSlm {
+    len: usize,
+    partials: racc_gpusim::DeviceSlice<f64>,
+    out: racc_gpusim::DeviceSliceMut<f64>,
+}
+
+impl PhasedKernel for FoldKernelSlm {
+    type State = ();
+
+    fn num_phases(&self) -> usize {
+        2 + GPU_BLOCK.trailing_zeros() as usize
+    }
+
+    fn phase(&self, phase: usize, ctx: &ThreadCtx, _s: &mut (), slm: &SharedMem) {
+        let ti = ctx.thread_linear();
+        let steps = GPU_BLOCK.trailing_zeros() as usize;
+        if phase == 0 {
+            let mut acc = 0.0;
+            let mut ii = ti;
+            while ii < self.len {
+                acc += self.partials.get(ii);
+                ii += GPU_BLOCK;
+            }
+            slm.set::<f64>(ti, acc);
+        } else if phase <= steps {
+            let half = GPU_BLOCK >> phase;
+            if ti < half {
+                slm.set::<f64>(ti, slm.get::<f64>(ti) + slm.get::<f64>(ti + half));
+            }
+        } else if ti == 0 {
+            self.out.set(0, slm.get::<f64>(0));
+        }
+    }
+}
+
+/// Two-kernel DOT on the Intel device. Returns `(result, modeled_ns)`.
+pub fn dot(one: &OneApi, x: &OneArray<f64>, y: &OneArray<f64>) -> (f64, u64) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let groups = n.div_ceil(GPU_BLOCK).max(1);
+    let e0 = one.record_event();
+    let partials = one.zeros::<f64>(groups).expect("partials");
+    let out = one.zeros::<f64>(1).expect("result");
+    let k1 = DotKernelSlm {
+        n,
+        x: one.view(x).expect("device-owned"),
+        y: one.view(y).expect("device-owned"),
+        partials: one.view_mut(&partials).expect("device-owned"),
+    };
+    one.launch_cooperative(
+        GPU_BLOCK as u32,
+        groups as u32,
+        GPU_BLOCK * 8,
+        cost(&profiles::dot()),
+        &k1,
+    )
+    .expect("dot kernel");
+    let k2 = FoldKernelSlm {
+        len: groups,
+        partials: one.view(&partials).expect("device-owned"),
+        out: one.view_mut(&out).expect("device-owned"),
+    };
+    one.launch_cooperative(
+        GPU_BLOCK as u32,
+        1,
+        GPU_BLOCK * 8,
+        KernelCost::memory_bound(groups as f64 * 8.0 / GPU_BLOCK as f64, 0.0),
+        &k2,
+    )
+    .expect("fold kernel");
+    let spec = one.device().spec();
+    one.device().charge(
+        OpKind::Sync,
+        0,
+        0,
+        spec.link_latency_ns * (spec.reduce_sync_penalty - 1.0).max(0.0),
+    );
+    let result = one.read_scalar(&out, 0).expect("readback");
+    let e1 = one.record_event();
+    (result, e0.elapsed_ns(&e1))
+}
+
+/// 2D AXPY with the paper's inverted indexing:
+/// `j = get_global_id(0); i = get_global_id(1)`.
+pub fn axpy_2d(
+    one: &OneApi,
+    alpha: f64,
+    m: usize,
+    n: usize,
+    x: &OneArray<f64>,
+    y: &OneArray<f64>,
+) -> u64 {
+    assert_eq!(x.len(), m * n);
+    assert_eq!(y.len(), m * n);
+    let t = 16u32;
+    let gx = m.div_ceil(t as usize) as u32;
+    let gy = n.div_ceil(t as usize) as u32;
+    let xs = one.view_mut(x).expect("device-owned");
+    let ys = one.view(y).expect("device-owned");
+    let e0 = one.record_event();
+    one.launch_2d((t, t), (gx, gy), 0, cost(&profiles::axpy()), |item| {
+        let j = item.get_global_id(0); // slow axis first (Fig. 7)
+        let i = item.get_global_id(1);
+        if i < m && j < n {
+            let idx = j * m + i;
+            xs.set(idx, xs.get(idx) + alpha * ys.get(idx));
+        }
+    })
+    .expect("axpy_2d launch");
+    let e1 = one.record_event();
+    e0.elapsed_ns(&e1)
+}
+
+/// 2D DOT (flattened two-kernel reduction).
+pub fn dot_2d(
+    one: &OneApi,
+    m: usize,
+    n: usize,
+    x: &OneArray<f64>,
+    y: &OneArray<f64>,
+) -> (f64, u64) {
+    assert_eq!(x.len(), m * n);
+    assert_eq!(y.len(), m * n);
+    dot(one, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn axpy_and_dot_match_reference() {
+        let one = OneApi::new();
+        let n = 33_333;
+        let hx: Vec<f64> = (0..n).map(|i| ((i * 11) % 19) as f64).collect();
+        let hy: Vec<f64> = (0..n).map(|i| ((i * 5) % 29) as f64).collect();
+        let dx = one.one_array(&hx).unwrap();
+        let dy = one.one_array(&hy).unwrap();
+        axpy(&one, -0.75, &dx, &dy);
+        let mut expect = hx.clone();
+        reference::axpy(-0.75, &mut expect, &hy);
+        assert_eq!(one.to_host(&dx).unwrap(), expect);
+
+        let (got, _) = dot(&one, &dx, &dy);
+        let want = reference::dot(&expect, &hy);
+        assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn inverted_2d_indexing_still_covers_all_elements() {
+        let one = OneApi::new();
+        let (m, n) = (37, 21); // deliberately tile-unaligned
+        let hx = vec![0.0f64; m * n];
+        let hy = vec![1.0f64; m * n];
+        let dx = one.one_array(&hx).unwrap();
+        let dy = one.one_array(&hy).unwrap();
+        axpy_2d(&one, 3.0, m, n, &dx, &dy);
+        let host = one.to_host(&dx).unwrap();
+        assert!(host.iter().all(|&v| v == 3.0), "every element updated once");
+    }
+}

@@ -1,0 +1,56 @@
+//! # racc-cg
+//!
+//! The conjugate-gradient workload of the paper's §V-C: the plain
+//! (unpreconditioned) CG algorithm as used by the **HPCCG** benchmark and
+//! the **MiniFE** proxy app, on a diagonally dominant tridiagonal system
+//! (the paper's `matvecmul`) and, as the more general substrate those apps
+//! really sit on, a CSR sparse-matrix operator.
+//!
+//! Structure:
+//!
+//! * [`tridiag`] — the paper's tridiagonal operator and its host reference
+//!   (including a Thomas-algorithm direct solver used as test ground truth);
+//! * [`csr`] — a from-scratch CSR sparse-matrix substrate with a 2D
+//!   five-point Laplacian generator (the MiniFE-like problem);
+//! * [`solver`] — portable RACC CG over any [`solver::LinearOperator`];
+//!   the iteration is the paper's operation mix: one `parallel_for` matvec,
+//!   four `parallel_reduce` dots, three `parallel_for` AXPYs, plus the
+//!   explicit vector copies of the paper's Fig. 12;
+//! * [`vendor`] — device-specific CG per vendor API (composing the vendor
+//!   BLAS of `racc-blas` with a hand-written matvec kernel per vendor).
+
+pub mod csr;
+pub mod precond;
+pub mod solver;
+pub mod tridiag;
+pub mod vendor;
+
+use racc_core::KernelProfile;
+
+/// Kernel profile of the tridiagonal matvec: 5 FLOPs, three coefficient
+/// reads + three (mostly cached) vector reads + one write per row.
+pub const fn tridiag_matvec_profile() -> KernelProfile {
+    KernelProfile::new("tridiag-matvec", 5.0, 48.0, 8.0)
+}
+
+/// Kernel profile of a CSR matvec row with ~`nnz_per_row` entries.
+pub fn csr_matvec_profile(nnz_per_row: f64) -> KernelProfile {
+    KernelProfile::new(
+        "csr-matvec",
+        2.0 * nnz_per_row,
+        // column index (4 B…8 B) + value (8 B) + gathered x (8 B) per entry
+        24.0 * nnz_per_row,
+        8.0,
+    )
+}
+
+/// Result of a CG solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgResult {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual: f64,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+}

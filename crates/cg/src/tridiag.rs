@@ -1,0 +1,227 @@
+//! The paper's tridiagonal operator and host references.
+
+use racc_core::{Array1, Backend, Context, RaccError};
+
+use crate::tridiag_matvec_profile;
+
+/// A tridiagonal matrix stored as three diagonals, mirroring the paper's
+/// `a3` (sub), `a2` (main), `a1` (super) vectors. `sub[0]` and
+/// `sup[n-1]` are unused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiag {
+    /// Sub-diagonal (`a3`), length n.
+    pub sub: Vec<f64>,
+    /// Main diagonal (`a2`), length n.
+    pub diag: Vec<f64>,
+    /// Super-diagonal (`a1`), length n.
+    pub sup: Vec<f64>,
+}
+
+impl Tridiag {
+    /// The paper's diagonally dominant system: ones off-diagonal, fours on
+    /// the diagonal (SPD, condition number bounded independent of n).
+    pub fn diagonally_dominant(n: usize) -> Self {
+        Tridiag {
+            sub: vec![1.0; n],
+            diag: vec![4.0; n],
+            sup: vec![1.0; n],
+        }
+    }
+
+    /// A general constructor.
+    pub fn new(sub: Vec<f64>, diag: Vec<f64>, sup: Vec<f64>) -> Self {
+        assert_eq!(sub.len(), diag.len());
+        assert_eq!(sup.len(), diag.len());
+        Tridiag { sub, diag, sup }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Serial reference matvec `y = A x`.
+    pub fn matvec_ref(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            y[0] = self.diag[0] * x[0];
+            return;
+        }
+        y[0] = self.diag[0] * x[0] + self.sup[0] * x[1];
+        for i in 1..n - 1 {
+            y[i] = self.sub[i] * x[i - 1] + self.diag[i] * x[i] + self.sup[i] * x[i + 1];
+        }
+        y[n - 1] = self.sub[n - 1] * x[n - 2] + self.diag[n - 1] * x[n - 1];
+    }
+
+    /// Direct solve with the Thomas algorithm (test ground truth; O(n)).
+    pub fn thomas_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(b.len(), n);
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut c = vec![0.0; n];
+        let mut d = vec![0.0; n];
+        c[0] = self.sup[0] / self.diag[0];
+        d[0] = b[0] / self.diag[0];
+        for i in 1..n {
+            let m = self.diag[i] - self.sub[i] * c[i - 1];
+            c[i] = if i + 1 < n { self.sup[i] / m } else { 0.0 };
+            d[i] = (b[i] - self.sub[i] * d[i - 1]) / m;
+        }
+        let mut x = vec![0.0; n];
+        x[n - 1] = d[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = d[i] - c[i] * x[i + 1];
+        }
+        x
+    }
+}
+
+/// Device-resident diagonals of a tridiagonal operator, plus the portable
+/// RACC matvec (the paper's `matvecmul` as a `parallel_for`).
+pub struct DeviceTridiag<'c, B: Backend> {
+    ctx: &'c Context<B>,
+    /// Sub-diagonal on the device.
+    pub sub: Array1<f64>,
+    /// Main diagonal on the device.
+    pub diag: Array1<f64>,
+    /// Super-diagonal on the device.
+    pub sup: Array1<f64>,
+    n: usize,
+}
+
+impl<'c, B: Backend> DeviceTridiag<'c, B> {
+    /// Upload a host tridiagonal matrix.
+    pub fn upload(ctx: &'c Context<B>, host: &Tridiag) -> Result<Self, RaccError> {
+        Ok(DeviceTridiag {
+            sub: ctx.array_from(&host.sub)?,
+            diag: ctx.array_from(&host.diag)?,
+            sup: ctx.array_from(&host.sup)?,
+            n: host.n(),
+            ctx,
+        })
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `y = A x` as one `parallel_for`, the paper's `matvecmul` kernel.
+    pub fn matvec(&self, x: &Array1<f64>, y: &Array1<f64>) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let n = self.n;
+        let (sub, diag, sup) = (self.sub.view(), self.diag.view(), self.sup.view());
+        let (xv, yv) = (x.view(), y.view_mut());
+        self.ctx
+            .parallel_for(n, &tridiag_matvec_profile(), move |i| {
+                let v = if n == 1 {
+                    diag.get(0) * xv.get(0)
+                } else if i == 0 {
+                    diag.get(0) * xv.get(0) + sup.get(0) * xv.get(1)
+                } else if i == n - 1 {
+                    sub.get(i) * xv.get(i - 1) + diag.get(i) * xv.get(i)
+                } else {
+                    sub.get(i) * xv.get(i - 1)
+                        + diag.get(i) * xv.get(i)
+                        + sup.get(i) * xv.get(i + 1)
+                };
+                yv.set(i, v);
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racc_core::{SerialBackend, ThreadsBackend};
+
+    #[test]
+    fn reference_matvec_small() {
+        // A = [[2, 1, 0], [1, 3, 1], [0, 1, 4]] as tridiag.
+        let a = Tridiag::new(
+            vec![0.0, 1.0, 1.0],
+            vec![2.0, 3.0, 4.0],
+            vec![1.0, 1.0, 0.0],
+        );
+        let mut y = vec![0.0; 3];
+        a.matvec_ref(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![4.0, 10.0, 14.0]);
+    }
+
+    #[test]
+    fn thomas_solves_exactly() {
+        let n = 200;
+        let a = Tridiag::diagonally_dominant(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let mut b = vec![0.0; n];
+        a.matvec_ref(&x_true, &mut b);
+        let x = a.thomas_solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn device_matvec_matches_reference() {
+        for threads in [1usize, 4] {
+            let ctx = Context::new(ThreadsBackend::with_threads(threads));
+            let n = 5000;
+            let a = Tridiag::diagonally_dominant(n);
+            let da = DeviceTridiag::upload(&ctx, &a).unwrap();
+            let hx: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) - 11.0).collect();
+            let x = ctx.array_from(&hx).unwrap();
+            let y = ctx.zeros::<f64>(n).unwrap();
+            da.matvec(&x, &y);
+            let mut want = vec![0.0; n];
+            a.matvec_ref(&hx, &mut want);
+            assert_eq!(ctx.to_host(&y).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let ctx = Context::new(SerialBackend::new());
+        // n = 1
+        let a = Tridiag::new(vec![0.0], vec![5.0], vec![0.0]);
+        let da = DeviceTridiag::upload(&ctx, &a).unwrap();
+        let x = ctx.array_from(&[2.0]).unwrap();
+        let y = ctx.zeros::<f64>(1).unwrap();
+        da.matvec(&x, &y);
+        assert_eq!(ctx.to_host(&y).unwrap(), vec![10.0]);
+        // n = 2
+        let a = Tridiag::new(vec![0.0, 1.0], vec![3.0, 3.0], vec![1.0, 0.0]);
+        let mut y2 = vec![0.0; 2];
+        a.matvec_ref(&[1.0, 1.0], &mut y2);
+        assert_eq!(y2, vec![4.0, 4.0]);
+        // n = 0
+        let a = Tridiag::new(vec![], vec![], vec![]);
+        let mut y0: Vec<f64> = vec![];
+        a.matvec_ref(&[], &mut y0);
+        assert!(a.thomas_solve(&[]).is_empty());
+    }
+
+    #[test]
+    fn diagonally_dominant_is_spd_like() {
+        // x^T A x > 0 for a few random-ish x (necessary condition for CG).
+        let n = 100;
+        let a = Tridiag::diagonally_dominant(n);
+        for seed in 0..5u64 {
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i as u64 * 2654435761 + seed * 97) % 19) as f64 - 9.0)
+                .collect();
+            let mut ax = vec![0.0; n];
+            a.matvec_ref(&x, &mut ax);
+            let quad: f64 = x.iter().zip(&ax).map(|(a, b)| a * b).sum();
+            assert!(quad > 0.0);
+        }
+    }
+}

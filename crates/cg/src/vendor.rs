@@ -1,0 +1,356 @@
+//! Device-specific CG iterations — the comparison codes of Fig. 13.
+//!
+//! Each vendor struct owns the CG vectors on its device, applies the
+//! tridiagonal matvec with a hand-written vendor kernel, and composes the
+//! vendor BLAS of `racc-blas` for the dots and AXPYs. `iterate()` performs
+//! one CG iteration and returns its modeled nanoseconds — the unit the
+//! paper measures at N = 100M.
+
+use racc_blas::vendor as vblas;
+use racc_core::cpumodel::CpuSpec;
+use racc_gpusim::KernelCost;
+use racc_threadpool::ThreadPool;
+
+use crate::tridiag::Tridiag;
+use crate::tridiag_matvec_profile;
+
+fn matvec_cost() -> KernelCost {
+    let p = tridiag_matvec_profile();
+    KernelCost::new(
+        p.flops_per_iter,
+        p.bytes_read_per_iter,
+        p.bytes_written_per_iter,
+        p.coalescing,
+    )
+}
+
+macro_rules! gpu_cg {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $apimod:ident, $ctxty:ty, $new_ctx:expr, $arr:ident, $mkarr:ident
+    ) => {
+        $(#[$doc])*
+        pub struct $name {
+            api: $ctxty,
+            n: usize,
+            sub: racc_gpusim::DeviceBuffer<f64>,
+            diag: racc_gpusim::DeviceBuffer<f64>,
+            sup: racc_gpusim::DeviceBuffer<f64>,
+            r: racc_gpusim::DeviceBuffer<f64>,
+            p: racc_gpusim::DeviceBuffer<f64>,
+            s: racc_gpusim::DeviceBuffer<f64>,
+            x: racc_gpusim::DeviceBuffer<f64>,
+            rr: f64,
+        }
+
+        impl $name {
+            /// Set up `A x = b` on a fresh simulated device (zero initial
+            /// guess, so `r = p = b`).
+            pub fn new(a: &Tridiag, b: &[f64]) -> Self {
+                let n = a.n();
+                assert_eq!(b.len(), n);
+                let api = $new_ctx;
+                let sub = api.$mkarr(&a.sub).expect("sub");
+                let diag = api.$mkarr(&a.diag).expect("diag");
+                let sup = api.$mkarr(&a.sup).expect("sup");
+                let r = api.$mkarr(b).expect("r");
+                let p = api.$mkarr(b).expect("p");
+                let s = api.zeros::<f64>(n).expect("s");
+                let x = api.zeros::<f64>(n).expect("x");
+                let (rr, _) = vblas::$apimod::dot(&api, &r, &r);
+                $name {
+                    api,
+                    n,
+                    sub,
+                    diag,
+                    sup,
+                    r,
+                    p,
+                    s,
+                    x,
+                    rr,
+                }
+            }
+
+            /// Hand-written tridiagonal matvec kernel: `s = A p`.
+            fn matvec(&self) {
+                let n = self.n;
+                let sub = self.api.view(&self.sub).expect("own");
+                let diag = self.api.view(&self.diag).expect("own");
+                let sup = self.api.view(&self.sup).expect("own");
+                let pv = self.api.view(&self.p).expect("own");
+                let sv = self.api.view_mut(&self.s).expect("own");
+                let threads = 256u32;
+                let blocks = n.div_ceil(threads as usize) as u32;
+                self.api
+                    .launch(threads, blocks, 0, matvec_cost(), move |t| {
+                        let i = t.global_id_x();
+                        if i >= n {
+                            return;
+                        }
+                        let v = if n == 1 {
+                            diag.get(0) * pv.get(0)
+                        } else if i == 0 {
+                            diag.get(0) * pv.get(0) + sup.get(0) * pv.get(1)
+                        } else if i == n - 1 {
+                            sub.get(i) * pv.get(i - 1) + diag.get(i) * pv.get(i)
+                        } else {
+                            sub.get(i) * pv.get(i - 1)
+                                + diag.get(i) * pv.get(i)
+                                + sup.get(i) * pv.get(i + 1)
+                        };
+                        sv.set(i, v);
+                    })
+                    .expect("matvec launch");
+            }
+
+            /// One CG iteration; returns `(residual_norm, modeled_ns)`.
+            pub fn iterate(&mut self) -> (f64, u64) {
+                let e0 = self.api.record_event();
+                self.matvec();
+                let (ps, _) = vblas::$apimod::dot(&self.api, &self.p, &self.s);
+                let alpha = self.rr / ps;
+                vblas::$apimod::axpy(&self.api, alpha, &self.x, &self.p);
+                vblas::$apimod::axpy(&self.api, -alpha, &self.r, &self.s);
+                let (rr_new, _) = vblas::$apimod::dot(&self.api, &self.r, &self.r);
+                let beta = rr_new / self.rr;
+                // p = r + beta p, as one hand-written kernel.
+                {
+                    let n = self.n;
+                    let rv = self.api.view(&self.r).expect("own");
+                    let pv = self.api.view_mut(&self.p).expect("own");
+                    let threads = 256u32;
+                    let blocks = n.div_ceil(threads as usize) as u32;
+                    self.api
+                        .launch(
+                            threads,
+                            blocks,
+                            0,
+                            KernelCost::new(3.0, 16.0, 8.0, 1.0),
+                            move |t| {
+                                let i = t.global_id_x();
+                                if i < n {
+                                    pv.set(i, rv.get(i) + beta * pv.get(i));
+                                }
+                            },
+                        )
+                        .expect("update launch");
+                }
+                self.rr = rr_new;
+                let e1 = self.api.record_event();
+                (rr_new.sqrt(), e0.elapsed_ns(&e1))
+            }
+
+            /// Squared residual norm.
+            pub fn rr(&self) -> f64 {
+                self.rr
+            }
+
+            /// Download the current iterate.
+            pub fn solution(&self) -> Vec<f64> {
+                self.api.to_host(&self.x).expect("download")
+            }
+        }
+    };
+}
+
+gpu_cg!(
+    /// CUDA-specific CG on the simulated A100.
+    CudaCg,
+    cuda,
+    racc_cudasim::Cuda,
+    racc_cudasim::Cuda::new(),
+    CuArray,
+    cu_array
+);
+
+gpu_cg!(
+    /// HIP-specific CG on the simulated MI100.
+    HipCg,
+    hip,
+    racc_hipsim::Hip,
+    racc_hipsim::Hip::new(),
+    RocArray,
+    roc_array
+);
+
+gpu_cg!(
+    /// oneAPI-specific CG on the simulated Max 1550.
+    OneApiCg,
+    oneapi,
+    racc_oneapisim::OneApi,
+    racc_oneapisim::OneApi::new(),
+    OneArray,
+    one_array
+);
+
+/// CPU device-specific CG: direct thread-pool loops, CPU-model timing.
+pub struct ThreadsCg {
+    pool: ThreadPool,
+    cpu: CpuSpec,
+    a: Tridiag,
+    r: Vec<f64>,
+    p: Vec<f64>,
+    s: Vec<f64>,
+    x: Vec<f64>,
+    rr: f64,
+}
+
+impl ThreadsCg {
+    /// Set up `A x = b` over a fresh pool.
+    pub fn new(threads: usize, a: Tridiag, b: &[f64]) -> Self {
+        let n = a.n();
+        assert_eq!(b.len(), n);
+        let pool = ThreadPool::new(threads);
+        let cpu = CpuSpec::epyc_7742_rome();
+        let (rr, _) = vblas::threads::dot(&pool, &cpu, b, b);
+        ThreadsCg {
+            pool,
+            cpu,
+            a,
+            r: b.to_vec(),
+            p: b.to_vec(),
+            s: vec![0.0; n],
+            x: vec![0.0; n],
+            rr,
+        }
+    }
+
+    fn matvec(&mut self) {
+        let n = self.a.n();
+        let (sub, diag, sup) = (&self.a.sub, &self.a.diag, &self.a.sup);
+        let p = &self.p;
+        let s = &mut self.s;
+        self.pool.parallel_for_slices(s, |offset, block| {
+            for (bi, out) in block.iter_mut().enumerate() {
+                let i = offset + bi;
+                *out = if n == 1 {
+                    diag[0] * p[0]
+                } else if i == 0 {
+                    diag[0] * p[0] + sup[0] * p[1]
+                } else if i == n - 1 {
+                    sub[i] * p[i - 1] + diag[i] * p[i]
+                } else {
+                    sub[i] * p[i - 1] + diag[i] * p[i] + sup[i] * p[i + 1]
+                };
+            }
+        });
+    }
+
+    /// One CG iteration; returns `(residual_norm, modeled_ns)`.
+    pub fn iterate(&mut self) -> (f64, u64) {
+        let n = self.a.n();
+        let mut total_ns = 0u64;
+        self.matvec();
+        total_ns += self.cpu.kernel_time_ns(n, &tridiag_matvec_profile()) as u64;
+        let (ps, ns) = vblas::threads::dot(&self.pool, &self.cpu, &self.p, &self.s);
+        total_ns += ns;
+        let alpha = self.rr / ps;
+        total_ns += vblas::threads::axpy(&self.pool, &self.cpu, alpha, &mut self.x, &self.p);
+        total_ns += vblas::threads::axpy(&self.pool, &self.cpu, -alpha, &mut self.r, &self.s);
+        let (rr_new, ns) = vblas::threads::dot(&self.pool, &self.cpu, &self.r, &self.r);
+        total_ns += ns;
+        let beta = rr_new / self.rr;
+        let r = &self.r;
+        let p = &mut self.p;
+        self.pool.parallel_for_slices(p, |offset, block| {
+            for (bi, pi) in block.iter_mut().enumerate() {
+                *pi = r[offset + bi] + beta * *pi;
+            }
+        });
+        total_ns += self
+            .cpu
+            .kernel_time_ns(n, &racc_core::KernelProfile::new("axpby", 3.0, 16.0, 8.0))
+            as u64;
+        self.rr = rr_new;
+        (rr_new.sqrt(), total_ns)
+    }
+
+    /// Squared residual norm.
+    pub fn rr(&self) -> f64 {
+        self.rr
+    }
+
+    /// The current iterate.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(n: usize) -> (Tridiag, Vec<f64>, Vec<f64>) {
+        let a = Tridiag::diagonally_dominant(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 11) % 6) as f64 - 2.5).collect();
+        let mut b = vec![0.0; n];
+        a.matvec_ref(&x_true, &mut b);
+        (a, b, x_true)
+    }
+
+    fn assert_solves(solution: &[f64], x_true: &[f64]) {
+        for (got, want) in solution.iter().zip(x_true) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cuda_cg_converges() {
+        let (a, b, x_true) = system(1500);
+        let mut cg = CudaCg::new(&a, &b);
+        let mut steps = 0;
+        while cg.rr().sqrt() > 1e-9 && steps < 200 {
+            let (_res, ns) = cg.iterate();
+            assert!(ns > 0);
+            steps += 1;
+        }
+        assert!(steps < 100, "diag-dominant system converges fast: {steps}");
+        assert_solves(&cg.solution(), &x_true);
+    }
+
+    #[test]
+    fn hip_cg_converges() {
+        let (a, b, x_true) = system(1000);
+        let mut cg = HipCg::new(&a, &b);
+        for _ in 0..80 {
+            cg.iterate();
+        }
+        assert_solves(&cg.solution(), &x_true);
+    }
+
+    #[test]
+    fn oneapi_cg_converges() {
+        let (a, b, x_true) = system(1000);
+        let mut cg = OneApiCg::new(&a, &b);
+        for _ in 0..80 {
+            cg.iterate();
+        }
+        assert_solves(&cg.solution(), &x_true);
+    }
+
+    #[test]
+    fn threads_cg_converges() {
+        let (a, b, x_true) = system(3000);
+        let mut cg = ThreadsCg::new(4, a, &b);
+        let mut steps = 0;
+        while cg.rr().sqrt() > 1e-9 && steps < 200 {
+            let (_res, ns) = cg.iterate();
+            assert!(ns > 0);
+            steps += 1;
+        }
+        assert_solves(cg.solution(), &x_true);
+    }
+
+    #[test]
+    fn vendor_iterations_agree_with_each_other() {
+        let (a, b, _) = system(800);
+        let mut cuda = CudaCg::new(&a, &b);
+        let mut threads = ThreadsCg::new(2, a, &b);
+        for _ in 0..10 {
+            let (r1, _) = cuda.iterate();
+            let (r2, _) = threads.iterate();
+            assert!((r1 - r2).abs() < 1e-9 * r1.max(1e-30), "{r1} vs {r2}");
+        }
+    }
+}

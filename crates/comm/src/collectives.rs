@@ -1,0 +1,215 @@
+//! Collective operations over the world, built on point-to-point sends and
+//! the shared barrier.
+//!
+//! Reductions reuse the front end's [`racc_core::ReduceOp`] monoids, so the
+//! same `Sum`/`Max`/`Min` values work in kernels and across ranks. All
+//! collectives use simple rank-0-rooted fan-in/fan-out (latency O(P));
+//! message counts are asserted in tests, not modeled in time — the comm
+//! substrate is functional, unlike the clocked device simulator.
+
+use racc_core::{AccScalar, ReduceOp, Sum};
+
+use crate::world::Rank;
+
+impl Rank {
+    /// Reduce `value` across all ranks with `op`; every rank receives the
+    /// result (allreduce). Combination order is rank order, so results are
+    /// deterministic.
+    pub fn allreduce<T, O>(&self, value: T, op: O) -> T
+    where
+        T: AccScalar,
+        O: ReduceOp<T>,
+    {
+        // Fan-in to rank 0 in rank order, then broadcast.
+        let total = if self.rank() == 0 {
+            let mut acc = value;
+            for peer in 1..self.size() {
+                let v: T = self.recv(peer).expect("fan-in recv");
+                acc = op.combine(acc, v);
+            }
+            acc
+        } else {
+            self.send(0, value).expect("fan-in send");
+            op.identity()
+        };
+        self.broadcast(total)
+    }
+
+    /// Sum `value` across ranks (the common case: distributed dot products).
+    pub fn allreduce_sum<T>(&self, value: T) -> T
+    where
+        T: racc_core::Numeric,
+    {
+        self.allreduce(value, Sum)
+    }
+
+    /// Broadcast rank 0's `value` to every rank; returns it everywhere.
+    pub fn broadcast<T>(&self, value: T) -> T
+    where
+        T: AccScalar,
+    {
+        if self.rank() == 0 {
+            for peer in 1..self.size() {
+                self.send(peer, value).expect("broadcast send");
+            }
+            value
+        } else {
+            self.recv(0).expect("broadcast recv")
+        }
+    }
+
+    /// Gather every rank's vector to rank 0 (in rank order); other ranks
+    /// get `None`.
+    pub fn gather<T>(&self, local: Vec<T>) -> Option<Vec<Vec<T>>>
+    where
+        T: Send + 'static,
+    {
+        if self.rank() == 0 {
+            let mut all = Vec::with_capacity(self.size());
+            all.push(local);
+            for peer in 1..self.size() {
+                all.push(self.recv(peer).expect("gather recv"));
+            }
+            Some(all)
+        } else {
+            self.send(0, local).expect("gather send");
+            None
+        }
+    }
+
+    /// Every rank receives the concatenation of all ranks' vectors in rank
+    /// order (allgather).
+    pub fn allgather<T>(&self, local: Vec<T>) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        if self.rank() == 0 {
+            let mut all: Vec<T> = local;
+            for peer in 1..self.size() {
+                let chunk: Vec<T> = self.recv(peer).expect("allgather recv");
+                all.extend(chunk);
+            }
+            for peer in 1..self.size() {
+                self.send(peer, all.clone()).expect("allgather send");
+            }
+            all
+        } else {
+            self.send(0, local).expect("allgather send");
+            self.recv(0).expect("allgather recv")
+        }
+    }
+
+    /// Split `data` (on rank 0) into contiguous near-equal chunks, one per
+    /// rank (scatter). Other ranks pass `None`.
+    pub fn scatter<T>(&self, data: Option<Vec<T>>) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        if self.rank() == 0 {
+            let data = data.expect("rank 0 provides the scatter payload");
+            let n = data.len();
+            let p = self.size();
+            let block = |who: usize| {
+                let base = n / p;
+                let rem = n % p;
+                let start = who * base + who.min(rem);
+                let len = base + usize::from(who < rem);
+                (start, start + len)
+            };
+            for peer in 1..p {
+                let (s, e) = block(peer);
+                self.send(peer, data[s..e].to_vec()).expect("scatter send");
+            }
+            let (s, e) = block(0);
+            data[s..e].to_vec()
+        } else {
+            assert!(data.is_none(), "only rank 0 provides the scatter payload");
+            self.recv(0).expect("scatter recv")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::world::World;
+    use racc_core::{Max, Min};
+
+    #[test]
+    fn allreduce_sum_and_extrema() {
+        let results = World::run(5, |c| {
+            let v = (c.rank() + 1) as i64;
+            (c.allreduce_sum(v), c.allreduce(v, Max), c.allreduce(v, Min))
+        });
+        for (sum, max, min) in results {
+            assert_eq!(sum, 15);
+            assert_eq!(max, 5);
+            assert_eq!(min, 1);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_for_floats() {
+        let a = World::run(4, |c| c.allreduce_sum(0.1f64 * (c.rank() as f64 + 1.0)));
+        let b = World::run(4, |c| c.allreduce_sum(0.1f64 * (c.rank() as f64 + 1.0)));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(a.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let results = World::run(4, |c| {
+            let v = if c.rank() == 0 { 42u32 } else { 0 };
+            c.broadcast(v)
+        });
+        assert!(results.iter().all(|&v| v == 42));
+    }
+
+    #[test]
+    fn gather_and_allgather_preserve_rank_order() {
+        let gathered = World::run(3, |c| {
+            let local = vec![c.rank() as u8; c.rank() + 1];
+            c.gather(local)
+        });
+        let root = gathered[0].as_ref().unwrap();
+        assert_eq!(root.len(), 3);
+        assert_eq!(root[0], vec![0u8]);
+        assert_eq!(root[2], vec![2u8, 2, 2]);
+        assert!(gathered[1].is_none());
+
+        let all = World::run(3, |c| c.allgather(vec![c.rank() as u8]));
+        assert!(all.iter().all(|v| v == &vec![0u8, 1, 2]));
+    }
+
+    #[test]
+    fn scatter_partitions_contiguously() {
+        let chunks = World::run(3, |c| {
+            let payload = if c.rank() == 0 {
+                Some((0..10u32).collect::<Vec<_>>())
+            } else {
+                None
+            };
+            c.scatter(payload)
+        });
+        assert_eq!(chunks[0], vec![0, 1, 2, 3]);
+        assert_eq!(chunks[1], vec![4, 5, 6]);
+        assert_eq!(chunks[2], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let results = World::run(4, move |c| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier, every rank must see all increments.
+            c2.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&v| v == 4));
+    }
+}

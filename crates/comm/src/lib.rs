@@ -1,0 +1,31 @@
+//! # racc-comm
+//!
+//! A small message-passing substrate: SPMD ranks with typed point-to-point
+//! sends and the standard collectives — the analog of the `MPI.jl`
+//! dependency in JACC's ecosystem (the paper's §II lists `MPI.jl` /
+//! `Distributed.jl` as how Julia codes scale out, and its future work names
+//! distributed-memory configurations).
+//!
+//! Ranks are OS threads inside one process; channels replace the network.
+//! That keeps the programming model exactly MPI-shaped (SPMD `run`,
+//! `send`/`recv`, `barrier`, `allreduce`, `broadcast`, `gather`) while
+//! remaining a deterministic, test-friendly substrate — the same
+//! substitution philosophy as the GPU simulator.
+//!
+//! ```
+//! use racc_comm::World;
+//!
+//! // 4 ranks compute a distributed dot product.
+//! let results = World::run(4, |comm| {
+//!     let chunk: Vec<f64> = (0..100).map(|i| (comm.rank() * 100 + i) as f64).collect();
+//!     let local: f64 = chunk.iter().map(|x| x * x).sum();
+//!     comm.allreduce_sum(local)
+//! });
+//! // Every rank got the same global sum.
+//! assert!(results.windows(2).all(|w| w[0] == w[1]));
+//! ```
+
+mod collectives;
+mod world;
+
+pub use world::{CommError, Rank, World};

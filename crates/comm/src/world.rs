@@ -1,0 +1,279 @@
+//! The SPMD world: rank spawning and point-to-point messaging.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Errors from communication calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank index outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// World size.
+        size: usize,
+    },
+    /// A received message had a different payload type than requested.
+    TypeMismatch,
+    /// The peer's channel is gone (its rank body panicked).
+    Disconnected,
+    /// Self-send/self-recv, which would deadlock.
+    SelfMessage,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for world of {size}")
+            }
+            CommError::TypeMismatch => write!(f, "received message of unexpected type"),
+            CommError::Disconnected => write!(f, "peer rank terminated"),
+            CommError::SelfMessage => write!(f, "send/recv to self would deadlock"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+type Payload = Box<dyn Any + Send>;
+
+/// A rank's endpoint in the world: its identity plus channels to every
+/// peer. Messages between a fixed (sender, receiver) pair are FIFO.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    /// `senders[p]` sends to rank p; entry for self unused.
+    senders: Vec<Sender<Payload>>,
+    /// `receivers[p]` receives messages *from* rank p.
+    receivers: Vec<Receiver<Payload>>,
+    /// Shared barrier for collectives.
+    pub(crate) barrier: Arc<std::sync::Barrier>,
+}
+
+impl Rank {
+    /// This rank's index in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn check_peer(&self, peer: usize) -> Result<(), CommError> {
+        if peer >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: peer,
+                size: self.size,
+            });
+        }
+        if peer == self.rank {
+            return Err(CommError::SelfMessage);
+        }
+        Ok(())
+    }
+
+    /// Send a value to `peer` (non-blocking: buffered channel).
+    pub fn send<T: Send + 'static>(&self, peer: usize, value: T) -> Result<(), CommError> {
+        self.check_peer(peer)?;
+        self.senders[peer]
+            .send(Box::new(value))
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    /// Receive the next value sent by `peer` (blocking).
+    pub fn recv<T: Send + 'static>(&self, peer: usize) -> Result<T, CommError> {
+        self.check_peer(peer)?;
+        let payload = self.receivers[peer]
+            .recv()
+            .map_err(|_| CommError::Disconnected)?;
+        payload
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch)
+    }
+
+    /// Paired exchange with `peer`: send `value`, receive theirs. Safe in
+    /// both orders because sends are buffered.
+    pub fn exchange<T: Send + 'static>(&self, peer: usize, value: T) -> Result<T, CommError> {
+        self.send(peer, value)?;
+        self.recv(peer)
+    }
+
+    /// Block until every rank has reached this barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// The SPMD launcher.
+pub struct World;
+
+impl World {
+    /// Run `body` on `size` ranks concurrently; returns each rank's result
+    /// in rank order. Panics in any rank propagate after all ranks joined
+    /// or disconnected.
+    pub fn run<T, F>(size: usize, body: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(&Rank) -> T + Send + Sync + 'static,
+    {
+        assert!(size > 0, "world needs at least one rank");
+        // channels[from][to]
+        let mut senders: Vec<Vec<Sender<Payload>>> = Vec::with_capacity(size);
+        let mut receivers: Vec<Vec<Option<Receiver<Payload>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        #[allow(clippy::needless_range_loop)] // (from, to) symmetry is clearer
+        for from in 0..size {
+            let mut row = Vec::with_capacity(size);
+            for to in 0..size {
+                let (tx, rx) = unbounded::<Payload>();
+                row.push(tx);
+                receivers[to][from] = Some(rx);
+            }
+            senders.push(row);
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(size));
+        let body = Arc::new(body);
+
+        let mut handles = Vec::with_capacity(size);
+        for (rank_id, (rank_senders, rank_receivers)) in
+            senders.into_iter().zip(receivers).enumerate()
+        {
+            let rank = Rank {
+                rank: rank_id,
+                size,
+                senders: rank_senders,
+                receivers: rank_receivers
+                    .into_iter()
+                    .map(|r| r.expect("fully wired"))
+                    .collect(),
+                barrier: Arc::clone(&barrier),
+            };
+            let body = Arc::clone(&body);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("racc-rank-{rank_id}"))
+                    .spawn(move || body(&rank))
+                    .expect("spawn rank"),
+            );
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_know_their_identity() {
+        let ids = World::run(5, |c| (c.rank(), c.size()));
+        for (i, (rank, size)) in ids.iter().enumerate() {
+            assert_eq!(*rank, i);
+            assert_eq!(*size, 5);
+        }
+    }
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each rank adds its id and forwards around the ring.
+        let results = World::run(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            if c.rank() == 0 {
+                c.send(next, 0usize).unwrap();
+                c.recv::<usize>(prev).unwrap()
+            } else {
+                let v = c.recv::<usize>(prev).unwrap();
+                c.send(next, v + c.rank()).unwrap();
+                usize::MAX // only rank 0's total matters
+            }
+        });
+        assert_eq!(results[0], 1 + 2 + 3);
+    }
+
+    #[test]
+    fn pairwise_exchange_is_deadlock_free() {
+        let results = World::run(6, |c| {
+            let partner = c.rank() ^ 1; // 0<->1, 2<->3, 4<->5
+            c.exchange(partner, c.rank() * 10).unwrap()
+        });
+        assert_eq!(results, vec![10, 0, 30, 20, 50, 40]);
+    }
+
+    #[test]
+    fn fifo_order_per_pair() {
+        let results = World::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..50 {
+                    c.send(1, i as u64).unwrap();
+                }
+                0
+            } else {
+                let mut last = -1i64;
+                for _ in 0..50 {
+                    let v = c.recv::<u64>(0).unwrap() as i64;
+                    assert_eq!(v, last + 1, "messages must arrive in order");
+                    last = v;
+                }
+                last
+            }
+        });
+        assert_eq!(results[1], 49);
+    }
+
+    #[test]
+    fn typed_payloads_and_mismatch() {
+        let results = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, vec![1.0f64, 2.0]).unwrap();
+                c.send(1, "hello".to_string()).unwrap();
+                Ok(0.0)
+            } else {
+                let v: Vec<f64> = c.recv(0).unwrap();
+                assert_eq!(v, vec![1.0, 2.0]);
+                // Wrong type requested:
+                c.recv::<u32>(0).map(|_| 1.0)
+            }
+        });
+        assert!(matches!(results[1], Err(CommError::TypeMismatch)));
+    }
+
+    #[test]
+    fn invalid_peers_are_rejected() {
+        let results = World::run(2, |c| {
+            let bad = c.send(7, 1u8).unwrap_err();
+            let own = c.send(c.rank(), 1u8).unwrap_err();
+            (bad, own)
+        });
+        assert!(matches!(
+            results[0].0,
+            CommError::InvalidRank { rank: 7, size: 2 }
+        ));
+        assert!(matches!(results[0].1, CommError::SelfMessage));
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let r = World::run(1, |c| {
+            c.barrier();
+            c.rank() + 100
+        });
+        assert_eq!(r, vec![100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        World::run(0, |_| ());
+    }
+}

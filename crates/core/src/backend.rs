@@ -1,0 +1,111 @@
+//! The back-end abstraction.
+//!
+//! A [`Backend`] supplies the execution and memory-modeling strategy behind
+//! the front-end constructs. Implementations in this workspace:
+//!
+//! | backend | crate | JACC analog |
+//! |---|---|---|
+//! | [`crate::SerialBackend`]  | racc-core | (baseline) |
+//! | [`crate::ThreadsBackend`] | racc-core | `Base.Threads` |
+//! | `CudaBackend`             | racc-backend-cuda | `CUDA.jl` |
+//! | `HipBackend`              | racc-backend-hip | `AMDGPU.jl` |
+//! | `OneApiBackend`           | racc-backend-oneapi | `oneAPI.jl` |
+//!
+//! The trait's kernel methods are generic (monomorphized per kernel), so the
+//! portability layer adds no virtual dispatch on the hot path — the property
+//! the paper's overhead study is about. Runtime backend selection happens by
+//! enum dispatch in the `racc` crate.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crate::error::RaccError;
+use crate::profile::KernelProfile;
+use crate::scalar::{AccScalar, ReduceOp};
+use crate::timeline::Timeline;
+
+/// Opaque residency marker a backend attaches to an array. Accelerator back
+/// ends use it to hold (and release, on drop) modeled device memory; CPU
+/// back ends return `None`.
+pub type DeviceToken = Option<Arc<dyn Any + Send + Sync>>;
+
+/// A RACC execution back end. See the module docs.
+///
+/// Contract for the kernel methods:
+/// * every index in the range is invoked **exactly once**;
+/// * the call is **synchronous** — all invocations complete before return;
+/// * `f` may be invoked concurrently for different indices;
+/// * the backend charges its [`Timeline`] with the modeled duration.
+pub trait Backend: Send + Sync + 'static {
+    /// Human-readable name, e.g. `"RACC Threads (64 cores)"`.
+    fn name(&self) -> String;
+
+    /// Short key used in preferences and tables: `"serial"`, `"threads"`,
+    /// `"cudasim"`, `"hipsim"`, `"oneapisim"`.
+    fn key(&self) -> &'static str;
+
+    /// True for (simulated) accelerator back ends, which have a distinct
+    /// memory space.
+    fn is_accelerator(&self) -> bool;
+
+    /// The modeled-time accounting for this backend instance.
+    fn timeline(&self) -> &Timeline;
+
+    /// Model an array allocation of `bytes` (with an upload of the initial
+    /// contents when `upload`), returning a residency token the array holds.
+    fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError>;
+
+    /// Model a download of `bytes` back to the host (`to_host`).
+    fn on_download(&self, bytes: usize);
+
+    /// `parallel_for(n, f)` over `i in 0..n`.
+    fn parallel_for_1d<F>(&self, n: usize, profile: &KernelProfile, f: F)
+    where
+        F: Fn(usize) + Sync;
+
+    /// `parallel_for((m, n), f)` over `0..m × 0..n` (i fast, column-major).
+    fn parallel_for_2d<F>(&self, m: usize, n: usize, profile: &KernelProfile, f: F)
+    where
+        F: Fn(usize, usize) + Sync;
+
+    /// `parallel_for((m, n, l), f)` over a 3D range.
+    fn parallel_for_3d<F>(&self, m: usize, n: usize, l: usize, profile: &KernelProfile, f: F)
+    where
+        F: Fn(usize, usize, usize) + Sync;
+
+    /// `parallel_reduce(n, f)` with reduction operator `op`.
+    fn parallel_reduce_1d<T, F, O>(&self, n: usize, profile: &KernelProfile, f: F, op: O) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize) -> T + Sync,
+        O: ReduceOp<T>;
+
+    /// 2D reduction.
+    fn parallel_reduce_2d<T, F, O>(
+        &self,
+        m: usize,
+        n: usize,
+        profile: &KernelProfile,
+        f: F,
+        op: O,
+    ) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize, usize) -> T + Sync,
+        O: ReduceOp<T>;
+
+    /// 3D reduction.
+    fn parallel_reduce_3d<T, F, O>(
+        &self,
+        m: usize,
+        n: usize,
+        l: usize,
+        profile: &KernelProfile,
+        f: F,
+        op: O,
+    ) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize, usize, usize) -> T + Sync,
+        O: ReduceOp<T>;
+}

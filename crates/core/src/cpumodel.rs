@@ -1,0 +1,157 @@
+//! The CPU machine model used by the Serial and Threads back ends.
+//!
+//! As with the GPU profiles in `racc-gpusim`, the structural numbers are the
+//! published hardware figures and the *achieved* numbers are calibration
+//! constants (documented in `EXPERIMENTS.md`). The paper's CPU baseline is a
+//! 64-core AMD EPYC 7742 "Rome" running Julia `Base.Threads` loops, which
+//! achieve far below STREAM peak; the calibrated achieved bandwidth reflects
+//! that.
+
+use crate::profile::KernelProfile;
+
+/// Parameters of a modeled CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Short identifier used in tables.
+    pub key: &'static str,
+    /// Core count used by the parallel backend.
+    pub cores: u32,
+    /// Achieved memory bandwidth of a threaded streaming loop, bytes/s.
+    pub achieved_bw_bytes_per_sec: f64,
+    /// Achieved double-precision throughput of such loops, FLOP/s.
+    pub achieved_flops_per_sec: f64,
+    /// Fork/join cost of dispatching a parallel region, nanoseconds.
+    pub fork_join_overhead_ns: f64,
+    /// Fraction of the achieved bandwidth retained under fully strided /
+    /// gather access (prefetchers and cache lines are wasted): effective
+    /// bandwidth is `bw * (strided_eff + (1 - strided_eff) * coalescing)`.
+    pub strided_efficiency: f64,
+}
+
+impl CpuSpec {
+    /// The paper's CPU baseline: AMD EPYC 7742 (64 cores), with achieved
+    /// figures calibrated to `Base.Threads`-style loops.
+    pub fn epyc_7742_rome() -> Self {
+        CpuSpec {
+            name: "AMD EPYC 7742 (Rome)",
+            key: "rome",
+            cores: 64,
+            achieved_bw_bytes_per_sec: 30e9,
+            achieved_flops_per_sec: 80e9,
+            fork_join_overhead_ns: 15_000.0,
+            strided_efficiency: 0.40,
+        }
+    }
+
+    /// A single core of the same machine, for the Serial backend: the
+    /// achieved streaming bandwidth of one core with no threading overhead.
+    pub fn epyc_7742_single_core() -> Self {
+        CpuSpec {
+            name: "AMD EPYC 7742 (1 core)",
+            key: "rome1",
+            cores: 1,
+            achieved_bw_bytes_per_sec: 12e9,
+            achieved_flops_per_sec: 4e9,
+            fork_join_overhead_ns: 0.0,
+            strided_efficiency: 0.50,
+        }
+    }
+
+    /// Scale the parallel figures to a different core count (keeps per-core
+    /// throughput constant; used by tests and ablations).
+    pub fn scaled_to_cores(&self, cores: u32) -> Self {
+        let f = cores as f64 / self.cores as f64;
+        CpuSpec {
+            cores,
+            achieved_bw_bytes_per_sec: self.achieved_bw_bytes_per_sec * f,
+            achieved_flops_per_sec: self.achieved_flops_per_sec * f,
+            ..self.clone()
+        }
+    }
+
+    /// Modeled duration of a parallel-for of `iters` iterations with the
+    /// given kernel profile, nanoseconds:
+    /// `fork_join + max(bytes / bw, flops / flop-rate)`.
+    pub fn kernel_time_ns(&self, iters: usize, profile: &KernelProfile) -> f64 {
+        let bytes = profile.bytes_per_iter() * iters as f64;
+        let flops = profile.flops_per_iter * iters as f64;
+        let c = profile.coalescing.clamp(0.0, 1.0);
+        let stride_factor = self.strided_efficiency + (1.0 - self.strided_efficiency) * c;
+        let t_mem = bytes / (self.achieved_bw_bytes_per_sec * stride_factor / 1e9);
+        let t_cmp = flops / (self.achieved_flops_per_sec / 1e9);
+        self.fork_join_overhead_ns + t_mem.max(t_cmp)
+    }
+
+    /// Modeled duration of a parallel reduction: the streaming pass plus a
+    /// final log-tree combine across cores (negligible next to fork/join but
+    /// modeled for completeness).
+    pub fn reduce_time_ns(&self, iters: usize, profile: &KernelProfile) -> f64 {
+        let tree_ns = (self.cores.max(2) as f64).log2() * 50.0;
+        self.kernel_time_ns(iters, profile) + tree_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_loops_cost_the_fork_join_floor() {
+        let cpu = CpuSpec::epyc_7742_rome();
+        let t = cpu.kernel_time_ns(1, &KernelProfile::axpy());
+        assert!(t >= cpu.fork_join_overhead_ns);
+        assert!(t < cpu.fork_join_overhead_ns * 1.01);
+    }
+
+    #[test]
+    fn large_loops_are_bandwidth_bound() {
+        let cpu = CpuSpec::epyc_7742_rome();
+        let n = 100_000_000usize;
+        let t = cpu.kernel_time_ns(n, &KernelProfile::axpy());
+        let ideal = 24.0 * n as f64 / 30.0; // ns at 30 GB/s
+        assert!((t - cpu.fork_join_overhead_ns - ideal).abs() / ideal < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_profile_tracks_flops() {
+        let cpu = CpuSpec::epyc_7742_rome();
+        let hot = KernelProfile::new("hot", 1_000.0, 8.0, 0.0);
+        let t = cpu.kernel_time_ns(1_000_000, &hot);
+        let ideal = 1_000.0 * 1e6 / 80.0; // ns at 80 GFLOP/s
+        assert!((t - cpu.fork_join_overhead_ns - ideal).abs() / ideal < 1e-9);
+    }
+
+    #[test]
+    fn serial_core_is_slower_than_socket() {
+        let one = CpuSpec::epyc_7742_single_core();
+        let all = CpuSpec::epyc_7742_rome();
+        let n = 10_000_000;
+        assert!(
+            one.kernel_time_ns(n, &KernelProfile::axpy())
+                > all.kernel_time_ns(n, &KernelProfile::axpy())
+        );
+    }
+
+    #[test]
+    fn scaling_cores_scales_throughput() {
+        let cpu = CpuSpec::epyc_7742_rome();
+        let half = cpu.scaled_to_cores(32);
+        assert_eq!(half.cores, 32);
+        assert!((half.achieved_bw_bytes_per_sec - 15e9).abs() < 1.0);
+        let n = 50_000_000;
+        let t_full = cpu.kernel_time_ns(n, &KernelProfile::axpy());
+        let t_half = half.kernel_time_ns(n, &KernelProfile::axpy());
+        assert!(t_half > t_full * 1.8);
+    }
+
+    #[test]
+    fn reduce_adds_tree_cost() {
+        let cpu = CpuSpec::epyc_7742_rome();
+        let t_for = cpu.kernel_time_ns(1000, &KernelProfile::dot());
+        let t_red = cpu.reduce_time_ns(1000, &KernelProfile::dot());
+        assert!(t_red > t_for);
+        assert!(t_red - t_for < 1_000.0);
+    }
+}

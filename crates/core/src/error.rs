@@ -1,0 +1,44 @@
+//! The front end's error type.
+
+/// Errors surfaced by the RACC front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaccError {
+    /// The backend could not satisfy an allocation (e.g. simulated device
+    /// out of memory).
+    Allocation(String),
+    /// A requested backend is not compiled in or not recognized.
+    BackendUnavailable(String),
+    /// An array from one context was passed to another.
+    WrongContext {
+        /// Context the array belongs to.
+        array_ctx: u64,
+        /// Context that received the call.
+        this_ctx: u64,
+    },
+    /// A shape/size mismatch in an array operation.
+    ShapeMismatch(String),
+    /// Invalid configuration (preferences, thread counts, ...).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for RaccError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaccError::Allocation(msg) => write!(f, "allocation failed: {msg}"),
+            RaccError::BackendUnavailable(name) => {
+                write!(f, "backend {name:?} is not available")
+            }
+            RaccError::WrongContext {
+                array_ctx,
+                this_ctx,
+            } => write!(
+                f,
+                "array belongs to context {array_ctx}, not context {this_ctx}"
+            ),
+            RaccError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            RaccError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RaccError {}

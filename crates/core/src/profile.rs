@@ -1,0 +1,105 @@
+//! Kernel cost descriptors.
+//!
+//! RACC's back ends model execution time analytically (see `DESIGN.md` §1),
+//! so each construct invocation carries a [`KernelProfile`] describing the
+//! per-iteration resource use of the kernel function. CPU back ends use the
+//! byte/FLOP totals against the CPU machine model; simulated GPU back ends
+//! map iterations onto SIMT threads and use the coalescing factor as well.
+//!
+//! Profiles have no effect on functional results — a wrong profile yields a
+//! wrong *clock*, never a wrong *answer*.
+
+/// Per-iteration resource usage of a kernel passed to `parallel_for` /
+/// `parallel_reduce`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Short kernel name for op logs and diagnostics.
+    pub name: &'static str,
+    /// Double-precision FLOPs per iteration.
+    pub flops_per_iter: f64,
+    /// Bytes read from array memory per iteration.
+    pub bytes_read_per_iter: f64,
+    /// Bytes written to array memory per iteration.
+    pub bytes_written_per_iter: f64,
+    /// GPU memory-coalescing factor in `[0, 1]`; 1 when iteration `i`
+    /// touches addresses contiguous in `i` (ignored by CPU back ends).
+    pub coalescing: f64,
+}
+
+impl KernelProfile {
+    /// A named profile with explicit figures.
+    pub const fn new(
+        name: &'static str,
+        flops_per_iter: f64,
+        bytes_read_per_iter: f64,
+        bytes_written_per_iter: f64,
+    ) -> Self {
+        KernelProfile {
+            name,
+            flops_per_iter,
+            bytes_read_per_iter,
+            bytes_written_per_iter,
+            coalescing: 1.0,
+        }
+    }
+
+    /// Override the coalescing factor.
+    pub const fn with_coalescing(mut self, coalescing: f64) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
+
+    /// Total bytes moved per iteration.
+    pub fn bytes_per_iter(&self) -> f64 {
+        self.bytes_read_per_iter + self.bytes_written_per_iter
+    }
+
+    /// The BLAS-1 AXPY profile (`x[i] += alpha * y[i]`, f64): read x and y,
+    /// write x; a multiply-add.
+    pub const fn axpy() -> Self {
+        KernelProfile::new("axpy", 2.0, 16.0, 8.0)
+    }
+
+    /// The BLAS-1 DOT map profile (`x[i] * y[i]`, f64): read x and y.
+    pub const fn dot() -> Self {
+        KernelProfile::new("dot", 2.0, 16.0, 0.0)
+    }
+
+    /// A generic element-wise copy (read 8, write 8).
+    pub const fn copy() -> Self {
+        KernelProfile::new("copy", 0.0, 8.0, 8.0)
+    }
+
+    /// An unspecified kernel: the conservative default (16 bytes moved, two
+    /// FLOPs per iteration, coalesced).
+    pub const fn unknown() -> Self {
+        KernelProfile::new("unknown", 2.0, 8.0, 8.0)
+    }
+}
+
+impl Default for KernelProfile {
+    fn default() -> Self {
+        KernelProfile::unknown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles() {
+        assert_eq!(KernelProfile::axpy().bytes_per_iter(), 24.0);
+        assert_eq!(KernelProfile::dot().bytes_per_iter(), 16.0);
+        assert_eq!(KernelProfile::copy().flops_per_iter, 0.0);
+        assert_eq!(KernelProfile::default(), KernelProfile::unknown());
+        assert_eq!(KernelProfile::axpy().coalescing, 1.0);
+    }
+
+    #[test]
+    fn coalescing_override() {
+        let p = KernelProfile::axpy().with_coalescing(0.25);
+        assert_eq!(p.coalescing, 0.25);
+        assert_eq!(p.flops_per_iter, 2.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Dynamic verification of the disjoint-writes kernel contract
+//! (compiled in only with the `racecheck` cargo feature).
+//!
+//! `ViewMut*::set` records `(storage, element)` writes keyed by the logical
+//! iteration currently executing; two *different* iterations writing the
+//! same element within one construct invocation violate the contract and
+//! panic. Backends bracket each construct with [`begin_launch`] /
+//! [`end_launch`] and tag each iteration with [`set_current_iteration`].
+//!
+//! The checker is process-global and heavyweight; enable it in tests via
+//! [`set_enabled`], never in benchmarks.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn table() -> &'static Mutex<HashMap<(usize, usize), u64>> {
+    static TABLE: OnceLock<Mutex<HashMap<(usize, usize), u64>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+thread_local! {
+    static CURRENT_ITER: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Globally enable or disable write tracking.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+    if enabled {
+        table().lock().clear();
+    }
+}
+
+/// Whether tracking is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear state at the start of a construct invocation.
+pub fn begin_launch() {
+    if enabled() {
+        table().lock().clear();
+    }
+}
+
+/// Clear the per-thread iteration tag at the end of a construct.
+pub fn end_launch() {
+    CURRENT_ITER.with(|c| c.set(u64::MAX));
+}
+
+/// Tag the host thread with the logical iteration it is executing.
+#[inline]
+pub fn set_current_iteration(iter: u64) {
+    if enabled() {
+        CURRENT_ITER.with(|c| c.set(iter));
+    }
+}
+
+/// Record a write to `element` of the storage at `base`. Called by
+/// `ViewMut*::set`.
+#[inline]
+pub fn record_write(base: usize, element: usize) {
+    if !enabled() {
+        return;
+    }
+    let iter = CURRENT_ITER.with(|c| c.get());
+    if iter == u64::MAX {
+        return; // host-side write outside a construct
+    }
+    let mut writes = table().lock();
+    match writes.entry((base, element)) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            let first = *e.get();
+            if first != iter {
+                panic!(
+                    "racecheck: iterations {first} and {iter} both wrote element \
+                     {element} of array storage {base:#x} in one construct"
+                );
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(iter);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: these tests mutate process-global state; they run in one test
+    // binary and restore the disabled state afterwards.
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        set_enabled(false);
+        begin_launch();
+        set_current_iteration(1);
+        record_write(0x10, 0);
+        record_write(0x10, 0);
+        end_launch();
+    }
+
+    #[test]
+    fn same_iteration_may_rewrite() {
+        set_enabled(true);
+        begin_launch();
+        set_current_iteration(5);
+        record_write(0x20, 1);
+        record_write(0x20, 1);
+        end_launch();
+        set_enabled(false);
+    }
+
+    #[test]
+    #[should_panic(expected = "racecheck")]
+    fn cross_iteration_write_panics() {
+        set_enabled(true);
+        begin_launch();
+        set_current_iteration(1);
+        record_write(0x30, 2);
+        set_current_iteration(2);
+        record_write(0x30, 2);
+    }
+}

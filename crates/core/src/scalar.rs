@@ -1,0 +1,168 @@
+//! Element and reduction-operator traits.
+
+/// Types storable in RACC arrays and reducible by the constructs.
+pub trait AccScalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {}
+impl<T: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static> AccScalar for T {}
+
+/// Arithmetic needed by the built-in reduction operators. Implemented for
+/// the primitive numeric types.
+pub trait Numeric: AccScalar + PartialOrd {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Identity of `max` (the smallest representable value, `-inf` for
+    /// floats).
+    const MIN_ID: Self;
+    /// Identity of `min`.
+    const MAX_ID: Self;
+    /// Addition.
+    fn add(self, other: Self) -> Self;
+    /// Multiplication.
+    fn mul(self, other: Self) -> Self;
+    /// Maximum (for floats: IEEE `max`, NaN-propagating-free).
+    fn max_of(self, other: Self) -> Self;
+    /// Minimum.
+    fn min_of(self, other: Self) -> Self;
+}
+
+macro_rules! impl_numeric_int {
+    ($($t:ty),*) => {$(
+        impl Numeric for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            const MIN_ID: Self = <$t>::MIN;
+            const MAX_ID: Self = <$t>::MAX;
+            #[inline] fn add(self, other: Self) -> Self { self.wrapping_add(other) }
+            #[inline] fn mul(self, other: Self) -> Self { self.wrapping_mul(other) }
+            #[inline] fn max_of(self, other: Self) -> Self { self.max(other) }
+            #[inline] fn min_of(self, other: Self) -> Self { self.min(other) }
+        }
+    )*};
+}
+
+macro_rules! impl_numeric_float {
+    ($($t:ty),*) => {$(
+        impl Numeric for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const MIN_ID: Self = <$t>::NEG_INFINITY;
+            const MAX_ID: Self = <$t>::INFINITY;
+            #[inline] fn add(self, other: Self) -> Self { self + other }
+            #[inline] fn mul(self, other: Self) -> Self { self * other }
+            #[inline] fn max_of(self, other: Self) -> Self { self.max(other) }
+            #[inline] fn min_of(self, other: Self) -> Self { self.min(other) }
+        }
+    )*};
+}
+
+impl_numeric_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+impl_numeric_float!(f32, f64);
+
+/// A reduction monoid: an identity plus an associative combiner. The unit
+/// structs [`Sum`], [`Prod`], [`Max`], [`Min`] cover the common cases; the
+/// paper's `parallel_reduce` is the `Sum` instance.
+pub trait ReduceOp<T>: Copy + Send + Sync + 'static {
+    /// The identity element of the monoid.
+    fn identity(&self) -> T;
+    /// The associative combiner.
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+/// Summation (JACC's reduction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sum;
+
+impl<T: Numeric> ReduceOp<T> for Sum {
+    #[inline]
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+    #[inline]
+    fn combine(&self, a: T, b: T) -> T {
+        a.add(b)
+    }
+}
+
+/// Product reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Prod;
+
+impl<T: Numeric> ReduceOp<T> for Prod {
+    #[inline]
+    fn identity(&self) -> T {
+        T::ONE
+    }
+    #[inline]
+    fn combine(&self, a: T, b: T) -> T {
+        a.mul(b)
+    }
+}
+
+/// Maximum reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Max;
+
+impl<T: Numeric> ReduceOp<T> for Max {
+    #[inline]
+    fn identity(&self) -> T {
+        T::MIN_ID
+    }
+    #[inline]
+    fn combine(&self, a: T, b: T) -> T {
+        a.max_of(b)
+    }
+}
+
+/// Minimum reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Min;
+
+impl<T: Numeric> ReduceOp<T> for Min {
+    #[inline]
+    fn identity(&self) -> T {
+        T::MAX_ID
+    }
+    #[inline]
+    fn combine(&self, a: T, b: T) -> T {
+        a.min_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold<T, O: ReduceOp<T>>(op: O, items: &[T]) -> T
+    where
+        T: Copy,
+    {
+        items.iter().fold(op.identity(), |a, &b| op.combine(a, b))
+    }
+
+    #[test]
+    fn sum_and_prod() {
+        assert_eq!(fold(Sum, &[1i64, 2, 3, 4]), 10);
+        assert_eq!(fold(Prod, &[1i64, 2, 3, 4]), 24);
+        assert_eq!(fold(Sum, &[1.5f64, 2.5]), 4.0);
+        assert_eq!(fold::<f64, _>(Sum, &[]), 0.0);
+        assert_eq!(fold::<f64, _>(Prod, &[]), 1.0);
+    }
+
+    #[test]
+    fn max_and_min_with_identities() {
+        assert_eq!(fold(Max, &[3i32, -7, 5]), 5);
+        assert_eq!(fold(Min, &[3i32, -7, 5]), -7);
+        assert_eq!(fold::<f64, _>(Max, &[]), f64::NEG_INFINITY);
+        assert_eq!(fold::<f64, _>(Min, &[]), f64::INFINITY);
+        assert_eq!(fold(Max, &[-1.0f64, -2.0]), -1.0);
+        assert_eq!(fold::<i32, _>(Max, &[]), i32::MIN);
+        assert_eq!(fold::<u32, _>(Min, &[]), u32::MAX);
+    }
+
+    #[test]
+    fn integer_sum_wraps_instead_of_panicking() {
+        // Reductions over user data must not abort on overflow.
+        assert_eq!(fold(Sum, &[i64::MAX, 1]), i64::MIN);
+    }
+}

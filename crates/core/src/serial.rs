@@ -1,0 +1,292 @@
+//! The serial (single-core) reference backend.
+//!
+//! Functionally the simplest possible implementation of the constructs; its
+//! results define "correct" for the cross-backend equivalence tests, and its
+//! machine model is a single core of the paper's CPU.
+
+use crate::backend::{Backend, DeviceToken};
+use crate::cpumodel::CpuSpec;
+use crate::error::RaccError;
+use crate::profile::KernelProfile;
+use crate::scalar::{AccScalar, ReduceOp};
+use crate::timeline::Timeline;
+
+/// Single-threaded reference backend.
+pub struct SerialBackend {
+    cpu: CpuSpec,
+    timeline: Timeline,
+}
+
+impl Default for SerialBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SerialBackend {
+    /// A serial backend modeling one core of the paper's EPYC 7742.
+    pub fn new() -> Self {
+        SerialBackend {
+            cpu: CpuSpec::epyc_7742_single_core(),
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// A serial backend with a custom CPU model.
+    pub fn with_cpu(cpu: CpuSpec) -> Self {
+        SerialBackend {
+            cpu,
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// The CPU model in use.
+    pub fn cpu(&self) -> &CpuSpec {
+        &self.cpu
+    }
+
+    /// Racecheck bookkeeping around a construct. Straight-line calls (not a
+    /// closure wrapper): wrapping the hot loop in an immediately-invoked
+    /// closure measurably blocks loop optimization.
+    #[inline]
+    fn begin_bracket(&self) {
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::begin_launch();
+    }
+
+    #[inline]
+    fn end_bracket(&self) {
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::end_launch();
+    }
+}
+
+#[cfg(feature = "racecheck")]
+#[inline]
+fn tag(iter: u64) {
+    crate::racecheck::set_current_iteration(iter);
+}
+
+#[cfg(not(feature = "racecheck"))]
+#[inline]
+fn tag(_iter: u64) {}
+
+impl Backend for SerialBackend {
+    fn name(&self) -> String {
+        format!("RACC Serial ({})", self.cpu.name)
+    }
+
+    fn key(&self) -> &'static str {
+        "serial"
+    }
+
+    fn is_accelerator(&self) -> bool {
+        false
+    }
+
+    fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    fn on_alloc(&self, _bytes: usize, _upload: bool) -> Result<DeviceToken, RaccError> {
+        // Host memory is the array's storage; no transfer, no token.
+        Ok(None)
+    }
+
+    fn on_download(&self, _bytes: usize) {}
+
+    fn parallel_for_1d<F>(&self, n: usize, profile: &KernelProfile, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.begin_bracket();
+        for i in 0..n {
+            tag(i as u64);
+            f(i);
+        }
+        self.end_bracket();
+        self.timeline
+            .charge_launch(self.cpu.kernel_time_ns(n, profile));
+    }
+
+    fn parallel_for_2d<F>(&self, m: usize, n: usize, profile: &KernelProfile, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        self.begin_bracket();
+        // Column-major traversal: j outer, i inner.
+        for j in 0..n {
+            for i in 0..m {
+                tag((j * m + i) as u64);
+                f(i, j);
+            }
+        }
+        self.end_bracket();
+        self.timeline
+            .charge_launch(self.cpu.kernel_time_ns(m * n, profile));
+    }
+
+    fn parallel_for_3d<F>(&self, m: usize, n: usize, l: usize, profile: &KernelProfile, f: F)
+    where
+        F: Fn(usize, usize, usize) + Sync,
+    {
+        self.begin_bracket();
+        for k in 0..l {
+            for j in 0..n {
+                for i in 0..m {
+                    tag(((k * n + j) * m + i) as u64);
+                    f(i, j, k);
+                }
+            }
+        }
+        self.end_bracket();
+        self.timeline
+            .charge_launch(self.cpu.kernel_time_ns(m * n * l, profile));
+    }
+
+    fn parallel_reduce_1d<T, F, O>(&self, n: usize, profile: &KernelProfile, f: F, op: O) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize) -> T + Sync,
+        O: ReduceOp<T>,
+    {
+        self.begin_bracket();
+        let mut acc = op.identity();
+        for i in 0..n {
+            tag(i as u64);
+            acc = op.combine(acc, f(i));
+        }
+        self.end_bracket();
+        self.timeline
+            .charge_reduction(self.cpu.reduce_time_ns(n, profile));
+        acc
+    }
+
+    fn parallel_reduce_2d<T, F, O>(
+        &self,
+        m: usize,
+        n: usize,
+        profile: &KernelProfile,
+        f: F,
+        op: O,
+    ) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize, usize) -> T + Sync,
+        O: ReduceOp<T>,
+    {
+        self.begin_bracket();
+        let mut acc = op.identity();
+        for j in 0..n {
+            for i in 0..m {
+                tag((j * m + i) as u64);
+                acc = op.combine(acc, f(i, j));
+            }
+        }
+        self.end_bracket();
+        self.timeline
+            .charge_reduction(self.cpu.reduce_time_ns(m * n, profile));
+        acc
+    }
+
+    fn parallel_reduce_3d<T, F, O>(
+        &self,
+        m: usize,
+        n: usize,
+        l: usize,
+        profile: &KernelProfile,
+        f: F,
+        op: O,
+    ) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize, usize, usize) -> T + Sync,
+        O: ReduceOp<T>,
+    {
+        self.begin_bracket();
+        let mut acc = op.identity();
+        for k in 0..l {
+            for j in 0..n {
+                for i in 0..m {
+                    tag(((k * n + j) * m + i) as u64);
+                    acc = op.combine(acc, f(i, j, k));
+                }
+            }
+        }
+        self.end_bracket();
+        self.timeline
+            .charge_reduction(self.cpu.reduce_time_ns(m * n * l, profile));
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{Max, Sum};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_visits_in_order() {
+        let b = SerialBackend::new();
+        let order = parking_lot::Mutex::new(Vec::new());
+        b.parallel_for_1d(5, &KernelProfile::unknown(), |i| order.lock().push(i));
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn two_d_traversal_is_column_major() {
+        let b = SerialBackend::new();
+        let order = parking_lot::Mutex::new(Vec::new());
+        b.parallel_for_2d(2, 2, &KernelProfile::unknown(), |i, j| {
+            order.lock().push((i, j))
+        });
+        assert_eq!(*order.lock(), vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn reductions_match_folds() {
+        let b = SerialBackend::new();
+        let s: u64 = b.parallel_reduce_1d(100, &KernelProfile::dot(), |i| i as u64, Sum);
+        assert_eq!(s, 4950);
+        let m: i64 =
+            b.parallel_reduce_2d(10, 10, &KernelProfile::dot(), |i, j| (i * j) as i64, Max);
+        assert_eq!(m, 81);
+        let c = AtomicUsize::new(0);
+        let s3: usize = b.parallel_reduce_3d(
+            3,
+            4,
+            5,
+            &KernelProfile::dot(),
+            |_, _, _| {
+                c.fetch_add(1, Ordering::Relaxed);
+                1usize
+            },
+            Sum,
+        );
+        assert_eq!(s3, 60);
+        assert_eq!(c.load(Ordering::Relaxed), 60);
+    }
+
+    #[test]
+    fn timeline_charges_accumulate() {
+        let b = SerialBackend::new();
+        b.parallel_for_1d(1_000_000, &KernelProfile::axpy(), |_| {});
+        let s1 = b.timeline().snapshot();
+        assert_eq!(s1.launches, 1);
+        assert!(s1.modeled_ns > 0);
+        let _: f64 = b.parallel_reduce_1d(1_000_000, &KernelProfile::dot(), |_| 1.0, Sum);
+        let s2 = b.timeline().snapshot();
+        assert_eq!(s2.reductions, 1);
+        assert!(s2.modeled_ns > s1.modeled_ns);
+    }
+
+    #[test]
+    fn identity_and_key() {
+        let b = SerialBackend::new();
+        assert_eq!(b.key(), "serial");
+        assert!(!b.is_accelerator());
+        assert!(b.name().contains("Serial"));
+        assert!(b.on_alloc(1024, true).unwrap().is_none());
+    }
+}

@@ -1,0 +1,427 @@
+//! # racc-cudasim
+//!
+//! A CUDA.jl-flavored vendor API over the [`racc_gpusim`] simulator — the
+//! stand-in for the `CUDA.jl` package the paper's NVIDIA back end and its
+//! device-specific benchmark codes are written against.
+//!
+//! The API mirrors the shapes that appear in the paper's listings:
+//!
+//! * [`CuArray`] — device arrays (`CuArray(x)`, `CUDA.zeros(Float64, n)`);
+//! * [`Cuda::launch`] — `@cuda threads=.. blocks=.. shmem=..`;
+//! * [`Cuda::attribute`] — `attribute(device(), CUDA.DEVICE_ATTRIBUTE_...)`;
+//! * [`CuEvent`] — `CUDA.@elapsed`-style timing off the device clock;
+//! * warp size 32 and an A100 device profile by default.
+//!
+//! Thread indexing is **0-based** (native CUDA), unlike the 1-based Julia
+//! wrappers in the paper's listings.
+//!
+//! ```
+//! use racc_cudasim::{Cuda, CudaError};
+//! use racc_gpusim::KernelCost;
+//!
+//! # fn main() -> Result<(), CudaError> {
+//! let cuda = Cuda::new();
+//! let x = cuda.cu_array(&vec![1.0f64; 256])?;
+//! let xs = cuda.view_mut(&x)?;
+//! cuda.launch(256, 1, 0, KernelCost::memory_bound(8.0, 8.0), |t| {
+//!     let i = t.global_id_x();
+//!     xs.set(i, xs.get(i) + 1.0);
+//! })?;
+//! assert_eq!(cuda.to_host(&x)?[0], 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use racc_gpusim::{
+    profiles, Device, DeviceBuffer, DeviceSlice, DeviceSliceMut, Element, Event, KernelCost,
+    LaunchConfig, PhasedKernel, SimError, ThreadCtx,
+};
+
+/// Error type of the CUDA-flavored API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CudaError(pub SimError);
+
+impl std::fmt::Display for CudaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CUDA error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+impl From<SimError> for CudaError {
+    fn from(e: SimError) -> Self {
+        CudaError(e)
+    }
+}
+
+/// Device attributes, mirroring `CUdevice_attribute` queries used by the
+/// paper's back end (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceAttribute {
+    /// `CU_DEVICE_ATTRIBUTE_MAX_BLOCK_DIM_X`.
+    MaxBlockDimX,
+    /// `CU_DEVICE_ATTRIBUTE_MAX_THREADS_PER_BLOCK`.
+    MaxThreadsPerBlock,
+    /// `CU_DEVICE_ATTRIBUTE_MULTIPROCESSOR_COUNT`.
+    MultiprocessorCount,
+    /// `CU_DEVICE_ATTRIBUTE_WARP_SIZE`.
+    WarpSize,
+    /// `CU_DEVICE_ATTRIBUTE_MAX_SHARED_MEMORY_PER_BLOCK`.
+    MaxSharedMemoryPerBlock,
+}
+
+/// A device array, the analog of `CuArray{T}`.
+pub type CuArray<T> = DeviceBuffer<T>;
+
+/// An event on the device timeline (`CuEvent`).
+pub type CuEvent = Event;
+
+/// The CUDA-flavored context owning one simulated NVIDIA device.
+pub struct Cuda {
+    device: Arc<Device>,
+}
+
+impl Default for Cuda {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cuda {
+    /// A context on a simulated NVIDIA A100.
+    pub fn new() -> Self {
+        Cuda {
+            device: Arc::new(Device::new(profiles::nvidia_a100())),
+        }
+    }
+
+    /// A context on a custom device specification.
+    pub fn with_spec(spec: racc_gpusim::DeviceSpec) -> Self {
+        Cuda {
+            device: Arc::new(Device::new(spec)),
+        }
+    }
+
+    /// Access the underlying simulator device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Share the device handle (e.g. with a portability back end).
+    pub fn device_arc(&self) -> Arc<Device> {
+        Arc::clone(&self.device)
+    }
+
+    /// Query a device attribute.
+    pub fn attribute(&self, attr: DeviceAttribute) -> usize {
+        let spec = self.device.spec();
+        match attr {
+            DeviceAttribute::MaxBlockDimX => spec.max_block_dim_x as usize,
+            DeviceAttribute::MaxThreadsPerBlock => spec.max_threads_per_block as usize,
+            DeviceAttribute::MultiprocessorCount => spec.compute_units as usize,
+            DeviceAttribute::WarpSize => spec.simt_width as usize,
+            DeviceAttribute::MaxSharedMemoryPerBlock => spec.shared_mem_per_block,
+        }
+    }
+
+    /// `CuArray(host)`: allocate + upload.
+    pub fn cu_array<T: Element>(&self, host: &[T]) -> Result<CuArray<T>, CudaError> {
+        Ok(self.device.alloc_from(host)?)
+    }
+
+    /// `CUDA.zeros(T, n)`.
+    pub fn zeros<T: Element>(&self, n: usize) -> Result<CuArray<T>, CudaError> {
+        Ok(self.device.alloc::<T>(n)?)
+    }
+
+    /// Download to host (`Array(dx)`).
+    pub fn to_host<T: Element>(&self, arr: &CuArray<T>) -> Result<Vec<T>, CudaError> {
+        Ok(self.device.read_vec(arr)?)
+    }
+
+    /// Read one element (the scalar result readback after a reduction).
+    pub fn read_scalar<T: Element>(&self, arr: &CuArray<T>, i: usize) -> Result<T, CudaError> {
+        Ok(self.device.read_scalar(arr, i)?)
+    }
+
+    /// Device-to-device copy (`copyto!`).
+    pub fn copy<T: Element>(&self, src: &CuArray<T>, dst: &CuArray<T>) -> Result<(), CudaError> {
+        Ok(self.device.copy(src, dst)?)
+    }
+
+    /// Read-only kernel view.
+    pub fn view<T: Element>(&self, arr: &CuArray<T>) -> Result<DeviceSlice<T>, CudaError> {
+        Ok(self.device.slice(arr)?)
+    }
+
+    /// Writable kernel view.
+    pub fn view_mut<T: Element>(&self, arr: &CuArray<T>) -> Result<DeviceSliceMut<T>, CudaError> {
+        Ok(self.device.slice_mut(arr)?)
+    }
+
+    /// `@cuda threads=threads blocks=blocks shmem=shmem kernel(...)`:
+    /// launch a non-cooperative kernel over a 1D grid. Synchronous, like the
+    /// `CUDA.@sync` pattern the paper's back end uses.
+    pub fn launch<F>(
+        &self,
+        threads: u32,
+        blocks: u32,
+        shmem: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, CudaError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let cfg = LaunchConfig::new(blocks, threads).with_shared_mem(shmem);
+        Ok(self.device.launch(cfg, cost, body)?)
+    }
+
+    /// 2D launch with `(tx, ty)` thread tiles and `(bx, by)` blocks.
+    pub fn launch_2d<F>(
+        &self,
+        threads: (u32, u32),
+        blocks: (u32, u32),
+        shmem: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, CudaError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let cfg = LaunchConfig::new(blocks, threads).with_shared_mem(shmem);
+        Ok(self.device.launch(cfg, cost, body)?)
+    }
+
+    /// 3D launch.
+    pub fn launch_3d<F>(
+        &self,
+        threads: (u32, u32, u32),
+        blocks: (u32, u32, u32),
+        shmem: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, CudaError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let cfg = LaunchConfig::new(blocks, threads).with_shared_mem(shmem);
+        Ok(self.device.launch(cfg, cost, body)?)
+    }
+
+    /// Launch a cooperative kernel (one that needs `__syncthreads`), e.g.
+    /// the shared-memory tree reduction of the paper's Fig. 3.
+    pub fn launch_cooperative<K>(
+        &self,
+        threads: u32,
+        blocks: u32,
+        shmem: usize,
+        cost: KernelCost,
+        kernel: &K,
+    ) -> Result<u64, CudaError>
+    where
+        K: PhasedKernel,
+    {
+        let cfg = LaunchConfig::new(blocks, threads).with_shared_mem(shmem);
+        Ok(self.device.launch_phased(cfg, cost, kernel)?)
+    }
+
+    /// Create a new (non-default) stream.
+    pub fn create_stream(&self) -> racc_gpusim::Stream {
+        self.device.create_stream()
+    }
+
+    /// Launch asynchronously on a stream (`@cuda ... stream=s` without the
+    /// trailing `CUDA.@sync`): kernels on different streams overlap on the
+    /// modeled clock; call [`Cuda::sync_stream`] or [`Cuda::synchronize`]
+    /// to join.
+    pub fn launch_async<F>(
+        &self,
+        stream: &racc_gpusim::Stream,
+        threads: u32,
+        blocks: u32,
+        shmem: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, CudaError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let cfg = LaunchConfig::new(blocks, threads).with_shared_mem(shmem);
+        Ok(self.device.launch_async(stream, cfg, cost, body)?)
+    }
+
+    /// Wait for one stream's modeled completion.
+    pub fn sync_stream(&self, stream: &racc_gpusim::Stream) {
+        self.device.sync_stream(stream)
+    }
+
+    /// Fill a buffer with a constant (a memset-style kernel).
+    pub fn fill<T: Element>(&self, arr: &CuArray<T>, value: T) -> Result<(), CudaError> {
+        let n = arr.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let v = self.view_mut(arr)?;
+        let threads = n.clamp(1, 256) as u32;
+        let blocks = n.div_ceil(threads as usize) as u32;
+        self.launch(
+            threads,
+            blocks,
+            0,
+            KernelCost::memory_bound(0.0, std::mem::size_of::<T>() as f64),
+            move |t| {
+                let i = t.global_id_x();
+                if i < n {
+                    v.set(i, value);
+                }
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Record an event on the device timeline.
+    pub fn record_event(&self) -> CuEvent {
+        self.device.record_event()
+    }
+
+    /// `CUDA.synchronize()`.
+    pub fn synchronize(&self) {
+        self.device.synchronize()
+    }
+
+    /// Current device clock in nanoseconds (simulation-level observability).
+    pub fn clock_ns(&self) -> u64 {
+        self.device.clock_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_match_a100() {
+        let cuda = Cuda::new();
+        assert_eq!(cuda.attribute(DeviceAttribute::WarpSize), 32);
+        assert_eq!(cuda.attribute(DeviceAttribute::MultiprocessorCount), 108);
+        assert_eq!(cuda.attribute(DeviceAttribute::MaxThreadsPerBlock), 1024);
+        assert_eq!(cuda.attribute(DeviceAttribute::MaxBlockDimX), 1024);
+        assert!(cuda.attribute(DeviceAttribute::MaxSharedMemoryPerBlock) >= 96 * 1024);
+    }
+
+    #[test]
+    fn array_round_trip_and_zeros() {
+        let cuda = Cuda::new();
+        let host: Vec<f64> = (0..100).map(f64::from).collect();
+        let dx = cuda.cu_array(&host).unwrap();
+        assert_eq!(cuda.to_host(&dx).unwrap(), host);
+        let z = cuda.zeros::<f64>(10).unwrap();
+        assert!(cuda.to_host(&z).unwrap().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn paper_style_axpy() {
+        // The AXPY from the paper, written the device-specific way.
+        let cuda = Cuda::new();
+        let n = 10_000usize;
+        let alpha = 2.5f64;
+        let hx = vec![1.0f64; n];
+        let hy = vec![3.0f64; n];
+        let dx = cuda.cu_array(&hx).unwrap();
+        let dy = cuda.cu_array(&hy).unwrap();
+        let max_threads = cuda.attribute(DeviceAttribute::MaxBlockDimX);
+        let threads = n.min(max_threads) as u32;
+        let blocks = n.div_ceil(threads as usize) as u32;
+        let x = cuda.view_mut(&dx).unwrap();
+        let y = cuda.view(&dy).unwrap();
+        cuda.launch(
+            threads,
+            blocks,
+            0,
+            KernelCost::new(2.0, 16.0, 8.0, 1.0),
+            |t| {
+                let i = t.global_id_x();
+                if i < n {
+                    x.set(i, x.get(i) + alpha * y.get(i));
+                }
+            },
+        )
+        .unwrap();
+        let out = cuda.to_host(&dx).unwrap();
+        assert!(out.iter().all(|&v| (v - 8.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn events_time_kernels() {
+        let cuda = Cuda::new();
+        let e0 = cuda.record_event();
+        cuda.launch(256, 1024, 0, KernelCost::default(), |_| {})
+            .unwrap();
+        cuda.synchronize();
+        let e1 = cuda.record_event();
+        assert!(e0.elapsed_ns(&e1) as f64 >= cuda.device().spec().launch_overhead_ns);
+    }
+
+    #[test]
+    fn launch_2d_and_3d_shapes() {
+        let cuda = Cuda::new();
+        let (m, n) = (64usize, 32usize);
+        let buf = cuda.zeros::<u32>(m * n).unwrap();
+        let v = cuda.view_mut(&buf).unwrap();
+        cuda.launch_2d((16, 16), (4, 2), 0, KernelCost::default(), |t| {
+            let (i, j) = (t.global_id_x(), t.global_id_y());
+            v.set(j * m + i, 1);
+        })
+        .unwrap();
+        assert!(cuda.to_host(&buf).unwrap().iter().all(|&x| x == 1));
+
+        let vol = cuda.zeros::<u32>(4 * 4 * 4).unwrap();
+        let v = cuda.view_mut(&vol).unwrap();
+        cuda.launch_3d((4, 4, 4), (1, 1, 1), 0, KernelCost::default(), |t| {
+            let idx = (t.global_id_z() * 4 + t.global_id_y()) * 4 + t.global_id_x();
+            v.set(idx, idx as u32);
+        })
+        .unwrap();
+        let host = cuda.to_host(&vol).unwrap();
+        for (i, x) in host.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn errors_are_wrapped() {
+        let cuda = Cuda::new();
+        let err = cuda
+            .launch(2048, 1, 0, KernelCost::default(), |_| {})
+            .unwrap_err();
+        assert!(err.to_string().contains("CUDA error"));
+    }
+
+    #[test]
+    fn fill_sets_every_element() {
+        let api = Cuda::new();
+        let buf = api.zeros::<f64>(1000).unwrap();
+        api.fill(&buf, 3.25).unwrap();
+        assert!(api.to_host(&buf).unwrap().iter().all(|&v| v == 3.25));
+        let empty = api.zeros::<f64>(0).unwrap();
+        api.fill(&empty, 1.0).unwrap();
+    }
+
+    #[test]
+    fn stream_overlap_through_the_vendor_api() {
+        let cuda = Cuda::new();
+        let s1 = cuda.create_stream();
+        let s2 = cuda.create_stream();
+        let cost = KernelCost::memory_bound(64.0, 64.0);
+        let n1 = cuda.launch_async(&s1, 256, 4096, 0, cost, |_| {}).unwrap();
+        let n2 = cuda.launch_async(&s2, 256, 4096, 0, cost, |_| {}).unwrap();
+        assert_eq!(cuda.clock_ns(), 0);
+        cuda.synchronize();
+        assert_eq!(cuda.clock_ns(), n1.max(n2));
+        cuda.sync_stream(&s1); // idempotent after synchronize
+    }
+}

@@ -1,0 +1,1012 @@
+//! The simulated device: heap + launch engine + clock + op log.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use racc_threadpool::{Schedule, ThreadPool};
+
+use crate::error::SimError;
+use crate::event::Event;
+use crate::heap::{Allocation, DeviceBuffer, DeviceSlice, DeviceSliceMut, Element};
+use crate::launch::{LaunchConfig, ThreadCtx};
+use crate::perf::{self, KernelCost, OpKind, OpRecord};
+use crate::phased::{PhasedKernel, SharedMem, SinglePhase};
+use crate::racecheck::{self, RaceTracker};
+use crate::spec::DeviceSpec;
+use crate::stream::Stream;
+
+static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Maximum number of op-log records retained (ring-buffer style).
+const OP_LOG_CAP: usize = 4096;
+
+/// A simulated accelerator.
+///
+/// Functionally, kernels execute for real (on the host thread pool,
+/// parallelized over blocks); temporally, a virtual clock advances by the
+/// analytic performance model's estimate for each launch and transfer. All
+/// APIs are synchronous, matching the paper's model semantics.
+pub struct Device {
+    id: u64,
+    spec: DeviceSpec,
+    pool: Arc<ThreadPool>,
+    clock_ns: AtomicU64,
+    used_bytes: Arc<AtomicUsize>,
+    racecheck: std::sync::atomic::AtomicBool,
+    tracker: Arc<RaceTracker>,
+    op_log: Mutex<Vec<OpRecord>>,
+    /// Completion time (absolute device ns) of the last operation on each
+    /// non-default stream; the substrate of the async-overlap model.
+    stream_clocks: Mutex<std::collections::HashMap<u64, u64>>,
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("id", &self.id)
+            .field("spec", &self.spec.name)
+            .field("clock_ns", &self.clock_ns.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Device {
+    /// Create a device with the global host thread pool as its executor.
+    ///
+    /// # Panics
+    /// Panics if the specification fails validation.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self::with_pool(spec, Arc::new(pool_handle()))
+    }
+
+    /// Create a device executing on a caller-provided pool.
+    pub fn with_pool(spec: DeviceSpec, pool: Arc<ThreadPool>) -> Self {
+        spec.validate().expect("invalid device specification");
+        Device {
+            id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
+            spec,
+            pool,
+            clock_ns: AtomicU64::new(0),
+            used_bytes: Arc::new(AtomicUsize::new(0)),
+            racecheck: std::sync::atomic::AtomicBool::new(false),
+            tracker: Arc::new(RaceTracker::new()),
+            op_log: Mutex::new(Vec::new()),
+            stream_clocks: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Unique id of this device instance.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The architecture descriptor.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Device memory currently allocated, in bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable the dynamic write-race checker (slow; tests only).
+    pub fn set_racecheck(&self, enabled: bool) {
+        self.racecheck.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether racecheck is enabled.
+    pub fn racecheck_enabled(&self) -> bool {
+        self.racecheck.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Clock and op log
+    // ------------------------------------------------------------------
+
+    /// Current virtual clock, nanoseconds since device creation/reset.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns.load(Ordering::Relaxed)
+    }
+
+    /// Reset the virtual clock (benchmark harness hygiene between series).
+    pub fn reset_clock(&self) {
+        self.clock_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Advance the clock by `ns` and log the op; used by backend layers to
+    /// charge costs the raw device does not know about (e.g. portability-
+    /// layer argument packing).
+    pub fn charge(&self, kind: OpKind, bytes: u64, threads: u64, ns: f64) -> u64 {
+        let ns = ns.max(0.0).round() as u64;
+        let after = self.clock_ns.fetch_add(ns, Ordering::Relaxed) + ns;
+        let mut log = self.op_log.lock();
+        if log.len() == OP_LOG_CAP {
+            log.remove(0);
+        }
+        log.push(OpRecord {
+            kind,
+            bytes,
+            threads,
+            modeled_ns: ns,
+            clock_after_ns: after,
+        });
+        ns
+    }
+
+    /// Snapshot of the most recent operations (up to an internal cap).
+    pub fn op_log(&self) -> Vec<OpRecord> {
+        self.op_log.lock().clone()
+    }
+
+    /// Record a timestamp on the device clock.
+    pub fn record_event(&self) -> Event {
+        Event {
+            t_ns: self.clock_ns(),
+            device_id: self.id,
+        }
+    }
+
+    /// Block until all submitted work completes: folds every stream's
+    /// completion time into the device clock (async work executed eagerly,
+    /// so functionally this is already done — the fold is the *temporal*
+    /// join).
+    pub fn synchronize(&self) {
+        let mut streams = self.stream_clocks.lock();
+        let latest = streams.values().copied().max().unwrap_or(0);
+        streams.clear();
+        let mut current = self.clock_ns();
+        while latest > current {
+            match self.clock_ns_cas(current, latest) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Wait for one stream: fold its completion time into the device clock.
+    pub fn sync_stream(&self, stream: &Stream) {
+        assert_eq!(stream.device_id(), self.id, "stream from another device");
+        let mut streams = self.stream_clocks.lock();
+        if let Some(end) = streams.remove(&stream.id()) {
+            drop(streams);
+            let mut current = self.clock_ns();
+            while end > current {
+                match self.clock_ns_cas(current, end) {
+                    Ok(_) => break,
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+    }
+
+    fn clock_ns_cas(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.clock_ns
+            .compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// The modeled completion time of a stream's pending work (absolute
+    /// device ns), or `None` when the stream is idle.
+    pub fn stream_clock_ns(&self, stream: &Stream) -> Option<u64> {
+        self.stream_clocks.lock().get(&stream.id()).copied()
+    }
+
+    /// The device's default stream.
+    pub fn default_stream(&self) -> Stream {
+        Stream::default_for(self.id)
+    }
+
+    /// Create a new stream.
+    pub fn create_stream(&self) -> Stream {
+        Stream::new_for(self.id)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management
+    // ------------------------------------------------------------------
+
+    /// Allocate a zero-initialized buffer of `len` elements.
+    pub fn alloc<T: Element>(&self, len: usize) -> Result<DeviceBuffer<T>, SimError> {
+        let bytes = len * std::mem::size_of::<T>();
+        let in_use = self.used_bytes();
+        if in_use + bytes > self.spec.memory_bytes {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                in_use,
+                capacity: self.spec.memory_bytes,
+            });
+        }
+        let alloc = Arc::new(Allocation::new(bytes, Arc::clone(&self.used_bytes)));
+        Ok(DeviceBuffer {
+            alloc,
+            len,
+            device_id: self.id,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Allocate and upload host data (charges the H2D transfer).
+    pub fn alloc_from<T: Element>(&self, host: &[T]) -> Result<DeviceBuffer<T>, SimError> {
+        let buf = self.alloc::<T>(host.len())?;
+        self.upload(&buf, host)?;
+        Ok(buf)
+    }
+
+    /// Copy host data into a device buffer (H2D).
+    pub fn upload<T: Element>(&self, buf: &DeviceBuffer<T>, host: &[T]) -> Result<(), SimError> {
+        self.check_owned(buf)?;
+        if host.len() != buf.len {
+            return Err(SimError::SizeMismatch {
+                expected: buf.len,
+                actual: host.len(),
+            });
+        }
+        // SAFETY: destination allocation holds exactly `len` elements of T.
+        unsafe {
+            std::ptr::copy_nonoverlapping(host.as_ptr(), buf.alloc.ptr() as *mut T, host.len());
+        }
+        let bytes = buf.size_bytes();
+        self.charge(
+            OpKind::H2D,
+            bytes as u64,
+            0,
+            perf::transfer_time_ns(&self.spec, bytes),
+        );
+        Ok(())
+    }
+
+    /// Copy a device buffer back to the host (D2H).
+    pub fn download<T: Element>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        host: &mut [T],
+    ) -> Result<(), SimError> {
+        self.check_owned(buf)?;
+        if host.len() != buf.len {
+            return Err(SimError::SizeMismatch {
+                expected: buf.len,
+                actual: host.len(),
+            });
+        }
+        // SAFETY: source allocation holds exactly `len` elements of T.
+        unsafe {
+            std::ptr::copy_nonoverlapping(buf.alloc.ptr() as *const T, host.as_mut_ptr(), buf.len);
+        }
+        let bytes = buf.size_bytes();
+        self.charge(
+            OpKind::D2H,
+            bytes as u64,
+            0,
+            perf::transfer_time_ns(&self.spec, bytes),
+        );
+        Ok(())
+    }
+
+    /// Download into a fresh `Vec`.
+    pub fn read_vec<T: Element>(&self, buf: &DeviceBuffer<T>) -> Result<Vec<T>, SimError> {
+        let mut out = vec![unsafe { std::mem::zeroed() }; buf.len];
+        self.download(buf, &mut out)?;
+        Ok(out)
+    }
+
+    /// Read a single element (a tiny D2H transfer — the expensive result
+    /// readback at the end of GPU reductions).
+    pub fn read_scalar<T: Element>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        index: usize,
+    ) -> Result<T, SimError> {
+        self.check_owned(buf)?;
+        if index >= buf.len {
+            return Err(SimError::OutOfBounds {
+                offset: index,
+                len: 1,
+                buffer_len: buf.len,
+            });
+        }
+        // SAFETY: bounds checked above.
+        let value = unsafe { *(buf.alloc.ptr() as *const T).add(index) };
+        self.charge(
+            OpKind::D2H,
+            std::mem::size_of::<T>() as u64,
+            0,
+            perf::transfer_time_ns(&self.spec, std::mem::size_of::<T>()),
+        );
+        Ok(value)
+    }
+
+    /// Device-to-device copy between buffers of equal length.
+    pub fn copy<T: Element>(
+        &self,
+        src: &DeviceBuffer<T>,
+        dst: &DeviceBuffer<T>,
+    ) -> Result<(), SimError> {
+        self.check_owned(src)?;
+        self.check_owned(dst)?;
+        if src.len != dst.len {
+            return Err(SimError::SizeMismatch {
+                expected: dst.len,
+                actual: src.len,
+            });
+        }
+        // SAFETY: distinct allocations of equal length.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.alloc.ptr() as *const T,
+                dst.alloc.ptr() as *mut T,
+                src.len,
+            );
+        }
+        let bytes = src.size_bytes();
+        self.charge(
+            OpKind::D2D,
+            bytes as u64,
+            0,
+            perf::d2d_time_ns(&self.spec, bytes),
+        );
+        Ok(())
+    }
+
+    /// Copy a buffer to another device (peer-to-peer). The transfer is
+    /// priced at the slower of the two devices' host links (a staged
+    /// device-host-device path — conservative for systems without direct
+    /// fabric) and charged to **both** device clocks. The paper lists
+    /// multi-device support as future work; the simulator provides the
+    /// substrate for it.
+    pub fn copy_to_peer<T: Element>(
+        &self,
+        src: &DeviceBuffer<T>,
+        peer: &Device,
+        dst: &DeviceBuffer<T>,
+    ) -> Result<(), SimError> {
+        self.check_owned(src)?;
+        peer.check_owned(dst)?;
+        if src.len != dst.len {
+            return Err(SimError::SizeMismatch {
+                expected: dst.len,
+                actual: src.len,
+            });
+        }
+        // SAFETY: distinct allocations of equal length.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.alloc.ptr() as *const T,
+                dst.alloc.ptr() as *mut T,
+                src.len,
+            );
+        }
+        let bytes = src.size_bytes();
+        let ns = perf::transfer_time_ns(&self.spec, bytes)
+            .max(perf::transfer_time_ns(&peer.spec, bytes));
+        self.charge(OpKind::D2H, bytes as u64, 0, ns);
+        peer.charge(OpKind::H2D, bytes as u64, 0, ns);
+        Ok(())
+    }
+
+    /// A read-only view for kernel bodies.
+    pub fn slice<T: Element>(&self, buf: &DeviceBuffer<T>) -> Result<DeviceSlice<T>, SimError> {
+        self.check_owned(buf)?;
+        Ok(DeviceSlice::new(buf))
+    }
+
+    /// A writable view for kernel bodies (participates in racecheck when
+    /// enabled at view-creation time).
+    pub fn slice_mut<T: Element>(
+        &self,
+        buf: &DeviceBuffer<T>,
+    ) -> Result<DeviceSliceMut<T>, SimError> {
+        self.check_owned(buf)?;
+        let tracker = if self.racecheck_enabled() {
+            Some(Arc::clone(&self.tracker))
+        } else {
+            None
+        };
+        Ok(DeviceSliceMut::new(buf, tracker))
+    }
+
+    fn check_owned<T: Element>(&self, buf: &DeviceBuffer<T>) -> Result<(), SimError> {
+        if buf.device_id != self.id {
+            return Err(SimError::WrongDevice {
+                buffer_device: buf.device_id,
+                this_device: self.id,
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel launches
+    // ------------------------------------------------------------------
+
+    /// Launch a non-cooperative kernel: `body` runs once per simulated
+    /// thread. Returns the modeled duration in nanoseconds.
+    pub fn launch<F>(&self, cfg: LaunchConfig, cost: KernelCost, body: F) -> Result<u64, SimError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        self.launch_phased(cfg, cost, &SinglePhase(body))
+    }
+
+    /// Functionally execute every block/thread of a launch (shared by the
+    /// synchronous, asynchronous, and cooperative paths).
+    fn execute_grid<K: PhasedKernel>(&self, cfg: LaunchConfig, kernel: &K) {
+        let racecheck = self.racecheck_enabled();
+        if racecheck {
+            self.tracker.begin_epoch();
+        }
+        let grid = cfg.grid;
+        let block = cfg.block;
+        let block_threads = block.count();
+        let phases = kernel.num_phases();
+        self.pool
+            .parallel_for(grid.count(), Schedule::Dynamic { chunk: 0 }, |b| {
+                let (bx, by, bz) = grid.unflatten(b);
+                let shared = SharedMem::new(cfg.shared_mem_bytes);
+                let mut states: Vec<K::State> = Vec::with_capacity(block_threads);
+                states.resize_with(block_threads, K::State::default);
+                for phase in 0..phases {
+                    for (t, state) in states.iter_mut().enumerate() {
+                        let (tx, ty, tz) = block.unflatten(t);
+                        let ctx = ThreadCtx {
+                            block_idx: (bx, by, bz),
+                            thread_idx: (tx, ty, tz),
+                            block_dim: block,
+                            grid_dim: grid,
+                        };
+                        if racecheck {
+                            racecheck::set_current_sim_thread(ctx.global_linear() as u64);
+                        }
+                        kernel.phase(phase, &ctx, state, &shared);
+                    }
+                }
+                if racecheck {
+                    racecheck::clear_current_sim_thread();
+                }
+            });
+    }
+
+    /// Launch a cooperative kernel with barrier phases and per-block shared
+    /// memory. Returns the modeled duration in nanoseconds.
+    pub fn launch_phased<K>(
+        &self,
+        cfg: LaunchConfig,
+        cost: KernelCost,
+        kernel: &K,
+    ) -> Result<u64, SimError>
+    where
+        K: PhasedKernel,
+    {
+        cfg.validate(&self.spec)?;
+        let grid = cfg.grid;
+        let block = cfg.block;
+        self.execute_grid(cfg, kernel);
+
+        let ns = perf::kernel_time_ns(&self.spec, grid, block, &cost);
+        let total_threads = cfg.total_threads() as u64;
+        let bytes = (cost.bytes_per_thread() * total_threads as f64) as u64;
+        Ok(self.charge(OpKind::Kernel, bytes, total_threads, ns))
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous (stream-ordered) work
+    // ------------------------------------------------------------------
+
+    /// Launch a kernel on a stream **asynchronously**: execution happens
+    /// eagerly (results are visible immediately, as everywhere in the
+    /// simulator), but the modeled time lands on the *stream's* clock, not
+    /// the device clock — kernels on different streams overlap, kernels on
+    /// one stream serialize. Call [`Device::sync_stream`] or
+    /// [`Device::synchronize`] to join the stream time back into the
+    /// device clock. The default stream is always synchronous; passing it
+    /// here is equivalent to [`Device::launch`].
+    ///
+    /// The model ignores cross-stream bandwidth contention (each stream
+    /// sees full device throughput); see `EXPERIMENTS.md`.
+    pub fn launch_async<F>(
+        &self,
+        stream: &Stream,
+        cfg: LaunchConfig,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, SimError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        if stream.is_default() {
+            return self.launch(cfg, cost, body);
+        }
+        assert_eq!(stream.device_id(), self.id, "stream from another device");
+        cfg.validate(&self.spec)?;
+        // Functional execution through the normal path, but capture the
+        // modeled duration without advancing the device clock.
+        let grid = cfg.grid;
+        let block = cfg.block;
+        self.execute_grid(cfg, &crate::phased::SinglePhase(body));
+        let ns = perf::kernel_time_ns(&self.spec, grid, block, &cost).round() as u64;
+        let mut streams = self.stream_clocks.lock();
+        let issue = self.clock_ns();
+        let start = streams.get(&stream.id()).copied().unwrap_or(0).max(issue);
+        let end = start + ns;
+        streams.insert(stream.id(), end);
+        Ok(ns)
+    }
+}
+
+/// Build a dedicated handle to the global pool. `ThreadPool` is not `Clone`;
+/// devices share the process-global pool through a small adapter pool of
+/// size 1 when the global pool cannot be wrapped in an `Arc` directly.
+fn pool_handle() -> ThreadPool {
+    // Each device gets its own pool sized like the machine; creating a pool
+    // is cheap (threads park when idle) and keeps devices independent.
+    ThreadPool::new(default_pool_threads())
+}
+
+fn default_pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn small_device() -> Device {
+        Device::new(profiles::test_device())
+    }
+
+    #[test]
+    fn alloc_upload_download_round_trip() {
+        let dev = small_device();
+        let host: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        let buf = dev.alloc_from(&host).unwrap();
+        assert_eq!(buf.len(), 1000);
+        let back = dev.read_vec(&buf).unwrap();
+        assert_eq!(back, host);
+        assert_eq!(dev.used_bytes(), 8000);
+        drop(buf);
+        assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn transfers_advance_clock() {
+        let dev = small_device();
+        assert_eq!(dev.clock_ns(), 0);
+        let buf = dev.alloc_from(&vec![0u8; 1 << 20]).unwrap();
+        let t1 = dev.clock_ns();
+        assert!(t1 > 0, "H2D must cost time");
+        let _ = dev.read_vec(&buf).unwrap();
+        assert!(dev.clock_ns() > t1, "D2H must cost time");
+        let log = dev.op_log();
+        assert_eq!(log[0].kind, OpKind::H2D);
+        assert_eq!(log[1].kind, OpKind::D2H);
+        dev.reset_clock();
+        assert_eq!(dev.clock_ns(), 0);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let dev = small_device(); // 16 MiB
+        let err = dev.alloc::<f64>(10 << 20).unwrap_err();
+        match err {
+            SimError::OutOfMemory {
+                requested,
+                capacity,
+                ..
+            } => {
+                assert_eq!(requested, 80 << 20);
+                assert_eq!(capacity, 16 << 20);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Memory frees make room again.
+        let a = dev.alloc::<u8>(12 << 20).unwrap();
+        assert!(dev.alloc::<u8>(8 << 20).is_err());
+        drop(a);
+        assert!(dev.alloc::<u8>(8 << 20).is_ok());
+    }
+
+    #[test]
+    fn wrong_device_buffers_rejected() {
+        let a = small_device();
+        let b = small_device();
+        let buf = a.alloc::<f64>(10).unwrap();
+        assert!(matches!(
+            b.read_vec(&buf).unwrap_err(),
+            SimError::WrongDevice { .. }
+        ));
+        assert!(matches!(
+            b.slice(&buf).unwrap_err(),
+            SimError::WrongDevice { .. }
+        ));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let dev = small_device();
+        let buf = dev.alloc::<f64>(10).unwrap();
+        assert!(matches!(
+            dev.upload(&buf, &[1.0; 9]).unwrap_err(),
+            SimError::SizeMismatch {
+                expected: 10,
+                actual: 9
+            }
+        ));
+        let mut out = vec![0.0; 11];
+        assert!(dev.download(&buf, &mut out).is_err());
+    }
+
+    #[test]
+    fn launch_executes_every_thread_once() {
+        let dev = small_device();
+        let n = 1000usize;
+        let buf = dev.alloc::<u32>(n).unwrap();
+        let view = dev.slice_mut(&buf).unwrap();
+        let cfg = LaunchConfig::linear(n, 64);
+        dev.launch(cfg, KernelCost::default(), |t| {
+            let i = t.global_id_x();
+            if i < n {
+                view.set(i, view.get(i) + 1);
+            }
+        })
+        .unwrap();
+        let host = dev.read_vec(&buf).unwrap();
+        assert!(host.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn launch_advances_clock_by_at_least_overhead() {
+        let dev = small_device();
+        let before = dev.clock_ns();
+        let ns = dev
+            .launch(LaunchConfig::linear(64, 64), KernelCost::default(), |_| {})
+            .unwrap();
+        assert!(ns as f64 >= dev.spec().launch_overhead_ns);
+        assert_eq!(dev.clock_ns(), before + ns);
+    }
+
+    #[test]
+    fn invalid_launch_rejected_before_execution() {
+        let dev = small_device();
+        let ran = std::sync::atomic::AtomicBool::new(false);
+        let err = dev
+            .launch(
+                LaunchConfig::new(1u32, 128u32), // limit is 64
+                KernelCost::default(),
+                |_| ran.store(true, Ordering::Relaxed),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }));
+        assert!(!ran.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn two_d_launch_covers_plane() {
+        let dev = small_device();
+        let (m, n) = (30usize, 20usize);
+        let buf = dev.alloc::<u32>(m * n).unwrap();
+        let view = dev.slice_mut(&buf).unwrap();
+        let cfg = LaunchConfig::tiled_2d(m, n, 8, 8);
+        dev.launch(cfg, KernelCost::default(), |t| {
+            let (i, j) = (t.global_id_x(), t.global_id_y());
+            if i < m && j < n {
+                view.set(j * m + i, (j * m + i) as u32);
+            }
+        })
+        .unwrap();
+        let host = dev.read_vec(&buf).unwrap();
+        for (idx, v) in host.iter().enumerate() {
+            assert_eq!(*v, idx as u32);
+        }
+    }
+
+    #[test]
+    fn phased_kernel_tree_reduction() {
+        // The paper's Fig. 3 structure: products to shared memory, tree
+        // reduce, one partial per block.
+        struct BlockDot {
+            n: usize,
+            x: DeviceSlice<f64>,
+            y: DeviceSlice<f64>,
+            out: DeviceSliceMut<f64>,
+            steps: usize,
+            block_size: usize,
+        }
+        impl PhasedKernel for BlockDot {
+            type State = ();
+            fn num_phases(&self) -> usize {
+                2 + self.steps
+            }
+            fn phase(&self, phase: usize, ctx: &ThreadCtx, _s: &mut (), shared: &SharedMem) {
+                let ti = ctx.thread_linear();
+                if phase == 0 {
+                    let i = ctx.global_id_x();
+                    let v = if i < self.n {
+                        self.x.get(i) * self.y.get(i)
+                    } else {
+                        0.0
+                    };
+                    shared.set::<f64>(ti, v);
+                } else if phase <= self.steps {
+                    let half = self.block_size >> phase;
+                    if ti < half {
+                        let a = shared.get::<f64>(ti);
+                        let b = shared.get::<f64>(ti + half);
+                        shared.set::<f64>(ti, a + b);
+                    }
+                } else if ti == 0 {
+                    self.out.set(ctx.block_linear(), shared.get::<f64>(0));
+                }
+            }
+        }
+        let dev = small_device();
+        let n = 1000usize;
+        let hx: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let hy: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        let expected: f64 = hx.iter().zip(&hy).map(|(a, b)| a * b).sum();
+        let x = dev.alloc_from(&hx).unwrap();
+        let y = dev.alloc_from(&hy).unwrap();
+        let block_size = 64usize;
+        let blocks = n.div_ceil(block_size);
+        let out = dev.alloc::<f64>(blocks).unwrap();
+        let kernel = BlockDot {
+            n,
+            x: dev.slice(&x).unwrap(),
+            y: dev.slice(&y).unwrap(),
+            out: dev.slice_mut(&out).unwrap(),
+            steps: block_size.trailing_zeros() as usize,
+            block_size,
+        };
+        let cfg =
+            LaunchConfig::new(blocks as u32, block_size as u32).with_shared_mem(block_size * 8);
+        dev.launch_phased(cfg, KernelCost::memory_bound(16.0, 8.0), &kernel)
+            .unwrap();
+        let partials = dev.read_vec(&out).unwrap();
+        let total: f64 = partials.iter().sum();
+        assert!((total - expected).abs() < 1e-9, "{total} vs {expected}");
+    }
+
+    #[test]
+    fn racecheck_catches_overlapping_writes() {
+        let dev = small_device();
+        dev.set_racecheck(true);
+        let buf = dev.alloc::<f64>(8).unwrap();
+        let view = dev.slice_mut(&buf).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch(LaunchConfig::linear(64, 64), KernelCost::default(), |_t| {
+                view.set(0, 1.0); // every simulated thread writes element 0
+            })
+        }));
+        assert!(result.is_err(), "racecheck must fire");
+    }
+
+    #[test]
+    fn racecheck_passes_disjoint_writes() {
+        let dev = small_device();
+        dev.set_racecheck(true);
+        let n = 128usize;
+        let buf = dev.alloc::<f64>(n).unwrap();
+        let view = dev.slice_mut(&buf).unwrap();
+        dev.launch(LaunchConfig::linear(n, 64), KernelCost::default(), |t| {
+            let i = t.global_id_x();
+            if i < n {
+                view.set(i, 1.0);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn d2d_copy_and_scalar_read() {
+        let dev = small_device();
+        let a = dev.alloc_from(&vec![3.5f64; 64]).unwrap();
+        let b = dev.alloc::<f64>(64).unwrap();
+        dev.copy(&a, &b).unwrap();
+        assert_eq!(dev.read_scalar(&b, 63).unwrap(), 3.5);
+        assert!(dev.read_scalar(&b, 64).is_err());
+        let c = dev.alloc::<f64>(32).unwrap();
+        assert!(dev.copy(&a, &c).is_err());
+    }
+
+    #[test]
+    fn events_measure_kernels() {
+        let dev = small_device();
+        let e0 = dev.record_event();
+        dev.launch(
+            LaunchConfig::linear(4096, 64),
+            KernelCost::default(),
+            |_| {},
+        )
+        .unwrap();
+        let e1 = dev.record_event();
+        assert!(e0.elapsed_ns(&e1) > 0);
+        dev.synchronize();
+    }
+
+    #[test]
+    fn op_log_is_a_bounded_ring() {
+        let dev = small_device();
+        // More charges than the cap: the log must keep only the newest.
+        for i in 0..(OP_LOG_CAP + 100) {
+            dev.charge(OpKind::Sync, i as u64, 0, 1.0);
+        }
+        let log = dev.op_log();
+        assert_eq!(log.len(), OP_LOG_CAP);
+        assert_eq!(log.last().unwrap().bytes, (OP_LOG_CAP + 99) as u64);
+        assert_eq!(log[0].bytes, 100, "oldest entries evicted");
+    }
+
+    #[test]
+    fn streams_exist_and_are_distinct() {
+        let dev = small_device();
+        assert!(dev.default_stream().is_default());
+        let s = dev.create_stream();
+        assert!(!s.is_default());
+        assert_eq!(s.device_id(), dev.id());
+    }
+}
+
+#[cfg(test)]
+mod peer_tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn peer_copy_moves_data_and_charges_both_clocks() {
+        let a = Device::new(profiles::test_device());
+        let b = Device::new(profiles::test_device());
+        let src = a.alloc_from(&vec![7.5f64; 1024]).unwrap();
+        let dst = b.alloc::<f64>(1024).unwrap();
+        let (ca0, cb0) = (a.clock_ns(), b.clock_ns());
+        a.copy_to_peer(&src, &b, &dst).unwrap();
+        assert!(a.clock_ns() > ca0, "source clock advances");
+        assert!(b.clock_ns() > cb0, "destination clock advances");
+        assert!(b.read_vec(&dst).unwrap().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn peer_copy_validates_ownership_and_sizes() {
+        let a = Device::new(profiles::test_device());
+        let b = Device::new(profiles::test_device());
+        let src = a.alloc::<f64>(8).unwrap();
+        let wrong_len = b.alloc::<f64>(9).unwrap();
+        assert!(matches!(
+            a.copy_to_peer(&src, &b, &wrong_len).unwrap_err(),
+            SimError::SizeMismatch { .. }
+        ));
+        let on_a = a.alloc::<f64>(8).unwrap();
+        assert!(matches!(
+            a.copy_to_peer(&src, &b, &on_a).unwrap_err(),
+            SimError::WrongDevice { .. }
+        ));
+        let on_b = b.alloc::<f64>(8).unwrap();
+        assert!(matches!(
+            b.copy_to_peer(&src, &a, &on_b).unwrap_err(),
+            SimError::WrongDevice { .. }
+        ));
+    }
+
+    #[test]
+    fn peer_copy_cost_is_the_slower_link() {
+        let fast = Device::new(profiles::nvidia_a100()); // 25 GB/s link
+        let slow = Device::new(profiles::amd_mi100()); // 16 GB/s link
+        let bytes = 1 << 24;
+        let src = fast.alloc::<u8>(bytes).unwrap();
+        let dst = slow.alloc::<u8>(bytes).unwrap();
+        let c0 = fast.clock_ns();
+        fast.copy_to_peer(&src, &slow, &dst).unwrap();
+        let elapsed = fast.clock_ns() - c0;
+        let slow_link = crate::perf::transfer_time_ns(slow.spec(), bytes);
+        assert!(
+            (elapsed as f64 - slow_link).abs() < 2.0,
+            "{elapsed} vs {slow_link}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::profiles;
+
+    fn dev_and_work() -> (Device, LaunchConfig, KernelCost) {
+        let dev = Device::new(profiles::test_device());
+        // Big enough that kernel time dominates launch overhead.
+        let cfg = LaunchConfig::linear(1 << 16, 64);
+        let cost = KernelCost::memory_bound(64.0, 64.0);
+        (dev, cfg, cost)
+    }
+
+    #[test]
+    fn different_streams_overlap() {
+        let (dev, cfg, cost) = dev_and_work();
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        let ns1 = dev.launch_async(&s1, cfg, cost, |_| {}).unwrap();
+        let ns2 = dev.launch_async(&s2, cfg, cost, |_| {}).unwrap();
+        assert_eq!(dev.clock_ns(), 0, "async launches leave the device clock");
+        assert!(dev.stream_clock_ns(&s1).is_some());
+        dev.synchronize();
+        let elapsed = dev.clock_ns();
+        // Overlapped: total = max, not sum.
+        assert_eq!(
+            elapsed,
+            ns1.max(ns2),
+            "overlap expected: {elapsed} vs {ns1}+{ns2}"
+        );
+        assert!(dev.stream_clock_ns(&s1).is_none(), "sync clears streams");
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let (dev, cfg, cost) = dev_and_work();
+        let s = dev.create_stream();
+        let ns1 = dev.launch_async(&s, cfg, cost, |_| {}).unwrap();
+        let ns2 = dev.launch_async(&s, cfg, cost, |_| {}).unwrap();
+        dev.sync_stream(&s);
+        assert_eq!(dev.clock_ns(), ns1 + ns2);
+    }
+
+    #[test]
+    fn default_stream_stays_synchronous() {
+        let (dev, cfg, cost) = dev_and_work();
+        let default = dev.default_stream();
+        let ns = dev.launch_async(&default, cfg, cost, |_| {}).unwrap();
+        assert_eq!(dev.clock_ns(), ns, "default stream charges immediately");
+    }
+
+    #[test]
+    fn async_work_issued_after_sync_starts_later() {
+        let (dev, cfg, cost) = dev_and_work();
+        // Some synchronous work first.
+        let sync_ns = dev.launch(cfg, cost, |_| {}).unwrap();
+        let s = dev.create_stream();
+        let async_ns = dev.launch_async(&s, cfg, cost, |_| {}).unwrap();
+        dev.sync_stream(&s);
+        // The async kernel could not start before its issue time.
+        assert_eq!(dev.clock_ns(), sync_ns + async_ns);
+    }
+
+    #[test]
+    fn async_results_are_visible_immediately() {
+        let dev = Device::new(profiles::test_device());
+        let buf = dev.alloc::<u32>(256).unwrap();
+        let v = dev.slice_mut(&buf).unwrap();
+        let s = dev.create_stream();
+        dev.launch_async(
+            &s,
+            LaunchConfig::linear(256, 64),
+            KernelCost::default(),
+            |t| {
+                let i = t.global_id_x();
+                if i < 256 {
+                    v.set(i, i as u32);
+                }
+            },
+        )
+        .unwrap();
+        // Functional eagerness: data is there before any sync.
+        let host = dev.read_vec(&buf).unwrap();
+        for (i, x) in host.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+        dev.synchronize();
+    }
+
+    #[test]
+    #[should_panic(expected = "another device")]
+    fn cross_device_stream_rejected() {
+        let a = Device::new(profiles::test_device());
+        let b = Device::new(profiles::test_device());
+        let s = b.create_stream();
+        let _ = a.launch_async(
+            &s,
+            LaunchConfig::linear(64, 64),
+            KernelCost::default(),
+            |_| {},
+        );
+    }
+}

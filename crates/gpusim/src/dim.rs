@@ -1,0 +1,107 @@
+//! Three-component extents used for grids and blocks.
+
+/// A 3D extent (x, y, z), mirroring CUDA's `dim3`. Components default to 1,
+/// so 1D and 2D shapes are just `Dim3::x(n)` / `Dim3::xy(nx, ny)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Fastest-varying extent.
+    pub x: u32,
+    /// Middle extent.
+    pub y: u32,
+    /// Slowest-varying extent.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1D extent.
+    pub const fn x(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2D extent.
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// A full 3D extent.
+    pub const fn xyz(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Total number of elements (`x * y * z`).
+    pub const fn count(self) -> usize {
+        self.x as usize * self.y as usize * self.z as usize
+    }
+
+    /// True if any component is zero (an invalid launch extent).
+    pub const fn is_degenerate(self) -> bool {
+        self.x == 0 || self.y == 0 || self.z == 0
+    }
+
+    /// Decompose a linear index (x fastest) into (x, y, z) coordinates.
+    pub fn unflatten(self, linear: usize) -> (u32, u32, u32) {
+        debug_assert!(linear < self.count());
+        let x = (linear % self.x as usize) as u32;
+        let y = ((linear / self.x as usize) % self.y as usize) as u32;
+        let z = (linear / (self.x as usize * self.y as usize)) as u32;
+        (x, y, z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::x(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::xy(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::xyz(x, y, z)
+    }
+}
+
+impl std::fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_count() {
+        assert_eq!(Dim3::x(5).count(), 5);
+        assert_eq!(Dim3::xy(4, 3).count(), 12);
+        assert_eq!(Dim3::xyz(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::from(7u32), Dim3::x(7));
+        assert_eq!(Dim3::from((2u32, 3u32)), Dim3::xy(2, 3));
+        assert_eq!(Dim3::from((2u32, 3u32, 4u32)), Dim3::xyz(2, 3, 4));
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(Dim3::xyz(0, 1, 1).is_degenerate());
+        assert!(Dim3::xyz(1, 0, 1).is_degenerate());
+        assert!(Dim3::xyz(1, 1, 0).is_degenerate());
+        assert!(!Dim3::xyz(1, 1, 1).is_degenerate());
+    }
+
+    #[test]
+    fn unflatten_round_trips() {
+        let d = Dim3::xyz(3, 4, 5);
+        for linear in 0..d.count() {
+            let (x, y, z) = d.unflatten(linear);
+            assert!(x < 3 && y < 4 && z < 5);
+            let back = (z as usize * 4 + y as usize) * 3 + x as usize;
+            assert_eq!(back, linear);
+        }
+    }
+}

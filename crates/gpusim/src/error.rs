@@ -1,0 +1,95 @@
+//! Simulator error type.
+
+use crate::dim::Dim3;
+
+/// Errors surfaced by the simulated device, mirroring the failure classes of
+/// a real driver API (allocation failure, invalid launch configuration,
+/// cross-device handles, bad copies).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The device memory heap cannot satisfy the allocation.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes currently in use on the device.
+        in_use: usize,
+        /// Total device memory capacity.
+        capacity: usize,
+    },
+    /// A launch configuration violates a device limit.
+    InvalidLaunch {
+        /// Explanation of the violated limit.
+        reason: String,
+        /// Grid extent of the offending launch.
+        grid: Dim3,
+        /// Block extent of the offending launch.
+        block: Dim3,
+    },
+    /// A buffer created on another device was passed to this one.
+    WrongDevice {
+        /// Id of the device the buffer belongs to.
+        buffer_device: u64,
+        /// Id of the device that received the call.
+        this_device: u64,
+    },
+    /// A host/device copy with mismatched lengths.
+    SizeMismatch {
+        /// Elements expected by the destination.
+        expected: usize,
+        /// Elements provided by the source.
+        actual: usize,
+    },
+    /// An out-of-range offset/length into a device buffer.
+    OutOfBounds {
+        /// First element of the requested range.
+        offset: usize,
+        /// Length of the requested range.
+        len: usize,
+        /// Length of the buffer.
+        buffer_len: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {in_use}/{capacity} B in use"
+            ),
+            SimError::InvalidLaunch {
+                reason,
+                grid,
+                block,
+            } => write!(f, "invalid launch grid={grid} block={block}: {reason}"),
+            SimError::WrongDevice {
+                buffer_device,
+                this_device,
+            } => write!(
+                f,
+                "buffer belongs to device {buffer_device}, not device {this_device}"
+            ),
+            SimError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "size mismatch: expected {expected} elements, got {actual}"
+                )
+            }
+            SimError::OutOfBounds {
+                offset,
+                len,
+                buffer_len,
+            } => write!(
+                f,
+                "range {offset}..{} out of bounds for buffer of length {buffer_len}",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,86 @@
+//! Device-clock events, mirroring `cudaEvent`-style timing.
+
+/// A timestamp captured from a device's virtual clock with
+/// [`crate::Device::record_event`]. Device-specific benchmark codes measure
+/// kernels the way real vendor code does: record, run, record, subtract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    pub(crate) t_ns: u64,
+    pub(crate) device_id: u64,
+}
+
+impl Event {
+    /// The clock value in nanoseconds at record time.
+    pub fn nanos(&self) -> u64 {
+        self.t_ns
+    }
+
+    /// Elapsed modeled time between two events in nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if the events belong to different devices or `later` precedes
+    /// `self`.
+    pub fn elapsed_ns(&self, later: &Event) -> u64 {
+        assert_eq!(
+            self.device_id, later.device_id,
+            "events from different devices"
+        );
+        later
+            .t_ns
+            .checked_sub(self.t_ns)
+            .expect("later event precedes earlier event")
+    }
+
+    /// Elapsed modeled time in milliseconds (the customary CUDA unit).
+    pub fn elapsed_ms(&self, later: &Event) -> f64 {
+        self.elapsed_ns(later) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_arithmetic() {
+        let a = Event {
+            t_ns: 1_000,
+            device_id: 1,
+        };
+        let b = Event {
+            t_ns: 3_500_000,
+            device_id: 1,
+        };
+        assert_eq!(a.elapsed_ns(&b), 3_499_000);
+        assert!((a.elapsed_ms(&b) - 3.499).abs() < 1e-12);
+        assert_eq!(a.nanos(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different devices")]
+    fn cross_device_events_panic() {
+        let a = Event {
+            t_ns: 0,
+            device_id: 1,
+        };
+        let b = Event {
+            t_ns: 1,
+            device_id: 2,
+        };
+        let _ = a.elapsed_ns(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn reversed_events_panic() {
+        let a = Event {
+            t_ns: 10,
+            device_id: 1,
+        };
+        let b = Event {
+            t_ns: 5,
+            device_id: 1,
+        };
+        let _ = a.elapsed_ns(&b);
+    }
+}

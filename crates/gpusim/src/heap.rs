@@ -1,0 +1,383 @@
+//! The device memory heap: allocations, typed buffers, and kernel-side
+//! slices.
+//!
+//! Device memory is modeled as real host allocations owned by the simulated
+//! device, **distinct from the caller's data**: the only way data crosses the
+//! boundary is through the device's upload/download methods, which charge the
+//! link-transfer cost — exactly the discipline a discrete GPU imposes.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::racecheck::RaceTracker;
+
+/// Cold, outlined bounds failure (keeps formatting out of hot accessors).
+#[cold]
+#[inline(never)]
+fn oob(i: usize, len: usize) -> ! {
+    panic!("device access {i} out of bounds (len {len})");
+}
+
+/// Marker trait for element types storable in device memory. Blanket-implemented
+/// for all `Copy + Send + Sync + 'static` types.
+pub trait Element: Copy + Send + Sync + 'static {}
+impl<T: Copy + Send + Sync + 'static> Element for T {}
+
+/// One raw allocation on the device heap. Deallocates itself (and returns
+/// its bytes to the heap accounting) when the last handle drops.
+pub(crate) struct Allocation {
+    ptr: *mut u8,
+    bytes: usize,
+    layout: Layout,
+    used_counter: Arc<AtomicUsize>,
+}
+
+// SAFETY: access to the allocation's memory is coordinated by the launch
+// protocol (disjoint writes per simulated thread); the pointer itself may be
+// shared freely.
+unsafe impl Send for Allocation {}
+unsafe impl Sync for Allocation {}
+
+impl Allocation {
+    /// Allocate `bytes` zeroed bytes, charging `used_counter`.
+    pub(crate) fn new(bytes: usize, used_counter: Arc<AtomicUsize>) -> Self {
+        // Zero-sized allocations keep a dangling, well-aligned pointer.
+        let layout = Layout::from_size_align(bytes.max(1), 64).expect("valid layout");
+        // SAFETY: layout has non-zero size.
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "host allocation for device heap failed");
+        used_counter.fetch_add(bytes, Ordering::Relaxed);
+        Allocation {
+            ptr,
+            bytes,
+            layout,
+            used_counter,
+        }
+    }
+
+    pub(crate) fn ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+}
+
+impl Drop for Allocation {
+    fn drop(&mut self) {
+        self.used_counter.fetch_sub(self.bytes, Ordering::Relaxed);
+        // SAFETY: allocated with this exact layout in `new`.
+        unsafe { dealloc(self.ptr, self.layout) };
+    }
+}
+
+/// An owning, typed handle to device memory, created by
+/// [`crate::Device::alloc`] / [`crate::Device::alloc_from`].
+///
+/// Dropping the buffer releases the memory once no [`DeviceSlice`]s remain.
+/// The handle is tied to its device: passing it to another device is an
+/// error, as with real driver handles.
+pub struct DeviceBuffer<T: Element> {
+    pub(crate) alloc: Arc<Allocation>,
+    pub(crate) len: usize,
+    pub(crate) device_id: u64,
+    pub(crate) _marker: PhantomData<T>,
+}
+
+impl<T: Element> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len * std::mem::size_of::<T>()
+    }
+
+    /// Id of the owning device.
+    pub fn device_id(&self) -> u64 {
+        self.device_id
+    }
+}
+
+impl<T: Element> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer")
+            .field("len", &self.len)
+            .field("device_id", &self.device_id)
+            .finish()
+    }
+}
+
+/// A read-only kernel-side view of a device buffer. Cheap to clone; keeps
+/// the allocation alive.
+pub struct DeviceSlice<T: Element> {
+    alloc: Arc<Allocation>,
+    ptr: *const T,
+    len: usize,
+}
+
+// SAFETY: reads from device memory race-freely per the launch contract.
+unsafe impl<T: Element> Send for DeviceSlice<T> {}
+unsafe impl<T: Element> Sync for DeviceSlice<T> {}
+
+impl<T: Element> Clone for DeviceSlice<T> {
+    fn clone(&self) -> Self {
+        DeviceSlice {
+            alloc: Arc::clone(&self.alloc),
+            ptr: self.ptr,
+            len: self.len,
+        }
+    }
+}
+
+impl<T: Element> std::fmt::Debug for DeviceSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceSlice")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T: Element> DeviceSlice<T> {
+    pub(crate) fn new(buffer: &DeviceBuffer<T>) -> Self {
+        DeviceSlice {
+            alloc: Arc::clone(&buffer.alloc),
+            ptr: buffer.alloc.ptr() as *const T,
+            len: buffer.len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounds-checked element read.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        if i >= self.len {
+            oob(i, self.len);
+        }
+        // SAFETY: index checked; allocation alive via `alloc`.
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Unchecked element read for hot inner loops.
+    ///
+    /// # Safety
+    /// `i` must be `< self.len()`.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+}
+
+/// A mutable kernel-side view of a device buffer.
+///
+/// Writes use interior mutability under the SIMT contract: **distinct
+/// simulated threads must write distinct elements** within one launch.
+/// Enable the device's race checker ([`crate::Device::set_racecheck`]) to
+/// verify that contract dynamically.
+pub struct DeviceSliceMut<T: Element> {
+    alloc: Arc<Allocation>,
+    ptr: *mut T,
+    len: usize,
+    tracker: Option<Arc<RaceTracker>>,
+}
+
+// SAFETY: the disjoint-writes contract (optionally dynamically enforced)
+// makes concurrent use sound.
+unsafe impl<T: Element> Send for DeviceSliceMut<T> {}
+unsafe impl<T: Element> Sync for DeviceSliceMut<T> {}
+
+impl<T: Element> Clone for DeviceSliceMut<T> {
+    fn clone(&self) -> Self {
+        DeviceSliceMut {
+            alloc: Arc::clone(&self.alloc),
+            ptr: self.ptr,
+            len: self.len,
+            tracker: self.tracker.clone(),
+        }
+    }
+}
+
+impl<T: Element> std::fmt::Debug for DeviceSliceMut<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceSliceMut")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T: Element> DeviceSliceMut<T> {
+    pub(crate) fn new(buffer: &DeviceBuffer<T>, tracker: Option<Arc<RaceTracker>>) -> Self {
+        DeviceSliceMut {
+            alloc: Arc::clone(&buffer.alloc),
+            ptr: buffer.alloc.ptr() as *mut T,
+            len: buffer.len,
+            tracker,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounds-checked element read.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        if i >= self.len {
+            oob(i, self.len);
+        }
+        // SAFETY: index checked; allocation alive via `alloc`.
+        unsafe { *(self.ptr as *const T).add(i) }
+    }
+
+    /// Bounds-checked element write.
+    #[inline]
+    pub fn set(&self, i: usize, value: T) {
+        if i >= self.len {
+            oob(i, self.len);
+        }
+        if let Some(tracker) = &self.tracker {
+            tracker.record_write(self.ptr as usize, i);
+        }
+        // SAFETY: index checked; disjoint-writes contract gives exclusive
+        // access to this element within the launch.
+        unsafe { *self.ptr.add(i) = value };
+    }
+
+    /// Unchecked element read.
+    ///
+    /// # Safety
+    /// `i` must be `< self.len()`.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        *(self.ptr as *const T).add(i)
+    }
+
+    /// Unchecked element write (skips the race tracker).
+    ///
+    /// # Safety
+    /// `i` must be `< self.len()` and no other simulated thread may touch
+    /// element `i` in this launch.
+    #[inline]
+    pub unsafe fn set_unchecked(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_buffer<T: Element>(len: usize) -> DeviceBuffer<T> {
+        let used = Arc::new(AtomicUsize::new(0));
+        let alloc = Arc::new(Allocation::new(len * std::mem::size_of::<T>(), used));
+        DeviceBuffer {
+            alloc,
+            len,
+            device_id: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    #[test]
+    fn allocation_charges_and_releases_counter() {
+        let used = Arc::new(AtomicUsize::new(0));
+        let a = Allocation::new(1024, Arc::clone(&used));
+        assert_eq!(used.load(Ordering::Relaxed), 1024);
+        let b = Allocation::new(512, Arc::clone(&used));
+        assert_eq!(used.load(Ordering::Relaxed), 1536);
+        drop(a);
+        assert_eq!(used.load(Ordering::Relaxed), 512);
+        drop(b);
+        assert_eq!(used.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn allocations_are_zeroed() {
+        let buf = make_buffer::<f64>(100);
+        let s = DeviceSlice::new(&buf);
+        for i in 0..100 {
+            assert_eq!(s.get(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn slice_read_write_round_trip() {
+        let buf = make_buffer::<u32>(16);
+        let w = DeviceSliceMut::new(&buf, None);
+        for i in 0..16 {
+            w.set(i, (i * i) as u32);
+        }
+        let r = DeviceSlice::new(&buf);
+        for i in 0..16 {
+            assert_eq!(r.get(i), (i * i) as u32);
+            assert_eq!(w.get(i), (i * i) as u32);
+        }
+    }
+
+    #[test]
+    fn slices_keep_allocation_alive() {
+        let used = Arc::new(AtomicUsize::new(0));
+        let alloc = Arc::new(Allocation::new(8 * 4, Arc::clone(&used)));
+        let buf = DeviceBuffer::<f32> {
+            alloc,
+            len: 8,
+            device_id: 0,
+            _marker: PhantomData,
+        };
+        let slice = DeviceSlice::new(&buf);
+        drop(buf);
+        assert_eq!(used.load(Ordering::Relaxed), 32, "slice still pins memory");
+        assert_eq!(slice.get(0), 0.0);
+        drop(slice);
+        assert_eq!(used.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_out_of_bounds_panics() {
+        let buf = make_buffer::<f64>(4);
+        let s = DeviceSlice::new(&buf);
+        let _ = s.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_out_of_bounds_panics() {
+        let buf = make_buffer::<f64>(4);
+        let w = DeviceSliceMut::new(&buf, None);
+        w.set(10, 1.0);
+    }
+
+    #[test]
+    fn zero_length_buffer_is_safe() {
+        let buf = make_buffer::<f64>(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.size_bytes(), 0);
+        let s = DeviceSlice::new(&buf);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Launch configuration, validation, and the per-thread context handed to
+//! kernel bodies.
+
+use crate::dim::Dim3;
+use crate::error::SimError;
+use crate::spec::DeviceSpec;
+
+/// Grid/block shape of a kernel launch plus its dynamic shared-memory size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks along each grid dimension.
+    pub grid: Dim3,
+    /// Number of threads along each block dimension.
+    pub block: Dim3,
+    /// Dynamic shared memory bytes per block.
+    pub shared_mem_bytes: usize,
+}
+
+impl LaunchConfig {
+    /// A 1D launch with explicit grid and block extents.
+    pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> Self {
+        LaunchConfig {
+            grid: grid.into(),
+            block: block.into(),
+            shared_mem_bytes: 0,
+        }
+    }
+
+    /// The canonical 1D covering launch: `ceil(n / block)` blocks of
+    /// `block` threads — how the paper's `parallel_for` picks its shape.
+    pub fn linear(n: usize, block: u32) -> Self {
+        let block = block.max(1);
+        let blocks = n.div_ceil(block as usize).max(1);
+        LaunchConfig::new(Dim3::x(blocks as u32), Dim3::x(block))
+    }
+
+    /// The canonical 2D covering launch with `bx × by` thread tiles, as the
+    /// paper's multidimensional `parallel_for` does with 16×16 tiles.
+    pub fn tiled_2d(m: usize, n: usize, bx: u32, by: u32) -> Self {
+        let bx = bx.max(1);
+        let by = by.max(1);
+        let gx = m.div_ceil(bx as usize).max(1);
+        let gy = n.div_ceil(by as usize).max(1);
+        LaunchConfig::new(Dim3::xy(gx as u32, gy as u32), Dim3::xy(bx, by))
+    }
+
+    /// The canonical 3D covering launch.
+    pub fn tiled_3d(m: usize, n: usize, l: usize, bx: u32, by: u32, bz: u32) -> Self {
+        let (bx, by, bz) = (bx.max(1), by.max(1), bz.max(1));
+        let gx = m.div_ceil(bx as usize).max(1);
+        let gy = n.div_ceil(by as usize).max(1);
+        let gz = l.div_ceil(bz as usize).max(1);
+        LaunchConfig::new(
+            Dim3::xyz(gx as u32, gy as u32, gz as u32),
+            Dim3::xyz(bx, by, bz),
+        )
+    }
+
+    /// Attach a dynamic shared-memory request.
+    pub fn with_shared_mem(mut self, bytes: usize) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Total number of simulated threads.
+    pub fn total_threads(&self) -> usize {
+        self.grid.count() * self.block.count()
+    }
+
+    /// Validate against a device's limits.
+    pub fn validate(&self, spec: &DeviceSpec) -> Result<(), SimError> {
+        let fail = |reason: String| SimError::InvalidLaunch {
+            reason,
+            grid: self.grid,
+            block: self.block,
+        };
+        if self.grid.is_degenerate() {
+            return Err(fail("grid has a zero dimension".into()));
+        }
+        if self.block.is_degenerate() {
+            return Err(fail("block has a zero dimension".into()));
+        }
+        if self.block.count() > spec.max_threads_per_block as usize {
+            return Err(fail(format!(
+                "block of {} threads exceeds limit {}",
+                self.block.count(),
+                spec.max_threads_per_block
+            )));
+        }
+        if self.block.x > spec.max_block_dim_x {
+            return Err(fail(format!(
+                "block.x {} exceeds limit {}",
+                self.block.x, spec.max_block_dim_x
+            )));
+        }
+        if self.block.y > spec.max_block_dim_y {
+            return Err(fail(format!(
+                "block.y {} exceeds limit {}",
+                self.block.y, spec.max_block_dim_y
+            )));
+        }
+        if self.block.z > spec.max_block_dim_z {
+            return Err(fail(format!(
+                "block.z {} exceeds limit {}",
+                self.block.z, spec.max_block_dim_z
+            )));
+        }
+        if self.shared_mem_bytes > spec.shared_mem_per_block {
+            return Err(fail(format!(
+                "shared memory request {} B exceeds limit {} B",
+                self.shared_mem_bytes, spec.shared_mem_per_block
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Identity of one simulated thread inside a launch: its block and thread
+/// coordinates plus the launch shape. All coordinates are **0-based**
+/// (CUDA-style; the Julia front end in the paper is 1-based).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadCtx {
+    /// This thread's block coordinates within the grid.
+    pub block_idx: (u32, u32, u32),
+    /// This thread's coordinates within its block.
+    pub thread_idx: (u32, u32, u32),
+    /// Block extents.
+    pub block_dim: Dim3,
+    /// Grid extents.
+    pub grid_dim: Dim3,
+}
+
+impl ThreadCtx {
+    /// Global x index: `block_idx.x * block_dim.x + thread_idx.x`.
+    #[inline]
+    pub fn global_id_x(&self) -> usize {
+        self.block_idx.0 as usize * self.block_dim.x as usize + self.thread_idx.0 as usize
+    }
+
+    /// Global y index.
+    #[inline]
+    pub fn global_id_y(&self) -> usize {
+        self.block_idx.1 as usize * self.block_dim.y as usize + self.thread_idx.1 as usize
+    }
+
+    /// Global z index.
+    #[inline]
+    pub fn global_id_z(&self) -> usize {
+        self.block_idx.2 as usize * self.block_dim.z as usize + self.thread_idx.2 as usize
+    }
+
+    /// Linear thread index within the block (x fastest).
+    #[inline]
+    pub fn thread_linear(&self) -> usize {
+        (self.thread_idx.2 as usize * self.block_dim.y as usize + self.thread_idx.1 as usize)
+            * self.block_dim.x as usize
+            + self.thread_idx.0 as usize
+    }
+
+    /// Linear block index within the grid (x fastest).
+    #[inline]
+    pub fn block_linear(&self) -> usize {
+        (self.block_idx.2 as usize * self.grid_dim.y as usize + self.block_idx.1 as usize)
+            * self.grid_dim.x as usize
+            + self.block_idx.0 as usize
+    }
+
+    /// Globally unique linear thread id across the launch.
+    #[inline]
+    pub fn global_linear(&self) -> usize {
+        self.block_linear() * self.block_dim.count() + self.thread_linear()
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim.count() * self.block_dim.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn linear_config_covers_n() {
+        let cfg = LaunchConfig::linear(1000, 256);
+        assert_eq!(cfg.grid, Dim3::x(4));
+        assert_eq!(cfg.block, Dim3::x(256));
+        assert!(cfg.total_threads() >= 1000);
+        // exact multiple
+        let cfg = LaunchConfig::linear(1024, 256);
+        assert_eq!(cfg.grid, Dim3::x(4));
+        // tiny n still launches one block
+        let cfg = LaunchConfig::linear(1, 256);
+        assert_eq!(cfg.grid, Dim3::x(1));
+        // zero-size n launches one (empty-guard) block
+        let cfg = LaunchConfig::linear(0, 256);
+        assert_eq!(cfg.grid, Dim3::x(1));
+    }
+
+    #[test]
+    fn tiled_2d_covers_plane() {
+        let cfg = LaunchConfig::tiled_2d(100, 60, 16, 16);
+        assert_eq!(cfg.grid, Dim3::xy(7, 4));
+        assert_eq!(cfg.block, Dim3::xy(16, 16));
+        assert!(cfg.grid.x as usize * 16 >= 100);
+        assert!(cfg.grid.y as usize * 16 >= 60);
+    }
+
+    #[test]
+    fn tiled_3d_covers_volume() {
+        let cfg = LaunchConfig::tiled_3d(10, 10, 10, 4, 4, 4);
+        assert_eq!(cfg.grid, Dim3::xyz(3, 3, 3));
+    }
+
+    #[test]
+    fn validation_enforces_limits() {
+        let spec = profiles::test_device(); // max 64 threads/block, 4 KiB shmem
+        assert!(LaunchConfig::new(1u32, 64u32).validate(&spec).is_ok());
+        assert!(LaunchConfig::new(1u32, 65u32).validate(&spec).is_err());
+        assert!(LaunchConfig::new(1u32, (8u32, 9u32))
+            .validate(&spec)
+            .is_err());
+        assert!(LaunchConfig::new(0u32, 1u32).validate(&spec).is_err());
+        assert!(LaunchConfig::new(1u32, (1u32, 1u32, 0u32))
+            .validate(&spec)
+            .is_err());
+        assert!(LaunchConfig::new(1u32, 32u32)
+            .with_shared_mem(4096)
+            .validate(&spec)
+            .is_ok());
+        assert!(LaunchConfig::new(1u32, 32u32)
+            .with_shared_mem(4097)
+            .validate(&spec)
+            .is_err());
+        // block.z limit is 8 on the test device
+        assert!(LaunchConfig::new(1u32, (1u32, 1u32, 9u32))
+            .validate(&spec)
+            .is_err());
+    }
+
+    #[test]
+    fn thread_ctx_linearization() {
+        let ctx = ThreadCtx {
+            block_idx: (1, 2, 0),
+            thread_idx: (3, 1, 0),
+            block_dim: Dim3::xy(4, 2),
+            grid_dim: Dim3::xy(3, 4),
+        };
+        assert_eq!(ctx.global_id_x(), 7);
+        assert_eq!(ctx.global_id_y(), 5);
+        assert_eq!(ctx.global_id_z(), 0);
+        assert_eq!(ctx.thread_linear(), 7);
+        assert_eq!(ctx.block_linear(), 7);
+        assert_eq!(ctx.global_linear(), 7 * 8 + 7);
+        assert_eq!(ctx.total_threads(), 3 * 4 * 8);
+    }
+}

@@ -1,0 +1,288 @@
+//! The analytic performance model that advances the virtual device clock.
+//!
+//! Every kernel launch is priced as
+//!
+//! ```text
+//! t = launch_overhead + max(t_mem, t_compute)
+//! t_mem     = total_bytes   / (achieved_bw(coalescing) · occupancy(warps))
+//! t_compute = total_flops   / (peak_flops · occupancy(warps))
+//! ```
+//!
+//! where `occupancy` ramps linearly from 0 to 1 as the launch provides enough
+//! SIMT groups to saturate the device (a fixed number per compute unit).
+//! This produces the latency-bound floor at small sizes and the
+//! bandwidth-bound linear regime at large sizes that shape the paper's
+//! log-log figures, including the CPU-beats-GPU region for small DOTs.
+//!
+//! Transfers are priced as `link_latency + bytes / link_bw`.
+
+use crate::dim::Dim3;
+use crate::spec::DeviceSpec;
+
+/// SIMT groups per compute unit needed to reach full memory throughput.
+/// (Latency hiding requires many resident warps; 16 is a reasonable round
+/// figure across the three modeled architectures.)
+const WARPS_PER_CU_FOR_PEAK: f64 = 16.0;
+
+/// Per-iteration resource usage of a kernel, supplied at launch so the model
+/// can price it. "Per thread" means per simulated SIMT thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Double-precision FLOPs each thread performs.
+    pub flops_per_thread: f64,
+    /// Bytes each thread reads from device memory.
+    pub bytes_read_per_thread: f64,
+    /// Bytes each thread writes to device memory.
+    pub bytes_written_per_thread: f64,
+    /// Memory coalescing factor in `[0, 1]`: 1 when consecutive threads
+    /// touch consecutive addresses, 0 for fully strided access.
+    pub coalescing: f64,
+}
+
+impl KernelCost {
+    /// A memory-bound streaming kernel: perfectly coalesced, negligible
+    /// arithmetic.
+    pub fn memory_bound(bytes_read: f64, bytes_written: f64) -> Self {
+        KernelCost {
+            flops_per_thread: 0.0,
+            bytes_read_per_thread: bytes_read,
+            bytes_written_per_thread: bytes_written,
+            coalescing: 1.0,
+        }
+    }
+
+    /// A fully described cost.
+    pub fn new(flops: f64, bytes_read: f64, bytes_written: f64, coalescing: f64) -> Self {
+        KernelCost {
+            flops_per_thread: flops,
+            bytes_read_per_thread: bytes_read,
+            bytes_written_per_thread: bytes_written,
+            coalescing,
+        }
+    }
+
+    /// Override the coalescing factor.
+    pub fn with_coalescing(mut self, coalescing: f64) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
+
+    /// Total bytes a thread moves.
+    pub fn bytes_per_thread(&self) -> f64 {
+        self.bytes_read_per_thread + self.bytes_written_per_thread
+    }
+}
+
+impl Default for KernelCost {
+    /// A conservative default for kernels launched without a cost
+    /// descriptor: 16 bytes moved and 2 FLOPs per thread, coalesced.
+    fn default() -> Self {
+        KernelCost::new(2.0, 8.0, 8.0, 1.0)
+    }
+}
+
+/// Categories of clock-advancing operations, kept in the device's op log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A kernel launch.
+    Kernel,
+    /// Host-to-device transfer.
+    H2D,
+    /// Device-to-host transfer.
+    D2H,
+    /// Device-to-device copy.
+    D2D,
+    /// An explicit synchronization charged by a higher layer.
+    Sync,
+}
+
+/// One entry of the device op log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpRecord {
+    /// What kind of operation this was.
+    pub kind: OpKind,
+    /// Bytes moved (transfers) or touched (kernels).
+    pub bytes: u64,
+    /// Simulated threads involved (kernels; 0 for transfers).
+    pub threads: u64,
+    /// Modeled duration in nanoseconds.
+    pub modeled_ns: u64,
+    /// Device clock value after the operation.
+    pub clock_after_ns: u64,
+}
+
+/// Minimum occupancy factor: even a single resident warp sustains a few
+/// percent of peak bandwidth (it is latency-bound, not proportionally
+/// starved), so tiny launches are not scaled below this floor.
+const OCCUPANCY_FLOOR: f64 = 0.02;
+
+/// Occupancy factor in `(0, 1]` for a launch of `total_threads` with blocks
+/// of `block_threads` on `spec`.
+pub fn occupancy(spec: &DeviceSpec, total_threads: u64, block_threads: u64) -> f64 {
+    let warp = spec.simt_width as u64;
+    let warps_per_block = block_threads.div_ceil(warp).max(1);
+    let blocks = total_threads.div_ceil(block_threads.max(1));
+    let total_warps = (warps_per_block * blocks) as f64;
+    let needed = spec.compute_units as f64 * WARPS_PER_CU_FOR_PEAK;
+    (total_warps / needed).clamp(OCCUPANCY_FLOOR, 1.0)
+}
+
+/// Modeled duration of one kernel launch, in nanoseconds.
+pub fn kernel_time_ns(spec: &DeviceSpec, grid: Dim3, block: Dim3, cost: &KernelCost) -> f64 {
+    let threads = (grid.count() * block.count()) as f64;
+    let occ = occupancy(spec, threads as u64, block.count() as u64);
+    let bw = spec.achieved_bw_bytes_per_ns(cost.coalescing) * occ;
+    let flops_rate = spec.flops_per_ns() * occ;
+    let t_mem = if cost.bytes_per_thread() > 0.0 {
+        threads * cost.bytes_per_thread() / bw
+    } else {
+        0.0
+    };
+    let t_compute = if cost.flops_per_thread > 0.0 {
+        threads * cost.flops_per_thread / flops_rate
+    } else {
+        0.0
+    };
+    spec.launch_overhead_ns + t_mem.max(t_compute)
+}
+
+/// Modeled duration of a host-link transfer of `bytes`, in nanoseconds.
+pub fn transfer_time_ns(spec: &DeviceSpec, bytes: usize) -> f64 {
+    spec.link_latency_ns + bytes as f64 / spec.link_bw_bytes_per_ns()
+}
+
+/// Modeled duration of an on-device copy of `bytes`, in nanoseconds
+/// (bandwidth-bound both ways: read + write).
+pub fn d2d_time_ns(spec: &DeviceSpec, bytes: usize) -> f64 {
+    spec.launch_overhead_ns + 2.0 * bytes as f64 / spec.achieved_bw_bytes_per_ns(1.0)
+}
+
+/// The perf-model functions bundled for convenience where a trait-object
+/// style handle is easier to pass around.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    spec: DeviceSpec,
+}
+
+impl PerfModel {
+    /// Build a model for a device specification.
+    pub fn new(spec: DeviceSpec) -> Self {
+        PerfModel { spec }
+    }
+
+    /// See [`kernel_time_ns`].
+    pub fn kernel_time_ns(&self, grid: Dim3, block: Dim3, cost: &KernelCost) -> f64 {
+        kernel_time_ns(&self.spec, grid, block, cost)
+    }
+
+    /// See [`transfer_time_ns`].
+    pub fn transfer_time_ns(&self, bytes: usize) -> f64 {
+        transfer_time_ns(&self.spec, bytes)
+    }
+
+    /// See [`d2d_time_ns`].
+    pub fn d2d_time_ns(&self, bytes: usize) -> f64 {
+        d2d_time_ns(&self.spec, bytes)
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn axpy_cost() -> KernelCost {
+        // read x and y, write x: 24 B/thread, 2 flops.
+        KernelCost::new(2.0, 16.0, 8.0, 1.0)
+    }
+
+    #[test]
+    fn small_launches_are_latency_bound() {
+        let spec = profiles::nvidia_a100();
+        let t_small = kernel_time_ns(&spec, Dim3::x(1), Dim3::x(64), &axpy_cost());
+        // The floor is the launch overhead.
+        assert!(t_small >= spec.launch_overhead_ns);
+        assert!(t_small < spec.launch_overhead_ns * 2.0);
+    }
+
+    #[test]
+    fn large_launches_are_bandwidth_bound() {
+        let spec = profiles::nvidia_a100();
+        let n: u64 = 1 << 27;
+        let blocks = (n / 256) as u32;
+        let t = kernel_time_ns(&spec, Dim3::x(blocks), Dim3::x(256), &axpy_cost());
+        let ideal = n as f64 * 24.0 / spec.achieved_bw_bytes_per_ns(1.0);
+        // Within 5% of the pure-bandwidth estimate once saturated.
+        assert!((t - spec.launch_overhead_ns - ideal).abs() / ideal < 0.05);
+    }
+
+    #[test]
+    fn time_scales_linearly_at_saturation() {
+        let spec = profiles::amd_mi100();
+        let t1 = kernel_time_ns(&spec, Dim3::x(1 << 16), Dim3::x(256), &axpy_cost());
+        let t2 = kernel_time_ns(&spec, Dim3::x(1 << 17), Dim3::x(256), &axpy_cost());
+        let ratio = (t2 - spec.launch_overhead_ns) / (t1 - spec.launch_overhead_ns);
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn uncoalesced_access_is_slower() {
+        let spec = profiles::amd_mi100();
+        let coalesced = kernel_time_ns(&spec, Dim3::x(4096), Dim3::x(256), &axpy_cost());
+        let strided = kernel_time_ns(
+            &spec,
+            Dim3::x(4096),
+            Dim3::x(256),
+            &axpy_cost().with_coalescing(0.0),
+        );
+        assert!(strided > coalesced * 2.0);
+    }
+
+    #[test]
+    fn compute_bound_kernels_track_flops() {
+        let spec = profiles::test_device();
+        let cost = KernelCost::new(10_000.0, 8.0, 8.0, 1.0);
+        let t = kernel_time_ns(&spec, Dim3::x(1024), Dim3::x(64), &cost);
+        let threads = 1024.0 * 64.0;
+        let expected = spec.launch_overhead_ns + threads * 10_000.0 / spec.flops_per_ns();
+        assert!((t - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn transfer_costs_latency_plus_bandwidth() {
+        let spec = profiles::test_device();
+        let t0 = transfer_time_ns(&spec, 0);
+        assert_eq!(t0, spec.link_latency_ns);
+        let t = transfer_time_ns(&spec, 10_000_000);
+        assert!((t - (500.0 + 1_000_000.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn occupancy_ramps_and_saturates() {
+        let spec = profiles::nvidia_a100();
+        let small = occupancy(&spec, 32, 32);
+        let mid = occupancy(&spec, 32 * 864, 32);
+        let large = occupancy(&spec, 10_000_000, 256);
+        assert!(small < mid);
+        assert!(mid <= 1.0);
+        assert_eq!(large, 1.0);
+        assert!(
+            (mid - 0.5).abs() < 0.01,
+            "864 warps on 108 CUs = half occupancy"
+        );
+    }
+
+    #[test]
+    fn d2d_moves_bytes_twice() {
+        let spec = profiles::test_device();
+        let t = d2d_time_ns(&spec, 1 << 20);
+        let expected =
+            spec.launch_overhead_ns + 2.0 * (1 << 20) as f64 / spec.achieved_bw_bytes_per_ns(1.0);
+        assert!((t - expected).abs() < 1e-6);
+    }
+}

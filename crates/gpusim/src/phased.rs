@@ -1,0 +1,159 @@
+//! Cooperative (barrier-using) kernels.
+//!
+//! Real GPU kernels synchronize threads within a block with
+//! `__syncthreads()`. A functional simulator that runs block threads as a
+//! sequential loop cannot suspend a closure mid-body, so cooperative kernels
+//! are expressed in **phases**: the kernel body is split at every barrier
+//! point, and the executor runs phase `p` for *all* threads of a block
+//! before any thread starts phase `p + 1` — which is exactly the
+//! happens-before relation `__syncthreads()` establishes.
+//!
+//! Per-thread values that live across a barrier (registers in real hardware)
+//! go in the kernel's [`PhasedKernel::State`]; block-shared values go in the
+//! launch's [`SharedMem`].
+//!
+//! The paper's two-kernel CUDA DOT (its Fig. 3) is the canonical client:
+//! phase 0 computes per-thread products into shared memory, the following
+//! phases perform the shared-memory tree reduction, and the final phase
+//! writes each block's partial to global memory.
+
+use std::cell::UnsafeCell;
+
+use crate::launch::ThreadCtx;
+
+/// A kernel expressed as a sequence of barrier-separated phases.
+pub trait PhasedKernel: Sync {
+    /// Per-thread private state surviving across phases (the thread's
+    /// registers).
+    type State: Default + Send;
+
+    /// Number of phases (barrier intervals) in the kernel.
+    fn num_phases(&self) -> usize;
+
+    /// Execute one phase for one thread.
+    fn phase(&self, phase: usize, ctx: &ThreadCtx, state: &mut Self::State, shared: &SharedMem);
+}
+
+/// A block's dynamic shared memory. Typed, bounds-checked accessors operate
+/// on the raw byte buffer; the executor guarantees each block's `SharedMem`
+/// is touched by one host thread at a time, so the interior mutability is
+/// single-threaded in practice.
+pub struct SharedMem {
+    bytes: UnsafeCell<Vec<u8>>,
+}
+
+// SAFETY: one block executes on exactly one host thread; the executor never
+// shares a SharedMem across host threads concurrently.
+unsafe impl Sync for SharedMem {}
+
+impl SharedMem {
+    /// Allocate `bytes` zeroed shared-memory bytes.
+    pub fn new(bytes: usize) -> Self {
+        SharedMem {
+            bytes: UnsafeCell::new(vec![0u8; bytes]),
+        }
+    }
+
+    /// Shared-memory capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        // SAFETY: single-threaded access per the executor contract.
+        unsafe { (*self.bytes.get()).len() }
+    }
+
+    /// Number of `T` elements that fit.
+    pub fn len_of<T: Copy>(&self) -> usize {
+        self.size_bytes() / std::mem::size_of::<T>()
+    }
+
+    /// Read element `i`, viewing the buffer as `[T]`.
+    #[inline]
+    pub fn get<T: Copy>(&self, i: usize) -> T {
+        let n = self.len_of::<T>();
+        assert!(i < n, "shared-memory read {i} out of bounds ({n} elements)");
+        // SAFETY: bounds checked; buffer is aligned for reads via
+        // read_unaligned; single-threaded per block.
+        unsafe {
+            let base = (*self.bytes.get()).as_ptr() as *const T;
+            base.add(i).read_unaligned()
+        }
+    }
+
+    /// Write element `i`, viewing the buffer as `[T]`.
+    #[inline]
+    pub fn set<T: Copy>(&self, i: usize, value: T) {
+        let n = self.len_of::<T>();
+        assert!(
+            i < n,
+            "shared-memory write {i} out of bounds ({n} elements)"
+        );
+        // SAFETY: bounds checked; single-threaded per block.
+        unsafe {
+            let base = (*self.bytes.get()).as_mut_ptr() as *mut T;
+            base.add(i).write_unaligned(value);
+        }
+    }
+
+    /// Zero the buffer (between reuse).
+    pub fn clear(&self) {
+        // SAFETY: single-threaded access per the executor contract.
+        unsafe { (*self.bytes.get()).fill(0) };
+    }
+}
+
+/// Adapter: a non-cooperative closure as a single-phase kernel, so the two
+/// launch paths share the executor.
+pub(crate) struct SinglePhase<F>(pub F);
+
+impl<F: Fn(&ThreadCtx) + Sync> PhasedKernel for SinglePhase<F> {
+    type State = ();
+
+    fn num_phases(&self) -> usize {
+        1
+    }
+
+    fn phase(&self, _phase: usize, ctx: &ThreadCtx, _state: &mut (), _shared: &SharedMem) {
+        (self.0)(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_mem_round_trip() {
+        let sm = SharedMem::new(64);
+        assert_eq!(sm.size_bytes(), 64);
+        assert_eq!(sm.len_of::<f64>(), 8);
+        assert_eq!(sm.len_of::<u32>(), 16);
+        sm.set::<f64>(3, 2.5);
+        assert_eq!(sm.get::<f64>(3), 2.5);
+        sm.set::<u32>(0, 42);
+        assert_eq!(sm.get::<u32>(0), 42);
+    }
+
+    #[test]
+    fn shared_mem_zero_initialized_and_clearable() {
+        let sm = SharedMem::new(32);
+        for i in 0..4 {
+            assert_eq!(sm.get::<f64>(i), 0.0);
+        }
+        sm.set::<f64>(1, 9.0);
+        sm.clear();
+        assert_eq!(sm.get::<f64>(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_mem_read_oob_panics() {
+        let sm = SharedMem::new(16);
+        let _ = sm.get::<f64>(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_mem_write_oob_panics() {
+        let sm = SharedMem::new(16);
+        sm.set::<f64>(2, 1.0);
+    }
+}

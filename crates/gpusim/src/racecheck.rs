@@ -1,0 +1,143 @@
+//! A dynamic checker for the SIMT disjoint-writes contract.
+//!
+//! When enabled on a device, every bounds-checked write through a
+//! [`crate::DeviceSliceMut`] records `(allocation, element)` together with
+//! the identity of the simulated thread performing it. Two *different*
+//! simulated threads writing the same element within one launch is a data
+//! race under the model's contract and panics with a diagnostic. A single
+//! thread may rewrite its own element freely (as real SIMT threads do).
+//!
+//! The checker is heavyweight (a global hash table behind a mutex) and is
+//! meant for tests and debugging, never for benchmarking.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+thread_local! {
+    /// The simulated global-thread id currently executing on this host
+    /// thread, or `u64::MAX` outside a tracked launch.
+    static CURRENT_SIM_THREAD: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Install the simulated thread id for the current host thread while a
+/// tracked kernel body runs.
+pub(crate) fn set_current_sim_thread(id: u64) {
+    CURRENT_SIM_THREAD.with(|c| c.set(id));
+}
+
+/// Clear the simulated thread id after a tracked kernel body.
+pub(crate) fn clear_current_sim_thread() {
+    CURRENT_SIM_THREAD.with(|c| c.set(u64::MAX));
+}
+
+/// Per-device write tracker. One logical "launch epoch" is active at a time
+/// (RACC's model is synchronous, so launches never overlap).
+#[derive(Debug, Default)]
+pub struct RaceTracker {
+    /// Map from (allocation base address, element index) to the sim-thread
+    /// id of the first writer in the current epoch.
+    writes: Mutex<HashMap<(usize, usize), u64>>,
+}
+
+impl RaceTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a new launch epoch, clearing previous write records.
+    pub fn begin_epoch(&self) {
+        self.writes.lock().clear();
+    }
+
+    /// Record a write; panics on a cross-thread overlap.
+    pub fn record_write(&self, alloc_base: usize, index: usize) {
+        let writer = CURRENT_SIM_THREAD.with(|c| c.get());
+        if writer == u64::MAX {
+            // Write performed outside a tracked launch (e.g. host-side
+            // upload); not subject to the SIMT contract.
+            return;
+        }
+        let mut writes = self.writes.lock();
+        match writes.entry((alloc_base, index)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let first = *e.get();
+                if first != writer {
+                    panic!(
+                        "racecheck: simulated threads {first} and {writer} both wrote \
+                         element {index} of allocation {alloc_base:#x} in one launch"
+                    );
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(writer);
+            }
+        }
+    }
+
+    /// Number of distinct elements written this epoch (for tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn writes_recorded(&self) -> usize {
+        self.writes.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untracked_writes_are_ignored() {
+        let t = RaceTracker::new();
+        clear_current_sim_thread();
+        t.record_write(0x1000, 3);
+        assert_eq!(t.writes_recorded(), 0);
+    }
+
+    #[test]
+    fn same_thread_may_rewrite() {
+        let t = RaceTracker::new();
+        set_current_sim_thread(7);
+        t.record_write(0x1000, 3);
+        t.record_write(0x1000, 3);
+        assert_eq!(t.writes_recorded(), 1);
+        clear_current_sim_thread();
+    }
+
+    #[test]
+    fn distinct_elements_are_fine() {
+        let t = RaceTracker::new();
+        set_current_sim_thread(1);
+        t.record_write(0x1000, 0);
+        set_current_sim_thread(2);
+        t.record_write(0x1000, 1);
+        // Same index on a different allocation is also fine.
+        t.record_write(0x2000, 0);
+        assert_eq!(t.writes_recorded(), 3);
+        clear_current_sim_thread();
+    }
+
+    #[test]
+    #[should_panic(expected = "racecheck")]
+    fn cross_thread_overlap_panics() {
+        let t = RaceTracker::new();
+        set_current_sim_thread(1);
+        t.record_write(0x1000, 5);
+        set_current_sim_thread(2);
+        t.record_write(0x1000, 5);
+    }
+
+    #[test]
+    fn epoch_reset_forgets_writes() {
+        let t = RaceTracker::new();
+        set_current_sim_thread(1);
+        t.record_write(0x1000, 5);
+        t.begin_epoch();
+        set_current_sim_thread(2);
+        t.record_write(0x1000, 5); // would panic without the reset
+        assert_eq!(t.writes_recorded(), 1);
+        clear_current_sim_thread();
+    }
+}

@@ -1,0 +1,167 @@
+//! Op-log summarization: a `nvprof`-style profile report for a device.
+
+use crate::perf::{OpKind, OpRecord};
+
+/// Aggregate statistics for one operation category.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpStats {
+    /// Number of operations.
+    pub count: u64,
+    /// Total modeled nanoseconds.
+    pub total_ns: u64,
+    /// Total bytes moved/touched.
+    pub total_bytes: u64,
+    /// Largest single operation, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl OpStats {
+    fn add(&mut self, rec: &OpRecord) {
+        self.count += 1;
+        self.total_ns += rec.modeled_ns;
+        self.total_bytes += rec.bytes;
+        self.max_ns = self.max_ns.max(rec.modeled_ns);
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// A profile summary built from a device's op log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Kernel launches.
+    pub kernels: OpStats,
+    /// Host-to-device transfers.
+    pub h2d: OpStats,
+    /// Device-to-host transfers.
+    pub d2h: OpStats,
+    /// Device-to-device copies.
+    pub d2d: OpStats,
+    /// Explicit synchronizations.
+    pub sync: OpStats,
+}
+
+impl ProfileReport {
+    /// Summarize a sequence of op records.
+    pub fn from_ops(ops: &[OpRecord]) -> Self {
+        let mut report = ProfileReport::default();
+        for rec in ops {
+            match rec.kind {
+                OpKind::Kernel => report.kernels.add(rec),
+                OpKind::H2D => report.h2d.add(rec),
+                OpKind::D2H => report.d2h.add(rec),
+                OpKind::D2D => report.d2d.add(rec),
+                OpKind::Sync => report.sync.add(rec),
+            }
+        }
+        report
+    }
+
+    /// Total modeled time across all categories.
+    pub fn total_ns(&self) -> u64 {
+        self.kernels.total_ns
+            + self.h2d.total_ns
+            + self.d2h.total_ns
+            + self.d2d.total_ns
+            + self.sync.total_ns
+    }
+
+    /// Fraction of modeled time spent in kernels (vs transfers/sync);
+    /// `None` when nothing ran.
+    pub fn compute_fraction(&self) -> Option<f64> {
+        let total = self.total_ns();
+        if total == 0 {
+            None
+        } else {
+            Some(self.kernels.total_ns as f64 / total as f64)
+        }
+    }
+
+    /// Render a small human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let line = |name: &str, s: &OpStats| {
+            if s.count == 0 {
+                return String::new();
+            }
+            format!(
+                "  {:<8} {:>6} ops  {:>12} ns total  {:>10.1} ns mean  {:>12} B\n",
+                name,
+                s.count,
+                s.total_ns,
+                s.mean_ns(),
+                s.total_bytes
+            )
+        };
+        out.push_str("device profile:\n");
+        out.push_str(&line("kernel", &self.kernels));
+        out.push_str(&line("h2d", &self.h2d));
+        out.push_str(&line("d2h", &self.d2h));
+        out.push_str(&line("d2d", &self.d2d));
+        out.push_str(&line("sync", &self.sync));
+        if let Some(f) = self.compute_fraction() {
+            out.push_str(&format!("  compute fraction: {:.1}%\n", 100.0 * f));
+        }
+        out
+    }
+}
+
+impl crate::Device {
+    /// Summarize this device's op log (up to the retained window).
+    pub fn profile_report(&self) -> ProfileReport {
+        ProfileReport::from_ops(&self.op_log())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::{profiles, Device, KernelCost, LaunchConfig};
+
+    #[test]
+    fn report_aggregates_by_kind() {
+        let dev = Device::new(profiles::test_device());
+        let buf = dev.alloc_from(&vec![1.0f64; 4096]).unwrap();
+        let v = dev.slice_mut(&buf).unwrap();
+        for _ in 0..3 {
+            dev.launch(LaunchConfig::linear(4096, 64), KernelCost::default(), |t| {
+                let i = t.global_id_x();
+                if i < 4096 {
+                    v.set(i, v.get(i) + 1.0);
+                }
+            })
+            .unwrap();
+        }
+        let _ = dev.read_vec(&buf).unwrap();
+        let report = dev.profile_report();
+        assert_eq!(report.kernels.count, 3);
+        assert_eq!(report.h2d.count, 1);
+        assert_eq!(report.d2h.count, 1);
+        assert_eq!(report.h2d.total_bytes, 4096 * 8);
+        assert_eq!(report.d2h.total_bytes, 4096 * 8);
+        assert!(report.kernels.total_ns > 0);
+        assert!(report.kernels.max_ns >= report.kernels.mean_ns() as u64);
+        assert_eq!(report.total_ns(), dev.clock_ns());
+        let f = report.compute_fraction().unwrap();
+        assert!(f > 0.0 && f < 1.0);
+        let text = report.render();
+        assert!(text.contains("kernel"));
+        assert!(text.contains("compute fraction"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let dev = Device::new(profiles::test_device());
+        let report = dev.profile_report();
+        assert_eq!(report.total_ns(), 0);
+        assert!(report.compute_fraction().is_none());
+        assert_eq!(report.kernels.mean_ns(), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Streams: ordered submission queues.
+//!
+//! RACC (like JACC) is a synchronous model, so the simulator executes work
+//! eagerly; a `Stream` is an ordering token that exists to keep vendor-API
+//! shims faithful (CUDA.jl / AMDGPU.jl code is written against streams and
+//! queues). The default stream is stream 0.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An ordered submission queue on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stream {
+    id: u64,
+    device_id: u64,
+}
+
+impl Stream {
+    /// The default stream of a device.
+    pub(crate) fn default_for(device_id: u64) -> Self {
+        Stream { id: 0, device_id }
+    }
+
+    /// Create a new non-default stream for a device.
+    pub(crate) fn new_for(device_id: u64) -> Self {
+        Stream {
+            id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
+            device_id,
+        }
+    }
+
+    /// Stream id (0 = default stream).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// True for the device's default stream.
+    pub fn is_default(&self) -> bool {
+        self.id == 0
+    }
+
+    /// Id of the owning device.
+    pub fn device_id(&self) -> u64 {
+        self.device_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_is_zero() {
+        let s = Stream::default_for(3);
+        assert!(s.is_default());
+        assert_eq!(s.id(), 0);
+        assert_eq!(s.device_id(), 3);
+    }
+
+    #[test]
+    fn new_streams_are_distinct() {
+        let a = Stream::new_for(1);
+        let b = Stream::new_for(1);
+        assert_ne!(a.id(), b.id());
+        assert!(!a.is_default());
+    }
+}

@@ -1,0 +1,237 @@
+//! Property tests of the simulator: launch coverage, memory round-trips,
+//! cooperative reductions, and perf-model monotonicity.
+
+use proptest::prelude::*;
+use racc_gpusim::{
+    perf, profiles, Device, DeviceSlice, DeviceSliceMut, Dim3, KernelCost, LaunchConfig,
+    PhasedKernel, SharedMem, ThreadCtx,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn test_device() -> Device {
+    Device::new(profiles::test_device())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every thread of an arbitrary valid 3D launch runs exactly once.
+    #[test]
+    fn launches_execute_every_thread_once(
+        gx in 1u32..6, gy in 1u32..5, gz in 1u32..4,
+        bx in 1u32..8, by in 1u32..4, bz in 1u32..3,
+    ) {
+        prop_assume!((bx * by * bz) <= 64 && bz <= 8);
+        let dev = test_device();
+        let cfg = LaunchConfig::new(Dim3::xyz(gx, gy, gz), Dim3::xyz(bx, by, bz));
+        let total = cfg.total_threads();
+        let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        dev.launch(cfg, KernelCost::default(), |t| {
+            hits[t.global_linear()].fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Upload/download round-trips arbitrary data exactly.
+    #[test]
+    fn memory_round_trips(data in prop::collection::vec(any::<f64>(), 0..2000)) {
+        let dev = test_device();
+        let buf = dev.alloc_from(&data).unwrap();
+        let back = dev.read_vec(&buf).unwrap();
+        // Bitwise equality (NaN-safe).
+        prop_assert_eq!(data.len(), back.len());
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The cooperative block-tree reduction sums arbitrary data correctly
+    /// for arbitrary (power-of-two) block sizes.
+    #[test]
+    fn phased_tree_reduction_is_exactly_a_sum(
+        data in prop::collection::vec(-1e3f64..1e3, 1..1500),
+        block_pow in 2u32..6,
+    ) {
+        struct TreeSum {
+            n: usize,
+            block: usize,
+            x: DeviceSlice<f64>,
+            out: DeviceSliceMut<f64>,
+        }
+        impl PhasedKernel for TreeSum {
+            type State = ();
+            fn num_phases(&self) -> usize {
+                2 + self.block.trailing_zeros() as usize
+            }
+            fn phase(&self, phase: usize, ctx: &ThreadCtx, _s: &mut (), sh: &SharedMem) {
+                let ti = ctx.thread_linear();
+                let steps = self.block.trailing_zeros() as usize;
+                if phase == 0 {
+                    let i = ctx.global_id_x();
+                    sh.set::<f64>(ti, if i < self.n { self.x.get(i) } else { 0.0 });
+                } else if phase <= steps {
+                    let half = self.block >> phase;
+                    if ti < half {
+                        sh.set::<f64>(ti, sh.get::<f64>(ti) + sh.get::<f64>(ti + half));
+                    }
+                } else if ti == 0 {
+                    self.out.set(ctx.block_linear(), sh.get::<f64>(0));
+                }
+            }
+        }
+        let dev = test_device();
+        let n = data.len();
+        let block = 1usize << block_pow; // 4..=32, within the 64 limit
+        let blocks = n.div_ceil(block);
+        let x = dev.alloc_from(&data).unwrap();
+        let out = dev.alloc::<f64>(blocks).unwrap();
+        let kernel = TreeSum {
+            n,
+            block,
+            x: dev.slice(&x).unwrap(),
+            out: dev.slice_mut(&out).unwrap(),
+        };
+        let cfg = LaunchConfig::new(blocks as u32, block as u32).with_shared_mem(block * 8);
+        dev.launch_phased(cfg, KernelCost::default(), &kernel).unwrap();
+        let total: f64 = dev.read_vec(&out).unwrap().iter().sum();
+        let expect: f64 = data.iter().sum();
+        prop_assert!((total - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    }
+
+    /// Kernel time is monotone in thread count and never below the launch
+    /// overhead, for every shipped profile.
+    #[test]
+    fn perf_model_is_monotone_and_floored(threads_pow in 4u32..22) {
+        for spec in profiles::all() {
+            let cost = KernelCost::new(2.0, 16.0, 8.0, 1.0);
+            let t_at = |p: u32| {
+                let n = 1usize << p;
+                let block = spec.max_threads_per_block.min(256);
+                perf::kernel_time_ns(&spec, Dim3::x(n.div_ceil(block as usize) as u32),
+                    Dim3::x(block), &cost)
+            };
+            let small = t_at(threads_pow);
+            let large = t_at(threads_pow + 2);
+            prop_assert!(large >= small, "{}", spec.name);
+            prop_assert!(small >= spec.launch_overhead_ns);
+        }
+    }
+
+    /// Transfer time is additive-ish: t(2b) <= 2 t(b) (latency amortizes),
+    /// and monotone.
+    #[test]
+    fn transfer_model_is_sane(bytes in 1usize..(1 << 26)) {
+        for spec in profiles::all() {
+            let t1 = perf::transfer_time_ns(&spec, bytes);
+            let t2 = perf::transfer_time_ns(&spec, bytes * 2);
+            prop_assert!(t2 >= t1);
+            prop_assert!(t2 <= 2.0 * t1 + 1.0);
+            prop_assert!(t1 >= spec.link_latency_ns);
+        }
+    }
+
+    /// Device memory accounting is exact under arbitrary alloc/free orders.
+    #[test]
+    fn heap_accounting_balances(sizes in prop::collection::vec(0usize..4096, 1..24)) {
+        let dev = test_device();
+        let mut live = Vec::new();
+        let mut expected = 0usize;
+        for (i, &s) in sizes.iter().enumerate() {
+            let buf = dev.alloc::<u8>(s).unwrap();
+            expected += s;
+            live.push(buf);
+            prop_assert_eq!(dev.used_bytes(), expected);
+            if i % 3 == 2 {
+                let dropped = live.remove(0);
+                expected -= dropped.len();
+                drop(dropped);
+                prop_assert_eq!(dev.used_bytes(), expected);
+            }
+        }
+        drop(live);
+        prop_assert_eq!(dev.used_bytes(), 0);
+    }
+}
+
+/// A Hillis–Steele inclusive block scan: each doubling step is split into a
+/// read phase and a write phase, with the per-thread value carried across
+/// the barrier in the kernel `State` — exercising the simulated register
+/// file that survives `__syncthreads`.
+mod block_scan {
+    use super::*;
+
+    struct InclusiveScan {
+        n: usize,
+        block: usize,
+        x: DeviceSlice<f64>,
+        out: DeviceSliceMut<f64>,
+    }
+
+    impl PhasedKernel for InclusiveScan {
+        /// The value this thread will write in the next write phase.
+        type State = f64;
+
+        fn num_phases(&self) -> usize {
+            // load + (read, write) per doubling step + store
+            2 + 2 * self.block.trailing_zeros() as usize
+        }
+
+        fn phase(&self, phase: usize, ctx: &ThreadCtx, carry: &mut f64, sh: &SharedMem) {
+            let ti = ctx.thread_linear();
+            let steps = self.block.trailing_zeros() as usize;
+            if phase == 0 {
+                let i = ctx.global_id_x();
+                sh.set::<f64>(ti, if i < self.n { self.x.get(i) } else { 0.0 });
+            } else if phase <= 2 * steps {
+                let step = (phase - 1) / 2;
+                let offset = 1usize << step;
+                if phase % 2 == 1 {
+                    // Read phase: compute into the register, no writes.
+                    *carry = if ti >= offset {
+                        sh.get::<f64>(ti) + sh.get::<f64>(ti - offset)
+                    } else {
+                        sh.get::<f64>(ti)
+                    };
+                } else {
+                    // Write phase: publish the carried value.
+                    sh.set::<f64>(ti, *carry);
+                }
+            } else {
+                let i = ctx.global_id_x();
+                if i < self.n {
+                    self.out.set(i, sh.get::<f64>(ti));
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn block_scan_matches_prefix_sums(data in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+            // One block covering the data (test device limit: 64 threads).
+            let dev = test_device();
+            let n = data.len();
+            let block = n.next_power_of_two().max(2);
+            prop_assume!(block <= 64);
+            let x = dev.alloc_from(&data).unwrap();
+            let out = dev.alloc::<f64>(n).unwrap();
+            let kernel = InclusiveScan {
+                n,
+                block,
+                x: dev.slice(&x).unwrap(),
+                out: dev.slice_mut(&out).unwrap(),
+            };
+            let cfg = LaunchConfig::new(1u32, block as u32).with_shared_mem(block * 8);
+            dev.launch_phased(cfg, KernelCost::default(), &kernel).unwrap();
+            let got = dev.read_vec(&out).unwrap();
+            let mut acc = 0.0;
+            for (i, v) in data.iter().enumerate() {
+                acc += v;
+                prop_assert!((got[i] - acc).abs() < 1e-9, "at {i}: {} vs {acc}", got[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! # racc-hipsim
+//!
+//! An AMDGPU.jl/HIP-flavored vendor API over the [`racc_gpusim`] simulator —
+//! the stand-in for the `AMDGPU.jl` package the paper's AMD back end and its
+//! device-specific benchmark codes are written against.
+//!
+//! Differences in flavor from the CUDA shim, mirroring the real stacks:
+//!
+//! * arrays are [`RocArray`]s, launches use **workgroup/grid** vocabulary
+//!   (`@roc groupsize=.. gridsize=..`);
+//! * the SIMT width is a **wavefront of 64** lanes;
+//! * block-shared memory is **LDS** (Local Data Share);
+//! * the default device profile is the **AMD MI100**.
+//!
+//! ```
+//! use racc_hipsim::Hip;
+//! use racc_gpusim::KernelCost;
+//!
+//! let hip = Hip::new();
+//! assert_eq!(hip.wavefront_size(), 64);
+//! let x = hip.roc_array(&vec![2.0f64; 128]).unwrap();
+//! let xs = hip.view_mut(&x).unwrap();
+//! hip.launch(64, 2, 0, KernelCost::memory_bound(8.0, 8.0), |t| {
+//!     let i = t.global_id_x();
+//!     xs.set(i, xs.get(i) * 3.0);
+//! })
+//! .unwrap();
+//! assert_eq!(hip.to_host(&x).unwrap()[127], 6.0);
+//! ```
+
+use std::sync::Arc;
+
+use racc_gpusim::{
+    profiles, Device, DeviceBuffer, DeviceSlice, DeviceSliceMut, Element, Event, KernelCost,
+    LaunchConfig, PhasedKernel, SimError, ThreadCtx,
+};
+
+/// Error type of the HIP-flavored API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HipError(pub SimError);
+
+impl std::fmt::Display for HipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HIP error: {}", self.0)
+    }
+}
+
+impl std::error::Error for HipError {}
+
+impl From<SimError> for HipError {
+    fn from(e: SimError) -> Self {
+        HipError(e)
+    }
+}
+
+/// A device array, the analog of `ROCArray{T}`.
+pub type RocArray<T> = DeviceBuffer<T>;
+
+/// An event on the device timeline (`HSA signal` / `hipEvent`).
+pub type HipEvent = Event;
+
+/// Device properties exposed by the HIP-flavored API, mirroring
+/// `hipDeviceProp_t` fields the paper's back end consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HipDeviceProps {
+    /// Wavefront width (64 on CDNA).
+    pub wavefront_size: usize,
+    /// Maximum workitems per workgroup.
+    pub max_workgroup_size: usize,
+    /// Number of compute units.
+    pub compute_units: usize,
+    /// LDS bytes per workgroup.
+    pub lds_per_workgroup: usize,
+}
+
+/// The HIP-flavored context owning one simulated AMD device.
+pub struct Hip {
+    device: Arc<Device>,
+}
+
+impl Default for Hip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hip {
+    /// A context on a simulated AMD MI100.
+    pub fn new() -> Self {
+        Hip {
+            device: Arc::new(Device::new(profiles::amd_mi100())),
+        }
+    }
+
+    /// A context on a custom device specification.
+    pub fn with_spec(spec: racc_gpusim::DeviceSpec) -> Self {
+        Hip {
+            device: Arc::new(Device::new(spec)),
+        }
+    }
+
+    /// Access the underlying simulator device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Share the device handle.
+    pub fn device_arc(&self) -> Arc<Device> {
+        Arc::clone(&self.device)
+    }
+
+    /// Device properties.
+    pub fn props(&self) -> HipDeviceProps {
+        let spec = self.device.spec();
+        HipDeviceProps {
+            wavefront_size: spec.simt_width as usize,
+            max_workgroup_size: spec.max_threads_per_block as usize,
+            compute_units: spec.compute_units as usize,
+            lds_per_workgroup: spec.shared_mem_per_block,
+        }
+    }
+
+    /// Wavefront width (64 lanes on the MI100).
+    pub fn wavefront_size(&self) -> usize {
+        self.props().wavefront_size
+    }
+
+    /// `ROCArray(host)`: allocate + upload.
+    pub fn roc_array<T: Element>(&self, host: &[T]) -> Result<RocArray<T>, HipError> {
+        Ok(self.device.alloc_from(host)?)
+    }
+
+    /// `AMDGPU.zeros(T, n)`.
+    pub fn zeros<T: Element>(&self, n: usize) -> Result<RocArray<T>, HipError> {
+        Ok(self.device.alloc::<T>(n)?)
+    }
+
+    /// Download to host.
+    pub fn to_host<T: Element>(&self, arr: &RocArray<T>) -> Result<Vec<T>, HipError> {
+        Ok(self.device.read_vec(arr)?)
+    }
+
+    /// Read one element (scalar result readback).
+    pub fn read_scalar<T: Element>(&self, arr: &RocArray<T>, i: usize) -> Result<T, HipError> {
+        Ok(self.device.read_scalar(arr, i)?)
+    }
+
+    /// Device-to-device copy.
+    pub fn copy<T: Element>(&self, src: &RocArray<T>, dst: &RocArray<T>) -> Result<(), HipError> {
+        Ok(self.device.copy(src, dst)?)
+    }
+
+    /// Read-only kernel view.
+    pub fn view<T: Element>(&self, arr: &RocArray<T>) -> Result<DeviceSlice<T>, HipError> {
+        Ok(self.device.slice(arr)?)
+    }
+
+    /// Writable kernel view.
+    pub fn view_mut<T: Element>(&self, arr: &RocArray<T>) -> Result<DeviceSliceMut<T>, HipError> {
+        Ok(self.device.slice_mut(arr)?)
+    }
+
+    /// `@roc groupsize=groupsize gridsize=groups kernel(...)`: launch over a
+    /// 1D grid of `groups` workgroups of `groupsize` workitems.
+    pub fn launch<F>(
+        &self,
+        groupsize: u32,
+        groups: u32,
+        lds_bytes: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, HipError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let cfg = LaunchConfig::new(groups, groupsize).with_shared_mem(lds_bytes);
+        Ok(self.device.launch(cfg, cost, body)?)
+    }
+
+    /// 2D launch with `(gx, gy)` workgroup tiles and `(bx, by)` groups.
+    pub fn launch_2d<F>(
+        &self,
+        groupsize: (u32, u32),
+        groups: (u32, u32),
+        lds_bytes: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, HipError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let cfg = LaunchConfig::new(groups, groupsize).with_shared_mem(lds_bytes);
+        Ok(self.device.launch(cfg, cost, body)?)
+    }
+
+    /// 3D launch.
+    pub fn launch_3d<F>(
+        &self,
+        groupsize: (u32, u32, u32),
+        groups: (u32, u32, u32),
+        lds_bytes: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, HipError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let cfg = LaunchConfig::new(groups, groupsize).with_shared_mem(lds_bytes);
+        Ok(self.device.launch(cfg, cost, body)?)
+    }
+
+    /// Launch a cooperative kernel using LDS and workgroup barriers.
+    pub fn launch_cooperative<K>(
+        &self,
+        groupsize: u32,
+        groups: u32,
+        lds_bytes: usize,
+        cost: KernelCost,
+        kernel: &K,
+    ) -> Result<u64, HipError>
+    where
+        K: PhasedKernel,
+    {
+        let cfg = LaunchConfig::new(groups, groupsize).with_shared_mem(lds_bytes);
+        Ok(self.device.launch_phased(cfg, cost, kernel)?)
+    }
+
+    /// Fill a buffer with a constant (a memset-style kernel).
+    pub fn fill<T: Element>(&self, arr: &RocArray<T>, value: T) -> Result<(), HipError> {
+        let n = arr.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let v = self.view_mut(arr)?;
+        let threads = n.clamp(1, 256) as u32;
+        let blocks = n.div_ceil(threads as usize) as u32;
+        self.launch(
+            threads,
+            blocks,
+            0,
+            KernelCost::memory_bound(0.0, std::mem::size_of::<T>() as f64),
+            move |t| {
+                let i = t.global_id_x();
+                if i < n {
+                    v.set(i, value);
+                }
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Create a new (non-default) stream (HSA queue).
+    pub fn create_stream(&self) -> racc_gpusim::Stream {
+        self.device.create_stream()
+    }
+
+    /// Launch asynchronously on a stream; overlapping on the modeled clock.
+    pub fn launch_async<F>(
+        &self,
+        stream: &racc_gpusim::Stream,
+        groupsize: u32,
+        groups: u32,
+        lds_bytes: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, HipError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let cfg = LaunchConfig::new(groups, groupsize).with_shared_mem(lds_bytes);
+        Ok(self.device.launch_async(stream, cfg, cost, body)?)
+    }
+
+    /// Wait for one stream's modeled completion.
+    pub fn sync_stream(&self, stream: &racc_gpusim::Stream) {
+        self.device.sync_stream(stream)
+    }
+
+    /// Record an event on the device timeline.
+    pub fn record_event(&self) -> HipEvent {
+        self.device.record_event()
+    }
+
+    /// `AMDGPU.synchronize()`.
+    pub fn synchronize(&self) {
+        self.device.synchronize()
+    }
+
+    /// Current device clock in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.device.clock_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn props_match_mi100() {
+        let hip = Hip::new();
+        let p = hip.props();
+        assert_eq!(p.wavefront_size, 64);
+        assert_eq!(p.compute_units, 120);
+        assert_eq!(p.max_workgroup_size, 1024);
+        assert_eq!(p.lds_per_workgroup, 64 * 1024);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let hip = Hip::new();
+        let host: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let d = hip.roc_array(&host).unwrap();
+        assert_eq!(hip.to_host(&d).unwrap(), host);
+    }
+
+    #[test]
+    fn wavefront_sized_launch_covers_range() {
+        let hip = Hip::new();
+        let n = 1000usize;
+        let buf = hip.zeros::<u32>(n).unwrap();
+        let v = hip.view_mut(&buf).unwrap();
+        let groupsize = hip.wavefront_size() as u32 * 4; // 256
+        let groups = n.div_ceil(groupsize as usize) as u32;
+        hip.launch(groupsize, groups, 0, KernelCost::default(), |t| {
+            let i = t.global_id_x();
+            if i < n {
+                v.set(i, i as u32);
+            }
+        })
+        .unwrap();
+        let host = hip.to_host(&buf).unwrap();
+        for (i, x) in host.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn mi100_is_slower_per_launch_than_a100() {
+        // Calibration sanity: the MI100 profile has a larger launch overhead
+        // and lower achieved bandwidth than the A100 (as in the paper's
+        // figures, where the AMD GPU trails the NVIDIA GPU).
+        let hip = Hip::new();
+        let cuda = racc_cudasim::Cuda::new();
+        let ns_hip = hip
+            .launch(256, 4096, 0, KernelCost::memory_bound(16.0, 8.0), |_| {})
+            .unwrap();
+        let ns_cuda = cuda
+            .launch(256, 4096, 0, KernelCost::memory_bound(16.0, 8.0), |_| {})
+            .unwrap();
+        assert!(ns_hip > ns_cuda);
+    }
+
+    #[test]
+    fn errors_are_wrapped() {
+        let hip = Hip::new();
+        let err = hip
+            .launch(0, 1, 0, KernelCost::default(), |_| {})
+            .unwrap_err();
+        assert!(err.to_string().contains("HIP error"));
+    }
+
+    #[test]
+    fn fill_sets_every_element() {
+        let api = Hip::new();
+        let buf = api.zeros::<f64>(1000).unwrap();
+        api.fill(&buf, 3.25).unwrap();
+        assert!(api.to_host(&buf).unwrap().iter().all(|&v| v == 3.25));
+        let empty = api.zeros::<f64>(0).unwrap();
+        api.fill(&empty, 1.0).unwrap();
+    }
+
+    #[test]
+    fn async_streams_overlap() {
+        let api = Hip::new();
+        let s1 = api.create_stream();
+        let s2 = api.create_stream();
+        let cost = racc_gpusim::KernelCost::memory_bound(64.0, 64.0);
+        let n1 = api.launch_async(&s1, 256, 4096, 0, cost, |_| {}).unwrap();
+        let n2 = api.launch_async(&s2, 256, 4096, 0, cost, |_| {}).unwrap();
+        assert_eq!(api.clock_ns(), 0);
+        api.synchronize();
+        assert_eq!(api.clock_ns(), n1.max(n2));
+        api.sync_stream(&s2);
+    }
+}

@@ -1,0 +1,129 @@
+//! D2Q9 lattice constants and indexing.
+
+/// Number of discrete velocities in D2Q9.
+pub const Q: usize = 9;
+
+/// Lattice weights `w_k` (rest, 4 axis-aligned, 4 diagonal).
+pub const W: [f64; Q] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// x components of the discrete velocities `c_k`.
+pub const CX: [f64; Q] = [0.0, 1.0, 0.0, -1.0, 0.0, 1.0, -1.0, -1.0, 1.0];
+
+/// y components of the discrete velocities `c_k`.
+pub const CY: [f64; Q] = [0.0, 0.0, 1.0, 0.0, -1.0, 1.0, 1.0, -1.0, -1.0];
+
+/// Index of the opposite direction of `k` (for bounce-back boundaries).
+pub const OPPOSITE: [usize; Q] = [0, 3, 4, 1, 2, 7, 8, 5, 6];
+
+/// Linear index of distribution `k` at site `(x, y)` on an `s × s` grid,
+/// matching the paper's `ind = (k-1)*SIZE*SIZE + x*SIZE + y` (0-based).
+#[inline]
+pub fn fidx(k: usize, x: usize, y: usize, s: usize) -> usize {
+    (k * s + x) * s + y
+}
+
+/// The BGK equilibrium distribution for direction `k` at density `rho` and
+/// velocity `(ux, uy)`.
+#[inline]
+pub fn equilibrium(k: usize, rho: f64, ux: f64, uy: f64) -> f64 {
+    let cu = CX[k] * ux + CY[k] * uy;
+    W[k] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * (ux * ux + uy * uy))
+}
+
+/// Kinematic viscosity of the BGK collision operator at relaxation time
+/// `tau` (lattice units): `ν = (τ − 1/2) / 3`.
+#[inline]
+pub fn viscosity(tau: f64) -> f64 {
+    (tau - 0.5) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let sum: f64 = W.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn velocities_sum_to_zero() {
+        assert_eq!(CX.iter().sum::<f64>(), 0.0);
+        assert_eq!(CY.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn lattice_isotropy_second_moment() {
+        // Σ w_k c_kα c_kβ = c_s² δ_αβ with c_s² = 1/3.
+        let mut xx = 0.0;
+        let mut yy = 0.0;
+        let mut xy = 0.0;
+        for k in 0..Q {
+            xx += W[k] * CX[k] * CX[k];
+            yy += W[k] * CY[k] * CY[k];
+            xy += W[k] * CX[k] * CY[k];
+        }
+        assert!((xx - 1.0 / 3.0).abs() < 1e-15);
+        assert!((yy - 1.0 / 3.0).abs() < 1e-15);
+        assert!(xy.abs() < 1e-15);
+    }
+
+    #[test]
+    fn opposite_directions_negate() {
+        for k in 0..Q {
+            assert_eq!(CX[OPPOSITE[k]], -CX[k]);
+            assert_eq!(CY[OPPOSITE[k]], -CY[k]);
+            assert_eq!(OPPOSITE[OPPOSITE[k]], k);
+        }
+    }
+
+    #[test]
+    fn equilibrium_moments_recover_inputs() {
+        let (rho, ux, uy) = (1.2, 0.05, -0.03);
+        let mut m0 = 0.0;
+        let mut mx = 0.0;
+        let mut my = 0.0;
+        for k in 0..Q {
+            let fe = equilibrium(k, rho, ux, uy);
+            m0 += fe;
+            mx += fe * CX[k];
+            my += fe * CY[k];
+        }
+        assert!((m0 - rho).abs() < 1e-12);
+        assert!((mx - rho * ux).abs() < 1e-12);
+        assert!((my - rho * uy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidx_is_bijective_on_grid() {
+        let s = 7;
+        let mut seen = vec![false; Q * s * s];
+        for k in 0..Q {
+            for x in 0..s {
+                for y in 0..s {
+                    let i = fidx(k, x, y, s);
+                    assert!(!seen[i], "collision at ({k},{x},{y})");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn viscosity_formula() {
+        assert!((viscosity(1.0) - 1.0 / 6.0).abs() < 1e-15);
+        assert!((viscosity(0.5)).abs() < 1e-15);
+    }
+}

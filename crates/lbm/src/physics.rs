@@ -1,0 +1,111 @@
+//! Physics validation: analytic checks of the BGK dynamics.
+//!
+//! The key quantitative check is **shear-wave decay**: a transverse
+//! velocity perturbation `u_x(y) = u₀ sin(2πy/L)` on a periodic domain
+//! decays as `exp(−ν k² t)` with `k = 2π/L` and the BGK viscosity
+//! `ν = (τ − 1/2)/3`. Matching that rate validates streaming, moments and
+//! collision together.
+
+use crate::lattice::viscosity;
+use crate::reference::SerialLbm;
+
+/// Build the shear-wave initial condition on an `s × s` periodic grid.
+pub fn shear_wave(s: usize, tau: f64, u0: f64) -> SerialLbm {
+    SerialLbm::from_fields(s, tau, |_x, y| {
+        let k = 2.0 * std::f64::consts::PI / s as f64;
+        (1.0, u0 * (k * y as f64).sin(), 0.0)
+    })
+}
+
+/// Amplitude of the `sin(2πy/L)` mode of `u_x` (discrete sine transform of
+/// the column-averaged profile).
+pub fn shear_amplitude(sim: &SerialLbm) -> f64 {
+    let s = sim.s;
+    let k = 2.0 * std::f64::consts::PI / s as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for y in 0..s {
+        // Average u_x over x for this y.
+        let mut u_avg = 0.0;
+        for x in 0..s {
+            u_avg += sim.velocity(x, y).0;
+        }
+        u_avg /= s as f64;
+        let sy = (k * y as f64).sin();
+        num += u_avg * sy;
+        den += sy * sy;
+    }
+    num / den
+}
+
+/// Run `steps` periodic steps and return the measured exponential decay
+/// rate of the shear mode, `-ln(A(t)/A(0)) / t`.
+pub fn measured_decay_rate(sim: &mut SerialLbm, steps: usize) -> f64 {
+    let a0 = shear_amplitude(sim);
+    for _ in 0..steps {
+        sim.step_periodic();
+    }
+    let a1 = shear_amplitude(sim);
+    -((a1 / a0).ln()) / steps as f64
+}
+
+/// The analytic decay rate `ν k²` for grid size `s` and relaxation `tau`.
+pub fn analytic_decay_rate(s: usize, tau: f64) -> f64 {
+    let k = 2.0 * std::f64::consts::PI / s as f64;
+    viscosity(tau) * k * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shear_wave_decay_matches_bgk_viscosity() {
+        for &tau in &[0.8, 1.0, 1.5] {
+            let s = 48;
+            let mut sim = shear_wave(s, tau, 1e-4);
+            let measured = measured_decay_rate(&mut sim, 200);
+            let analytic = analytic_decay_rate(s, tau);
+            let rel = (measured - analytic).abs() / analytic;
+            assert!(
+                rel < 0.03,
+                "tau={tau}: measured {measured:.3e} vs analytic {analytic:.3e} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn amplitude_of_initial_condition_is_u0() {
+        let sim = shear_wave(32, 0.9, 2e-3);
+        let a = shear_amplitude(&sim);
+        assert!((a - 2e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn decay_is_monotonic() {
+        let mut sim = shear_wave(24, 0.8, 1e-3);
+        let mut last = shear_amplitude(&sim);
+        for _ in 0..5 {
+            for _ in 0..10 {
+                sim.step_periodic();
+            }
+            let a = shear_amplitude(&sim);
+            assert!(a < last, "amplitude must decay: {a} !< {last}");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn higher_tau_decays_faster() {
+        let s = 32;
+        let rate_low = {
+            let mut sim = shear_wave(s, 0.7, 1e-4);
+            measured_decay_rate(&mut sim, 100)
+        };
+        let rate_high = {
+            let mut sim = shear_wave(s, 1.4, 1e-4);
+            measured_decay_rate(&mut sim, 100)
+        };
+        assert!(rate_high > rate_low);
+    }
+}

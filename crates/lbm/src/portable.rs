@@ -1,0 +1,334 @@
+//! The portable RACC LBM simulation (the paper's Fig. 10 code).
+
+use racc_core::{Array1, Backend, Context, RaccError};
+
+use crate::lattice::{equilibrium, fidx, CX, CY, Q};
+
+/// Density, x-velocity and y-velocity fields, each of length `s * s`
+/// (row `x`, column `y`, linearized as `x * s + y`).
+pub type MacroFields = (Vec<f64>, Vec<f64>, Vec<f64>);
+use crate::lbm_profile;
+use crate::reference::SerialLbm;
+
+/// A D2Q9 simulation running through the RACC constructs: one
+/// multidimensional `parallel_for` per time step, the three lattices as
+/// `JACC.Array`-style device arrays, any back end.
+pub struct LbmSim<'c, B: Backend> {
+    ctx: &'c Context<B>,
+    s: usize,
+    tau: f64,
+    /// Scratch lattice (the paper's `f`).
+    f: Array1<f64>,
+    /// Current lattice (`f1`).
+    f1: Array1<f64>,
+    /// Next lattice (`f2`).
+    f2: Array1<f64>,
+}
+
+impl<'c, B: Backend> LbmSim<'c, B> {
+    /// Build a simulation with every site initialized at the equilibrium of
+    /// per-site `(rho, ux, uy)` fields.
+    pub fn new(
+        ctx: &'c Context<B>,
+        s: usize,
+        tau: f64,
+        fields: impl Fn(usize, usize) -> (f64, f64, f64),
+    ) -> Result<Self, RaccError> {
+        assert!(s >= 3, "grid must be at least 3x3");
+        assert!(tau > 0.5, "tau must exceed 1/2");
+        let mut init = vec![0.0f64; Q * s * s];
+        for x in 0..s {
+            for y in 0..s {
+                let (rho, ux, uy) = fields(x, y);
+                for k in 0..Q {
+                    init[fidx(k, x, y, s)] = equilibrium(k, rho, ux, uy);
+                }
+            }
+        }
+        Ok(LbmSim {
+            ctx,
+            s,
+            tau,
+            f: ctx.zeros(Q * s * s)?,
+            f1: ctx.array_from(&init)?,
+            f2: ctx.array_from(&init)?,
+        })
+    }
+
+    /// Uniform initial condition.
+    pub fn uniform(
+        ctx: &'c Context<B>,
+        s: usize,
+        tau: f64,
+        rho: f64,
+        ux: f64,
+        uy: f64,
+    ) -> Result<Self, RaccError> {
+        Self::new(ctx, s, tau, |_, _| (rho, ux, uy))
+    }
+
+    /// Grid edge length.
+    pub fn size(&self) -> usize {
+        self.s
+    }
+
+    /// Relaxation time.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// One time step with the paper's interior-only update — this is the
+    /// measured kernel of Fig. 11: a single `parallel_for((S, S), lbm, ...)`.
+    pub fn step(&mut self) {
+        let (s, tau) = (self.s, self.tau);
+        let f = self.f.view_mut();
+        let f1 = self.f1.view();
+        let f2 = self.f2.view_mut();
+        self.ctx
+            .parallel_for_2d((s, s), &lbm_profile(), move |x, y| {
+                if x > 0 && x < s - 1 && y > 0 && y < s - 1 {
+                    for k in 0..Q {
+                        let xs = (x as isize - CX[k] as isize) as usize;
+                        let ys = (y as isize - CY[k] as isize) as usize;
+                        f.set(fidx(k, x, y, s), f1.get(fidx(k, xs, ys, s)));
+                    }
+                    let mut p = 0.0;
+                    let mut u = 0.0;
+                    let mut v = 0.0;
+                    for k in 0..Q {
+                        let fk = f.get(fidx(k, x, y, s));
+                        p += fk;
+                        u += fk * CX[k];
+                        v += fk * CY[k];
+                    }
+                    u /= p;
+                    v /= p;
+                    for k in 0..Q {
+                        let feq = equilibrium(k, p, u, v);
+                        let ind = fidx(k, x, y, s);
+                        f2.set(ind, f.get(ind) * (1.0 - 1.0 / tau) + feq / tau);
+                    }
+                }
+            });
+        std::mem::swap(&mut self.f1, &mut self.f2);
+    }
+
+    /// One periodic time step (wrap-around streaming; physics validation).
+    pub fn step_periodic(&mut self) {
+        let (s, tau) = (self.s, self.tau);
+        let f = self.f.view_mut();
+        let f1 = self.f1.view();
+        let f2 = self.f2.view_mut();
+        self.ctx
+            .parallel_for_2d((s, s), &lbm_profile(), move |x, y| {
+                for k in 0..Q {
+                    let xs = (x + s).wrapping_sub(CX[k] as isize as usize) % s;
+                    let ys = (y + s).wrapping_sub(CY[k] as isize as usize) % s;
+                    f.set(fidx(k, x, y, s), f1.get(fidx(k, xs, ys, s)));
+                }
+                let mut p = 0.0;
+                let mut u = 0.0;
+                let mut v = 0.0;
+                for k in 0..Q {
+                    let fk = f.get(fidx(k, x, y, s));
+                    p += fk;
+                    u += fk * CX[k];
+                    v += fk * CY[k];
+                }
+                u /= p;
+                v /= p;
+                for k in 0..Q {
+                    let feq = equilibrium(k, p, u, v);
+                    let ind = fidx(k, x, y, s);
+                    f2.set(ind, f.get(ind) * (1.0 - 1.0 / tau) + feq / tau);
+                }
+            });
+        std::mem::swap(&mut self.f1, &mut self.f2);
+    }
+
+    /// One time step launched as a *flattened 1D* `parallel_for` over
+    /// `s*s` sites (x fastest) instead of the native 2D construct — the
+    /// launch-shape ablation of `DESIGN.md` §6. Functionally identical to
+    /// [`LbmSim::step`].
+    pub fn step_flat(&mut self) {
+        let (s, tau) = (self.s, self.tau);
+        let f = self.f.view_mut();
+        let f1 = self.f1.view();
+        let f2 = self.f2.view_mut();
+        self.ctx.parallel_for(s * s, &lbm_profile(), move |idx| {
+            let x = idx % s;
+            let y = idx / s;
+            if x > 0 && x < s - 1 && y > 0 && y < s - 1 {
+                for k in 0..Q {
+                    let xs = (x as isize - CX[k] as isize) as usize;
+                    let ys = (y as isize - CY[k] as isize) as usize;
+                    f.set(fidx(k, x, y, s), f1.get(fidx(k, xs, ys, s)));
+                }
+                let mut p = 0.0;
+                let mut u = 0.0;
+                let mut v = 0.0;
+                for k in 0..Q {
+                    let fk = f.get(fidx(k, x, y, s));
+                    p += fk;
+                    u += fk * CX[k];
+                    v += fk * CY[k];
+                }
+                u /= p;
+                v /= p;
+                for k in 0..Q {
+                    let feq = equilibrium(k, p, u, v);
+                    let ind = fidx(k, x, y, s);
+                    f2.set(ind, f.get(ind) * (1.0 - 1.0 / tau) + feq / tau);
+                }
+            }
+        });
+        std::mem::swap(&mut self.f1, &mut self.f2);
+    }
+
+    /// Run `steps` interior-update time steps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Total mass, computed with a RACC reduction on the device.
+    pub fn total_mass(&self) -> f64 {
+        let n = Q * self.s * self.s;
+        let f1 = self.f1.view();
+        self.ctx.parallel_reduce(
+            n,
+            &racc_core::KernelProfile::new("lbm-mass", 1.0, 8.0, 0.0),
+            move |i| f1.get(i),
+        )
+    }
+
+    /// Download the distributions (for checks and visualization).
+    pub fn distributions(&self) -> Result<Vec<f64>, RaccError> {
+        self.ctx.to_host(&self.f1)
+    }
+
+    /// Density and velocity fields computed on the host.
+    pub fn macroscopic(&self) -> Result<MacroFields, RaccError> {
+        let f1 = self.ctx.to_host(&self.f1)?;
+        let s = self.s;
+        let mut rho = vec![0.0; s * s];
+        let mut ux = vec![0.0; s * s];
+        let mut uy = vec![0.0; s * s];
+        for x in 0..s {
+            for y in 0..s {
+                let mut p = 0.0;
+                let mut u = 0.0;
+                let mut v = 0.0;
+                for k in 0..Q {
+                    let fk = f1[fidx(k, x, y, s)];
+                    p += fk;
+                    u += fk * CX[k];
+                    v += fk * CY[k];
+                }
+                rho[x * s + y] = p;
+                ux[x * s + y] = u / p;
+                uy[x * s + y] = v / p;
+            }
+        }
+        Ok((rho, ux, uy))
+    }
+
+    /// Check this simulation against the serial reference after the same
+    /// number of steps (test helper): max abs difference of distributions.
+    pub fn max_diff_vs(&self, reference: &SerialLbm) -> f64 {
+        let mine = self.distributions().expect("download");
+        mine.iter()
+            .zip(&reference.f1)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racc_core::{SerialBackend, ThreadsBackend};
+
+    #[test]
+    fn matches_serial_reference_interior_scheme() {
+        let ctx = Context::new(ThreadsBackend::with_threads(4));
+        let s = 24;
+        let tau = 0.8;
+        let fields = |x: usize, y: usize| {
+            (
+                1.0 + 0.02 * ((x * 3 + y) as f64).sin(),
+                0.01 * (y as f64 / s as f64),
+                -0.005,
+            )
+        };
+        let mut sim = LbmSim::new(&ctx, s, tau, fields).unwrap();
+        let mut refsim = SerialLbm::from_fields(s, tau, fields);
+        for _ in 0..10 {
+            sim.step();
+            refsim.step();
+        }
+        assert!(sim.max_diff_vs(&refsim) < 1e-13);
+    }
+
+    #[test]
+    fn matches_serial_reference_periodic_scheme() {
+        let ctx = Context::new(SerialBackend::new());
+        let s = 16;
+        let tau = 0.7;
+        let fields = |x: usize, _y: usize| (1.0, 0.03 * (x as f64 / 16.0), 0.0);
+        let mut sim = LbmSim::new(&ctx, s, tau, fields).unwrap();
+        let mut refsim = SerialLbm::from_fields(s, tau, fields);
+        for _ in 0..8 {
+            sim.step_periodic();
+            refsim.step_periodic();
+        }
+        assert!(sim.max_diff_vs(&refsim) < 1e-13);
+    }
+
+    #[test]
+    fn periodic_mass_conserved_via_device_reduction() {
+        let ctx = Context::new(ThreadsBackend::with_threads(2));
+        let mut sim = LbmSim::new(&ctx, 20, 0.9, |x, y| {
+            (1.0 + 0.05 * ((x ^ y) as f64 / 20.0), 0.0, 0.01)
+        })
+        .unwrap();
+        let m0 = sim.total_mass();
+        for _ in 0..15 {
+            sim.step_periodic();
+        }
+        let m1 = sim.total_mass();
+        assert!((m1 - m0).abs() < 1e-9 * m0);
+    }
+
+    #[test]
+    fn flat_launch_matches_2d_launch() {
+        let ctx2 = Context::new(ThreadsBackend::with_threads(3));
+        let ctx1 = Context::new(ThreadsBackend::with_threads(3));
+        let s = 20;
+        let fields = |x: usize, y: usize| (1.0 + 0.01 * ((x + 2 * y) as f64).sin(), 0.01, 0.0);
+        let mut a = LbmSim::new(&ctx2, s, 0.8, fields).unwrap();
+        let mut b = LbmSim::new(&ctx1, s, 0.8, fields).unwrap();
+        for _ in 0..8 {
+            a.step();
+            b.step_flat();
+        }
+        let (da, db) = (a.distributions().unwrap(), b.distributions().unwrap());
+        for (x, y) in da.iter().zip(&db) {
+            assert_eq!(x, y, "flat and 2D launches must agree exactly");
+        }
+    }
+
+    #[test]
+    fn run_steps_and_accessors() {
+        let ctx = Context::new(SerialBackend::new());
+        let mut sim = LbmSim::uniform(&ctx, 8, 1.0, 1.0, 0.0, 0.0).unwrap();
+        assert_eq!(sim.size(), 8);
+        assert_eq!(sim.tau(), 1.0);
+        sim.run(3);
+        let (rho, ux, uy) = sim.macroscopic().unwrap();
+        assert!(rho.iter().all(|&r| (r - 1.0).abs() < 1e-12));
+        assert!(ux.iter().all(|&u| u.abs() < 1e-12));
+        assert!(uy.iter().all(|&u| u.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,457 @@
+//! Device-specific LBM implementations — the comparison codes of Fig. 11.
+//!
+//! One implementation per vendor API plus the direct thread-pool CPU code.
+//! Each `step()` returns the modeled nanoseconds of the time step.
+
+use racc_core::cpumodel::CpuSpec;
+use racc_gpusim::KernelCost;
+use racc_threadpool::{Schedule, ThreadPool};
+
+use crate::lattice::{equilibrium, fidx, CX, CY, Q};
+use crate::lbm_profile;
+use crate::reference::SerialLbm;
+
+fn lbm_cost() -> KernelCost {
+    let p = lbm_profile();
+    KernelCost::new(
+        p.flops_per_iter,
+        p.bytes_read_per_iter,
+        p.bytes_written_per_iter,
+        p.coalescing,
+    )
+}
+
+/// Initial equilibrium distributions for a uniform `(rho, ux, uy)` state.
+pub fn uniform_init(s: usize, rho: f64, ux: f64, uy: f64) -> Vec<f64> {
+    let mut init = vec![0.0; Q * s * s];
+    for k in 0..Q {
+        for x in 0..s {
+            for y in 0..s {
+                init[fidx(k, x, y, s)] = equilibrium(k, rho, ux, uy);
+            }
+        }
+    }
+    init
+}
+
+/// CUDA-specific LBM (16×16 thread tiles, paper Fig. 10 indexing).
+pub struct CudaLbm {
+    cuda: racc_cudasim::Cuda,
+    s: usize,
+    tau: f64,
+    f: racc_cudasim::CuArray<f64>,
+    f1: racc_cudasim::CuArray<f64>,
+    f2: racc_cudasim::CuArray<f64>,
+    flip: bool,
+}
+
+impl CudaLbm {
+    /// Build on a fresh simulated A100 from initial distributions.
+    pub fn new(s: usize, tau: f64, init: &[f64]) -> Self {
+        assert_eq!(init.len(), Q * s * s);
+        let cuda = racc_cudasim::Cuda::new();
+        let f = cuda.zeros::<f64>(Q * s * s).expect("scratch");
+        let f1 = cuda.cu_array(init).expect("f1");
+        let f2 = cuda.cu_array(init).expect("f2");
+        CudaLbm {
+            cuda,
+            s,
+            tau,
+            f,
+            f1,
+            f2,
+            flip: false,
+        }
+    }
+
+    /// One time step; returns modeled nanoseconds.
+    pub fn step(&mut self) -> u64 {
+        let (s, tau) = (self.s, self.tau);
+        let (cur, next) = if self.flip {
+            (&self.f2, &self.f1)
+        } else {
+            (&self.f1, &self.f2)
+        };
+        let f = self.cuda.view_mut(&self.f).expect("own");
+        let f1 = self.cuda.view(cur).expect("own");
+        let f2 = self.cuda.view_mut(next).expect("own");
+        let tiles = 16u32;
+        let gx = s.div_ceil(tiles as usize) as u32;
+        let gy = s.div_ceil(tiles as usize) as u32;
+        let e0 = self.cuda.record_event();
+        self.cuda
+            .launch_2d((tiles, tiles), (gx, gy), 0, lbm_cost(), |t| {
+                let (x, y) = (t.global_id_x(), t.global_id_y());
+                site_update_slices(x, y, s, tau, &f, &f1, &f2);
+            })
+            .expect("lbm launch");
+        let e1 = self.cuda.record_event();
+        self.flip = !self.flip;
+        e0.elapsed_ns(&e1)
+    }
+
+    /// Download the current distributions.
+    pub fn distributions(&self) -> Vec<f64> {
+        let cur = if self.flip { &self.f2 } else { &self.f1 };
+        self.cuda.to_host(cur).expect("download")
+    }
+}
+
+/// HIP-specific LBM on the simulated MI100.
+pub struct HipLbm {
+    hip: racc_hipsim::Hip,
+    s: usize,
+    tau: f64,
+    f: racc_hipsim::RocArray<f64>,
+    f1: racc_hipsim::RocArray<f64>,
+    f2: racc_hipsim::RocArray<f64>,
+    flip: bool,
+}
+
+impl HipLbm {
+    /// Build on a fresh simulated MI100.
+    pub fn new(s: usize, tau: f64, init: &[f64]) -> Self {
+        assert_eq!(init.len(), Q * s * s);
+        let hip = racc_hipsim::Hip::new();
+        let f = hip.zeros::<f64>(Q * s * s).expect("scratch");
+        let f1 = hip.roc_array(init).expect("f1");
+        let f2 = hip.roc_array(init).expect("f2");
+        HipLbm {
+            hip,
+            s,
+            tau,
+            f,
+            f1,
+            f2,
+            flip: false,
+        }
+    }
+
+    /// One time step; returns modeled nanoseconds.
+    pub fn step(&mut self) -> u64 {
+        let (s, tau) = (self.s, self.tau);
+        let (cur, next) = if self.flip {
+            (&self.f2, &self.f1)
+        } else {
+            (&self.f1, &self.f2)
+        };
+        let f = self.hip.view_mut(&self.f).expect("own");
+        let f1 = self.hip.view(cur).expect("own");
+        let f2 = self.hip.view_mut(next).expect("own");
+        let tiles = 16u32;
+        let gx = s.div_ceil(tiles as usize) as u32;
+        let gy = s.div_ceil(tiles as usize) as u32;
+        let e0 = self.hip.record_event();
+        self.hip
+            .launch_2d((tiles, tiles), (gx, gy), 0, lbm_cost(), |t| {
+                let (x, y) = (t.global_id_x(), t.global_id_y());
+                site_update_slices(x, y, s, tau, &f, &f1, &f2);
+            })
+            .expect("lbm launch");
+        let e1 = self.hip.record_event();
+        self.flip = !self.flip;
+        e0.elapsed_ns(&e1)
+    }
+
+    /// Download the current distributions.
+    pub fn distributions(&self) -> Vec<f64> {
+        let cur = if self.flip { &self.f2 } else { &self.f1 };
+        self.hip.to_host(cur).expect("download")
+    }
+}
+
+/// oneAPI-specific LBM on the simulated Max 1550 (SYCL inverted ids).
+pub struct OneApiLbm {
+    one: racc_oneapisim::OneApi,
+    s: usize,
+    tau: f64,
+    f: racc_oneapisim::OneArray<f64>,
+    f1: racc_oneapisim::OneArray<f64>,
+    f2: racc_oneapisim::OneArray<f64>,
+    flip: bool,
+}
+
+impl OneApiLbm {
+    /// Build on a fresh simulated Max 1550.
+    pub fn new(s: usize, tau: f64, init: &[f64]) -> Self {
+        assert_eq!(init.len(), Q * s * s);
+        let one = racc_oneapisim::OneApi::new();
+        let f = one.zeros::<f64>(Q * s * s).expect("scratch");
+        let f1 = one.one_array(init).expect("f1");
+        let f2 = one.one_array(init).expect("f2");
+        OneApiLbm {
+            one,
+            s,
+            tau,
+            f,
+            f1,
+            f2,
+            flip: false,
+        }
+    }
+
+    /// One time step; returns modeled nanoseconds.
+    pub fn step(&mut self) -> u64 {
+        let (s, tau) = (self.s, self.tau);
+        let (cur, next) = if self.flip {
+            (&self.f2, &self.f1)
+        } else {
+            (&self.f1, &self.f2)
+        };
+        let f = self.one.view_mut(&self.f).expect("own");
+        let f1 = self.one.view(cur).expect("own");
+        let f2 = self.one.view_mut(next).expect("own");
+        let tiles = 16u32;
+        let gx = s.div_ceil(tiles as usize) as u32;
+        let gy = s.div_ceil(tiles as usize) as u32;
+        let e0 = self.one.record_event();
+        self.one
+            .launch_2d((tiles, tiles), (gx, gy), 0, lbm_cost(), |item| {
+                // Fig. 7 inversion: dim 0 is the slow axis.
+                let y = item.get_global_id(0);
+                let x = item.get_global_id(1);
+                site_update_slices(x, y, s, tau, &f, &f1, &f2);
+            })
+            .expect("lbm launch");
+        let e1 = self.one.record_event();
+        self.flip = !self.flip;
+        e0.elapsed_ns(&e1)
+    }
+
+    /// Download the current distributions.
+    pub fn distributions(&self) -> Vec<f64> {
+        let cur = if self.flip { &self.f2 } else { &self.f1 };
+        self.one.to_host(cur).expect("download")
+    }
+}
+
+/// The interior site update against simulator slices (shared by the three
+/// GPU vendor codes; each passes its own vendor-obtained views).
+#[inline]
+fn site_update_slices(
+    x: usize,
+    y: usize,
+    s: usize,
+    tau: f64,
+    f: &racc_gpusim::DeviceSliceMut<f64>,
+    f1: &racc_gpusim::DeviceSlice<f64>,
+    f2: &racc_gpusim::DeviceSliceMut<f64>,
+) {
+    if !(x > 0 && x < s.saturating_sub(1) && y > 0 && y < s - 1) {
+        return;
+    }
+    for k in 0..Q {
+        let xs = (x as isize - CX[k] as isize) as usize;
+        let ys = (y as isize - CY[k] as isize) as usize;
+        f.set(fidx(k, x, y, s), f1.get(fidx(k, xs, ys, s)));
+    }
+    let mut p = 0.0;
+    let mut u = 0.0;
+    let mut v = 0.0;
+    for k in 0..Q {
+        let fk = f.get(fidx(k, x, y, s));
+        p += fk;
+        u += fk * CX[k];
+        v += fk * CY[k];
+    }
+    u /= p;
+    v /= p;
+    for k in 0..Q {
+        let feq = equilibrium(k, p, u, v);
+        let ind = fidx(k, x, y, s);
+        f2.set(ind, f.get(ind) * (1.0 - 1.0 / tau) + feq / tau);
+    }
+}
+
+/// CPU device-specific LBM: direct thread-pool code with the column-wise
+/// decomposition, timed by the CPU machine model.
+pub struct ThreadsLbm {
+    pool: ThreadPool,
+    cpu: CpuSpec,
+    s: usize,
+    tau: f64,
+    f: Vec<f64>,
+    f1: Vec<f64>,
+    f2: Vec<f64>,
+    flip: bool,
+}
+
+impl ThreadsLbm {
+    /// Build over a fresh pool with `threads` participants.
+    pub fn new(threads: usize, s: usize, tau: f64, init: &[f64]) -> Self {
+        assert_eq!(init.len(), Q * s * s);
+        ThreadsLbm {
+            pool: ThreadPool::new(threads),
+            cpu: CpuSpec::epyc_7742_rome(),
+            s,
+            tau,
+            f: vec![0.0; Q * s * s],
+            f1: init.to_vec(),
+            f2: init.to_vec(),
+            flip: false,
+        }
+    }
+
+    /// One time step; returns modeled nanoseconds.
+    pub fn step(&mut self) -> u64 {
+        let (s, tau) = (self.s, self.tau);
+        let (cur, next) = if self.flip {
+            (&self.f2, &self.f1)
+        } else {
+            (&self.f1, &self.f2)
+        };
+        let fp = SendMut(self.f.as_ptr() as *mut f64);
+        let f2p = SendMut(next.as_ptr() as *mut f64);
+        let f1s: &[f64] = cur;
+        self.pool.parallel_for(s, Schedule::Static, |x| {
+            for y in 0..s {
+                if !(x > 0 && x < s - 1 && y > 0 && y < s - 1) {
+                    continue;
+                }
+                // SAFETY: site (x, y) is written only by this task (x is
+                // the distributed loop, the scratch/next entries for a site
+                // are unique to it).
+                unsafe {
+                    let f = fp.get();
+                    let f2 = f2p.get();
+                    for k in 0..Q {
+                        let xs = (x as isize - CX[k] as isize) as usize;
+                        let ys = (y as isize - CY[k] as isize) as usize;
+                        *f.add(fidx(k, x, y, s)) = f1s[fidx(k, xs, ys, s)];
+                    }
+                    let mut p = 0.0;
+                    let mut u = 0.0;
+                    let mut v = 0.0;
+                    for k in 0..Q {
+                        let fk = *f.add(fidx(k, x, y, s));
+                        p += fk;
+                        u += fk * CX[k];
+                        v += fk * CY[k];
+                    }
+                    u /= p;
+                    v /= p;
+                    for k in 0..Q {
+                        let feq = equilibrium(k, p, u, v);
+                        let ind = fidx(k, x, y, s);
+                        *f2.add(ind) = *f.add(ind) * (1.0 - 1.0 / tau) + feq / tau;
+                    }
+                }
+            }
+        });
+        self.flip = !self.flip;
+        self.cpu.kernel_time_ns(s * s, &lbm_profile()) as u64
+    }
+
+    /// The current distributions.
+    pub fn distributions(&self) -> &[f64] {
+        if self.flip {
+            &self.f2
+        } else {
+            &self.f1
+        }
+    }
+}
+
+struct SendMut(*mut f64);
+unsafe impl Send for SendMut {}
+unsafe impl Sync for SendMut {}
+impl SendMut {
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// Run a serial reference for `steps` and return its distributions
+/// (test helper shared by the cross-implementation tests).
+pub fn reference_after(s: usize, tau: f64, init_rho: f64, init_ux: f64, steps: usize) -> Vec<f64> {
+    let mut r = SerialLbm::from_fields(s, tau, |x, y| {
+        (
+            init_rho + 0.01 * ((x * 7 + y * 3) as f64).sin(),
+            init_ux,
+            0.0,
+        )
+    });
+    for _ in 0..steps {
+        r.step();
+    }
+    r.f1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init_fields(s: usize) -> Vec<f64> {
+        let r = SerialLbm::from_fields(s, 0.8, |x, y| {
+            (1.0 + 0.01 * ((x * 7 + y * 3) as f64).sin(), 0.02, 0.0)
+        });
+        r.f1
+    }
+
+    fn reference_steps(s: usize, init: &[f64], steps: usize) -> Vec<f64> {
+        let mut r = SerialLbm {
+            s,
+            tau: 0.8,
+            f: vec![0.0; init.len()],
+            f1: init.to_vec(),
+            f2: init.to_vec(),
+        };
+        for _ in 0..steps {
+            r.step();
+        }
+        r.f1
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        let max = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(max < 1e-13, "max diff {max}");
+    }
+
+    #[test]
+    fn cuda_lbm_matches_reference() {
+        let s = 20;
+        let init = init_fields(s);
+        let mut sim = CudaLbm::new(s, 0.8, &init);
+        for _ in 0..5 {
+            assert!(sim.step() > 0);
+        }
+        assert_close(&sim.distributions(), &reference_steps(s, &init, 5));
+    }
+
+    #[test]
+    fn hip_lbm_matches_reference() {
+        let s = 20;
+        let init = init_fields(s);
+        let mut sim = HipLbm::new(s, 0.8, &init);
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert_close(&sim.distributions(), &reference_steps(s, &init, 5));
+    }
+
+    #[test]
+    fn oneapi_lbm_matches_reference() {
+        let s = 20;
+        let init = init_fields(s);
+        let mut sim = OneApiLbm::new(s, 0.8, &init);
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert_close(&sim.distributions(), &reference_steps(s, &init, 5));
+    }
+
+    #[test]
+    fn threads_lbm_matches_reference() {
+        let s = 20;
+        let init = init_fields(s);
+        let mut sim = ThreadsLbm::new(4, s, 0.8, &init);
+        for _ in 0..5 {
+            assert!(sim.step() > 0);
+        }
+        assert_close(sim.distributions(), &reference_steps(s, &init, 5));
+    }
+}

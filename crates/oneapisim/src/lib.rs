@@ -1,0 +1,453 @@
+//! # racc-oneapisim
+//!
+//! A oneAPI.jl/SYCL-flavored vendor API over the [`racc_gpusim`] simulator —
+//! the stand-in for the `oneAPI.jl` package the paper's Intel back end and
+//! its device-specific benchmark codes are written against.
+//!
+//! Flavor notes, mirroring the real stack and the paper's Fig. 7:
+//!
+//! * launches use **items/groups** vocabulary
+//!   (`@oneapi items=items groups=groups kernel(...)`);
+//! * kernel indexing goes through [`NdItem::get_global_id`], and for
+//!   multidimensional ranges SYCL numbers dimensions **slowest-first**: the
+//!   paper's 2D back end reads `j = get_global_id(0); i = get_global_id(1)` —
+//!   i.e. dimension 0 is *not* the fast x axis. [`NdItem`] reproduces that
+//!   inversion;
+//! * the work-group size limit is queried as `maxTotalGroupSize` (Level
+//!   Zero's `compute_properties`), see [`OneApi::max_total_group_size`];
+//! * block-shared memory is **SLM** (Shared Local Memory);
+//! * the default device profile is the **Intel Data Center Max 1550**.
+
+use std::sync::Arc;
+
+use racc_gpusim::{
+    profiles, Device, DeviceBuffer, DeviceSlice, DeviceSliceMut, Element, Event, KernelCost,
+    LaunchConfig, PhasedKernel, SimError, ThreadCtx,
+};
+
+/// Error type of the oneAPI-flavored API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneApiError(pub SimError);
+
+impl std::fmt::Display for OneApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oneAPI error: {}", self.0)
+    }
+}
+
+impl std::error::Error for OneApiError {}
+
+impl From<SimError> for OneApiError {
+    fn from(e: SimError) -> Self {
+        OneApiError(e)
+    }
+}
+
+/// A device array, the analog of `oneArray{T}`.
+pub type OneArray<T> = DeviceBuffer<T>;
+
+/// An event on the device timeline.
+pub type OneApiEvent = Event;
+
+/// The SYCL `nd_item` analog handed to kernel bodies: wraps the simulator's
+/// thread context and exposes **dimension-inverted** global ids.
+#[derive(Debug, Clone, Copy)]
+pub struct NdItem<'a> {
+    ctx: &'a ThreadCtx,
+    /// Number of launch dimensions (1, 2 or 3), fixed at launch.
+    rank: u32,
+}
+
+impl<'a> NdItem<'a> {
+    /// Wrap a simulator thread context for a launch of the given rank.
+    pub fn new(ctx: &'a ThreadCtx, rank: u32) -> Self {
+        debug_assert!((1..=3).contains(&rank));
+        NdItem { ctx, rank }
+    }
+
+    /// SYCL-style global id: for rank 2, `get_global_id(0)` is the *slow*
+    /// (y) axis and `get_global_id(1)` the fast (x) axis — the inversion the
+    /// paper's oneAPI back end handles explicitly.
+    #[inline]
+    pub fn get_global_id(&self, dim: u32) -> usize {
+        assert!(
+            dim < self.rank,
+            "dimension {dim} out of range for rank {}",
+            self.rank
+        );
+        // Map SYCL dimension (slowest first) onto the simulator's x-fastest
+        // coordinates.
+        match self.rank - 1 - dim {
+            0 => self.ctx.global_id_x(),
+            1 => self.ctx.global_id_y(),
+            _ => self.ctx.global_id_z(),
+        }
+    }
+
+    /// Local (within-group) linear id.
+    #[inline]
+    pub fn get_local_linear_id(&self) -> usize {
+        self.ctx.thread_linear()
+    }
+
+    /// Group linear id.
+    #[inline]
+    pub fn get_group_linear_id(&self) -> usize {
+        self.ctx.block_linear()
+    }
+
+    /// The raw simulator context.
+    pub fn ctx(&self) -> &ThreadCtx {
+        self.ctx
+    }
+
+    /// Simulator-level fast-axis global id (equals `get_global_id(rank-1)`
+    /// in SYCL numbering). Convenience for code written generically over
+    /// the vendor shims.
+    #[inline]
+    pub fn global_id_x(&self) -> usize {
+        self.ctx.global_id_x()
+    }
+}
+
+/// The oneAPI-flavored context owning one simulated Intel device.
+pub struct OneApi {
+    device: Arc<Device>,
+}
+
+impl Default for OneApi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OneApi {
+    /// A context on a simulated Intel Max 1550.
+    pub fn new() -> Self {
+        OneApi {
+            device: Arc::new(Device::new(profiles::intel_max1550())),
+        }
+    }
+
+    /// A context on a custom device specification.
+    pub fn with_spec(spec: racc_gpusim::DeviceSpec) -> Self {
+        OneApi {
+            device: Arc::new(Device::new(spec)),
+        }
+    }
+
+    /// Access the underlying simulator device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Share the device handle.
+    pub fn device_arc(&self) -> Arc<Device> {
+        Arc::clone(&self.device)
+    }
+
+    /// Level Zero's `compute_properties(device()).maxTotalGroupSize`.
+    pub fn max_total_group_size(&self) -> usize {
+        self.device.spec().max_threads_per_block as usize
+    }
+
+    /// Sub-group (SIMD lane) width.
+    pub fn sub_group_size(&self) -> usize {
+        self.device.spec().simt_width as usize
+    }
+
+    /// SLM bytes available per work-group.
+    pub fn slm_per_group(&self) -> usize {
+        self.device.spec().shared_mem_per_block
+    }
+
+    /// `oneArray(host)`: allocate + upload.
+    pub fn one_array<T: Element>(&self, host: &[T]) -> Result<OneArray<T>, OneApiError> {
+        Ok(self.device.alloc_from(host)?)
+    }
+
+    /// `oneAPI.zeros(T, n)`.
+    pub fn zeros<T: Element>(&self, n: usize) -> Result<OneArray<T>, OneApiError> {
+        Ok(self.device.alloc::<T>(n)?)
+    }
+
+    /// Download to host.
+    pub fn to_host<T: Element>(&self, arr: &OneArray<T>) -> Result<Vec<T>, OneApiError> {
+        Ok(self.device.read_vec(arr)?)
+    }
+
+    /// Read one element.
+    pub fn read_scalar<T: Element>(&self, arr: &OneArray<T>, i: usize) -> Result<T, OneApiError> {
+        Ok(self.device.read_scalar(arr, i)?)
+    }
+
+    /// Device-to-device copy.
+    pub fn copy<T: Element>(
+        &self,
+        src: &OneArray<T>,
+        dst: &OneArray<T>,
+    ) -> Result<(), OneApiError> {
+        Ok(self.device.copy(src, dst)?)
+    }
+
+    /// Read-only kernel view.
+    pub fn view<T: Element>(&self, arr: &OneArray<T>) -> Result<DeviceSlice<T>, OneApiError> {
+        Ok(self.device.slice(arr)?)
+    }
+
+    /// Writable kernel view.
+    pub fn view_mut<T: Element>(
+        &self,
+        arr: &OneArray<T>,
+    ) -> Result<DeviceSliceMut<T>, OneApiError> {
+        Ok(self.device.slice_mut(arr)?)
+    }
+
+    /// `@oneapi items=items groups=groups kernel(...)`: 1D launch of
+    /// `groups` work-groups of `items` work-items; the body receives a SYCL
+    /// flavored [`NdItem`].
+    pub fn launch<F>(
+        &self,
+        items: u32,
+        groups: u32,
+        slm_bytes: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, OneApiError>
+    where
+        F: Fn(&NdItem<'_>) + Sync,
+    {
+        let cfg = LaunchConfig::new(groups, items).with_shared_mem(slm_bytes);
+        Ok(self
+            .device
+            .launch(cfg, cost, |t| body(&NdItem::new(t, 1)))?)
+    }
+
+    /// 2D launch with `(ix, iy)` item tiles and `(gx, gy)` groups. Kernel
+    /// bodies see the SYCL dimension inversion via [`NdItem`].
+    pub fn launch_2d<F>(
+        &self,
+        items: (u32, u32),
+        groups: (u32, u32),
+        slm_bytes: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, OneApiError>
+    where
+        F: Fn(&NdItem<'_>) + Sync,
+    {
+        let cfg = LaunchConfig::new(groups, items).with_shared_mem(slm_bytes);
+        Ok(self
+            .device
+            .launch(cfg, cost, |t| body(&NdItem::new(t, 2)))?)
+    }
+
+    /// 3D launch.
+    pub fn launch_3d<F>(
+        &self,
+        items: (u32, u32, u32),
+        groups: (u32, u32, u32),
+        slm_bytes: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, OneApiError>
+    where
+        F: Fn(&NdItem<'_>) + Sync,
+    {
+        let cfg = LaunchConfig::new(groups, items).with_shared_mem(slm_bytes);
+        Ok(self
+            .device
+            .launch(cfg, cost, |t| body(&NdItem::new(t, 3)))?)
+    }
+
+    /// Launch a cooperative kernel using SLM and group barriers.
+    pub fn launch_cooperative<K>(
+        &self,
+        items: u32,
+        groups: u32,
+        slm_bytes: usize,
+        cost: KernelCost,
+        kernel: &K,
+    ) -> Result<u64, OneApiError>
+    where
+        K: PhasedKernel,
+    {
+        let cfg = LaunchConfig::new(groups, items).with_shared_mem(slm_bytes);
+        Ok(self.device.launch_phased(cfg, cost, kernel)?)
+    }
+
+    /// Fill a buffer with a constant (a `fill!`-style memset kernel).
+    pub fn fill<T: Element>(&self, arr: &OneArray<T>, value: T) -> Result<(), OneApiError> {
+        let n = arr.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let v = self.view_mut(arr)?;
+        let items = n.clamp(1, self.max_total_group_size()) as u32;
+        let groups = n.div_ceil(items as usize) as u32;
+        self.launch(
+            items,
+            groups,
+            0,
+            KernelCost::memory_bound(0.0, std::mem::size_of::<T>() as f64),
+            move |item| {
+                let i = item.get_global_id(0);
+                if i < n {
+                    v.set(i, value);
+                }
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Create a new (non-default) queue.
+    pub fn create_stream(&self) -> racc_gpusim::Stream {
+        self.device.create_stream()
+    }
+
+    /// Launch asynchronously on a queue; overlapping on the modeled clock.
+    pub fn launch_async<F>(
+        &self,
+        stream: &racc_gpusim::Stream,
+        items: u32,
+        groups: u32,
+        slm_bytes: usize,
+        cost: KernelCost,
+        body: F,
+    ) -> Result<u64, OneApiError>
+    where
+        F: Fn(&NdItem<'_>) + Sync,
+    {
+        let cfg = LaunchConfig::new(groups, items).with_shared_mem(slm_bytes);
+        Ok(self
+            .device
+            .launch_async(stream, cfg, cost, |t| body(&NdItem::new(t, 1)))?)
+    }
+
+    /// Wait for one queue's modeled completion.
+    pub fn sync_stream(&self, stream: &racc_gpusim::Stream) {
+        self.device.sync_stream(stream)
+    }
+
+    /// Record an event on the device timeline.
+    pub fn record_event(&self) -> OneApiEvent {
+        self.device.record_event()
+    }
+
+    /// `oneAPI.synchronize()`.
+    pub fn synchronize(&self) {
+        self.device.synchronize()
+    }
+
+    /// Current device clock in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.device.clock_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_queries_match_max1550() {
+        let one = OneApi::new();
+        assert_eq!(one.max_total_group_size(), 1024);
+        assert_eq!(one.sub_group_size(), 32);
+        assert_eq!(one.slm_per_group(), 128 * 1024);
+    }
+
+    #[test]
+    fn one_d_global_id_matches_x() {
+        let one = OneApi::new();
+        let n = 500usize;
+        let buf = one.zeros::<u32>(n).unwrap();
+        let v = one.view_mut(&buf).unwrap();
+        one.launch(128, 4, 0, KernelCost::default(), |item| {
+            let i = item.get_global_id(0);
+            if i < n {
+                v.set(i, i as u32);
+            }
+        })
+        .unwrap();
+        let host = one.to_host(&buf).unwrap();
+        for (i, x) in host.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn two_d_indices_are_inverted_like_the_paper() {
+        // The paper's Fig. 7: j = get_global_id(0), i = get_global_id(1).
+        let one = OneApi::new();
+        let (m, n) = (32usize, 16usize); // m = fast (x/i), n = slow (y/j)
+        let buf = one.zeros::<u32>(m * n).unwrap();
+        let v = one.view_mut(&buf).unwrap();
+        one.launch_2d((16, 16), (2, 1), 0, KernelCost::default(), |item| {
+            let j = item.get_global_id(0); // slow axis
+            let i = item.get_global_id(1); // fast axis
+            if i < m && j < n {
+                v.set(j * m + i, (j * m + i) as u32);
+            }
+        })
+        .unwrap();
+        let host = one.to_host(&buf).unwrap();
+        for (idx, x) in host.iter().enumerate() {
+            assert_eq!(*x, idx as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn global_id_rank_checked() {
+        let one = OneApi::new();
+        one.launch(16, 1, 0, KernelCost::default(), |item| {
+            let _ = item.get_global_id(1); // rank-1 launch has only dim 0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn linear_ids_exposed() {
+        let one = OneApi::new();
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        one.launch(32, 4, 0, KernelCost::default(), |item| {
+            let _ = item.get_local_linear_id();
+            let _ = item.get_group_linear_id();
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn errors_are_wrapped() {
+        let one = OneApi::new();
+        let err = one.zeros::<f64>(1 << 40).unwrap_err();
+        assert!(err.to_string().contains("oneAPI error"));
+    }
+
+    #[test]
+    fn fill_sets_every_element() {
+        let api = OneApi::new();
+        let buf = api.zeros::<f64>(1000).unwrap();
+        api.fill(&buf, 3.25).unwrap();
+        assert!(api.to_host(&buf).unwrap().iter().all(|&v| v == 3.25));
+        let empty = api.zeros::<f64>(0).unwrap();
+        api.fill(&empty, 1.0).unwrap();
+    }
+
+    #[test]
+    fn async_streams_overlap() {
+        let api = OneApi::new();
+        let s1 = api.create_stream();
+        let s2 = api.create_stream();
+        let cost = racc_gpusim::KernelCost::memory_bound(64.0, 64.0);
+        let n1 = api.launch_async(&s1, 256, 4096, 0, cost, |_| {}).unwrap();
+        let n2 = api.launch_async(&s2, 256, 4096, 0, cost, |_| {}).unwrap();
+        assert_eq!(api.clock_ns(), 0);
+        api.synchronize();
+        assert_eq!(api.clock_ns(), n1.max(n2));
+        api.sync_stream(&s2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the preferences substrate.
+
+use std::fmt;
+use std::io;
+
+/// An error produced while parsing a preferences document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the error occurred.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Any error produced by the preferences store.
+#[derive(Debug)]
+pub enum PrefsError {
+    /// The document failed to parse.
+    Parse(ParseError),
+    /// An I/O error while reading or writing the backing file.
+    Io(io::Error),
+    /// A value existed but had an unexpected type.
+    TypeMismatch {
+        /// Table the key lives in.
+        table: String,
+        /// The key that was looked up.
+        key: String,
+        /// Name of the expected type.
+        expected: &'static str,
+        /// Name of the type actually found.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for PrefsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefsError::Parse(e) => write!(f, "{e}"),
+            PrefsError::Io(e) => write!(f, "preferences I/O error: {e}"),
+            PrefsError::TypeMismatch {
+                table,
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "preference [{table}].{key}: expected {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrefsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrefsError::Parse(e) => Some(e),
+            PrefsError::Io(e) => Some(e),
+            PrefsError::TypeMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<ParseError> for PrefsError {
+    fn from(e: ParseError) -> Self {
+        PrefsError::Parse(e)
+    }
+}
+
+impl From<io::Error> for PrefsError {
+    fn from(e: io::Error) -> Self {
+        PrefsError::Io(e)
+    }
+}

@@ -1,0 +1,437 @@
+//! A line-oriented parser for the TOML subset used by the preferences store.
+//!
+//! Supported syntax:
+//!
+//! * blank lines and `#` comments,
+//! * `[table]` / `[dotted.table.name]` headers,
+//! * `key = value` and `"quoted key" = value` pairs,
+//! * basic strings with `\" \\ \n \t \r \u{XXXX}`-style escapes (TOML's
+//!   `\uXXXX`), integers (with `_` separators), floats, booleans, and
+//!   (possibly nested) arrays.
+//!
+//! The parser is deliberately strict: unknown syntax is an error rather than
+//! silently ignored, because a typo in a backend preference should surface
+//! loudly at startup.
+
+use crate::error::ParseError;
+use crate::value::Value;
+
+/// A parsed `(table, key, value)` triple. Keys appearing before any table
+/// header belong to the root table, named `""`.
+pub type Entry = (String, String, Value);
+
+/// Parse an entire preferences document into a flat list of entries in
+/// document order. Later duplicates override earlier ones when folded into a
+/// [`crate::Preferences`] store.
+pub fn parse_document(text: &str) -> Result<Vec<Entry>, ParseError> {
+    let mut entries = Vec::new();
+    let mut current_table = String::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| ParseError::new(lineno, "unterminated table header"))?
+                .trim();
+            if inner.is_empty() {
+                return Err(ParseError::new(lineno, "empty table name"));
+            }
+            if let Some(stripped) = inner.strip_prefix('"') {
+                let quoted = stripped
+                    .strip_suffix('"')
+                    .ok_or_else(|| ParseError::new(lineno, "unterminated quoted table name"))?;
+                current_table = unescape(quoted, lineno)?;
+            } else {
+                validate_table_name(inner, lineno)?;
+                current_table = inner.to_owned();
+            }
+        } else {
+            let (key, value) = parse_key_value(line, lineno)?;
+            entries.push((current_table.clone(), key, value));
+        }
+    }
+    Ok(entries)
+}
+
+/// Remove a trailing comment, respecting `#` characters inside strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn validate_table_name(name: &str, lineno: usize) -> Result<(), ParseError> {
+    for part in name.split('.') {
+        if part.is_empty() {
+            return Err(ParseError::new(lineno, "empty table name component"));
+        }
+        if !part
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(ParseError::new(
+                lineno,
+                format!("invalid table name component {part:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_key_value(line: &str, lineno: usize) -> Result<(String, Value), ParseError> {
+    let (key_part, value_part) =
+        split_assignment(line).ok_or_else(|| ParseError::new(lineno, "expected `key = value`"))?;
+    let key = parse_key(key_part.trim(), lineno)?;
+    let mut cursor = Cursor::new(value_part.trim(), lineno);
+    let value = cursor.parse_value()?;
+    cursor.skip_ws();
+    if !cursor.at_end() {
+        return Err(ParseError::new(
+            lineno,
+            format!("trailing characters after value: {:?}", cursor.rest()),
+        ));
+    }
+    Ok((key, value))
+}
+
+/// Split at the first `=` that is not inside a quoted key.
+fn split_assignment(line: &str) -> Option<(&str, &str)> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '=' if !in_string => return Some((&line[..i], &line[i + 1..])),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_key(key: &str, lineno: usize) -> Result<String, ParseError> {
+    if key.is_empty() {
+        return Err(ParseError::new(lineno, "empty key"));
+    }
+    if let Some(stripped) = key.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| ParseError::new(lineno, "unterminated quoted key"))?;
+        unescape(inner, lineno)
+    } else {
+        if !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(ParseError::new(lineno, format!("invalid bare key {key:?}")));
+        }
+        Ok(key.to_owned())
+    }
+}
+
+fn unescape(s: &str, lineno: usize) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return Err(ParseError::new(lineno, "truncated \\u escape"));
+                }
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| ParseError::new(lineno, "invalid \\u escape"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| ParseError::new(lineno, "invalid unicode scalar"))?,
+                );
+            }
+            other => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("invalid escape sequence \\{}", other.unwrap_or(' ')),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A small character cursor over a single value expression.
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    lineno: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, lineno: usize) -> Self {
+        Cursor {
+            text,
+            pos: 0,
+            lineno,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.text.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.lineno, msg)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("missing value")),
+            Some('"') => self.parse_string(),
+            Some('[') => self.parse_array(),
+            Some('t') | Some('f') => self.parse_bool(),
+            Some(c) if c == '+' || c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character {c:?} in value"))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<Value, ParseError> {
+        let quote = self.bump();
+        debug_assert_eq!(quote, Some('"'));
+        let start = self.pos;
+        let mut escaped = false;
+        while let Some(c) = self.peek() {
+            if escaped {
+                escaped = false;
+                self.bump();
+                continue;
+            }
+            match c {
+                '\\' => {
+                    escaped = true;
+                    self.bump();
+                }
+                '"' => {
+                    let raw = &self.text[start..self.pos];
+                    self.bump();
+                    return Ok(Value::String(unescape(raw, self.lineno)?));
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, ParseError> {
+        if self.rest().starts_with("true") && !continues_word(self.rest(), 4) {
+            self.pos += 4;
+            Ok(Value::Bool(true))
+        } else if self.rest().starts_with("false") && !continues_word(self.rest(), 5) {
+            self.pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err(self.err("expected `true` or `false`"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit()
+                || matches!(c, '+' | '-' | '.' | '_' | 'e' | 'E')
+        ) {
+            self.bump();
+        }
+        let raw: String = self.text[start..self.pos]
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        if raw.contains('.') || raw.contains('e') || raw.contains('E') {
+            raw.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err(format!("invalid float literal {raw:?}")))
+        } else {
+            raw.parse::<i64>()
+                .map(Value::Integer)
+                .map_err(|_| self.err(format!("invalid integer literal {raw:?}")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        let bracket = self.bump();
+        debug_assert_eq!(bracket, Some('['));
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err("unterminated array")),
+                Some(']') => {
+                    self.bump();
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => {
+                            self.bump();
+                        }
+                        Some(']') => {}
+                        _ => return Err(self.err("expected `,` or `]` in array")),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn continues_word(s: &str, after: usize) -> bool {
+    s[after..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(text: &str) -> Entry {
+        let mut entries = parse_document(text).expect("parse");
+        assert_eq!(entries.len(), 1, "expected one entry from {text:?}");
+        entries.pop().unwrap()
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(one("a = 1").2, Value::Integer(1));
+        assert_eq!(one("a = -42").2, Value::Integer(-42));
+        assert_eq!(one("a = 1_000_000").2, Value::Integer(1_000_000));
+        assert_eq!(one("a = 2.5").2, Value::Float(2.5));
+        assert_eq!(one("a = 1e3").2, Value::Float(1000.0));
+        assert_eq!(one("a = true").2, Value::Bool(true));
+        assert_eq!(one("a = false").2, Value::Bool(false));
+        assert_eq!(one(r#"a = "hi""#).2, Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            one(r#"a = "line\nbreak \"q\" \\ A""#).2,
+            Value::String("line\nbreak \"q\" \\ A".into())
+        );
+    }
+
+    #[test]
+    fn parses_tables_and_dotted_tables() {
+        let entries =
+            parse_document("x = 1\n[racc]\nbackend = \"threads\"\n[racc.gpu]\nid = 0\n").unwrap();
+        assert_eq!(entries[0].0, "");
+        assert_eq!(entries[1].0, "racc");
+        assert_eq!(entries[1].1, "backend");
+        assert_eq!(entries[2].0, "racc.gpu");
+    }
+
+    #[test]
+    fn parses_arrays_and_nested_arrays() {
+        assert_eq!(
+            one("a = [1, 2, 3]").2,
+            Value::Array(vec![1i64.into(), 2i64.into(), 3i64.into()])
+        );
+        assert_eq!(
+            one(r#"a = [[1], ["x"]]"#).2,
+            Value::Array(vec![
+                Value::Array(vec![1i64.into()]),
+                Value::Array(vec!["x".into()]),
+            ])
+        );
+        assert_eq!(one("a = []").2, Value::Array(vec![]));
+        // trailing comma allowed
+        assert_eq!(one("a = [1,]").2, Value::Array(vec![1i64.into()]));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let entries =
+            parse_document("# header\n\na = 1 # trailing\nb = \"with # inside\"\n").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].2, Value::String("with # inside".into()));
+    }
+
+    #[test]
+    fn quoted_keys() {
+        let e = one(r#""weird key" = 1"#);
+        assert_eq!(e.1, "weird key");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_document("[unterminated").is_err());
+        assert!(parse_document("[]").is_err());
+        assert!(parse_document("[a..b]").is_err());
+        assert!(parse_document("no_equals").is_err());
+        assert!(parse_document("a = ").is_err());
+        assert!(parse_document("a = \"unterminated").is_err());
+        assert!(parse_document("a = [1, 2").is_err());
+        assert!(parse_document("a = 1 2").is_err());
+        assert!(parse_document("a = truex").is_err());
+        assert!(parse_document("a = 1.2.3").is_err());
+        assert!(parse_document("bad key = 1").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_document("a = 1\nb = ?\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

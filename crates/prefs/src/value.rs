@@ -1,0 +1,159 @@
+//! The value model for the TOML subset used by the preferences store.
+
+use std::fmt;
+
+/// A preference value.
+///
+/// This mirrors the subset of TOML value types the store supports. Arrays are
+/// heterogeneous at the type level but the writer only ever emits homogeneous
+/// arrays, matching what `Preferences.jl` produces in practice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A UTF-8 string, serialized with basic-string escaping.
+    String(String),
+    /// A 64-bit signed integer.
+    Integer(i64),
+    /// A 64-bit float. NaN is not representable in TOML and is rejected by
+    /// the writer.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Returns the string payload if this is a [`Value::String`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this is a [`Value::Integer`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, widening integers, if numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Integer(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the array payload if this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::String(_) => "string",
+            Value::Integer(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Integer(i)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Integer(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::writer::write_value(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(3i64).as_int(), Some(3));
+        assert_eq!(Value::from(3i64).as_float(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::from("x").as_int().is_none());
+        assert!(Value::from(1i64).as_str().is_none());
+        assert!(Value::from(false).as_float().is_none());
+    }
+
+    #[test]
+    fn array_conversion_preserves_order() {
+        let v = Value::from(vec![1i64, 2, 3]);
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].as_int(), Some(3));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::from("x").type_name(), "string");
+        assert_eq!(Value::from(1i64).type_name(), "integer");
+        assert_eq!(Value::from(1.0).type_name(), "float");
+        assert_eq!(Value::from(true).type_name(), "boolean");
+        assert_eq!(Value::Array(vec![]).type_name(), "array");
+    }
+}

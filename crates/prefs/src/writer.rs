@@ -1,0 +1,151 @@
+//! Serialization of a preferences store back to the TOML subset.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::Value;
+
+/// Write a single value in TOML syntax.
+pub(crate) fn write_value(value: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match value {
+        Value::String(s) => write_string(s, f),
+        Value::Integer(i) => write!(f, "{i}"),
+        Value::Float(x) => write_float(*x, f),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Array(items) => {
+            write!(f, "[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_value(item, f)?;
+            }
+            write!(f, "]")
+        }
+    }
+}
+
+fn write_string(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            '\r' => write!(f, "\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04X}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// Floats are written so that they parse back as floats (always including a
+/// decimal point or exponent). NaN panics: it is not representable in TOML
+/// and storing it as a preference is a caller bug.
+fn write_float(x: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    assert!(!x.is_nan(), "NaN preferences are not representable");
+    if x.is_infinite() {
+        // Not standard TOML, but round-trips through our parser via exponent
+        // overflow being rejected; encode as a huge literal instead.
+        return write!(f, "{}1e999", if x < 0.0 { "-" } else { "" });
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        write!(f, "{s}")
+    } else {
+        write!(f, "{s}.0")
+    }
+}
+
+/// Serialize a map of tables to a document string. Tables and keys are
+/// emitted in sorted order so output is deterministic.
+pub fn write_document(tables: &BTreeMap<String, BTreeMap<String, Value>>) -> String {
+    struct Doc<'a>(&'a BTreeMap<String, BTreeMap<String, Value>>);
+    impl fmt::Display for Doc<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let mut first = true;
+            // Root table ("") first, then named tables.
+            for (table, entries) in self.0 {
+                if entries.is_empty() {
+                    continue;
+                }
+                if !first {
+                    writeln!(f)?;
+                }
+                first = false;
+                if !table.is_empty() {
+                    write!(f, "[")?;
+                    write_key(table, f)?;
+                    writeln!(f, "]")?;
+                }
+                for (key, value) in entries {
+                    write_key(key, f)?;
+                    write!(f, " = ")?;
+                    write_value(value, f)?;
+                    writeln!(f)?;
+                }
+            }
+            Ok(())
+        }
+    }
+    format!("{}", Doc(tables))
+}
+
+fn write_key(key: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        write!(f, "{key}")
+    } else {
+        write_string(key, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_scalars() {
+        assert_eq!(Value::from(3i64).to_string(), "3");
+        assert_eq!(Value::from(2.5).to_string(), "2.5");
+        assert_eq!(Value::from(2.0).to_string(), "2.0");
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn display_arrays() {
+        let v = Value::from(vec![1i64, 2]);
+        assert_eq!(v.to_string(), "[1, 2]");
+        assert_eq!(Value::Array(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn floats_round_trip_as_floats() {
+        for x in [0.0, -1.5, 1e-9, 3.0, 1234567.0, f64::MAX] {
+            let text = format!("a = {}", Value::from(x));
+            let parsed = crate::parser::parse_document(&text).unwrap();
+            assert_eq!(parsed[0].2, Value::Float(x), "for {x}");
+        }
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        let v = Value::from("\u{1}");
+        assert_eq!(v.to_string(), "\"\\u0001\"");
+        let text = format!("a = {v}");
+        let parsed = crate::parser::parse_document(&text).unwrap();
+        assert_eq!(parsed[0].2, Value::String("\u{1}".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = Value::from(f64::NAN).to_string();
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests: any store the writer can emit parses back identically.
+
+use proptest::prelude::*;
+use racc_prefs::{Preferences, Value};
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Integer),
+        // Finite floats only: NaN is not storable by design.
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        // Strings including escapes-worthy characters.
+        "[ -~\\n\\t]{0,24}".prop_map(Value::String),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(2, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::Array)
+    })
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_-]{1,12}"
+}
+
+proptest! {
+    #[test]
+    fn document_round_trips(entries in prop::collection::vec(
+        (arb_name(), arb_name(), arb_value()), 0..12))
+    {
+        let mut p = Preferences::new();
+        for (table, key, value) in &entries {
+            p.set(table, key, value.clone());
+        }
+        let text = p.to_toml();
+        let q = Preferences::from_toml(&text).unwrap();
+        prop_assert_eq!(p.len(), q.len());
+        for (t, k, v) in p.iter() {
+            prop_assert_eq!(q.get(t, k), Some(v));
+        }
+    }
+
+    #[test]
+    fn arbitrary_strings_round_trip(s in "\\PC{0,64}") {
+        let mut p = Preferences::new();
+        p.set("t", "k", s.clone());
+        let q = Preferences::from_toml(&p.to_toml()).unwrap();
+        prop_assert_eq!(q.get_str("t", "k"), Some(s.as_str()));
+    }
+
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,128}") {
+        let _ = Preferences::from_toml(&text);
+    }
+}

@@ -1,0 +1,214 @@
+//! 3D weighted stencils.
+
+use racc_core::{Array3, Backend, Context, KernelProfile};
+
+use crate::Boundary;
+
+/// A 3D stencil: taps `(di, dj, dk, weight)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stencil3 {
+    taps: Vec<(isize, isize, isize, f64)>,
+}
+
+impl Stencil3 {
+    /// Build from explicit taps.
+    pub fn new(taps: Vec<(isize, isize, isize, f64)>) -> Self {
+        assert!(!taps.is_empty(), "a stencil needs at least one tap");
+        Stencil3 { taps }
+    }
+
+    /// The 7-point Laplacian: `-6` center, `+1` each face neighbor.
+    pub fn laplacian_7pt() -> Self {
+        Stencil3::new(vec![
+            (0, 0, 0, -6.0),
+            (-1, 0, 0, 1.0),
+            (1, 0, 0, 1.0),
+            (0, -1, 0, 1.0),
+            (0, 1, 0, 1.0),
+            (0, 0, -1, 1.0),
+            (0, 0, 1, 1.0),
+        ])
+    }
+
+    /// A full 27-point mean filter.
+    pub fn box_blur() -> Self {
+        let w = 1.0 / 27.0;
+        let mut taps = Vec::with_capacity(27);
+        for di in -1..=1 {
+            for dj in -1..=1 {
+                for dk in -1..=1 {
+                    taps.push((di, dj, dk, w));
+                }
+            }
+        }
+        Stencil3::new(taps)
+    }
+
+    /// The taps.
+    pub fn taps(&self) -> &[(isize, isize, isize, f64)] {
+        &self.taps
+    }
+
+    /// Sum of weights.
+    pub fn weight_sum(&self) -> f64 {
+        self.taps.iter().map(|&(_, _, _, w)| w).sum()
+    }
+
+    /// Cost profile of one application.
+    pub fn profile(&self) -> KernelProfile {
+        KernelProfile::new(
+            "stencil3",
+            2.0 * self.taps.len() as f64,
+            8.0 * self.taps.len() as f64,
+            8.0,
+        )
+        .with_coalescing(0.7)
+    }
+
+    /// `dst = S(src)` on the context's backend.
+    pub fn apply<B: Backend>(
+        &self,
+        ctx: &Context<B>,
+        src: &Array3<f64>,
+        dst: &Array3<f64>,
+        bc: Boundary,
+    ) {
+        assert_eq!(src.dims(), dst.dims(), "stencil shape mismatch");
+        let (m, n, l) = src.dims();
+        let taps = self.taps.clone();
+        let (sv, dv) = (src.view(), dst.view_mut());
+        ctx.parallel_for_3d((m, n, l), &self.profile(), move |i, j, k| {
+            let mut acc = 0.0;
+            for &(di, dj, dk, w) in &taps {
+                let ii = bc.resolve(i as isize + di, m);
+                let jj = bc.resolve(j as isize + dj, n);
+                let kk = bc.resolve(k as isize + dk, l);
+                let v = match (ii, jj, kk) {
+                    (Some(ii), Some(jj), Some(kk)) => sv.get(ii, jj, kk),
+                    _ => bc.outside_value(),
+                };
+                acc += w * v;
+            }
+            dv.set(i, j, k, acc);
+        });
+    }
+
+    /// Serial reference application.
+    pub fn apply_ref(
+        &self,
+        dims: (usize, usize, usize),
+        src: &[f64],
+        dst: &mut [f64],
+        bc: Boundary,
+    ) {
+        let (m, n, l) = dims;
+        assert_eq!(src.len(), m * n * l);
+        assert_eq!(dst.len(), m * n * l);
+        let at = |i: usize, j: usize, k: usize| (k * n + j) * m + i;
+        for k in 0..l {
+            for j in 0..n {
+                for i in 0..m {
+                    let mut acc = 0.0;
+                    for &(di, dj, dk, w) in &self.taps {
+                        let ii = bc.resolve(i as isize + di, m);
+                        let jj = bc.resolve(j as isize + dj, n);
+                        let kk = bc.resolve(k as isize + dk, l);
+                        let v = match (ii, jj, kk) {
+                            (Some(ii), Some(jj), Some(kk)) => src[at(ii, jj, kk)],
+                            _ => bc.outside_value(),
+                        };
+                        acc += w * v;
+                    }
+                    dst[at(i, j, k)] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racc_core::{SerialBackend, ThreadsBackend};
+
+    #[test]
+    fn weight_sums() {
+        assert_eq!(Stencil3::laplacian_7pt().weight_sum(), 0.0);
+        assert!((Stencil3::box_blur().weight_sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_serial_reference() {
+        let dims = (6, 7, 5);
+        let total = dims.0 * dims.1 * dims.2;
+        let data: Vec<f64> = (0..total).map(|i| ((i * 13) % 23) as f64 - 11.0).collect();
+        for bc in [
+            Boundary::Dirichlet(-1.0),
+            Boundary::Periodic,
+            Boundary::Neumann,
+        ] {
+            let ctx = Context::new(ThreadsBackend::with_threads(3));
+            let src = ctx.array3_from(dims.0, dims.1, dims.2, &data).unwrap();
+            let dst = ctx.zeros3::<f64>(dims.0, dims.1, dims.2).unwrap();
+            let s = Stencil3::laplacian_7pt();
+            s.apply(&ctx, &src, &dst, bc);
+            let mut want = vec![0.0; total];
+            s.apply_ref(dims, &data, &mut want, bc);
+            assert_eq!(ctx.to_host3(&dst).unwrap(), want, "{bc:?}");
+        }
+    }
+
+    #[test]
+    fn quadratic_field_has_constant_laplacian() {
+        // f = i^2 => Laplacian = 2 everywhere in the interior.
+        let ctx = Context::new(SerialBackend::new());
+        let (m, n, l) = (10, 6, 6);
+        let src = ctx
+            .array3_from_fn_helper(m, n, l)
+            .unwrap_or_else(|| unreachable!());
+        let dst = ctx.zeros3::<f64>(m, n, l).unwrap();
+        Stencil3::laplacian_7pt().apply(&ctx, &src, &dst, Boundary::Neumann);
+        let host = ctx.to_host3(&dst).unwrap();
+        let at = |i: usize, j: usize, k: usize| (k * n + j) * m + i;
+        for k in 1..l - 1 {
+            for j in 1..n - 1 {
+                for i in 1..m - 1 {
+                    assert!(
+                        (host[at(i, j, k)] - 2.0).abs() < 1e-12,
+                        "({i},{j},{k}) = {}",
+                        host[at(i, j, k)]
+                    );
+                }
+            }
+        }
+    }
+
+    // Helper extension used by the quadratic test: builds f(i,j,k) = i^2.
+    trait Array3FromFn {
+        fn array3_from_fn_helper(
+            &self,
+            m: usize,
+            n: usize,
+            l: usize,
+        ) -> Option<racc_core::Array3<f64>>;
+    }
+
+    impl<B: racc_core::Backend> Array3FromFn for Context<B> {
+        fn array3_from_fn_helper(
+            &self,
+            m: usize,
+            n: usize,
+            l: usize,
+        ) -> Option<racc_core::Array3<f64>> {
+            let mut data = Vec::with_capacity(m * n * l);
+            for _k in 0..l {
+                for _j in 0..n {
+                    for i in 0..m {
+                        data.push((i * i) as f64);
+                    }
+                }
+            }
+            self.array3_from(m, n, l, &data).ok()
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! A counting latch used to implement the pool's synchronous join.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A latch initialized with a count; waiters block until the count reaches
+/// zero. Unlike a barrier it is single-use per count and the decrementers
+/// need not be the waiters.
+#[derive(Debug)]
+pub struct CountLatch {
+    remaining: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    /// Create a latch that releases waiters after `count` decrements.
+    pub fn new(count: usize) -> Self {
+        CountLatch {
+            remaining: Mutex::new(count),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Decrement the count, waking waiters if it reaches zero.
+    ///
+    /// # Panics
+    /// Panics if decremented below zero — that is always a bookkeeping bug.
+    pub fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        assert!(*remaining > 0, "CountLatch decremented below zero");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Block until the count reaches zero.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.cond.wait(&mut remaining);
+        }
+    }
+
+    /// Current count (racy; for diagnostics and tests).
+    pub fn count(&self) -> usize {
+        *self.remaining.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_count_releases_immediately() {
+        let latch = CountLatch::new(0);
+        latch.wait();
+    }
+
+    #[test]
+    fn waits_for_all_decrements() {
+        let latch = Arc::new(CountLatch::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let latch = Arc::clone(&latch);
+            handles.push(std::thread::spawn(move || latch.count_down()));
+        }
+        latch.wait();
+        assert_eq!(latch.count(), 0);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn multiple_waiters_all_wake() {
+        let latch = Arc::new(CountLatch::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let latch = Arc::clone(&latch);
+            handles.push(std::thread::spawn(move || latch.wait()));
+        }
+        latch.count_down();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below zero")]
+    fn over_decrement_panics() {
+        let latch = CountLatch::new(0);
+        latch.count_down();
+    }
+}

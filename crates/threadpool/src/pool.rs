@@ -1,0 +1,549 @@
+//! The persistent worker pool.
+//!
+//! A `ThreadPool` with `P` participants owns `P - 1` OS worker threads; the
+//! calling thread is always participant 0. All entry points are synchronous:
+//! they return only after every participant has finished, which is also what
+//! makes it sound to run borrowing closures on the workers (the borrowed
+//! stack frame cannot die while workers still hold the closure).
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::latch::CountLatch;
+use crate::schedule::{static_block, Schedule};
+
+/// Errors from pool construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A pool must have at least one participant.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ZeroThreads => write!(f, "thread pool needs at least one thread"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Shared state of one in-flight broadcast.
+struct JobState {
+    latch: CountLatch,
+    panicked: AtomicBool,
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl JobState {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        self.panicked.store(true, Ordering::Release);
+        let mut slot = self.payload.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// A type-erased reference to a borrowed job closure plus its state, shipped
+/// to a worker. Soundness: the pointers reference the caller's stack frame,
+/// and the caller blocks on the latch until every worker has decremented it,
+/// which happens strictly after the worker's last dereference.
+struct JobRef {
+    fun: *const (dyn Fn(usize) + Sync),
+    state: *const JobState,
+    participant: usize,
+}
+
+// SAFETY: the raw pointers are only dereferenced while the issuing call
+// keeps the referents alive (enforced by the latch protocol above).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job as this worker's participant, recording panics and always
+    /// decrementing the latch.
+    ///
+    /// # Safety
+    /// Must only be called while the issuing broadcast is still blocked on
+    /// the latch (the pool protocol guarantees this).
+    unsafe fn execute(self) {
+        let state = &*self.state;
+        let fun = &*self.fun;
+        let result = catch_unwind(AssertUnwindSafe(|| fun(self.participant)));
+        if let Err(payload) = result {
+            state.record_panic(payload);
+        }
+        state.latch.count_down();
+    }
+}
+
+enum Message {
+    Run(JobRef),
+    Shutdown,
+}
+
+/// A persistent pool of worker threads; see the crate docs for the model.
+pub struct ThreadPool {
+    senders: Vec<Sender<Message>>,
+    handles: Vec<JoinHandle<()>>,
+    participants: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("participants", &self.participants)
+            .finish()
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+impl ThreadPool {
+    /// Create a pool with `threads` participants (the calling thread plus
+    /// `threads - 1` workers).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`; use [`ThreadPool::try_new`] to handle that
+    /// as an error.
+    pub fn new(threads: usize) -> Self {
+        Self::try_new(threads).expect("invalid thread pool size")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(threads: usize) -> Result<Self, PoolError> {
+        if threads == 0 {
+            return Err(PoolError::ZeroThreads);
+        }
+        let mut senders = Vec::with_capacity(threads - 1);
+        let mut handles = Vec::with_capacity(threads - 1);
+        for w in 1..threads {
+            let (tx, rx) = unbounded::<Message>();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("racc-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            // SAFETY: the broadcasting call is blocked on the
+                            // job latch until we count it down inside
+                            // `execute`, keeping the referents alive.
+                            Message::Run(job) => unsafe { job.execute() },
+                            Message::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        Ok(ThreadPool {
+            senders,
+            handles,
+            participants: threads,
+        })
+    }
+
+    /// The process-wide pool, sized from `RACC_NUM_THREADS` or the machine's
+    /// available parallelism.
+    pub fn global() -> &'static ThreadPool {
+        GLOBAL.get_or_init(|| ThreadPool::new(default_thread_count()))
+    }
+
+    /// Number of participants (calling thread included).
+    pub fn num_threads(&self) -> usize {
+        self.participants
+    }
+
+    /// Run `f(participant)` once on every participant (0 = calling thread)
+    /// and return when all are done. Panics in any participant propagate to
+    /// the caller after all participants have finished.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let state = JobState {
+            latch: CountLatch::new(self.senders.len()),
+            panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
+        };
+        let fun: &(dyn Fn(usize) + Sync) = &f;
+        // Erase the lifetime: see JobRef safety comment. The transmute only
+        // extends the lifetime of the trait-object pointee to 'static; the
+        // latch protocol guarantees no dereference outlives this call.
+        let fun: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(
+                fun as *const _,
+            )
+        };
+        for (i, tx) in self.senders.iter().enumerate() {
+            let job = JobRef {
+                fun,
+                state: &state as *const _,
+                participant: i + 1,
+            };
+            tx.send(Message::Run(job))
+                .expect("pool worker disconnected");
+        }
+        // The caller participates as participant 0. Catch its panic so we
+        // still join the workers before unwinding past `state`.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+        state.latch.wait();
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        if state.panicked.load(Ordering::Acquire) {
+            let payload = state
+                .payload
+                .lock()
+                .take()
+                .unwrap_or_else(|| Box::new("pool task panicked"));
+            resume_unwind(payload);
+        }
+    }
+
+    /// Parallel loop over `0..n` under the given schedule. `f` must tolerate
+    /// concurrent invocation on distinct indices; every index is invoked
+    /// exactly once.
+    pub fn parallel_for<F>(&self, n: usize, schedule: Schedule, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.participants == 1 {
+            // Moved into a dedicated frame: sharing a body with the
+            // broadcast closures below (which borrow `f`) takes the
+            // closure's address and measurably blocks loop optimization.
+            return serial_for(n, f);
+        }
+        match schedule {
+            Schedule::Static => {
+                let p = self.participants;
+                self.broadcast(|who| {
+                    let (start, end) = static_block(n, p, who);
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+            Schedule::Dynamic { .. } => {
+                let chunk = schedule.dynamic_chunk(n, self.participants);
+                let next = AtomicUsize::new(0);
+                self.broadcast(|_| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Column-wise 2D parallel loop: the `j` (column) loop is distributed,
+    /// the `i` (row) loop runs sequentially inside each task — matching the
+    /// coarse-grain column-major decomposition the paper describes for the
+    /// Base.Threads back end. Calls `f(i, j)` for every pair in
+    /// `0..m × 0..n`.
+    pub fn parallel_for_2d<F>(&self, m: usize, n: usize, schedule: Schedule, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        self.parallel_for(n, schedule, |j| {
+            for i in 0..m {
+                f(i, j);
+            }
+        });
+    }
+
+    /// 3D parallel loop: the outermost `k` (plane) loop is distributed.
+    /// Calls `f(i, j, k)` for every triple in `0..m × 0..n × 0..l`.
+    pub fn parallel_for_3d<F>(&self, m: usize, n: usize, l: usize, schedule: Schedule, f: F)
+    where
+        F: Fn(usize, usize, usize) + Sync,
+    {
+        self.parallel_for(l, schedule, |k| {
+            for j in 0..n {
+                for i in 0..m {
+                    f(i, j, k);
+                }
+            }
+        });
+    }
+
+    /// Split a mutable slice into one contiguous block per participant and
+    /// hand each block to `f(global_offset, block)` in parallel.
+    pub fn parallel_for_slices<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let p = self.participants;
+        let base = SendPtr(data.as_mut_ptr());
+        self.broadcast(|who| {
+            let (start, end) = static_block(n, p, who);
+            if start == end {
+                return;
+            }
+            // SAFETY: static blocks are disjoint and within bounds, and the
+            // underlying slice outlives the broadcast.
+            let block =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+            f(start, block);
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // Workers may already be gone if a panic tore things down.
+            let _ = tx.send(Message::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Clean single-thread loop (see the call site for why it is separate).
+#[inline(never)]
+fn serial_for<F: Fn(usize)>(n: usize, f: F) {
+    for i in 0..n {
+        f(i);
+    }
+}
+
+/// Raw pointer wrapper that may cross threads; all dereferences are guarded
+/// by the disjoint-block argument at the use site.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: derived Clone/Copy would add a spurious `T: Copy` bound.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor taking the whole struct so edition-2021 closures capture the
+    /// `SendPtr` (which is `Sync`) rather than the raw pointer field (which
+    /// is not).
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Thread count for the global pool: `RACC_NUM_THREADS` if set and valid,
+/// otherwise the machine's available parallelism.
+pub(crate) fn default_thread_count() -> usize {
+    if let Ok(v) = std::env::var("RACC_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn try_new_rejects_zero() {
+        assert_eq!(ThreadPool::try_new(0).unwrap_err(), PoolError::ZeroThreads);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(100, Schedule::Static, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_participant() {
+        let pool = ThreadPool::new(4);
+        let seen = Mutex::new(HashSet::new());
+        pool.broadcast(|who| {
+            seen.lock().insert(who);
+        });
+        assert_eq!(*seen.lock(), HashSet::from([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once() {
+        for sched in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 0 },
+            Schedule::Dynamic { chunk: 7 },
+        ] {
+            let pool = ThreadPool::new(4);
+            let n = 10_000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(n, sched, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "schedule {sched:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_for_borrows_stack_data() {
+        let pool = ThreadPool::new(3);
+        let input = vec![2u64; 1000];
+        let total = AtomicU64::new(0);
+        pool.parallel_for(input.len(), Schedule::Static, |i| {
+            total.fetch_add(input[i], Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn parallel_for_2d_covers_grid_column_major() {
+        let pool = ThreadPool::new(4);
+        let (m, n) = (37, 53);
+        let hits: Vec<AtomicUsize> = (0..m * n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_2d(m, n, Schedule::Static, |i, j| {
+            hits[j * m + i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_3d_covers_volume() {
+        let pool = ThreadPool::new(4);
+        let (m, n, l) = (5, 7, 11);
+        let hits: Vec<AtomicUsize> = (0..m * n * l).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_3d(m, n, l, Schedule::Static, |i, j, k| {
+            hits[(k * n + j) * m + i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_slices_writes_disjoint_blocks() {
+        let pool = ThreadPool::new(5);
+        let mut data = vec![0usize; 1234];
+        pool.parallel_for_slices(&mut data, |offset, block| {
+            for (i, x) in block.iter_mut().enumerate() {
+                *x = offset + i;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn empty_ranges_are_noops() {
+        let pool = ThreadPool::new(4);
+        pool.parallel_for(0, Schedule::Static, |_| panic!("must not run"));
+        pool.parallel_for_2d(0, 10, Schedule::Static, |_, _| panic!("must not run"));
+        pool.parallel_for_2d(10, 0, Schedule::Static, |_, _| panic!("must not run"));
+        let mut empty: Vec<u8> = Vec::new();
+        pool.parallel_for_slices(&mut empty, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        let pool = ThreadPool::new(8);
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(3, Schedule::Static, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(100, Schedule::Static, |i| {
+                if i == 99 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "payload: {msg:?}");
+        // The pool must still be usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(10, Schedule::Static, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn caller_panic_still_joins_workers() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(|who| {
+                if who == 0 {
+                    panic!("caller boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Reusable afterwards.
+        pool.broadcast(|_| {});
+    }
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a = ThreadPool::global() as *const _;
+        let b = ThreadPool::global() as *const _;
+        assert_eq!(a, b);
+        assert!(ThreadPool::global().num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_parallel_for_from_worker_is_serial_safe() {
+        // Nested calls on the same pool from inside a task would deadlock by
+        // design (synchronous broadcast); instead nest over a different pool.
+        let outer = ThreadPool::new(2);
+        let total = AtomicUsize::new(0);
+        outer.parallel_for(4, Schedule::Static, |_| {
+            let inner = ThreadPool::new(2);
+            inner.parallel_for(25, Schedule::Static, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,0 +1,292 @@
+//! Parallel reductions over the pool.
+//!
+//! Each participant folds its share of the index space into a private
+//! accumulator (cache-padded to avoid false sharing); the caller then
+//! combines the partials **in participant order**, so a static schedule gives
+//! bit-reproducible results for a fixed thread count.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::pool::ThreadPool;
+use crate::schedule::{static_block, Schedule};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Clean single-thread fold. Kept out of `parallel_reduce`'s body: there
+/// the broadcast closures borrow `map`/`combine`, which takes their address
+/// and blocks loop optimization of the serial path.
+#[inline(never)]
+fn serial_fold<T, F, C>(n: usize, identity: T, map: F, combine: C) -> T
+where
+    F: Fn(usize) -> T,
+    C: Fn(T, T) -> T,
+{
+    let mut acc = identity;
+    for i in 0..n {
+        acc = combine(acc, map(i));
+    }
+    acc
+}
+
+impl ThreadPool {
+    /// Reduce `map(i)` for `i in 0..n` with the binary operator `combine`,
+    /// starting each partial from `identity`.
+    ///
+    /// `combine` must be associative; with `Schedule::Static` the combine
+    /// tree is deterministic for a fixed participant count, with
+    /// `Schedule::Dynamic` chunk assignment (and therefore floating-point
+    /// rounding) may vary run to run.
+    pub fn parallel_reduce<T, F, C>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        identity: T,
+        map: F,
+        combine: C,
+    ) -> T
+    where
+        T: Send + Clone,
+        F: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        if n == 0 {
+            return identity;
+        }
+        let p = self.num_threads();
+        if p == 1 {
+            // Separate frame: see `serial_fold` for why.
+            return serial_fold(n, identity, map, combine);
+        }
+        // Pre-seed one identity per participant so the broadcast closure
+        // never touches `identity` itself (avoiding a `T: Sync` requirement).
+        let partials: Vec<CachePadded<Mutex<Option<T>>>> = (0..p)
+            .map(|_| CachePadded::new(Mutex::new(Some(identity.clone()))))
+            .collect();
+        match schedule {
+            Schedule::Static => {
+                self.broadcast(|who| {
+                    let (start, end) = static_block(n, p, who);
+                    if start == end {
+                        return;
+                    }
+                    let mut acc = partials[who].lock().take().expect("partial seeded");
+                    for i in start..end {
+                        acc = combine(acc, map(i));
+                    }
+                    *partials[who].lock() = Some(acc);
+                });
+            }
+            Schedule::Dynamic { .. } => {
+                let chunk = schedule.dynamic_chunk(n, p);
+                let next = AtomicUsize::new(0);
+                self.broadcast(|who| {
+                    let mut acc = partials[who].lock().take().expect("partial seeded");
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for i in start..end {
+                            acc = combine(acc, map(i));
+                        }
+                    }
+                    *partials[who].lock() = Some(acc);
+                });
+            }
+        }
+        let mut acc = identity;
+        for slot in &partials {
+            if let Some(part) = slot.lock().take() {
+                acc = combine(acc, part);
+            }
+        }
+        acc
+    }
+
+    /// 2D reduction over `0..m × 0..n`, distributed column-wise like
+    /// [`ThreadPool::parallel_for_2d`].
+    pub fn parallel_reduce_2d<T, F, C>(
+        &self,
+        m: usize,
+        n: usize,
+        schedule: Schedule,
+        identity: T,
+        map: F,
+        combine: C,
+    ) -> T
+    where
+        T: Send + Sync + Clone,
+        F: Fn(usize, usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        if m == 0 {
+            return identity;
+        }
+        self.parallel_reduce(
+            n,
+            schedule,
+            identity.clone(),
+            |j| {
+                let mut acc = identity.clone();
+                for i in 0..m {
+                    acc = combine(acc, map(i, j));
+                }
+                acc
+            },
+            &combine,
+        )
+    }
+
+    /// 3D reduction over `0..m × 0..n × 0..l`, distributed over planes like
+    /// [`ThreadPool::parallel_for_3d`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_reduce_3d<T, F, C>(
+        &self,
+        m: usize,
+        n: usize,
+        l: usize,
+        schedule: Schedule,
+        identity: T,
+        map: F,
+        combine: C,
+    ) -> T
+    where
+        T: Send + Sync + Clone,
+        F: Fn(usize, usize, usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        if m == 0 || n == 0 {
+            return identity;
+        }
+        self.parallel_reduce(
+            l,
+            schedule,
+            identity.clone(),
+            |k| {
+                let mut acc = identity.clone();
+                for j in 0..n {
+                    for i in 0..m {
+                        acc = combine(acc, map(i, j, k));
+                    }
+                }
+                acc
+            },
+            &combine,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_closed_form() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 1, 2, 17, 1000, 100_000] {
+            let s = pool.parallel_reduce(n, Schedule::Static, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(s, (n as u64 * n.saturating_sub(1) as u64) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_same_total() {
+        let pool = ThreadPool::new(4);
+        let n = 54_321;
+        let expected = (n as u64 * (n as u64 - 1)) / 2;
+        for chunk in [0usize, 1, 13, 4096] {
+            let s = pool.parallel_reduce(
+                n,
+                Schedule::Dynamic { chunk },
+                0u64,
+                |i| i as u64,
+                |a, b| a + b,
+            );
+            assert_eq!(s, expected, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn max_reduction() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<i64> = (0..10_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 99991) as i64)
+            .collect();
+        let expected = *data.iter().max().unwrap();
+        let got = pool.parallel_reduce(
+            data.len(),
+            Schedule::Static,
+            i64::MIN,
+            |i| data[i],
+            |a, b| a.max(b),
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn static_reduce_is_deterministic_for_floats() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+        let r1 = pool.parallel_reduce(data.len(), Schedule::Static, 0.0, |i| data[i], |a, b| a + b);
+        let r2 = pool.parallel_reduce(data.len(), Schedule::Static, 0.0, |i| data[i], |a, b| a + b);
+        assert_eq!(r1.to_bits(), r2.to_bits());
+    }
+
+    #[test]
+    fn reduce_2d_matches_serial() {
+        let pool = ThreadPool::new(4);
+        let (m, n) = (33, 47);
+        let serial: u64 = (0..m * n).map(|x| x as u64).sum();
+        let par = pool.parallel_reduce_2d(
+            m,
+            n,
+            Schedule::Static,
+            0u64,
+            |i, j| (j * m + i) as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn reduce_3d_matches_serial() {
+        let pool = ThreadPool::new(4);
+        let (m, n, l) = (9, 11, 13);
+        let serial: u64 = (0..m * n * l).map(|x| x as u64).sum();
+        let par = pool.parallel_reduce_3d(
+            m,
+            n,
+            l,
+            Schedule::Static,
+            0u64,
+            |i, j, k| ((k * n + j) * m + i) as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(
+            pool.parallel_reduce_2d(0, 5, Schedule::Static, 7u64, |_, _| 1, |a, b| a + b),
+            7
+        );
+        assert_eq!(
+            pool.parallel_reduce_2d(5, 0, Schedule::Static, 7u64, |_, _| 1, |a, b| a + b),
+            7
+        );
+        assert_eq!(
+            pool.parallel_reduce_3d(0, 1, 1, Schedule::Static, 3u64, |_, _, _| 1, |a, b| a + b),
+            3
+        );
+    }
+
+    #[test]
+    fn single_thread_reduce() {
+        let pool = ThreadPool::new(1);
+        let s = pool.parallel_reduce(100, Schedule::Static, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 4950);
+    }
+}

@@ -1,0 +1,135 @@
+//! Loop-scheduling policies and chunk arithmetic.
+
+/// How a 1D iteration space is divided among participants.
+///
+/// `Static` is the OpenMP-style blocked schedule Julia's `Threads.@threads`
+/// uses by default; `Dynamic` is self-scheduling via an atomic chunk counter,
+/// better for irregular iteration costs at the price of one atomic RMW per
+/// chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Each participant gets one contiguous block of roughly `n / P`
+    /// iterations.
+    #[default]
+    Static,
+    /// Participants repeatedly claim chunks of the given size from an atomic
+    /// counter. A chunk size of 0 picks a heuristic (`n / (8 P)`, at least 1).
+    Dynamic {
+        /// Iterations per claimed chunk; 0 selects the heuristic.
+        chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// Resolve the chunk size a dynamic schedule will use for `n` iterations
+    /// across `participants` threads.
+    pub fn dynamic_chunk(self, n: usize, participants: usize) -> usize {
+        match self {
+            Schedule::Static => split_block(n, participants, 0).1.max(1),
+            Schedule::Dynamic { chunk: 0 } => (n / (8 * participants.max(1))).max(1),
+            Schedule::Dynamic { chunk } => chunk,
+        }
+    }
+}
+
+/// The `[start, end)` range participant `who` of `participants` handles under
+/// the static schedule. Remainder iterations go to the lowest-ranked
+/// participants, so block sizes differ by at most one.
+pub fn static_block(n: usize, participants: usize, who: usize) -> (usize, usize) {
+    debug_assert!(who < participants.max(1));
+    let p = participants.max(1);
+    let base = n / p;
+    let rem = n % p;
+    let start = who * base + who.min(rem);
+    let len = base + usize::from(who < rem);
+    (start, start + len)
+}
+
+fn split_block(n: usize, participants: usize, who: usize) -> (usize, usize) {
+    let (s, e) = static_block(n, participants.max(1), who);
+    (s, e - s)
+}
+
+/// Number of chunks of size `chunk` covering `n` iterations.
+pub fn chunk_count(n: usize, chunk: usize) -> usize {
+    n.div_ceil(chunk.max(1))
+}
+
+/// Iterate the `[start, end)` ranges of all chunks of size `chunk` over `n`.
+pub fn chunks(n: usize, chunk: usize) -> impl Iterator<Item = (usize, usize)> {
+    let chunk = chunk.max(1);
+    (0..chunk_count(n, chunk)).map(move |c| {
+        let start = c * chunk;
+        (start, (start + chunk).min(n))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_blocks_partition_exactly() {
+        for n in [0usize, 1, 7, 64, 101] {
+            for p in [1usize, 2, 3, 8, 13] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for who in 0..p {
+                    let (s, e) = static_block(n, p, who);
+                    assert_eq!(s, prev_end, "blocks must be contiguous");
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, n, "n={n} p={p}");
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn static_blocks_balanced_within_one() {
+        let p = 7;
+        let n = 100;
+        let sizes: Vec<usize> = (0..p)
+            .map(|w| {
+                let (s, e) = static_block(n, p, w);
+                e - s
+            })
+            .collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn chunks_cover_range() {
+        for n in [0usize, 1, 9, 10, 11] {
+            for c in [1usize, 3, 10, 100] {
+                let mut next = 0;
+                for (s, e) in chunks(n, c) {
+                    assert_eq!(s, next);
+                    assert!(e - s <= c);
+                    next = e;
+                }
+                assert_eq!(next, n);
+                assert_eq!(chunks(n, c).count(), chunk_count(n, c));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_chunk_treated_as_one() {
+        assert_eq!(chunk_count(5, 0), 5);
+        assert_eq!(chunks(3, 0).count(), 3);
+    }
+
+    #[test]
+    fn dynamic_chunk_heuristic() {
+        assert_eq!(Schedule::Dynamic { chunk: 0 }.dynamic_chunk(1600, 4), 50);
+        assert_eq!(Schedule::Dynamic { chunk: 0 }.dynamic_chunk(3, 4), 1);
+        assert_eq!(Schedule::Dynamic { chunk: 7 }.dynamic_chunk(1600, 4), 7);
+        // Static resolves to the per-participant block size.
+        assert_eq!(Schedule::Static.dynamic_chunk(100, 4), 25);
+    }
+}

@@ -1,0 +1,83 @@
+//! Lid-driven cavity: wall-bounded LBM with a moving lid — the classic
+//! recirculating-vortex benchmark, run through the RACC front end with an
+//! ASCII rendering of the flow field.
+//!
+//! ```text
+//! cargo run --release --example lbm_cavity [size] [steps]
+//! RACC_BACKEND=cudasim cargo run --release --example lbm_cavity
+//! ```
+
+use racc_lbm::cavity::CavitySim;
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(48);
+    let steps: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
+
+    let ctx = racc::default_context();
+    println!("backend: {}", ctx.name());
+    println!("cavity {size}x{size}, lid velocity 0.08, tau 0.8, {steps} steps\n");
+
+    let mut sim = CavitySim::new(&ctx, size, 0.8, 0.08).expect("cavity setup");
+    sim.run(steps);
+
+    let (ux, uy) = sim.velocity_field().expect("fields");
+    let speed = |x: usize, y: usize| {
+        let u = ux[x * size + y];
+        let v = uy[x * size + y];
+        (u * u + v * v).sqrt()
+    };
+    let max_speed = (0..size)
+        .flat_map(|x| (0..size).map(move |y| speed(x, y)))
+        .fold(0.0f64, f64::max);
+
+    // ASCII speed map (top row = lid), coarse-sampled to ~40 columns.
+    let cells = 40.min(size);
+    let stride = size / cells;
+    let ramp = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    println!("speed field (lid at top, '@' = fastest):");
+    for yy in (0..cells).rev() {
+        let mut line = String::new();
+        for xx in 0..cells {
+            let s = speed(xx * stride, yy * stride);
+            let level = ((s / max_speed) * (ramp.len() - 1) as f64).round() as usize;
+            line.push(ramp[level.min(ramp.len() - 1)]);
+        }
+        println!("  |{line}|");
+    }
+
+    // Direction arrows along the vertical centerline: the recirculation.
+    println!("\ncenterline u_x (x = {}):", size / 2);
+    for frac in [0.9, 0.7, 0.5, 0.3, 0.1] {
+        let y = ((size as f64) * frac) as usize;
+        let u = ux[(size / 2) * size + y];
+        let arrow = if u > 1e-4 {
+            "->"
+        } else if u < -1e-4 {
+            "<-"
+        } else {
+            " ."
+        };
+        println!("  y = {y:>3}: {arrow} ({u:+.4})");
+    }
+
+    let w = sim.total_vorticity().expect("vorticity");
+    println!(
+        "\ntotal vorticity: {w:.4} ({} vortex)",
+        if w < 0.0 {
+            "clockwise"
+        } else {
+            "counter-clockwise"
+        }
+    );
+    println!(
+        "modeled time: {:.3} ms over {} launches",
+        ctx.modeled_ns() as f64 / 1e6,
+        ctx.timeline().launches
+    );
+}

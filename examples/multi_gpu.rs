@@ -1,0 +1,84 @@
+//! Multi-device execution — the paper's "future directions" scenario
+//! (heterogeneous multi-device nodes) on the simulator substrate: split a
+//! DOT across two simulated GPUs, each computing its half, with a peer
+//! copy bringing the partials together.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu
+//! ```
+
+use racc_cudasim::Cuda;
+use racc_gpusim::KernelCost;
+
+fn main() {
+    let n = 1 << 22;
+    let half = n / 2;
+    let hx: Vec<f64> = (0..n).map(|i| ((i % 100) as f64) * 0.01).collect();
+    let hy: Vec<f64> = (0..n).map(|i| (((i + 50) % 100) as f64) * 0.01).collect();
+    let expect: f64 = hx.iter().zip(&hy).map(|(a, b)| a * b).sum();
+
+    // Two simulated A100s, each owning half of the vectors.
+    let gpu0 = Cuda::new();
+    let gpu1 = Cuda::new();
+    println!(
+        "two devices: #{} and #{} ({})",
+        gpu0.device().id(),
+        gpu1.device().id(),
+        gpu0.device().spec().name
+    );
+
+    let x0 = gpu0.cu_array(&hx[..half]).unwrap();
+    let y0 = gpu0.cu_array(&hy[..half]).unwrap();
+    let x1 = gpu1.cu_array(&hx[half..]).unwrap();
+    let y1 = gpu1.cu_array(&hy[half..]).unwrap();
+
+    // Each device reduces its half with the vendor two-kernel DOT.
+    let (d0, ns0) = racc_blas::vendor::cuda::dot(&gpu0, &x0, &y0);
+    let (d1, ns1) = racc_blas::vendor::cuda::dot(&gpu1, &x1, &y1);
+    println!(
+        "device 0 partial: {d0:.6e} in {:.1} us (modeled)",
+        ns0 as f64 / 1e3
+    );
+    println!(
+        "device 1 partial: {d1:.6e} in {:.1} us (modeled)",
+        ns1 as f64 / 1e3
+    );
+
+    // Ship device 1's partial to device 0 peer-to-peer and combine there.
+    let p1 = gpu1.cu_array(&[d1]).unwrap();
+    let p0 = gpu0.zeros::<f64>(1).unwrap();
+    gpu1.device().copy_to_peer(&p1, gpu0.device(), &p0).unwrap();
+    let partial0 = gpu0.cu_array(&[d0]).unwrap();
+    let out = gpu0.zeros::<f64>(1).unwrap();
+    let (a, b, o) = (
+        gpu0.view(&partial0).unwrap(),
+        gpu0.view(&p0).unwrap(),
+        gpu0.view_mut(&out).unwrap(),
+    );
+    gpu0.launch(1, 1, 0, KernelCost::memory_bound(16.0, 8.0), move |t| {
+        if t.global_id_x() == 0 {
+            o.set(0, a.get(0) + b.get(0));
+        }
+    })
+    .unwrap();
+    let total = gpu0.read_scalar(&out, 0).unwrap();
+
+    println!("\ncombined dot: {total:.6e}");
+    println!("reference:    {expect:.6e}");
+    assert!((total - expect).abs() < 1e-6 * expect);
+
+    // Multi-device wall clock = max of the two device clocks (they ran
+    // concurrently) vs one device doing everything.
+    let multi_ns = gpu0.clock_ns().max(gpu1.clock_ns());
+    let solo = Cuda::new();
+    let sx = solo.cu_array(&hx).unwrap();
+    let sy = solo.cu_array(&hy).unwrap();
+    let t0 = solo.clock_ns();
+    let (_, _) = racc_blas::vendor::cuda::dot(&solo, &sx, &sy);
+    let solo_ns = solo.clock_ns() - t0;
+    println!(
+        "\nmodeled end-to-end: two devices {:.1} us (incl. transfers) vs one device {:.1} us",
+        multi_ns as f64 / 1e3,
+        solo_ns as f64 / 1e3
+    );
+}

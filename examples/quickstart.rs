@@ -1,0 +1,60 @@
+//! Quickstart: the paper's Fig. 2 front-end example in RACC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! RACC_BACKEND=cudasim cargo run --release --example quickstart
+//! ```
+
+use racc::prelude::*;
+
+fn main() -> Result<(), RaccError> {
+    // Backend selection mirrors JACC's Preferences flow: RACC_BACKEND env
+    // var, then RaccPreferences.toml, then the Threads default.
+    let ctx = racc::default_context();
+    println!("backend: {}", ctx.name());
+
+    // ---- Unidimensional arrays (paper Fig. 2, top) --------------------
+    let size = 1_000_000usize;
+    let x: Vec<f64> = (0..size).map(|i| ((i * 97) % 100) as f64).collect();
+    let y: Vec<f64> = (0..size).map(|i| ((i * 31) % 100) as f64).collect();
+    let alpha = 2.5f64;
+
+    let dx = ctx.array_from(&x)?; // JACC.Array(x)
+    let dy = ctx.array_from(&y)?;
+
+    // JACC.parallel_for(SIZE, axpy, alpha, dx, dy)
+    let (xv, yv) = (dx.view_mut(), dy.view());
+    ctx.parallel_for(size, &KernelProfile::axpy(), move |i| {
+        xv.set(i, xv.get(i) + alpha * yv.get(i));
+    });
+
+    // res = JACC.parallel_reduce(SIZE, dot, dx, dy)
+    let (xv, yv) = (dx.view(), dy.view());
+    let res: f64 = ctx.parallel_reduce(size, &KernelProfile::dot(), move |i| xv.get(i) * yv.get(i));
+    println!("1D: dot(x + {alpha} y, y) = {res:.6e}");
+
+    // ---- Multidimensional arrays (paper Fig. 2, bottom) ---------------
+    let s = 1_000usize;
+    let dx = ctx.array2_from_fn(s, s, |i, j| ((i + j) % 100) as f64)?;
+    let dy = ctx.array2_from_fn(s, s, |i, j| ((i * j) % 100) as f64)?;
+
+    let (xv, yv) = (dx.view_mut(), dy.view());
+    ctx.parallel_for_2d((s, s), &KernelProfile::axpy(), move |i, j| {
+        xv.set(i, j, xv.get(i, j) + alpha * yv.get(i, j));
+    });
+    let (xv, yv) = (dx.view(), dy.view());
+    let res2: f64 = ctx.parallel_reduce_2d((s, s), &KernelProfile::dot(), move |i, j| {
+        xv.get(i, j) * yv.get(i, j)
+    });
+    println!("2D: dot(X + {alpha} Y, Y) = {res2:.6e}");
+
+    // Modeled-time accounting (what the paper's figures are made of).
+    let t = ctx.timeline();
+    println!(
+        "timeline: {} launches, {} reductions, {:.3} ms modeled",
+        t.launches,
+        t.reductions,
+        t.modeled_ns as f64 / 1e6
+    );
+    Ok(())
+}

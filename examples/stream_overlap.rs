@@ -1,0 +1,72 @@
+//! Stream-level concurrency on the simulated GPU — the paper's future-work
+//! theme of "more efficient exploitation of available resources": splitting
+//! an embarrassingly parallel update across streams overlaps on the modeled
+//! clock, while one stream serializes.
+//!
+//! ```text
+//! cargo run --release --example stream_overlap
+//! ```
+
+use racc_cudasim::Cuda;
+use racc_gpusim::KernelCost;
+
+fn main() {
+    let cuda = Cuda::new();
+    let n = 1 << 22;
+    let chunks = 4usize;
+    let per = n / chunks;
+    let buf = cuda.cu_array(&vec![1.0f64; n]).unwrap();
+    let cost = KernelCost::new(2.0, 8.0, 8.0, 1.0);
+
+    // Serialized: all chunks on the default stream.
+    let v = cuda.view_mut(&buf).unwrap();
+    let t0 = cuda.clock_ns();
+    for c in 0..chunks {
+        let lo = c * per;
+        let view = v.clone();
+        cuda.launch(256, (per / 256) as u32, 0, cost, move |t| {
+            let i = lo + t.global_id_x();
+            if i < lo + per {
+                view.set(i, view.get(i) * 2.0);
+            }
+        })
+        .unwrap();
+    }
+    let serial_ns = cuda.clock_ns() - t0;
+
+    // Overlapped: one stream per chunk.
+    let streams: Vec<_> = (0..chunks).map(|_| cuda.create_stream()).collect();
+    let t1 = cuda.clock_ns();
+    for (c, s) in streams.iter().enumerate() {
+        let lo = c * per;
+        let view = v.clone();
+        cuda.launch_async(s, 256, (per / 256) as u32, 0, cost, move |t| {
+            let i = lo + t.global_id_x();
+            if i < lo + per {
+                view.set(i, view.get(i) * 2.0);
+            }
+        })
+        .unwrap();
+    }
+    cuda.synchronize();
+    let overlap_ns = cuda.clock_ns() - t1;
+
+    println!("updating {n} elements in {chunks} chunks on the simulated A100:");
+    println!(
+        "  default stream (serialized): {:>9.1} us",
+        serial_ns as f64 / 1e3
+    );
+    println!(
+        "  {} streams (overlapped):      {:>9.1} us",
+        chunks,
+        overlap_ns as f64 / 1e3
+    );
+    println!(
+        "  modeled speedup: {:.2}x (bandwidth contention is not modeled — see EXPERIMENTS.md)",
+        serial_ns as f64 / overlap_ns as f64
+    );
+
+    let host = cuda.to_host(&buf).unwrap();
+    assert!(host.iter().all(|&x| x == 4.0), "both passes applied");
+    println!("  results verified: every element doubled twice");
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table (the analog of the JACC-Test-Codes
+# benchmark scripts in the paper's appendix). Output goes to results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+ARGS="${1:-}"
+cargo run --release -p racc-bench --bin figures -- all $ARGS | tee results/figures.txt
+echo "wrote results/figures.txt"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification: tests (both feature sets), clippy, docs, examples.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo test --workspace
+cargo test --workspace --features racecheck
+cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+for ex in quickstart portability_tour backend_preferences; do
+  cargo run --release --example "$ex" >/dev/null
+done
+echo "all green"

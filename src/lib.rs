@@ -1,0 +1,350 @@
+//! # RACC — Rust for ACCelerators
+//!
+//! A performance-portable parallel programming front end for CPUs and
+//! (simulated) GPUs: a from-scratch Rust reproduction of **JACC**, the
+//! high-level meta-programming model for Julia presented at SC'24
+//! (*"JACC: Leveraging HPC Meta-Programming and Performance Portability
+//! with the Just-in-Time and LLVM-based Julia Language"*, Valero-Lara et
+//! al.).
+//!
+//! The same RACC code runs unchanged on every back end:
+//!
+//! | key | backend | JACC analog | target |
+//! |---|---|---|---|
+//! | `serial`    | [`SerialBackend`]  | — | reference |
+//! | `threads`   | [`ThreadsBackend`] | `Base.Threads` | CPU (default) |
+//! | `cudasim`   | `CudaBackend`      | `CUDA.jl` | simulated NVIDIA A100 |
+//! | `hipsim`    | `HipBackend`       | `AMDGPU.jl` | simulated AMD MI100 |
+//! | `oneapisim` | `OneApiBackend`    | `oneAPI.jl` | simulated Intel Max 1550 |
+//!
+//! Back-end selection mirrors JACC's `Preferences.jl` flow: the default
+//! context consults the `RACC_BACKEND` environment variable, then the
+//! `[racc] backend = "..."` preference in `RaccPreferences.toml` (current
+//! directory), and falls back to `threads`. The GPU back ends are optional
+//! cargo features (all on by default), mirroring JACC's Julia v1.9 weak
+//! dependencies.
+//!
+//! ```
+//! use racc::prelude::*;
+//!
+//! let ctx = racc::context_for("threads").unwrap();
+//! let size = 1_000usize;
+//! let x = ctx.array_from(&vec![1.0f64; size]).unwrap();
+//! let y = ctx.array_from(&vec![2.0f64; size]).unwrap();
+//! let alpha = 2.5;
+//!
+//! let (xv, yv) = (x.view_mut(), y.view());
+//! ctx.parallel_for(size, &KernelProfile::axpy(), move |i| {
+//!     xv.set(i, xv.get(i) + alpha * yv.get(i));
+//! });
+//!
+//! let (xv, yv) = (x.view(), y.view());
+//! let dot: f64 = ctx.parallel_reduce(size, &KernelProfile::dot(), move |i| {
+//!     xv.get(i) * yv.get(i)
+//! });
+//! assert_eq!(dot, 6.0 * 2.0 * size as f64);
+//! ```
+
+use std::sync::OnceLock;
+
+pub use racc_core::prelude::*;
+pub use racc_core::{
+    cpumodel, AccScalar, CpuSpec, DeviceToken, Numeric, Timeline, TimelineSnapshot, View1, View2,
+    View3, ViewMut1, ViewMut2, ViewMut3,
+};
+pub use racc_prefs::{Preferences, Value, PREFS_FILE_NAME};
+
+#[cfg(feature = "backend-cuda")]
+pub use racc_backend_cuda::CudaBackend;
+#[cfg(feature = "backend-hip")]
+pub use racc_backend_hip::HipBackend;
+#[cfg(feature = "backend-oneapi")]
+pub use racc_backend_oneapi::OneApiBackend;
+
+/// Convenience prelude: everything application code typically needs.
+pub mod prelude {
+    pub use racc_core::prelude::*;
+
+    pub use crate::{available_backends, context_for, default_context, AnyBackend, Ctx};
+}
+
+/// Environment variable overriding the preferred backend key.
+pub const BACKEND_ENV: &str = "RACC_BACKEND";
+
+/// The runtime-selected backend: enum dispatch over every compiled-in
+/// back end (the generic [`Backend`] methods stay monomorphized; only one
+/// `match` separates the front end from the chosen implementation).
+pub enum AnyBackend {
+    /// Single-core reference backend.
+    Serial(SerialBackend),
+    /// `Base.Threads`-analog CPU backend (the default).
+    Threads(ThreadsBackend),
+    /// Simulated NVIDIA back end.
+    #[cfg(feature = "backend-cuda")]
+    Cuda(CudaBackend),
+    /// Simulated AMD back end.
+    #[cfg(feature = "backend-hip")]
+    Hip(HipBackend),
+    /// Simulated Intel back end.
+    #[cfg(feature = "backend-oneapi")]
+    OneApi(OneApiBackend),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $b:ident => $e:expr) => {
+        match $self {
+            AnyBackend::Serial($b) => $e,
+            AnyBackend::Threads($b) => $e,
+            #[cfg(feature = "backend-cuda")]
+            AnyBackend::Cuda($b) => $e,
+            #[cfg(feature = "backend-hip")]
+            AnyBackend::Hip($b) => $e,
+            #[cfg(feature = "backend-oneapi")]
+            AnyBackend::OneApi($b) => $e,
+        }
+    };
+}
+
+impl Backend for AnyBackend {
+    fn name(&self) -> String {
+        dispatch!(self, b => b.name())
+    }
+    fn key(&self) -> &'static str {
+        dispatch!(self, b => b.key())
+    }
+    fn is_accelerator(&self) -> bool {
+        dispatch!(self, b => b.is_accelerator())
+    }
+    fn timeline(&self) -> &Timeline {
+        dispatch!(self, b => b.timeline())
+    }
+    fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError> {
+        dispatch!(self, b => b.on_alloc(bytes, upload))
+    }
+    fn on_download(&self, bytes: usize) {
+        dispatch!(self, b => b.on_download(bytes))
+    }
+    fn parallel_for_1d<F: Fn(usize) + Sync>(&self, n: usize, p: &KernelProfile, f: F) {
+        dispatch!(self, b => b.parallel_for_1d(n, p, f))
+    }
+    fn parallel_for_2d<F: Fn(usize, usize) + Sync>(
+        &self,
+        m: usize,
+        n: usize,
+        p: &KernelProfile,
+        f: F,
+    ) {
+        dispatch!(self, b => b.parallel_for_2d(m, n, p, f))
+    }
+    fn parallel_for_3d<F: Fn(usize, usize, usize) + Sync>(
+        &self,
+        m: usize,
+        n: usize,
+        l: usize,
+        p: &KernelProfile,
+        f: F,
+    ) {
+        dispatch!(self, b => b.parallel_for_3d(m, n, l, p, f))
+    }
+    fn parallel_reduce_1d<T, F, O>(&self, n: usize, p: &KernelProfile, f: F, op: O) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize) -> T + Sync,
+        O: ReduceOp<T>,
+    {
+        dispatch!(self, b => b.parallel_reduce_1d(n, p, f, op))
+    }
+    fn parallel_reduce_2d<T, F, O>(&self, m: usize, n: usize, p: &KernelProfile, f: F, op: O) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize, usize) -> T + Sync,
+        O: ReduceOp<T>,
+    {
+        dispatch!(self, b => b.parallel_reduce_2d(m, n, p, f, op))
+    }
+    fn parallel_reduce_3d<T, F, O>(
+        &self,
+        m: usize,
+        n: usize,
+        l: usize,
+        p: &KernelProfile,
+        f: F,
+        op: O,
+    ) -> T
+    where
+        T: AccScalar,
+        F: Fn(usize, usize, usize) -> T + Sync,
+        O: ReduceOp<T>,
+    {
+        dispatch!(self, b => b.parallel_reduce_3d(m, n, l, p, f, op))
+    }
+}
+
+/// The runtime-selected context type.
+pub type Ctx = Context<AnyBackend>;
+
+/// Keys of all back ends compiled into this build.
+pub fn available_backends() -> Vec<&'static str> {
+    let mut keys = vec!["serial", "threads"];
+    #[cfg(feature = "backend-cuda")]
+    keys.push("cudasim");
+    #[cfg(feature = "backend-hip")]
+    keys.push("hipsim");
+    #[cfg(feature = "backend-oneapi")]
+    keys.push("oneapisim");
+    keys
+}
+
+/// Build a context for the given backend key. Vendor aliases are accepted
+/// (`cuda`/`nvidia` → `cudasim`, `hip`/`amdgpu` → `hipsim`,
+/// `oneapi`/`intel` → `oneapisim`).
+pub fn context_for(key: &str) -> Result<Ctx, RaccError> {
+    let backend = backend_for(key)?;
+    Ok(Context::new(backend))
+}
+
+/// Build a backend value for the given key.
+pub fn backend_for(key: &str) -> Result<AnyBackend, RaccError> {
+    match key.to_ascii_lowercase().as_str() {
+        "serial" => Ok(AnyBackend::Serial(SerialBackend::new())),
+        "threads" | "cpu" => Ok(AnyBackend::Threads(ThreadsBackend::new())),
+        #[cfg(feature = "backend-cuda")]
+        "cudasim" | "cuda" | "nvidia" => Ok(AnyBackend::Cuda(CudaBackend::new())),
+        #[cfg(feature = "backend-hip")]
+        "hipsim" | "hip" | "amdgpu" | "amd" => Ok(AnyBackend::Hip(HipBackend::new())),
+        #[cfg(feature = "backend-oneapi")]
+        "oneapisim" | "oneapi" | "intel" => Ok(AnyBackend::OneApi(OneApiBackend::new())),
+        other => Err(RaccError::BackendUnavailable(other.to_owned())),
+    }
+}
+
+/// Resolve the preferred backend key without building it: `RACC_BACKEND`
+/// env var, then the `[racc] backend` preference in `RaccPreferences.toml`
+/// (current directory), then `"threads"` — mirroring JACC's
+/// `Preferences.jl` selection with `Base.Threads` as the default back end.
+pub fn preferred_backend_key() -> String {
+    if let Ok(key) = std::env::var(BACKEND_ENV) {
+        if !key.trim().is_empty() {
+            return key.trim().to_owned();
+        }
+    }
+    if let Ok(prefs) = Preferences::load(PREFS_FILE_NAME) {
+        if let Some(key) = prefs.get_str("racc", "backend") {
+            return key.to_owned();
+        }
+    }
+    "threads".to_owned()
+}
+
+/// Build the preference-selected context. Falls back to `threads` (with a
+/// diagnostic on stderr) when the preferred key is not compiled in.
+pub fn default_context() -> Ctx {
+    let key = preferred_backend_key();
+    match context_for(&key) {
+        Ok(ctx) => ctx,
+        Err(_) => {
+            eprintln!("racc: backend {key:?} unavailable, falling back to \"threads\"");
+            context_for("threads").expect("threads backend always available")
+        }
+    }
+}
+
+/// The process-wide shared context (lazy; selected once from preferences).
+/// Prefer explicit [`context_for`] contexts in libraries.
+pub fn global() -> &'static Ctx {
+    static GLOBAL: OnceLock<Ctx> = OnceLock::new();
+    GLOBAL.get_or_init(default_context)
+}
+
+/// Persist a backend preference to `RaccPreferences.toml` in `dir` — the
+/// analog of `Preferences.set_preferences!(JACC, "backend" => ...)`.
+pub fn set_preferred_backend(dir: impl AsRef<std::path::Path>, key: &str) -> Result<(), RaccError> {
+    // Validate before persisting so a typo fails loudly now, not at startup.
+    backend_for(key)?;
+    let mut prefs =
+        Preferences::load_dir(dir.as_ref()).map_err(|e| RaccError::InvalidConfig(e.to_string()))?;
+    prefs.set("racc", "backend", key);
+    prefs
+        .save()
+        .map_err(|e| RaccError::InvalidConfig(e.to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_compiled_backends_construct() {
+        for key in available_backends() {
+            let ctx = context_for(key).unwrap();
+            assert_eq!(ctx.key(), key);
+        }
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(context_for("cpu").unwrap().key(), "threads");
+        #[cfg(feature = "backend-cuda")]
+        assert_eq!(context_for("CUDA").unwrap().key(), "cudasim");
+        #[cfg(feature = "backend-hip")]
+        assert_eq!(context_for("amdgpu").unwrap().key(), "hipsim");
+        #[cfg(feature = "backend-oneapi")]
+        assert_eq!(context_for("intel").unwrap().key(), "oneapisim");
+    }
+
+    #[test]
+    fn unknown_backend_is_an_error() {
+        assert!(matches!(
+            context_for("fpga"),
+            Err(RaccError::BackendUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn same_code_every_backend() {
+        // The portability claim in miniature: identical closure, all
+        // back ends, identical results.
+        let n = 4096usize;
+        let mut results = Vec::new();
+        for key in available_backends() {
+            let ctx = context_for(key).unwrap();
+            let x = ctx.array_from_fn(n, |i| (i % 17) as f64).unwrap();
+            let y = ctx.array_from_fn(n, |i| ((i + 3) % 13) as f64).unwrap();
+            let (xv, yv) = (x.view_mut(), y.view());
+            ctx.parallel_for(n, &KernelProfile::axpy(), move |i| {
+                xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+            });
+            let (xv, yv) = (x.view(), y.view());
+            let dot: f64 =
+                ctx.parallel_reduce(n, &KernelProfile::dot(), move |i| xv.get(i) * yv.get(i));
+            results.push((key, dot));
+        }
+        let first = results[0].1;
+        for (key, dot) in &results {
+            assert!(
+                (dot - first).abs() < 1e-9 * first.abs(),
+                "{key}: {dot} vs {first}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_context_is_singleton() {
+        let a = global() as *const _;
+        let b = global() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn preference_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("racc-root-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        set_preferred_backend(&dir, "serial").unwrap();
+        let prefs = Preferences::load_dir(&dir).unwrap();
+        assert_eq!(prefs.get_str("racc", "backend"), Some("serial"));
+        // invalid key refuses to persist
+        assert!(set_preferred_backend(&dir, "quantum").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

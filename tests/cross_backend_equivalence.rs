@@ -1,0 +1,162 @@
+//! The portability contract, tested end to end: the same program text runs
+//! on every compiled-in back end and produces equivalent results.
+
+use racc::prelude::*;
+use racc::Ctx;
+
+fn contexts() -> Vec<Ctx> {
+    racc::available_backends()
+        .into_iter()
+        .map(|key| racc::context_for(key).expect("backend compiled in"))
+        .collect()
+}
+
+/// Results must agree across backends to floating-point tolerance (static
+/// schedules differ only in combine-tree shape).
+fn assert_all_close(label: &str, values: &[(String, f64)]) {
+    let first = values[0].1;
+    for (key, v) in values {
+        let denom = first.abs().max(1e-300);
+        assert!(
+            ((v - first) / denom).abs() < 1e-9,
+            "{label}: backend {key} gave {v}, expected ~{first}"
+        );
+    }
+}
+
+#[test]
+fn axpy_dot_pipeline_equivalent_everywhere() {
+    let n = 40_000usize;
+    let mut dots = Vec::new();
+    let mut hosts: Vec<(String, Vec<f64>)> = Vec::new();
+    for ctx in contexts() {
+        let x = ctx
+            .array_from_fn(n, |i| ((i * 37) % 101) as f64 * 0.25)
+            .unwrap();
+        let y = ctx
+            .array_from_fn(n, |i| ((i * 61) % 97) as f64 * 0.5)
+            .unwrap();
+        let (xv, yv) = (x.view_mut(), y.view());
+        ctx.parallel_for(n, &KernelProfile::axpy(), move |i| {
+            xv.set(i, xv.get(i) + 1.5 * yv.get(i));
+        });
+        let (xv, yv) = (x.view(), y.view());
+        let d: f64 = ctx.parallel_reduce(n, &KernelProfile::dot(), move |i| xv.get(i) * yv.get(i));
+        dots.push((ctx.key().to_string(), d));
+        hosts.push((ctx.key().to_string(), ctx.to_host(&x).unwrap()));
+    }
+    assert_all_close("dot", &dots);
+    // The element-wise AXPY results must be *identical* (same arithmetic,
+    // no reduction-order freedom).
+    let first = &hosts[0].1;
+    for (key, host) in &hosts {
+        assert_eq!(host, first, "axpy output differs on {key}");
+    }
+}
+
+#[test]
+fn two_d_and_three_d_constructs_equivalent() {
+    let (m, n, l) = (24usize, 18usize, 12usize);
+    let mut sums2 = Vec::new();
+    let mut sums3 = Vec::new();
+    let mut maxes = Vec::new();
+    for ctx in contexts() {
+        let a = ctx
+            .array2_from_fn(m, n, |i, j| ((i * 7 + j * 13) % 29) as f64)
+            .unwrap();
+        let av = a.view();
+        let s2: f64 = ctx.parallel_reduce_2d((m, n), &KernelProfile::dot(), move |i, j| {
+            av.get(i, j) * 1.5
+        });
+        sums2.push((ctx.key().to_string(), s2));
+
+        let b = ctx.zeros3::<f64>(m, n, l).unwrap();
+        let bv = b.view_mut();
+        ctx.parallel_for_3d((m, n, l), &KernelProfile::unknown(), move |i, j, k| {
+            bv.set(i, j, k, ((i + 2 * j + 3 * k) % 11) as f64);
+        });
+        let bv = b.view();
+        let s3: f64 = ctx.parallel_reduce_3d((m, n, l), &KernelProfile::dot(), move |i, j, k| {
+            bv.get(i, j, k)
+        });
+        sums3.push((ctx.key().to_string(), s3));
+
+        let av = a.view();
+        let mx: f64 =
+            ctx.parallel_reduce_2d_with((m, n), &KernelProfile::dot(), racc::Max, move |i, j| {
+                av.get(i, j)
+            });
+        maxes.push((ctx.key().to_string(), mx));
+    }
+    assert_all_close("sum2d", &sums2);
+    assert_all_close("sum3d", &sums3);
+    assert_all_close("max2d", &maxes);
+}
+
+#[test]
+fn lbm_steps_equivalent_everywhere() {
+    use racc_lbm::portable::LbmSim;
+    let s = 20usize;
+    let tau = 0.8;
+    let fields = |x: usize, y: usize| (1.0 + 0.01 * ((x * 5 + y) as f64).cos(), 0.015, -0.01);
+    let mut snapshots: Vec<(String, Vec<f64>)> = Vec::new();
+    for ctx in contexts() {
+        let mut sim = LbmSim::new(&ctx, s, tau, fields).unwrap();
+        for _ in 0..6 {
+            sim.step();
+        }
+        snapshots.push((ctx.key().to_string(), sim.distributions().unwrap()));
+    }
+    let first = &snapshots[0].1;
+    for (key, snap) in &snapshots {
+        let max_diff = snap
+            .iter()
+            .zip(first)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-13, "LBM differs on {key}: {max_diff}");
+    }
+}
+
+#[test]
+fn cg_converges_identically_everywhere() {
+    use racc_cg::solver::solve;
+    use racc_cg::tridiag::{DeviceTridiag, Tridiag};
+    let n = 3000usize;
+    let a = Tridiag::diagonally_dominant(n);
+    let b_host: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let direct = a.thomas_solve(&b_host);
+    for ctx in contexts() {
+        let da = DeviceTridiag::upload(&ctx, &a).unwrap();
+        let b = ctx.array_from(&b_host).unwrap();
+        let (result, ws) = solve(&ctx, &da, &b, 1e-10, 300).unwrap();
+        assert!(
+            result.converged,
+            "{}: residual {}",
+            ctx.key(),
+            result.residual
+        );
+        let x = ctx.to_host(&ws.x).unwrap();
+        for (got, want) in x.iter().zip(&direct) {
+            assert!((got - want).abs() < 1e-7, "{}: {got} vs {want}", ctx.key());
+        }
+    }
+}
+
+#[test]
+fn gpu_backends_model_transfers_cpu_backends_do_not() {
+    let n = 1 << 18;
+    for ctx in contexts() {
+        ctx.reset_timeline();
+        let arr = ctx.array_from(&vec![1.0f64; n]).unwrap();
+        let _ = ctx.to_host(&arr).unwrap();
+        let t = ctx.timeline();
+        if ctx.is_accelerator() {
+            assert!(t.h2d_bytes > 0, "{} must model H2D", ctx.key());
+            assert!(t.d2h_bytes > 0, "{} must model D2H", ctx.key());
+            assert!(t.modeled_ns > 0);
+        } else {
+            assert_eq!(t.modeled_ns, 0, "{} arrays are free", ctx.key());
+        }
+    }
+}

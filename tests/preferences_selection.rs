@@ -1,0 +1,54 @@
+//! Backend selection through preferences and the environment — JACC's
+//! `Preferences.jl` flow, end to end.
+//!
+//! Environment and working-directory manipulation is process-global, so
+//! everything lives in one `#[test]` running scenarios sequentially.
+
+use racc::{Preferences, PREFS_FILE_NAME};
+
+#[test]
+fn selection_precedence_env_then_file_then_default() {
+    let dir = std::env::temp_dir().join(format!("racc-prefsel-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let old_cwd = std::env::current_dir().unwrap();
+    std::env::set_current_dir(&dir).unwrap();
+    std::env::remove_var(racc::BACKEND_ENV);
+
+    // 1. Nothing configured: the Threads default (JACC's default back end).
+    assert_eq!(racc::preferred_backend_key(), "threads");
+    assert_eq!(racc::default_context().key(), "threads");
+
+    // 2. A preferences file selects the backend.
+    racc::set_preferred_backend(".", "serial").unwrap();
+    assert_eq!(racc::preferred_backend_key(), "serial");
+    assert_eq!(racc::default_context().key(), "serial");
+
+    // 3. The environment variable overrides the file.
+    std::env::set_var(racc::BACKEND_ENV, "cudasim");
+    assert_eq!(racc::preferred_backend_key(), "cudasim");
+    assert_eq!(racc::default_context().key(), "cudasim");
+
+    // 4. A bogus env value falls back to threads (with a warning).
+    std::env::set_var(racc::BACKEND_ENV, "abacus");
+    assert_eq!(racc::default_context().key(), "threads");
+
+    // 5. Whitespace-only env values are ignored in favor of the file.
+    std::env::set_var(racc::BACKEND_ENV, "   ");
+    assert_eq!(racc::preferred_backend_key(), "serial");
+
+    // 6. The persisted file is valid TOML-subset that round-trips.
+    let prefs = Preferences::load(PREFS_FILE_NAME).unwrap();
+    assert_eq!(prefs.get_str("racc", "backend"), Some("serial"));
+    let reparsed = Preferences::from_toml(&prefs.to_toml()).unwrap();
+    assert_eq!(reparsed.get_str("racc", "backend"), Some("serial"));
+
+    // 7. Updating the preference rewrites, not duplicates.
+    racc::set_preferred_backend(".", "hipsim").unwrap();
+    let prefs = Preferences::load(PREFS_FILE_NAME).unwrap();
+    assert_eq!(prefs.len(), 1);
+    assert_eq!(prefs.get_str("racc", "backend"), Some("hipsim"));
+
+    std::env::remove_var(racc::BACKEND_ENV);
+    std::env::set_current_dir(old_cwd).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
