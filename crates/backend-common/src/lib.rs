@@ -31,6 +31,9 @@ use racc_core::{AccScalar, Backend, DeviceToken, KernelProfile, RaccError, Reduc
 use racc_gpusim::perf::{self, KernelCost};
 use racc_gpusim::{Device, LaunchConfig, SimError};
 
+#[cfg(feature = "trace")]
+use racc_core::trace::{ConstructKind, Span};
+
 use kernels::{BlockReduceMap, FinalReduce};
 
 /// Vendor-specific launch parameters and overheads.
@@ -122,9 +125,43 @@ impl SimBackend {
         result.expect("simulated launch rejected its own geometry")
     }
 
+    /// One `parallel_for` span, mirroring the adjacent `charge_launch` so
+    /// per-span modeled sums reconcile with the timeline. `real_ns` stays 0:
+    /// wall time of the simulation is meaningless here.
+    #[cfg(feature = "trace")]
+    fn record_for_span(
+        &self,
+        rank: usize,
+        profile: &KernelProfile,
+        dims: [u64; 3],
+        cfg: Option<LaunchConfig>,
+        ns: f64,
+    ) {
+        self.timeline.record_span(|| {
+            let mut span = Span::new(self.config.key, ConstructKind::for_rank(rank), profile.name)
+                .dims(dims[0], dims[1], dims[2])
+                .profile(profile.flops_per_iter, profile.bytes_per_iter())
+                .modeled(Timeline::quantize(ns));
+            if let Some(cfg) = cfg {
+                span = span.geometry(cfg.grid.count() as u64, cfg.block.count() as u64);
+            }
+            span
+        });
+    }
+
     /// Shared implementation of the two-kernel reduction over a linear
-    /// index space, used by the 1D/2D/3D entry points.
-    fn reduce_linear<T, F, O>(&self, total: usize, profile: &KernelProfile, f: F, op: O) -> T
+    /// index space, used by the 1D/2D/3D entry points. `_rank` and `_dims`
+    /// describe the original (pre-linearization) index space for span
+    /// recording; they are unused when the `trace` feature is off.
+    fn reduce_linear<T, F, O>(
+        &self,
+        total: usize,
+        _rank: usize,
+        _dims: [u64; 3],
+        profile: &KernelProfile,
+        f: F,
+        op: O,
+    ) -> T
     where
         T: AccScalar,
         F: Fn(usize) -> T + Sync,
@@ -133,6 +170,17 @@ impl SimBackend {
         if total == 0 {
             self.timeline
                 .charge_reduction(self.config.racc_launch_extra_ns);
+            #[cfg(feature = "trace")]
+            self.timeline.record_span(|| {
+                Span::new(
+                    self.config.key,
+                    ConstructKind::reduce_rank(_rank),
+                    profile.name,
+                )
+                .dims(_dims[0], _dims[1], _dims[2])
+                .profile(profile.flops_per_iter, profile.bytes_per_iter())
+                .modeled(Timeline::quantize(self.config.racc_launch_extra_ns))
+            });
             return op.identity();
         }
         let block = self.reduce_block();
@@ -177,12 +225,32 @@ impl SimBackend {
         let spec = self.device.spec();
         let sync_ns =
             spec.link_latency_ns * spec.reduce_sync_penalty + perf::transfer_time_ns(spec, elem);
-        self.timeline.charge_reduction(
-            (ns1 + ns2) as f64 * self.config.reduce_time_factor
-                + sync_ns
-                + self.config.racc_launch_extra_ns,
-        );
+        let reduce_ns = (ns1 + ns2) as f64 * self.config.reduce_time_factor
+            + sync_ns
+            + self.config.racc_launch_extra_ns;
+        self.timeline.charge_reduction(reduce_ns);
         self.timeline.charge_d2h(elem as u64, 0.0);
+        #[cfg(feature = "trace")]
+        {
+            // One span for the whole two-kernel sequence, one for the scalar
+            // readback — matching the two timeline charges above.
+            self.timeline.record_span(|| {
+                Span::new(
+                    self.config.key,
+                    ConstructKind::reduce_rank(_rank),
+                    profile.name,
+                )
+                .dims(_dims[0], _dims[1], _dims[2])
+                .geometry(blocks as u64, block as u64)
+                .profile(profile.flops_per_iter, profile.bytes_per_iter())
+                .modeled(Timeline::quantize(reduce_ns))
+            });
+            self.timeline.record_span(|| {
+                Span::new(self.config.key, ConstructKind::D2h, "reduce_result")
+                    .dims(0, 0, 0)
+                    .payload(elem as u64)
+            });
+        }
         result
     }
 }
@@ -211,11 +279,24 @@ impl Backend for SimBackend {
             .device
             .alloc::<u8>(bytes)
             .map_err(|e| RaccError::Allocation(e.to_string()))?;
+        #[cfg(feature = "trace")]
+        self.timeline.record_span(|| {
+            Span::new(self.config.key, ConstructKind::Alloc, "alloc")
+                .dims(0, 0, 0)
+                .payload(bytes as u64)
+        });
         if upload {
             let ns = perf::transfer_time_ns(self.device.spec(), bytes);
             self.device
                 .charge(racc_gpusim::OpKind::H2D, bytes as u64, 0, ns);
             self.timeline.charge_h2d(bytes as u64, ns);
+            #[cfg(feature = "trace")]
+            self.timeline.record_span(|| {
+                Span::new(self.config.key, ConstructKind::H2d, "upload")
+                    .dims(0, 0, 0)
+                    .payload(bytes as u64)
+                    .modeled(Timeline::quantize(ns))
+            });
         }
         Ok(Some(Arc::new(token)))
     }
@@ -225,6 +306,13 @@ impl Backend for SimBackend {
         self.device
             .charge(racc_gpusim::OpKind::D2H, bytes as u64, 0, ns);
         self.timeline.charge_d2h(bytes as u64, ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_span(|| {
+            Span::new(self.config.key, ConstructKind::D2h, "download")
+                .dims(0, 0, 0)
+                .payload(bytes as u64)
+                .modeled(Timeline::quantize(ns))
+        });
     }
 
     fn parallel_for_1d<F>(&self, n: usize, profile: &KernelProfile, f: F)
@@ -234,6 +322,14 @@ impl Backend for SimBackend {
         if n == 0 {
             self.timeline
                 .charge_launch(self.config.racc_launch_extra_ns);
+            #[cfg(feature = "trace")]
+            self.record_for_span(
+                1,
+                profile,
+                [0, 0, 0],
+                None,
+                self.config.racc_launch_extra_ns,
+            );
             return;
         }
         let block = self.block_1d(n);
@@ -248,8 +344,10 @@ impl Backend for SimBackend {
                 }
             },
         ));
-        self.timeline
-            .charge_launch(ns as f64 + self.config.racc_launch_extra_ns);
+        let total_ns = ns as f64 + self.config.racc_launch_extra_ns;
+        self.timeline.charge_launch(total_ns);
+        #[cfg(feature = "trace")]
+        self.record_for_span(1, profile, [n as u64, 1, 1], Some(cfg), total_ns);
     }
 
     fn parallel_for_2d<F>(&self, m: usize, n: usize, profile: &KernelProfile, f: F)
@@ -259,6 +357,14 @@ impl Backend for SimBackend {
         if m == 0 || n == 0 {
             self.timeline
                 .charge_launch(self.config.racc_launch_extra_ns);
+            #[cfg(feature = "trace")]
+            self.record_for_span(
+                2,
+                profile,
+                [0, 0, 0],
+                None,
+                self.config.racc_launch_extra_ns,
+            );
             return;
         }
         let (tx, ty) = self.config.tile_2d;
@@ -273,8 +379,10 @@ impl Backend for SimBackend {
                 }
             },
         ));
-        self.timeline
-            .charge_launch(ns as f64 + self.config.racc_launch_extra_ns);
+        let total_ns = ns as f64 + self.config.racc_launch_extra_ns;
+        self.timeline.charge_launch(total_ns);
+        #[cfg(feature = "trace")]
+        self.record_for_span(2, profile, [m as u64, n as u64, 1], Some(cfg), total_ns);
     }
 
     fn parallel_for_3d<F>(&self, m: usize, n: usize, l: usize, profile: &KernelProfile, f: F)
@@ -284,6 +392,14 @@ impl Backend for SimBackend {
         if m == 0 || n == 0 || l == 0 {
             self.timeline
                 .charge_launch(self.config.racc_launch_extra_ns);
+            #[cfg(feature = "trace")]
+            self.record_for_span(
+                3,
+                profile,
+                [0, 0, 0],
+                None,
+                self.config.racc_launch_extra_ns,
+            );
             return;
         }
         let (tx, ty, tz) = self.config.tile_3d;
@@ -298,8 +414,16 @@ impl Backend for SimBackend {
                 }
             },
         ));
-        self.timeline
-            .charge_launch(ns as f64 + self.config.racc_launch_extra_ns);
+        let total_ns = ns as f64 + self.config.racc_launch_extra_ns;
+        self.timeline.charge_launch(total_ns);
+        #[cfg(feature = "trace")]
+        self.record_for_span(
+            3,
+            profile,
+            [m as u64, n as u64, l as u64],
+            Some(cfg),
+            total_ns,
+        );
     }
 
     fn parallel_reduce_1d<T, F, O>(&self, n: usize, profile: &KernelProfile, f: F, op: O) -> T
@@ -308,7 +432,7 @@ impl Backend for SimBackend {
         F: Fn(usize) -> T + Sync,
         O: ReduceOp<T>,
     {
-        self.reduce_linear(n, profile, f, op)
+        self.reduce_linear(n, 1, [n as u64, 1, 1], profile, f, op)
     }
 
     fn parallel_reduce_2d<T, F, O>(
@@ -326,7 +450,14 @@ impl Backend for SimBackend {
     {
         // Fine-grain mapping: one simulated thread per element, linearized
         // column-major so the fast thread index follows the fast array axis.
-        self.reduce_linear(m * n, profile, |idx| f(idx % m.max(1), idx / m.max(1)), op)
+        self.reduce_linear(
+            m * n,
+            2,
+            [m as u64, n as u64, 1],
+            profile,
+            |idx| f(idx % m.max(1), idx / m.max(1)),
+            op,
+        )
     }
 
     fn parallel_reduce_3d<T, F, O>(
@@ -346,6 +477,8 @@ impl Backend for SimBackend {
         let mn = (m * n).max(1);
         self.reduce_linear(
             m * n * l,
+            3,
+            [m as u64, n as u64, l as u64],
             profile,
             |idx| {
                 let k = idx / mn;

@@ -9,6 +9,10 @@
 //! `ablate-coalescing`, `ablate-reduce`, `all`. `--full` uses the paper's
 //! larger problem sizes (slower; needs several GB of RAM).
 //!
+//! `trace <experiment>` decomposes one experiment launch-by-launch on all
+//! four architectures: per-kernel roofline summaries on stdout, and a
+//! combined chrome://tracing JSON under `results/`.
+//!
 //! Times are **modeled nanoseconds** from the analytic machine models (see
 //! `DESIGN.md` §1 and `EXPERIMENTS.md`); `dev` columns are the
 //! device-specific implementations, `racc` columns the portable ones.
@@ -34,6 +38,15 @@ fn main() {
         "ablate-coalescing" => ablate_coalescing(),
         "ablate-reduce" => ablate_reduce(full),
         "ablate-lbm-launch" => ablate_lbm_launch(),
+        "trace" => {
+            let experiment = args
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .nth(1)
+                .map(String::as_str)
+                .unwrap_or("fig8");
+            trace_experiment(experiment, full);
+        }
         "all" => {
             fig8(full);
             fig9(full);
@@ -47,11 +60,147 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|all"
+                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|trace|all"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// Device peak rates for the roofline column of the kernel summary.
+fn peaks(arch: Arch) -> racc::trace::summary::RooflinePeaks {
+    use racc_core::cpumodel::CpuSpec;
+    use racc_gpusim::profiles;
+    let (flops, bytes) = match arch {
+        Arch::CpuRome => {
+            let cpu = CpuSpec::epyc_7742_rome();
+            (cpu.achieved_flops_per_sec, cpu.achieved_bw_bytes_per_sec)
+        }
+        Arch::Mi100 => {
+            let d = profiles::amd_mi100();
+            (d.fp64_flops_per_sec, d.mem_bw_bytes_per_sec)
+        }
+        Arch::A100 => {
+            let d = profiles::nvidia_a100();
+            (d.fp64_flops_per_sec, d.mem_bw_bytes_per_sec)
+        }
+        Arch::Max1550 => {
+            let d = profiles::intel_max1550();
+            (d.fp64_flops_per_sec, d.mem_bw_bytes_per_sec)
+        }
+    };
+    racc::trace::summary::RooflinePeaks {
+        gflops: flops / 1e9,
+        gbs: bytes / 1e9,
+    }
+}
+
+/// Run one experiment's RACC path on a traced context (uploads included —
+/// the recorder and the timeline both start at context creation, so their
+/// totals must reconcile exactly).
+fn traced_workload(ctx: &racc::Ctx, experiment: &str, full: bool) {
+    use racc_blas::portable as pblas;
+    use racc_cg::solver::CgWorkspace;
+    use racc_cg::tridiag::{DeviceTridiag, Tridiag};
+    use racc_lbm::portable::LbmSim;
+    const ALPHA: f64 = 2.5;
+    match experiment {
+        "fig8" => {
+            let n = if full { 1 << 26 } else { 1 << 20 };
+            let x = ctx
+                .array_from_fn(n, |i| ((i % 1000) as f64) * 0.01)
+                .expect("alloc x");
+            let y = ctx
+                .array_from_fn(n, |i| (((i + 7) % 1000) as f64) * 0.01)
+                .expect("alloc y");
+            pblas::axpy(ctx, ALPHA, &x, &y);
+            let _ = pblas::dot(ctx, &x, &y);
+        }
+        "fig9" => {
+            let s = if full { 1 << 11 } else { 1 << 9 };
+            let host: Vec<f64> = (0..s * s).map(|i| ((i % 1000) as f64) * 0.01).collect();
+            let x = ctx.array2_from(s, s, &host).expect("alloc x");
+            let y = ctx.array2_from(s, s, &host).expect("alloc y");
+            pblas::axpy_2d(ctx, ALPHA, &x, &y);
+            let _ = pblas::dot_2d(ctx, &x, &y);
+        }
+        "fig11" => {
+            let s = if full { 1 << 10 } else { 256 };
+            let mut sim = LbmSim::uniform(ctx, s, 0.8, 1.0, 0.02, 0.0).expect("alloc lattices");
+            sim.step();
+        }
+        "fig13" => {
+            let n = if full { 1 << 24 } else { 1 << 20 };
+            let a = Tridiag::diagonally_dominant(n);
+            let b: Vec<f64> = (0..n).map(|i| 0.5 + ((i % 7) as f64) * 0.1).collect();
+            let da = DeviceTridiag::upload(ctx, &a).expect("upload A");
+            let db = ctx.array_from(&b).expect("upload b");
+            let mut ws = CgWorkspace::new(ctx, &db).expect("workspace");
+            let _ = ws.iterate(ctx, &da);
+        }
+        other => {
+            eprintln!("unknown trace experiment {other:?}; expected fig8|fig9|fig11|fig13");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `trace <experiment>`: per-launch decomposition on all four
+/// architectures, with a reconciliation check against the timeline.
+fn trace_experiment(experiment: &str, full: bool) {
+    let mut groups: Vec<(&'static str, Vec<racc::trace::Span>)> = Vec::new();
+    for arch in Arch::all() {
+        let ctx = racc::builder()
+            .backend(arch.backend_key())
+            .trace(true)
+            .trace_capacity(1 << 16)
+            .build()
+            .expect("backend compiled in");
+        traced_workload(&ctx, experiment, full);
+
+        let spans = ctx.trace_spans();
+        let recorder = ctx.tracer().expect("traced context has a recorder");
+        assert_eq!(recorder.dropped(), 0, "trace ring buffer overflowed");
+        let span_ns = racc::trace::total_modeled_ns(&spans);
+        let timeline_ns = ctx.modeled_ns();
+        println!(
+            "\n=== {experiment} on {} ({} spans) ===",
+            arch.label(),
+            spans.len()
+        );
+        print!(
+            "{}",
+            racc::trace::summary::kernel_summary(&spans, Some(peaks(arch)))
+        );
+        println!(
+            "span modeled total {} vs timeline {} — {}",
+            fmt_ns(span_ns as f64),
+            fmt_ns(timeline_ns as f64),
+            if span_ns == timeline_ns {
+                "exact match"
+            } else {
+                "MISMATCH"
+            }
+        );
+        assert_eq!(
+            span_ns,
+            timeline_ns,
+            "span sum must reconcile with the timeline on {}",
+            arch.label()
+        );
+        groups.push((arch.label(), spans));
+    }
+
+    let refs: Vec<(&str, &[racc::trace::Span])> = groups
+        .iter()
+        .map(|(label, spans)| (*label, spans.as_slice()))
+        .collect();
+    let json = racc::trace::chrome::chrome_trace(&refs);
+    racc::trace::json::validate(&json).expect("chrome trace must be valid JSON");
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = format!("results/trace_{experiment}.json");
+    std::fs::write(&path, json).expect("write chrome trace");
+    println!("\nchrome://tracing JSON written to {path} (open via chrome://tracing or Perfetto)");
 }
 
 fn header() -> Vec<&'static str> {

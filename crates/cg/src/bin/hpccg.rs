@@ -121,6 +121,19 @@ fn run_tridiag<B: Backend>(ctx: &Context<B>, opts: &Options) {
     }
 }
 
+/// Build the context the options ask for: explicit `--backend`, or the
+/// preference-selected default. Exits with a diagnostic on a bad key.
+fn selected_context(opts: &Options) -> racc::Ctx {
+    let mut builder = racc::builder();
+    if let Some(key) = &opts.backend {
+        builder = builder.backend(key);
+    }
+    builder.build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let opts = parse_args();
     println!(
@@ -130,26 +143,17 @@ fn main() {
 
     if opts.all_backends {
         for key in racc::available_backends() {
-            let ctx = racc::context_for(key).expect("backend");
+            let ctx = racc::builder().backend(key).build().expect("backend");
             run_tridiag(&ctx, &opts);
         }
     } else {
-        let ctx = match &opts.backend {
-            Some(key) => racc::context_for(key).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                std::process::exit(2);
-            }),
-            None => racc::default_context(),
-        };
+        let ctx = selected_context(&opts);
         run_tridiag(&ctx, &opts);
     }
 
     // The original HPCCG problem: the 27-point 3D operator.
     if opts.nx >= 2 {
-        let ctx = match &opts.backend {
-            Some(key) => racc::context_for(key).expect("backend"),
-            None => racc::default_context(),
-        };
+        let ctx = selected_context(&opts);
         let m = Csr::hpccg_27pt(opts.nx, opts.nx, opts.nx);
         let n = m.nrows();
         let b = vec![1.0; n];
@@ -175,10 +179,7 @@ fn main() {
 
     // The MiniFE-like 2D Laplacian through the CSR substrate.
     if opts.grid >= 4 {
-        let ctx = match &opts.backend {
-            Some(key) => racc::context_for(key).expect("backend"),
-            None => racc::default_context(),
-        };
+        let ctx = selected_context(&opts);
         let m = Csr::laplacian_2d(opts.grid, opts.grid);
         let n = m.nrows();
         let x_true: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) * 0.25).collect();

@@ -20,6 +20,8 @@ impl Rank {
         T: AccScalar,
         O: ReduceOp<T>,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.trace_start();
         // Fan-in to rank 0 in rank order, then broadcast.
         let total = if self.rank() == 0 {
             let mut acc = value;
@@ -32,7 +34,10 @@ impl Rank {
             self.send(0, value).expect("fan-in send");
             op.identity()
         };
-        self.broadcast(total)
+        let out = self.broadcast_value(total);
+        #[cfg(feature = "trace")]
+        self.record_collective("allreduce", std::mem::size_of::<T>() as u64, t0);
+        out
     }
 
     /// Sum `value` across ranks (the common case: distributed dot products).
@@ -45,6 +50,20 @@ impl Rank {
 
     /// Broadcast rank 0's `value` to every rank; returns it everywhere.
     pub fn broadcast<T>(&self, value: T) -> T
+    where
+        T: AccScalar,
+    {
+        #[cfg(feature = "trace")]
+        let t0 = self.trace_start();
+        let out = self.broadcast_value(value);
+        #[cfg(feature = "trace")]
+        self.record_collective("broadcast", std::mem::size_of::<T>() as u64, t0);
+        out
+    }
+
+    /// Broadcast body, shared with `allreduce` so a traced allreduce records
+    /// one span, not a nested broadcast span too.
+    fn broadcast_value<T>(&self, value: T) -> T
     where
         T: AccScalar,
     {
@@ -64,7 +83,11 @@ impl Rank {
     where
         T: Send + 'static,
     {
-        if self.rank() == 0 {
+        #[cfg(feature = "trace")]
+        let t0 = self.trace_start();
+        #[cfg(feature = "trace")]
+        let bytes = (local.len() * std::mem::size_of::<T>()) as u64;
+        let out = if self.rank() == 0 {
             let mut all = Vec::with_capacity(self.size());
             all.push(local);
             for peer in 1..self.size() {
@@ -74,7 +97,10 @@ impl Rank {
         } else {
             self.send(0, local).expect("gather send");
             None
-        }
+        };
+        #[cfg(feature = "trace")]
+        self.record_collective("gather", bytes, t0);
+        out
     }
 
     /// Every rank receives the concatenation of all ranks' vectors in rank
@@ -83,7 +109,11 @@ impl Rank {
     where
         T: Clone + Send + 'static,
     {
-        if self.rank() == 0 {
+        #[cfg(feature = "trace")]
+        let t0 = self.trace_start();
+        #[cfg(feature = "trace")]
+        let bytes = (local.len() * std::mem::size_of::<T>()) as u64;
+        let out = if self.rank() == 0 {
             let mut all: Vec<T> = local;
             for peer in 1..self.size() {
                 let chunk: Vec<T> = self.recv(peer).expect("allgather recv");
@@ -96,7 +126,10 @@ impl Rank {
         } else {
             self.send(0, local).expect("allgather send");
             self.recv(0).expect("allgather recv")
-        }
+        };
+        #[cfg(feature = "trace")]
+        self.record_collective("allgather", bytes, t0);
+        out
     }
 
     /// Split `data` (on rank 0) into contiguous near-equal chunks, one per
@@ -105,7 +138,9 @@ impl Rank {
     where
         T: Clone + Send + 'static,
     {
-        if self.rank() == 0 {
+        #[cfg(feature = "trace")]
+        let t0 = self.trace_start();
+        let out = if self.rank() == 0 {
             let data = data.expect("rank 0 provides the scatter payload");
             let n = data.len();
             let p = self.size();
@@ -125,7 +160,10 @@ impl Rank {
         } else {
             assert!(data.is_none(), "only rank 0 provides the scatter payload");
             self.recv(0).expect("scatter recv")
-        }
+        };
+        #[cfg(feature = "trace")]
+        self.record_collective("scatter", (out.len() * std::mem::size_of::<T>()) as u64, t0);
+        out
     }
 }
 

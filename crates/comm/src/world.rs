@@ -40,6 +40,15 @@ impl std::error::Error for CommError {}
 
 type Payload = Box<dyn Any + Send>;
 
+/// The per-rank recorder handle. Aliased to `()` when the `trace` feature is
+/// off so `Rank` construction has one field list either way (Rust has no
+/// `cfg` on call-site arguments).
+#[cfg(feature = "trace")]
+pub(crate) type TraceHandle = Option<Arc<racc_core::trace::TraceRecorder>>;
+/// The per-rank recorder handle (tracing compiled out).
+#[cfg(not(feature = "trace"))]
+pub(crate) type TraceHandle = ();
+
 /// A rank's endpoint in the world: its identity plus channels to every
 /// peer. Messages between a fixed (sender, receiver) pair are FIFO.
 pub struct Rank {
@@ -51,6 +60,10 @@ pub struct Rank {
     receivers: Vec<Receiver<Payload>>,
     /// Shared barrier for collectives.
     pub(crate) barrier: Arc<std::sync::Barrier>,
+    /// Span recorder for collective operations, if the world was launched
+    /// with [`World::run_traced`]. Unread (it is `()`) without the feature.
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    pub(crate) recorder: TraceHandle,
 }
 
 impl Rank {
@@ -108,6 +121,41 @@ impl Rank {
     pub fn barrier(&self) {
         self.barrier.wait();
     }
+
+    /// Start a wall-clock measurement if a recorder is attached and enabled.
+    #[cfg(feature = "trace")]
+    pub(crate) fn trace_start(&self) -> Option<std::time::Instant> {
+        match &self.recorder {
+            Some(r) if r.is_enabled() => Some(std::time::Instant::now()),
+            _ => None,
+        }
+    }
+
+    /// Deposit one collective span: `bytes` is this rank's contribution
+    /// payload, grid/block carry (rank, world size).
+    #[cfg(feature = "trace")]
+    pub(crate) fn record_collective(
+        &self,
+        name: &'static str,
+        bytes: u64,
+        started: Option<std::time::Instant>,
+    ) {
+        if let Some(r) = &self.recorder {
+            if r.is_enabled() {
+                r.record(
+                    racc_core::trace::Span::new(
+                        "comm",
+                        racc_core::trace::ConstructKind::Collective,
+                        name,
+                    )
+                    .dims(self.size as u64, 1, 1)
+                    .geometry(self.rank as u64, self.size as u64)
+                    .payload(bytes)
+                    .real_since(started),
+                );
+            }
+        }
+    }
 }
 
 /// The SPMD launcher.
@@ -118,6 +166,29 @@ impl World {
     /// in rank order. Panics in any rank propagate after all ranks joined
     /// or disconnected.
     pub fn run<T, F>(size: usize, body: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(&Rank) -> T + Send + Sync + 'static,
+    {
+        Self::run_inner(size, Default::default(), body)
+    }
+
+    /// Like [`World::run`], but every collective operation deposits one span
+    /// into `recorder` (backend key `"comm"`, kind `Collective`).
+    #[cfg(feature = "trace")]
+    pub fn run_traced<T, F>(
+        size: usize,
+        recorder: Arc<racc_core::trace::TraceRecorder>,
+        body: F,
+    ) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(&Rank) -> T + Send + Sync + 'static,
+    {
+        Self::run_inner(size, Some(recorder), body)
+    }
+
+    fn run_inner<T, F>(size: usize, recorder: TraceHandle, body: F) -> Vec<T>
     where
         T: Send + 'static,
         F: Fn(&Rank) -> T + Send + Sync + 'static,
@@ -154,6 +225,7 @@ impl World {
                     .map(|r| r.expect("fully wired"))
                     .collect(),
                 barrier: Arc::clone(&barrier),
+                recorder: recorder.clone(),
             };
             let body = Arc::clone(&body);
             handles.push(

@@ -51,6 +51,15 @@ pub trait Backend: Send + Sync + 'static {
     /// The modeled-time accounting for this backend instance.
     fn timeline(&self) -> &Timeline;
 
+    /// Attach a span recorder; every subsequent construct deposits one
+    /// `racc-trace` span. The default installs it into the backend's
+    /// [`Timeline`]; backends with internal execution engines (the thread
+    /// pool) override this to propagate the recorder further.
+    #[cfg(feature = "trace")]
+    fn attach_tracer(&self, recorder: &Arc<racc_trace::TraceRecorder>) {
+        self.timeline().install_tracer(Arc::clone(recorder));
+    }
+
     /// Model an array allocation of `bytes` (with an upload of the initial
     /// contents when `upload`), returning a residency token the array holds.
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError>;

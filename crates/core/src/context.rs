@@ -2,6 +2,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+#[cfg(feature = "trace")]
+use std::sync::Arc;
+
 use crate::array::{Array1, Array2, Array3};
 use crate::backend::Backend;
 use crate::buffer::RawStorage;
@@ -20,6 +23,9 @@ static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
 pub struct Context<B: Backend> {
     backend: B,
     id: u64,
+    /// The span recorder attached at build time (see [`Context::builder`]).
+    #[cfg(feature = "trace")]
+    tracer: Option<Arc<racc_trace::TraceRecorder>>,
 }
 
 impl<B: Backend> std::fmt::Debug for Context<B> {
@@ -32,12 +38,28 @@ impl<B: Backend> std::fmt::Debug for Context<B> {
 }
 
 impl<B: Backend> Context<B> {
-    /// Wrap a backend in a context.
+    /// Wrap a backend in a context (no tracing, no racecheck changes). Use
+    /// [`Context::builder`] to configure observability at construction.
     pub fn new(backend: B) -> Self {
         Context {
             backend,
             id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
+            #[cfg(feature = "trace")]
+            tracer: None,
         }
+    }
+
+    /// Start building a context over `backend` with explicit observability
+    /// options — the primary construction path:
+    ///
+    /// ```
+    /// use racc_core::{Context, SerialBackend};
+    ///
+    /// let ctx = Context::builder(SerialBackend::new()).build();
+    /// assert_eq!(ctx.key(), "serial");
+    /// ```
+    pub fn builder(backend: B) -> ContextBuilder<B> {
+        ContextBuilder::new(backend)
     }
 
     /// The unique id of this context (arrays remember it).
@@ -414,6 +436,89 @@ impl<B: Backend> Context<B> {
     /// Reset the modeled clock (between benchmark series).
     pub fn reset_timeline(&self) {
         self.backend.timeline().reset();
+    }
+
+    /// The span recorder attached at build time, if any.
+    #[cfg(feature = "trace")]
+    pub fn tracer(&self) -> Option<&Arc<racc_trace::TraceRecorder>> {
+        self.tracer.as_ref()
+    }
+
+    /// All spans recorded so far (empty when no recorder is attached).
+    #[cfg(feature = "trace")]
+    pub fn trace_spans(&self) -> Vec<racc_trace::Span> {
+        self.tracer.as_ref().map(|r| r.spans()).unwrap_or_default()
+    }
+}
+
+/// Builder for a [`Context`] with construction-time observability options.
+/// Obtained from [`Context::builder`]; `build()` is infallible.
+///
+/// Options behind cargo features degrade to documented no-ops when the
+/// feature is off, so application code using the builder compiles under any
+/// feature set.
+pub struct ContextBuilder<B: Backend> {
+    backend: B,
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    trace: bool,
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    trace_capacity: usize,
+    #[cfg_attr(not(feature = "racecheck"), allow(dead_code))]
+    racecheck: Option<bool>,
+}
+
+impl<B: Backend> ContextBuilder<B> {
+    fn new(backend: B) -> Self {
+        ContextBuilder {
+            backend,
+            trace: false,
+            #[cfg(feature = "trace")]
+            trace_capacity: racc_trace::DEFAULT_CAPACITY,
+            #[cfg(not(feature = "trace"))]
+            trace_capacity: 0,
+            racecheck: None,
+        }
+    }
+
+    /// Attach a span recorder to the backend so every construct deposits
+    /// one `racc-trace` span. No-op unless the `trace` feature is compiled
+    /// in.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Ring capacity (spans retained) of the recorder created by
+    /// [`ContextBuilder::trace`]. Implies nothing on its own; the default
+    /// is `racc_trace::DEFAULT_CAPACITY`.
+    pub fn trace_capacity(mut self, spans: usize) -> Self {
+        self.trace_capacity = spans;
+        self
+    }
+
+    /// Switch the data-race checker on or off (process-global, like the
+    /// checker itself). Leaving it unset keeps the current state. No-op
+    /// unless the `racecheck` feature is compiled in.
+    pub fn racecheck(mut self, enabled: bool) -> Self {
+        self.racecheck = Some(enabled);
+        self
+    }
+
+    /// Build the context, applying the selected options.
+    pub fn build(self) -> Context<B> {
+        #[cfg(feature = "racecheck")]
+        if let Some(enabled) = self.racecheck {
+            crate::racecheck::set_enabled(enabled);
+        }
+        #[allow(unused_mut)]
+        let mut ctx = Context::new(self.backend);
+        #[cfg(feature = "trace")]
+        if self.trace {
+            let recorder = Arc::new(racc_trace::TraceRecorder::new(self.trace_capacity));
+            ctx.backend.attach_tracer(&recorder);
+            ctx.tracer = Some(recorder);
+        }
+        ctx
     }
 }
 

@@ -19,6 +19,13 @@ pub enum RaccError {
     ShapeMismatch(String),
     /// Invalid configuration (preferences, thread counts, ...).
     InvalidConfig(String),
+    /// A device-side failure from a (simulated) accelerator runtime —
+    /// invalid launch geometry, cross-device handles, bad copies. The
+    /// simulator error types convert into this (or [`Allocation`] for
+    /// out-of-memory) via `From`, so `?` unifies them.
+    ///
+    /// [`Allocation`]: RaccError::Allocation
+    Device(String),
 }
 
 impl std::fmt::Display for RaccError {
@@ -37,6 +44,7 @@ impl std::fmt::Display for RaccError {
             ),
             RaccError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             RaccError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RaccError::Device(msg) => write!(f, "device error: {msg}"),
         }
     }
 }

@@ -65,7 +65,7 @@ mod views;
 
 pub use array::{Array1, Array2, Array3};
 pub use backend::{Backend, DeviceToken};
-pub use context::Context;
+pub use context::{Context, ContextBuilder};
 pub use cpumodel::CpuSpec;
 pub use error::RaccError;
 pub use profile::KernelProfile;
@@ -74,6 +74,12 @@ pub use serial::SerialBackend;
 pub use threads::ThreadsBackend;
 pub use timeline::{Timeline, TimelineSnapshot};
 pub use views::{View1, View2, View3, ViewMut1, ViewMut2, ViewMut3};
+
+/// The span-recording crate, re-exported so backends and applications built
+/// on `racc-core` use one coherent `racc-trace` version (enable the `trace`
+/// feature).
+#[cfg(feature = "trace")]
+pub use racc_trace as trace;
 
 /// Convenience glob import for application code.
 pub mod prelude {

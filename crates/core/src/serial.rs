@@ -90,6 +90,12 @@ impl Backend for SerialBackend {
 
     fn on_alloc(&self, _bytes: usize, _upload: bool) -> Result<DeviceToken, RaccError> {
         // Host memory is the array's storage; no transfer, no token.
+        #[cfg(feature = "trace")]
+        self.timeline.record_span(|| {
+            racc_trace::Span::new("serial", racc_trace::ConstructKind::Alloc, "alloc")
+                .dims(0, 0, 0)
+                .payload(_bytes as u64)
+        });
         Ok(None)
     }
 
@@ -99,20 +105,34 @@ impl Backend for SerialBackend {
     where
         F: Fn(usize) + Sync,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         for i in 0..n {
             tag(i as u64);
             f(i);
         }
         self.end_bracket();
-        self.timeline
-            .charge_launch(self.cpu.kernel_time_ns(n, profile));
+        let ns = self.cpu.kernel_time_ns(n, profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::For1d,
+            profile,
+            [n as u64, 1, 1],
+            1,
+            t0,
+            ns,
+        );
     }
 
     fn parallel_for_2d<F>(&self, m: usize, n: usize, profile: &KernelProfile, f: F)
     where
         F: Fn(usize, usize) + Sync,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         // Column-major traversal: j outer, i inner.
         for j in 0..n {
@@ -122,14 +142,26 @@ impl Backend for SerialBackend {
             }
         }
         self.end_bracket();
-        self.timeline
-            .charge_launch(self.cpu.kernel_time_ns(m * n, profile));
+        let ns = self.cpu.kernel_time_ns(m * n, profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::For2d,
+            profile,
+            [m as u64, n as u64, 1],
+            1,
+            t0,
+            ns,
+        );
     }
 
     fn parallel_for_3d<F>(&self, m: usize, n: usize, l: usize, profile: &KernelProfile, f: F)
     where
         F: Fn(usize, usize, usize) + Sync,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         for k in 0..l {
             for j in 0..n {
@@ -140,8 +172,18 @@ impl Backend for SerialBackend {
             }
         }
         self.end_bracket();
-        self.timeline
-            .charge_launch(self.cpu.kernel_time_ns(m * n * l, profile));
+        let ns = self.cpu.kernel_time_ns(m * n * l, profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::For3d,
+            profile,
+            [m as u64, n as u64, l as u64],
+            1,
+            t0,
+            ns,
+        );
     }
 
     fn parallel_reduce_1d<T, F, O>(&self, n: usize, profile: &KernelProfile, f: F, op: O) -> T
@@ -150,6 +192,8 @@ impl Backend for SerialBackend {
         F: Fn(usize) -> T + Sync,
         O: ReduceOp<T>,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         let mut acc = op.identity();
         for i in 0..n {
@@ -157,8 +201,18 @@ impl Backend for SerialBackend {
             acc = op.combine(acc, f(i));
         }
         self.end_bracket();
-        self.timeline
-            .charge_reduction(self.cpu.reduce_time_ns(n, profile));
+        let ns = self.cpu.reduce_time_ns(n, profile);
+        self.timeline.charge_reduction(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::Reduce1d,
+            profile,
+            [n as u64, 1, 1],
+            1,
+            t0,
+            ns,
+        );
         acc
     }
 
@@ -175,6 +229,8 @@ impl Backend for SerialBackend {
         F: Fn(usize, usize) -> T + Sync,
         O: ReduceOp<T>,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         let mut acc = op.identity();
         for j in 0..n {
@@ -184,8 +240,18 @@ impl Backend for SerialBackend {
             }
         }
         self.end_bracket();
-        self.timeline
-            .charge_reduction(self.cpu.reduce_time_ns(m * n, profile));
+        let ns = self.cpu.reduce_time_ns(m * n, profile);
+        self.timeline.charge_reduction(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::Reduce2d,
+            profile,
+            [m as u64, n as u64, 1],
+            1,
+            t0,
+            ns,
+        );
         acc
     }
 
@@ -203,6 +269,8 @@ impl Backend for SerialBackend {
         F: Fn(usize, usize, usize) -> T + Sync,
         O: ReduceOp<T>,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         let mut acc = op.identity();
         for k in 0..l {
@@ -214,8 +282,18 @@ impl Backend for SerialBackend {
             }
         }
         self.end_bracket();
-        self.timeline
-            .charge_reduction(self.cpu.reduce_time_ns(m * n * l, profile));
+        let ns = self.cpu.reduce_time_ns(m * n * l, profile);
+        self.timeline.charge_reduction(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::Reduce3d,
+            profile,
+            [m as u64, n as u64, l as u64],
+            1,
+            t0,
+            ns,
+        );
         acc
     }
 }

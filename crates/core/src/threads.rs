@@ -125,9 +125,22 @@ impl Backend for ThreadsBackend {
         &self.timeline
     }
 
+    #[cfg(feature = "trace")]
+    fn attach_tracer(&self, recorder: &Arc<racc_trace::TraceRecorder>) {
+        self.timeline.install_tracer(Arc::clone(recorder));
+        // Per-worker chunk spans come from inside the pool.
+        self.pool.install_tracer(Arc::clone(recorder));
+    }
+
     fn on_alloc(&self, _bytes: usize, _upload: bool) -> Result<DeviceToken, RaccError> {
         // The paper: "when using Base.Threads as the back end, using
         // JACC.Array is not necessary" — host memory, no transfer.
+        #[cfg(feature = "trace")]
+        self.timeline.record_span(|| {
+            racc_trace::Span::new("threads", racc_trace::ConstructKind::Alloc, "alloc")
+                .dims(0, 0, 0)
+                .payload(_bytes as u64)
+        });
         Ok(None)
     }
 
@@ -137,20 +150,34 @@ impl Backend for ThreadsBackend {
     where
         F: Fn(usize) + Sync,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         self.pool.parallel_for(n, self.schedule, |i| {
             tag(i as u64);
             f(i);
         });
         self.end_bracket();
-        self.timeline
-            .charge_launch(self.cpu.kernel_time_ns(n, profile));
+        let ns = self.cpu.kernel_time_ns(n, profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "threads",
+            racc_trace::ConstructKind::For1d,
+            profile,
+            [n as u64, 1, 1],
+            self.pool.num_threads() as u64,
+            t0,
+            ns,
+        );
     }
 
     fn parallel_for_2d<F>(&self, m: usize, n: usize, profile: &KernelProfile, f: F)
     where
         F: Fn(usize, usize) + Sync,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         // Column-wise coarse decomposition (paper §IV).
         self.pool.parallel_for_2d(m, n, self.schedule, |i, j| {
@@ -158,14 +185,26 @@ impl Backend for ThreadsBackend {
             f(i, j);
         });
         self.end_bracket();
-        self.timeline
-            .charge_launch(self.cpu.kernel_time_ns(m * n, profile));
+        let ns = self.cpu.kernel_time_ns(m * n, profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "threads",
+            racc_trace::ConstructKind::For2d,
+            profile,
+            [m as u64, n as u64, 1],
+            self.pool.num_threads() as u64,
+            t0,
+            ns,
+        );
     }
 
     fn parallel_for_3d<F>(&self, m: usize, n: usize, l: usize, profile: &KernelProfile, f: F)
     where
         F: Fn(usize, usize, usize) + Sync,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         self.pool
             .parallel_for_3d(m, n, l, self.schedule, |i, j, k| {
@@ -173,8 +212,18 @@ impl Backend for ThreadsBackend {
                 f(i, j, k);
             });
         self.end_bracket();
-        self.timeline
-            .charge_launch(self.cpu.kernel_time_ns(m * n * l, profile));
+        let ns = self.cpu.kernel_time_ns(m * n * l, profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "threads",
+            racc_trace::ConstructKind::For3d,
+            profile,
+            [m as u64, n as u64, l as u64],
+            self.pool.num_threads() as u64,
+            t0,
+            ns,
+        );
     }
 
     fn parallel_reduce_1d<T, F, O>(&self, n: usize, profile: &KernelProfile, f: F, op: O) -> T
@@ -183,6 +232,8 @@ impl Backend for ThreadsBackend {
         F: Fn(usize) -> T + Sync,
         O: ReduceOp<T>,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         let acc = self.pool.parallel_reduce(
             n,
@@ -195,8 +246,18 @@ impl Backend for ThreadsBackend {
             |a, b| op.combine(a, b),
         );
         self.end_bracket();
-        self.timeline
-            .charge_reduction(self.cpu.reduce_time_ns(n, profile));
+        let ns = self.cpu.reduce_time_ns(n, profile);
+        self.timeline.charge_reduction(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "threads",
+            racc_trace::ConstructKind::Reduce1d,
+            profile,
+            [n as u64, 1, 1],
+            self.pool.num_threads() as u64,
+            t0,
+            ns,
+        );
         acc
     }
 
@@ -214,6 +275,8 @@ impl Backend for ThreadsBackend {
         O: ReduceOp<T>,
     {
         // Column-wise: reduce whole columns per task, then across columns.
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         let acc = self.pool.parallel_reduce(
             n,
@@ -230,8 +293,18 @@ impl Backend for ThreadsBackend {
             |a, b| op.combine(a, b),
         );
         self.end_bracket();
-        self.timeline
-            .charge_reduction(self.cpu.reduce_time_ns(m * n, profile));
+        let ns = self.cpu.reduce_time_ns(m * n, profile);
+        self.timeline.charge_reduction(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "threads",
+            racc_trace::ConstructKind::Reduce2d,
+            profile,
+            [m as u64, n as u64, 1],
+            self.pool.num_threads() as u64,
+            t0,
+            ns,
+        );
         acc
     }
 
@@ -249,6 +322,8 @@ impl Backend for ThreadsBackend {
         F: Fn(usize, usize, usize) -> T + Sync,
         O: ReduceOp<T>,
     {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
         self.begin_bracket();
         let acc = self.pool.parallel_reduce(
             l,
@@ -267,8 +342,18 @@ impl Backend for ThreadsBackend {
             |a, b| op.combine(a, b),
         );
         self.end_bracket();
-        self.timeline
-            .charge_reduction(self.cpu.reduce_time_ns(m * n * l, profile));
+        let ns = self.cpu.reduce_time_ns(m * n * l, profile);
+        self.timeline.charge_reduction(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "threads",
+            racc_trace::ConstructKind::Reduce3d,
+            profile,
+            [m as u64, n as u64, l as u64],
+            self.pool.num_threads() as u64,
+            t0,
+            ns,
+        );
         acc
     }
 }

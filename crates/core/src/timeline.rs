@@ -2,6 +2,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+#[cfg(feature = "trace")]
+use std::sync::{Arc, OnceLock};
+#[cfg(feature = "trace")]
+use std::time::Instant;
+
+#[cfg(feature = "trace")]
+use racc_trace::{Span, TraceRecorder};
+
 /// Accumulates the modeled nanoseconds and operation counts of a backend.
 /// This is the clock the paper-reproduction figures read: real wall-clock
 /// time of the simulation is meaningless for cross-architecture comparisons,
@@ -13,6 +21,10 @@ pub struct Timeline {
     reductions: AtomicU64,
     h2d_bytes: AtomicU64,
     d2h_bytes: AtomicU64,
+    /// Span recorder, installed at most once per backend instance
+    /// ([`Backend::attach_tracer`](crate::Backend::attach_tracer)).
+    #[cfg(feature = "trace")]
+    tracer: OnceLock<Arc<TraceRecorder>>,
 }
 
 /// A point-in-time copy of a [`Timeline`].
@@ -63,7 +75,14 @@ impl Timeline {
     /// Add raw modeled time (backend-internal extras).
     pub fn add_ns(&self, ns: f64) {
         self.modeled_ns
-            .fetch_add(ns.max(0.0).round() as u64, Ordering::Relaxed);
+            .fetch_add(Self::quantize(ns), Ordering::Relaxed);
+    }
+
+    /// The quantization every charge applies to a modeled duration. Span
+    /// emission uses the same function, so per-span `modeled_ns` sums
+    /// reconcile exactly with [`TimelineSnapshot::modeled_ns`].
+    pub fn quantize(ns: f64) -> u64 {
+        ns.max(0.0).round() as u64
     }
 
     /// Total modeled nanoseconds so far.
@@ -82,13 +101,85 @@ impl Timeline {
         }
     }
 
-    /// Zero all counters (between benchmark series).
+    /// Zero all counters (between benchmark series). An installed span
+    /// recorder stays installed; call [`TraceRecorder::reset`] separately
+    /// to also drop recorded spans.
     pub fn reset(&self) {
         self.modeled_ns.store(0, Ordering::Relaxed);
         self.launches.store(0, Ordering::Relaxed);
         self.reductions.store(0, Ordering::Relaxed);
         self.h2d_bytes.store(0, Ordering::Relaxed);
         self.d2h_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Span-recording support, compiled in with the `trace` feature. When the
+/// feature is off, none of this exists and backends' emission sites compile
+/// out with it.
+#[cfg(feature = "trace")]
+impl Timeline {
+    /// Install the span recorder. At most one recorder per timeline; later
+    /// calls are ignored (first installer wins).
+    pub fn install_tracer(&self, recorder: Arc<TraceRecorder>) {
+        let _ = self.tracer.set(recorder);
+    }
+
+    /// The installed recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
+        self.tracer.get()
+    }
+
+    /// Whether a recorder is installed and currently accepting spans.
+    #[inline]
+    pub fn tracing_active(&self) -> bool {
+        self.tracer.get().is_some_and(|r| r.is_enabled())
+    }
+
+    /// Start a wall-clock measurement if tracing is active. The `None`
+    /// result is the inactive fast path: no clock read happens.
+    #[inline]
+    pub fn trace_start(&self) -> Option<Instant> {
+        if self.tracing_active() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Deposit one span; `make` runs only when tracing is active, so the
+    /// inactive cost is one relaxed load and a branch.
+    #[inline]
+    pub fn record_span(&self, make: impl FnOnce() -> Span) {
+        if let Some(rec) = self.tracer.get() {
+            if rec.is_enabled() {
+                rec.record(make());
+            }
+        }
+    }
+
+    /// Emission helper for the CPU backends: one span per construct, with
+    /// the modeled charge quantized identically to the `charge_*` call and
+    /// the measured wall-clock duration attached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_cpu_construct(
+        &self,
+        backend: &'static str,
+        kind: racc_trace::ConstructKind,
+        profile: &crate::KernelProfile,
+        dims: [u64; 3],
+        workers: u64,
+        started: Option<Instant>,
+        ns: f64,
+    ) {
+        self.record_span(|| {
+            let iters: u64 = dims.iter().product();
+            Span::new(backend, kind, profile.name)
+                .dims(dims[0], dims[1], dims[2])
+                .geometry(workers, iters.div_ceil(workers.max(1)))
+                .profile(profile.flops_per_iter, profile.bytes_per_iter())
+                .modeled(Self::quantize(ns))
+                .real_since(started)
+        });
     }
 }
 

@@ -57,6 +57,12 @@ impl From<SimError> for CudaError {
     }
 }
 
+impl From<CudaError> for racc_core::RaccError {
+    fn from(e: CudaError) -> Self {
+        e.0.into()
+    }
+}
+
 /// Device attributes, mirroring `CUdevice_attribute` queries used by the
 /// paper's back end (Fig. 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -93,3 +93,18 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Fold a simulator failure into the front end's unified error type:
+/// allocation failures map onto [`RaccError::Allocation`], everything else
+/// onto [`RaccError::Device`], so `?` works across the API boundary.
+///
+/// [`RaccError::Allocation`]: racc_core::RaccError::Allocation
+/// [`RaccError::Device`]: racc_core::RaccError::Device
+impl From<SimError> for racc_core::RaccError {
+    fn from(e: SimError) -> Self {
+        match &e {
+            SimError::OutOfMemory { .. } => racc_core::RaccError::Allocation(e.to_string()),
+            _ => racc_core::RaccError::Device(e.to_string()),
+        }
+    }
+}

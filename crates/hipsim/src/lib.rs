@@ -53,6 +53,12 @@ impl From<SimError> for HipError {
     }
 }
 
+impl From<HipError> for racc_core::RaccError {
+    fn from(e: HipError) -> Self {
+        e.0.into()
+    }
+}
+
 /// A device array, the analog of `ROCArray{T}`.
 pub type RocArray<T> = DeviceBuffer<T>;
 

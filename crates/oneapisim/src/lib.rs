@@ -43,6 +43,12 @@ impl From<SimError> for OneApiError {
     }
 }
 
+impl From<OneApiError> for racc_core::RaccError {
+    fn from(e: OneApiError) -> Self {
+        e.0.into()
+    }
+}
+
 /// A device array, the analog of `oneArray{T}`.
 pub type OneArray<T> = DeviceBuffer<T>;
 

@@ -94,6 +94,10 @@ pub struct ThreadPool {
     senders: Vec<Sender<Message>>,
     handles: Vec<JoinHandle<()>>,
     participants: usize,
+    /// Optional span recorder; when installed and enabled, `parallel_for`
+    /// deposits one `WorkerChunk` span per chunk a participant executes.
+    #[cfg(feature = "trace")]
+    recorder: OnceLock<std::sync::Arc<racc_trace::TraceRecorder>>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -147,7 +151,17 @@ impl ThreadPool {
             senders,
             handles,
             participants: threads,
+            #[cfg(feature = "trace")]
+            recorder: OnceLock::new(),
         })
+    }
+
+    /// Install a span recorder (first installer wins). Subsequent
+    /// `parallel_for` calls emit one `WorkerChunk` span per executed chunk
+    /// while the recorder is enabled.
+    #[cfg(feature = "trace")]
+    pub fn install_tracer(&self, recorder: std::sync::Arc<racc_trace::TraceRecorder>) {
+        let _ = self.recorder.set(recorder);
     }
 
     /// The process-wide pool, sized from `RACC_NUM_THREADS` or the machine's
@@ -224,28 +238,48 @@ impl ThreadPool {
             // closure's address and measurably blocks loop optimization.
             return serial_for(n, f);
         }
+        // Resolved once per launch: `None` (the common case) keeps the chunk
+        // loops free of clock reads and span construction.
+        #[cfg(feature = "trace")]
+        let rec = self.recorder.get().filter(|r| r.is_enabled());
         match schedule {
             Schedule::Static => {
                 let p = self.participants;
                 self.broadcast(|who| {
                     let (start, end) = static_block(n, p, who);
+                    #[cfg(feature = "trace")]
+                    let t0 = rec.map(|_| std::time::Instant::now());
                     for i in start..end {
                         f(i);
+                    }
+                    #[cfg(feature = "trace")]
+                    if let Some(r) = rec {
+                        if end > start {
+                            r.record(chunk_span(who, start, end).real_since(t0));
+                        }
                     }
                 });
             }
             Schedule::Dynamic { .. } => {
                 let chunk = schedule.dynamic_chunk(n, self.participants);
                 let next = AtomicUsize::new(0);
-                self.broadcast(|_| loop {
+                self.broadcast(|who| loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
                     }
                     let end = (start + chunk).min(n);
+                    #[cfg(feature = "trace")]
+                    let t0 = rec.map(|_| std::time::Instant::now());
                     for i in start..end {
                         f(i);
                     }
+                    #[cfg(feature = "trace")]
+                    if let Some(r) = rec {
+                        r.record(chunk_span(who, start, end).real_since(t0));
+                    }
+                    #[cfg(not(feature = "trace"))]
+                    let _ = who;
                 });
             }
         }
@@ -327,6 +361,21 @@ fn serial_for<F: Fn(usize)>(n: usize, f: F) {
     for i in 0..n {
         f(i);
     }
+}
+
+/// One per-worker chunk span: grid = participant index, dims/block = chunk
+/// length. Modeled time stays 0 — the owning backend's construct span carries
+/// the modeled charge; these only expose real load balance.
+#[cfg(feature = "trace")]
+fn chunk_span(who: usize, start: usize, end: usize) -> racc_trace::Span {
+    let len = (end - start) as u64;
+    racc_trace::Span::new(
+        "threadpool",
+        racc_trace::ConstructKind::WorkerChunk,
+        "chunk",
+    )
+    .dims(len, 1, 1)
+    .geometry(who as u64, len)
 }
 
 /// Raw pointer wrapper that may cross threads; all dereferences are guarded

@@ -1,0 +1,230 @@
+//! Minimal JSON utilities: string escaping for the chrome exporter and a
+//! strict validator used by the golden tests (no external dependencies).
+
+/// Escapes `s` as the body of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates that `input` is one complete JSON value (RFC 8259 syntax).
+/// Returns the byte offset and message of the first error.
+pub fn validate(input: &str) -> Result<(), (usize, String)> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err((pos, "trailing characters after JSON value".into()));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), (usize, String)> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err((*pos, format!("expected '{}'", c as char)))
+    }
+}
+
+fn value(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err((*pos, "unexpected end of input".into())),
+        Some(b'{') => object(bytes, pos),
+        Some(b'[') => array(bytes, pos),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+        Some(&c) => Err((*pos, format!("unexpected byte 0x{c:02x}"))),
+    }
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, word: &[u8]) -> Result<(), (usize, String)> {
+    if bytes[*pos..].starts_with(word) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err((*pos, format!("invalid literal, expected {word:?}")))
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err((*pos, "expected ',' or '}' in object".into())),
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err((*pos, "expected ',' or ']' in array".into())),
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err((*pos, "invalid \\u escape".into())),
+                            }
+                        }
+                    }
+                    _ => return Err((*pos, "invalid escape".into())),
+                }
+            }
+            0x00..=0x1F => return Err((*pos, "raw control character in string".into())),
+            _ => *pos += 1,
+        }
+    }
+    Err((*pos, "unterminated string".into()))
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), (usize, String)> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return Err((start, "invalid number".into())),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err((*pos, "digits required after decimal point".into()));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err((*pos, "digits required in exponent".into()));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            r#"{"a": [1, 2, {"b": "c\nd"}], "e": true}"#,
+            r#""é""#,
+        ] {
+            assert!(validate(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{} extra",
+            "{'single': 1}",
+        ] {
+            assert!(validate(doc).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_validation() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(nasty));
+        assert!(validate(&doc).is_ok(), "{doc}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-kernel text summary — the "mini roofline" sink.
+//!
+//! Groups spans by (backend, kind, kernel name) and reports counts, modeled
+//! time, and achieved arithmetic/memory rates derived from the spans'
+//! `KernelProfile` costs. When the caller supplies the device's peak rates,
+//! each row also shows the achieved fraction of peak, which is exactly the
+//! roofline position of that kernel under the model.
+
+use std::collections::BTreeMap;
+
+use crate::{ConstructKind, Span};
+
+/// Device peak rates for roofline columns.
+#[derive(Debug, Clone, Copy)]
+pub struct RooflinePeaks {
+    /// Peak arithmetic rate, GFLOP/s.
+    pub gflops: f64,
+    /// Peak memory bandwidth, GB/s.
+    pub gbs: f64,
+}
+
+#[derive(Default)]
+struct Row {
+    count: u64,
+    modeled_ns: u64,
+    real_ns: u64,
+    iterations: u64,
+    flops: f64,
+    profile_bytes: f64,
+    payload_bytes: u64,
+}
+
+/// Renders the per-kernel summary table for one span set.
+pub fn kernel_summary(spans: &[Span], peaks: Option<RooflinePeaks>) -> String {
+    let mut rows: BTreeMap<(&str, ConstructKind, &str), Row> = BTreeMap::new();
+    for s in spans {
+        let row = rows.entry((s.backend, s.kind, s.name)).or_default();
+        row.count += 1;
+        row.modeled_ns += s.modeled_ns;
+        row.real_ns += s.real_ns;
+        row.iterations += s.iterations();
+        row.flops += s.flops_per_iter * s.iterations() as f64;
+        row.profile_bytes += s.bytes_per_iter * s.iterations() as f64;
+        row.payload_bytes += s.bytes;
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<10} {:<12} {:>6} {:>14} {:>12} {:>10} {:>10}{}\n",
+        "backend",
+        "construct",
+        "kernel",
+        "count",
+        "modeled total",
+        "mean",
+        "GFLOP/s",
+        "GB/s",
+        if peaks.is_some() { "   % peak" } else { "" },
+    ));
+    for ((backend, kind, name), row) in &rows {
+        let secs = row.modeled_ns as f64 / 1e9;
+        // Transfers have no profile cost; rate their payload instead.
+        let moved_bytes = row.profile_bytes + row.payload_bytes as f64;
+        let (gflops, gbs) = if secs > 0.0 {
+            (row.flops / secs / 1e9, moved_bytes / secs / 1e9)
+        } else {
+            (0.0, 0.0)
+        };
+        let peak_col = match peaks {
+            Some(p) => {
+                // A kernel's roofline position: its achieved fraction of
+                // whichever peak binds it harder.
+                let frac = (gflops / p.gflops).max(gbs / p.gbs) * 100.0;
+                format!("   {frac:6.1}%")
+            }
+            None => String::new(),
+        };
+        let mean_ns = row.modeled_ns as f64 / row.count.max(1) as f64;
+        out.push_str(&format!(
+            "{:<10} {:<10} {:<12} {:>6} {:>14} {:>12} {:>10.2} {:>10.2}{}\n",
+            backend,
+            kind.label(),
+            if name.is_empty() { "-" } else { name },
+            row.count,
+            format_ns(row.modeled_ns as f64),
+            format_ns(mean_ns),
+            gflops,
+            gbs,
+            peak_col,
+        ));
+    }
+    if spans.iter().any(|s| s.real_ns > 0) {
+        let real_total: u64 = spans.iter().map(|s| s.real_ns).sum();
+        out.push_str(&format!(
+            "(real wall-clock recorded on CPU spans: {} total)\n",
+            format_ns(real_total as f64)
+        ));
+    }
+    out
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_rates() {
+        let spans = vec![
+            Span::new("cudasim", ConstructKind::For1d, "axpy")
+                .dims(1_000_000, 1, 1)
+                .profile(2.0, 24.0)
+                .modeled(100_000), // 20 GFLOP/s, 240 GB/s
+            Span::new("cudasim", ConstructKind::For1d, "axpy")
+                .dims(1_000_000, 1, 1)
+                .profile(2.0, 24.0)
+                .modeled(100_000),
+            Span::new("cudasim", ConstructKind::H2d, "upload")
+                .payload(8_000_000)
+                .modeled(1_000_000),
+        ];
+        let text = kernel_summary(&spans, None);
+        assert!(text.contains("axpy"), "{text}");
+        assert!(text.contains("h2d"), "{text}");
+        // Two axpy launches grouped into one row.
+        assert!(text.contains(" 2 "), "{text}");
+        assert!(text.contains("20.00"), "{text}");
+        assert!(text.contains("240.00"), "{text}");
+        // Transfer rate: 8 MB / 1 ms = 8 GB/s.
+        assert!(text.contains("8.00"), "{text}");
+    }
+
+    #[test]
+    fn roofline_fraction_against_peaks() {
+        let spans = vec![Span::new("cudasim", ConstructKind::For1d, "axpy")
+            .dims(1_000_000, 1, 1)
+            .profile(2.0, 24.0)
+            .modeled(100_000)];
+        let text = kernel_summary(
+            &spans,
+            Some(RooflinePeaks {
+                gflops: 9700.0,
+                gbs: 1555.0,
+            }),
+        );
+        // Memory-bound: 240/1555 ≈ 15.4% of peak bandwidth binds.
+        assert!(text.contains("15.4%"), "{text}");
+        assert!(text.contains("% peak"), "{text}");
+    }
+
+    #[test]
+    fn real_time_footer_only_when_present() {
+        let modeled_only = vec![Span::new("cudasim", ConstructKind::For1d, "x").modeled(10)];
+        assert!(!kernel_summary(&modeled_only, None).contains("wall-clock"));
+        let mut with_real = modeled_only;
+        with_real[0].real_ns = 42;
+        assert!(kernel_summary(&with_real, None).contains("wall-clock"));
+    }
+}

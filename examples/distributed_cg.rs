@@ -53,7 +53,7 @@ fn run_rank(comm: &Rank, n: usize, b_global: &[f64]) -> (usize, f64) {
     let local_n = hi - lo;
 
     // Each rank gets its own RACC context (the preference-selected backend).
-    let ctx = racc::default_context();
+    let ctx = racc::builder().build().expect("backend");
     if comm.rank() == 0 {
         println!("rank backends: {} x {}", comm.size(), ctx.name());
     }

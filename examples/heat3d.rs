@@ -24,7 +24,7 @@ fn main() -> Result<(), RaccError> {
         .and_then(|a| a.parse().ok())
         .unwrap_or(800);
 
-    let ctx = racc::default_context();
+    let ctx = racc::builder().build()?;
     println!("backend: {}", ctx.name());
     println!("cube {n}^3, {sweeps} Jacobi sweeps\n");
 

@@ -73,7 +73,7 @@ fn main() {
     // ---- One iteration across every backend (Fig. 13 in miniature) ----
     println!("\none CG iteration at N = {n}, modeled per backend:");
     for key in racc::available_backends() {
-        let ctx = racc::context_for(key).expect("backend");
+        let ctx = racc::builder().backend(key).build().expect("backend");
         let da = DeviceTridiag::upload(&ctx, &a).expect("upload");
         let db = ctx.array_from(&b).expect("upload");
         let mut ws = CgWorkspace::new(&ctx, &db).expect("workspace");

@@ -19,7 +19,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(2000);
 
-    let ctx = racc::default_context();
+    let ctx = racc::builder().build().expect("backend");
     println!("backend: {}", ctx.name());
     println!("cavity {size}x{size}, lid velocity 0.08, tau 0.8, {steps} steps\n");
 

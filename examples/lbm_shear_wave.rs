@@ -11,7 +11,7 @@ use racc_lbm::lattice::{viscosity, CX};
 use racc_lbm::portable::LbmSim;
 
 fn main() {
-    let ctx = racc::default_context();
+    let ctx = racc::builder().build().expect("backend");
     println!("backend: {}", ctx.name());
 
     let s = 64usize;

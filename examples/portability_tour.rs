@@ -17,7 +17,7 @@ fn main() -> Result<(), RaccError> {
     );
 
     for key in racc::available_backends() {
-        let ctx = racc::context_for(key)?;
+        let ctx = racc::builder().backend(key).build()?;
         let x = ctx.array_from_fn(n, |i| ((i % 1000) as f64) * 0.001)?;
         let y = ctx.array_from_fn(n, |i| (((i + 500) % 1000) as f64) * 0.001)?;
 

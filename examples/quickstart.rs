@@ -9,8 +9,9 @@ use racc::prelude::*;
 
 fn main() -> Result<(), RaccError> {
     // Backend selection mirrors JACC's Preferences flow: RACC_BACKEND env
-    // var, then RaccPreferences.toml, then the Threads default.
-    let ctx = racc::default_context();
+    // var, then RaccPreferences.toml, then the Threads default. The builder
+    // also takes explicit knobs: .backend("cudasim"), .threads(8), .trace(true).
+    let ctx = racc::builder().build()?;
     println!("backend: {}", ctx.name());
 
     // ---- Unidimensional arrays (paper Fig. 2, top) --------------------

@@ -47,12 +47,22 @@
 
 use std::sync::OnceLock;
 
-pub use racc_core::prelude::*;
 pub use racc_core::{
-    cpumodel, AccScalar, CpuSpec, DeviceToken, Numeric, Timeline, TimelineSnapshot, View1, View2,
-    View3, ViewMut1, ViewMut2, ViewMut3,
+    cpumodel, AccScalar, Array1, Array2, Array3, Backend, Context, CpuSpec, DeviceToken,
+    KernelProfile, Max, Min, Numeric, Prod, RaccError, ReduceOp, SerialBackend, Sum,
+    ThreadsBackend, Timeline, TimelineSnapshot, View1, View2, View3, ViewMut1, ViewMut2, ViewMut3,
 };
 pub use racc_prefs::{Preferences, Value, PREFS_FILE_NAME};
+
+/// The crate's error type — an alias for [`RaccError`]. Simulator errors
+/// (`racc_gpusim::SimError` and the vendor wrappers) convert into it with
+/// `?`.
+pub use racc_core::RaccError as Error;
+
+/// The span-recording crate (`racc-trace`), re-exported for sink access
+/// (chrome traces, kernel summaries). See [`ContextBuilder::trace`].
+#[cfg(feature = "trace")]
+pub use racc_core::trace;
 
 #[cfg(feature = "backend-cuda")]
 pub use racc_backend_cuda::CudaBackend;
@@ -61,11 +71,40 @@ pub use racc_backend_hip::HipBackend;
 #[cfg(feature = "backend-oneapi")]
 pub use racc_backend_oneapi::OneApiBackend;
 
-/// Convenience prelude: everything application code typically needs.
+/// Convenience prelude: the curated surface application code typically
+/// needs, and nothing else.
+///
+/// | item | purpose |
+/// |---|---|
+/// | [`Context`], [`Ctx`] | the front-end API (generic / runtime-selected) |
+/// | [`ContextBuilder`], [`builder`] | key-based context construction |
+/// | [`default_context`], [`context_for`], [`available_backends`] | selection helpers |
+/// | [`Array1`]–[`Array3`] | the `JACC.Array` analogs |
+/// | [`KernelProfile`] | per-kernel cost annotations |
+/// | [`Sum`], [`Max`], [`Min`], [`Prod`], [`ReduceOp`] | reduction operators |
+/// | [`Backend`], [`AnyBackend`], [`SerialBackend`], [`ThreadsBackend`] | back ends |
+/// | [`RaccError`] / [`Error`] | the unified error type |
+/// | [`TimelineSnapshot`] | modeled-clock counters |
+/// | `TraceRecorder`, `Span` | span recording (`trace` feature) |
+///
+/// [`builder`]: crate::builder
+/// [`default_context`]: crate::default_context
+/// [`context_for`]: crate::context_for
+/// [`available_backends`]: crate::available_backends
+/// [`Error`]: crate::Error
 pub mod prelude {
-    pub use racc_core::prelude::*;
+    pub use racc_core::{
+        Array1, Array2, Array3, Backend, Context, KernelProfile, Max, Min, Prod, RaccError,
+        ReduceOp, SerialBackend, Sum, ThreadsBackend, TimelineSnapshot,
+    };
 
-    pub use crate::{available_backends, context_for, default_context, AnyBackend, Ctx};
+    pub use crate::{
+        available_backends, builder, context_for, default_context, AnyBackend, ContextBuilder, Ctx,
+        Error,
+    };
+
+    #[cfg(feature = "trace")]
+    pub use racc_core::trace::{Span, TraceRecorder};
 }
 
 /// Environment variable overriding the preferred backend key.
@@ -117,6 +156,12 @@ impl Backend for AnyBackend {
     }
     fn timeline(&self) -> &Timeline {
         dispatch!(self, b => b.timeline())
+    }
+    // Must forward rather than rely on the trait default: ThreadsBackend
+    // additionally installs the recorder into its worker pool.
+    #[cfg(feature = "trace")]
+    fn attach_tracer(&self, recorder: &std::sync::Arc<trace::TraceRecorder>) {
+        dispatch!(self, b => b.attach_tracer(recorder))
     }
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError> {
         dispatch!(self, b => b.on_alloc(bytes, upload))
@@ -185,6 +230,14 @@ pub type Ctx = Context<AnyBackend>;
 
 /// Keys of all back ends compiled into this build.
 pub fn available_backends() -> Vec<&'static str> {
+    #[cfg_attr(
+        not(any(
+            feature = "backend-cuda",
+            feature = "backend-hip",
+            feature = "backend-oneapi"
+        )),
+        allow(unused_mut)
+    )]
     let mut keys = vec!["serial", "threads"];
     #[cfg(feature = "backend-cuda")]
     keys.push("cudasim");
@@ -197,10 +250,200 @@ pub fn available_backends() -> Vec<&'static str> {
 
 /// Build a context for the given backend key. Vendor aliases are accepted
 /// (`cuda`/`nvidia` → `cudasim`, `hip`/`amdgpu` → `hipsim`,
-/// `oneapi`/`intel` → `oneapisim`).
+/// `oneapi`/`intel` → `oneapisim`). Shorthand for
+/// [`builder()`]`.backend(key).build()`.
 pub fn context_for(key: &str) -> Result<Ctx, RaccError> {
-    let backend = backend_for(key)?;
-    Ok(Context::new(backend))
+    builder().backend(key).build()
+}
+
+/// Start building a runtime-selected context. See [`ContextBuilder`].
+pub fn builder() -> ContextBuilder {
+    ContextBuilder::new()
+}
+
+/// The primary way to construct a [`Ctx`]: backend key, optional knobs,
+/// one fallible [`build`](ContextBuilder::build).
+///
+/// ```
+/// let ctx = racc::builder()
+///     .backend("threads")
+///     .threads(2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(ctx.key(), "threads");
+/// ```
+///
+/// Without [`backend`](ContextBuilder::backend) the key is resolved the
+/// same way as [`default_context`]: `RACC_BACKEND`, then
+/// `RaccPreferences.toml`, then `"threads"` — but unlike
+/// [`default_context`] an unavailable key is an error, not a fallback.
+///
+/// Knobs that do not apply to the selected backend
+/// ([`threads`](ContextBuilder::threads) off the CPU,
+/// [`device`](ContextBuilder::device) off the simulators) fail `build`
+/// with [`RaccError::InvalidConfig`] rather than being silently ignored.
+#[derive(Default)]
+pub struct ContextBuilder {
+    key: Option<String>,
+    threads: Option<usize>,
+    #[cfg(any(
+        feature = "backend-cuda",
+        feature = "backend-hip",
+        feature = "backend-oneapi"
+    ))]
+    device: Option<std::sync::Arc<racc_gpusim::Device>>,
+    trace: bool,
+    trace_capacity: Option<usize>,
+    racecheck: Option<bool>,
+}
+
+impl ContextBuilder {
+    /// Start from defaults: preference-selected backend, no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the backend by key (same keys and vendor aliases as
+    /// [`context_for`]).
+    pub fn backend(mut self, key: impl Into<String>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
+
+    /// Worker count for the `threads` backend. Selecting any other
+    /// backend alongside this makes `build` fail.
+    pub fn threads(mut self, workers: usize) -> Self {
+        self.threads = Some(workers);
+        self
+    }
+
+    /// Override the simulated device profile for a GPU backend (e.g. a
+    /// custom `racc_gpusim::Device` instead of the stock A100/MI100/Max
+    /// 1550). Selecting a CPU backend alongside this makes `build` fail.
+    #[cfg(any(
+        feature = "backend-cuda",
+        feature = "backend-hip",
+        feature = "backend-oneapi"
+    ))]
+    pub fn device(mut self, device: std::sync::Arc<racc_gpusim::Device>) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Record one span per construct into a `TraceRecorder`, retrievable
+    /// via `Context::tracer()` / `Context::trace_spans()`. No-op unless
+    /// the `trace` feature is compiled in.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Ring-buffer capacity (in spans) for tracing; rounded up to a power
+    /// of two. Implies nothing unless [`trace`](Self::trace) is on.
+    pub fn trace_capacity(mut self, spans: usize) -> Self {
+        self.trace_capacity = Some(spans);
+        self
+    }
+
+    /// Toggle the (process-global) data-race checker. No-op unless the
+    /// `racecheck` feature is compiled into `racc-core`.
+    pub fn racecheck(mut self, enabled: bool) -> Self {
+        self.racecheck = Some(enabled);
+        self
+    }
+
+    /// Resolve the key, construct the backend, and build the context.
+    pub fn build(self) -> Result<Ctx, RaccError> {
+        let key = match &self.key {
+            Some(k) => k.clone(),
+            None => preferred_backend_key(),
+        };
+        let norm = key.to_ascii_lowercase();
+        let backend = match norm.as_str() {
+            "serial" => {
+                self.reject_threads(&norm)?;
+                self.reject_device(&norm)?;
+                AnyBackend::Serial(SerialBackend::new())
+            }
+            "threads" | "cpu" => {
+                self.reject_device(&norm)?;
+                AnyBackend::Threads(match self.threads {
+                    Some(n) => ThreadsBackend::with_threads(n),
+                    None => ThreadsBackend::new(),
+                })
+            }
+            #[cfg(feature = "backend-cuda")]
+            "cudasim" | "cuda" | "nvidia" => {
+                self.reject_threads(&norm)?;
+                AnyBackend::Cuda(match self.device.clone() {
+                    Some(d) => CudaBackend::from_device(d),
+                    None => CudaBackend::new(),
+                })
+            }
+            #[cfg(feature = "backend-hip")]
+            "hipsim" | "hip" | "amdgpu" | "amd" => {
+                self.reject_threads(&norm)?;
+                AnyBackend::Hip(match self.device.clone() {
+                    Some(d) => HipBackend::from_device(d),
+                    None => HipBackend::new(),
+                })
+            }
+            #[cfg(feature = "backend-oneapi")]
+            "oneapisim" | "oneapi" | "intel" => {
+                self.reject_threads(&norm)?;
+                AnyBackend::OneApi(match self.device.clone() {
+                    Some(d) => OneApiBackend::from_device(d),
+                    None => OneApiBackend::new(),
+                })
+            }
+            other => return Err(RaccError::BackendUnavailable(other.to_owned())),
+        };
+        let mut inner = Context::builder(backend).trace(self.trace);
+        if let Some(spans) = self.trace_capacity {
+            inner = inner.trace_capacity(spans);
+        }
+        if let Some(enabled) = self.racecheck {
+            inner = inner.racecheck(enabled);
+        }
+        Ok(inner.build())
+    }
+
+    fn reject_threads(&self, key: &str) -> Result<(), RaccError> {
+        if self.threads.is_some() {
+            return Err(RaccError::InvalidConfig(format!(
+                "thread count only applies to the \"threads\" backend, not {key:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    #[cfg_attr(
+        not(any(
+            feature = "backend-cuda",
+            feature = "backend-hip",
+            feature = "backend-oneapi"
+        )),
+        allow(clippy::unnecessary_wraps)
+    )]
+    fn reject_device(&self, key: &str) -> Result<(), RaccError> {
+        #[cfg(any(
+            feature = "backend-cuda",
+            feature = "backend-hip",
+            feature = "backend-oneapi"
+        ))]
+        if self.device.is_some() {
+            return Err(RaccError::InvalidConfig(format!(
+                "device profile override only applies to simulated GPU back ends, not {key:?}"
+            )));
+        }
+        #[cfg(not(any(
+            feature = "backend-cuda",
+            feature = "backend-hip",
+            feature = "backend-oneapi"
+        )))]
+        let _ = key;
+        Ok(())
+    }
 }
 
 /// Build a backend value for the given key.
@@ -239,10 +482,10 @@ pub fn preferred_backend_key() -> String {
 /// Build the preference-selected context. Falls back to `threads` (with a
 /// diagnostic on stderr) when the preferred key is not compiled in.
 pub fn default_context() -> Ctx {
-    let key = preferred_backend_key();
-    match context_for(&key) {
+    match builder().build() {
         Ok(ctx) => ctx,
         Err(_) => {
+            let key = preferred_backend_key();
             eprintln!("racc: backend {key:?} unavailable, falling back to \"threads\"");
             context_for("threads").expect("threads backend always available")
         }

@@ -1,0 +1,270 @@
+//! Offline shim for the `criterion` API subset used by this workspace.
+//!
+//! Each benchmark runs one warm-up call followed by `sample_size` timed
+//! samples; a sample times a batch of iterations sized so short benchmarks
+//! are not dominated by timer resolution. The report prints min / median /
+//! max per-iteration wall time (and element throughput when configured).
+//! No statistics beyond order statistics, no plots, no baseline storage.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbenchmark group: {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_benchmark(self.default_sample_size, &mut f);
+        print_report(&id.into(), &report, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares work-per-iteration so the report can show a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_benchmark(self.sample_size, &mut |b| f(b, input));
+        let label = format!("{}/{}", self.name, id);
+        print_report(&label, &report, self.throughput.as_ref());
+        self
+    }
+
+    /// Benchmarks a closure taking no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_benchmark(self.sample_size, &mut f);
+        let label = format!("{}/{}", self.name, id.into());
+        print_report(&label, &report, self.throughput.as_ref());
+        self
+    }
+
+    /// Ends the group (explicit, to mirror the real API).
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark label: function name plus a parameter rendered with
+/// `Display`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `axpy/65536`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+struct Report {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+/// Picks an iteration count so one sample takes roughly a millisecond, then
+/// collects `sample_size` samples of per-iteration time (in ns).
+fn run_benchmark<F: FnMut(&mut Bencher)>(sample_size: usize, f: &mut F) -> Report {
+    // Warm-up and calibration: time a single iteration.
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let single_ns = bench.elapsed.as_nanos().max(1) as u64;
+    let iters = (1_000_000 / single_ns).clamp(1, 10_000);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bench = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bench);
+        samples_ns.push(bench.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    Report {
+        min: samples_ns[0],
+        median: samples_ns[samples_ns.len() / 2],
+        max: samples_ns[samples_ns.len() - 1],
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn print_report(label: &str, report: &Report, throughput: Option<&Throughput>) {
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  thrpt: {:.3} Melem/s", *n as f64 / report.median * 1e3)
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    *n as f64 / report.median * 1e9 / 1048576.0
+                )
+            }
+        })
+        .unwrap_or_default();
+    eprintln!(
+        "  {label:<40} time: [{} {} {}]{rate}",
+        fmt_time(report.min),
+        fmt_time(report.median),
+        fmt_time(report.max),
+    );
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, bench_addition);
+
+    #[test]
+    fn group_runs_to_completion() {
+        smoke();
+    }
+
+    #[test]
+    fn report_formats_scale() {
+        assert_eq!(fmt_time(12.0), "12.0 ns");
+        assert_eq!(fmt_time(1_500.0), "1.500 µs");
+        assert_eq!(fmt_time(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_time(3e9), "3.000 s");
+    }
+}

@@ -1,0 +1,131 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+//!
+//! Like the real crate, `any` covers the *whole* value domain, boundary
+//! values included: integer strategies emit `MIN`/`0`/`MAX` with elevated
+//! probability and float strategies emit `NaN`/infinities/signed zero, so
+//! tests that must survive those cases (bit-exact round-trips, filters)
+//! actually see them.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A type with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // One case in eight is a boundary value.
+                if rng.below(8) == 0 {
+                    match rng.below(4) {
+                        0 => <$ty>::MIN,
+                        1 => <$ty>::MAX,
+                        2 => 0,
+                        _ => 1,
+                    }
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_float {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                if rng.below(8) == 0 {
+                    match rng.below(8) {
+                        0 => 0.0,
+                        1 => -0.0,
+                        2 => <$ty>::INFINITY,
+                        3 => <$ty>::NEG_INFINITY,
+                        4 => <$ty>::NAN,
+                        5 => <$ty>::MIN,
+                        6 => <$ty>::MAX,
+                        _ => <$ty>::EPSILON,
+                    }
+                } else {
+                    // Sign * mantissa * 2^exponent with a wide exponent range,
+                    // approximating the real crate's full-domain coverage.
+                    let sign = if rng.flip() { 1.0 } else { -1.0 };
+                    let exponent = rng.below(129) as i32 - 64;
+                    let mantissa = rng.unit_f64() as $ty;
+                    sign * mantissa * (2.0 as $ty).powi(exponent)
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_float!(f32, f64);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        crate::string::generate_matching("\\PC", rng)
+            .chars()
+            .next()
+            .expect("\\PC generates exactly one char")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_cover_specials_and_finites() {
+        let mut rng = TestRng::new(11);
+        let (mut nan, mut finite) = (false, false);
+        for _ in 0..4000 {
+            let x = f64::arbitrary(&mut rng);
+            nan |= x.is_nan();
+            finite |= x.is_finite() && x != 0.0;
+        }
+        assert!(nan && finite);
+    }
+
+    #[test]
+    fn ints_cover_boundaries() {
+        let mut rng = TestRng::new(13);
+        let mut saw_min = false;
+        for _ in 0..4000 {
+            saw_min |= i64::arbitrary(&mut rng) == i64::MIN;
+        }
+        assert!(saw_min);
+    }
+}

@@ -1,0 +1,243 @@
+//! A regex-subset string generator.
+//!
+//! The real proptest compiles a full regex into a strategy. The shim parses
+//! the subset this workspace's tests actually use:
+//!
+//! * character classes `[a-z0-9_-]` with ranges and `\n`/`\t`/`\\` escapes,
+//! * the Unicode property class `\PC` ("not a control character"),
+//! * the wildcard `.`,
+//! * literal characters and escapes outside classes,
+//! * repetition `{m}`, `{m,n}`, `?`, `*`, `+` (the last two capped at 8).
+//!
+//! Anything else panics loudly so an unsupported pattern is caught the first
+//! time a test runs, not silently mis-generated.
+
+use crate::test_runner::TestRng;
+
+/// One `(lo, hi)` inclusive span of Unicode scalar values.
+type CharSpan = (u32, u32);
+
+struct Piece {
+    spans: Vec<CharSpan>,
+    min: usize,
+    max: usize,
+}
+
+/// Spans standing in for `\PC` / `.`: printable ASCII plus a few non-ASCII
+/// blocks (Latin-1 letters, Greek, some CJK) so multi-byte UTF-8 is
+/// exercised without generating unassigned code points.
+fn printable_spans() -> Vec<CharSpan> {
+    vec![
+        (0x20, 0x7E),     // printable ASCII
+        (0xA1, 0xFF),     // Latin-1 supplement (printable part)
+        (0x391, 0x3A9),   // Greek capitals
+        (0x3B1, 0x3C9),   // Greek smalls
+        (0x4E00, 0x4E2F), // a CJK slice
+    ]
+}
+
+fn escape_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\, \-, \], \. and friends: the char itself
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let spans: Vec<CharSpan> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut spans = Vec::new();
+                let mut pending: Vec<char> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        assert!(i < chars.len(), "dangling escape in '{pattern}'");
+                        escape_char(chars[i])
+                    } else if chars[i] == '-'
+                        && !pending.is_empty()
+                        && i + 1 < chars.len()
+                        && chars[i + 1] != ']'
+                    {
+                        // A range like `a-z`: combine with the previous char.
+                        let lo = pending.pop().expect("range start");
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            escape_char(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        assert!(lo <= hi, "inverted range in '{pattern}'");
+                        spans.push((lo as u32, hi as u32));
+                        i += 1;
+                        continue;
+                    } else {
+                        chars[i]
+                    };
+                    pending.push(c);
+                    i += 1;
+                }
+                assert!(i < chars.len(), "unterminated class in '{pattern}'");
+                i += 1; // consume ']'
+                spans.extend(pending.into_iter().map(|c| (c as u32, c as u32)));
+                spans
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in '{pattern}'");
+                if chars[i] == 'P' || chars[i] == 'p' {
+                    let negated = chars[i] == 'P';
+                    i += 1;
+                    assert!(
+                        i < chars.len() && chars[i] == 'C' && negated,
+                        "only the \\PC property class is supported ('{pattern}')"
+                    );
+                    i += 1;
+                    printable_spans()
+                } else {
+                    let c = escape_char(chars[i]);
+                    i += 1;
+                    vec![(c as u32, c as u32)]
+                }
+            }
+            '.' => {
+                i += 1;
+                printable_spans()
+            }
+            c => {
+                assert!(
+                    !"(){}|^$*+?".contains(c),
+                    "unsupported regex construct '{c}' in '{pattern}'"
+                );
+                i += 1;
+                vec![(c as u32, c as u32)]
+            }
+        };
+
+        // Optional repetition suffix.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repetition in '{pattern}'"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo: usize = lo.trim().parse().expect("repetition lower bound");
+                    let hi: usize = if hi.trim().is_empty() {
+                        lo + 8
+                    } else {
+                        hi.trim().parse().expect("repetition upper bound")
+                    };
+                    (lo, hi)
+                }
+                None => {
+                    let n: usize = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else {
+            (1, 1)
+        };
+
+        pieces.push(Piece { spans, min, max });
+    }
+    pieces
+}
+
+fn sample_span(spans: &[CharSpan], rng: &mut TestRng) -> char {
+    let total: u64 = spans.iter().map(|(lo, hi)| (hi - lo + 1) as u64).sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in spans {
+        let size = (hi - lo + 1) as u64;
+        if pick < size {
+            return char::from_u32(lo + pick as u32).expect("spans hold valid scalars");
+        }
+        pick -= size;
+    }
+    unreachable!("pick < total by construction")
+}
+
+/// Generates one string matching `pattern` (within the supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(sample_span(&piece.spans, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(7)
+    }
+
+    #[test]
+    fn class_with_ranges() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9_-]{1,12}", &mut r);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[ -~\\n\\t]{0,24}", &mut r);
+            assert!(s.chars().count() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn printable_property_class() {
+        let mut r = rng();
+        let mut saw_multibyte = false;
+        for _ in 0..400 {
+            let s = generate_matching("\\PC{0,64}", &mut r);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            saw_multibyte |= s.len() > s.chars().count();
+        }
+        assert!(saw_multibyte, "expected some non-ASCII output");
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let mut r = rng();
+        let s = generate_matching("ab{3}c", &mut r);
+        assert_eq!(s, "abbbc");
+    }
+}

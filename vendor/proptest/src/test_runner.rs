@@ -1,0 +1,149 @@
+//! Deterministic case runner and RNG for the proptest shim.
+
+/// A small, fast, deterministic RNG (xorshift64* core, splitmix64 seeding).
+///
+/// Not cryptographic; good enough distribution for test-case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed; any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 step so that consecutive seeds give unrelated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift range reduction (Lemire); bias is negligible for
+        // test-generation purposes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Configuration for a `proptest!` block; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the shim keeps CI time modest.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: the case does not count, try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Derives the per-case seed. Folding in the test name gives each test its
+/// own deterministic stream; folding in the iteration index gives each case
+/// its own seed that a failure message can report for replay.
+fn case_seed(name: &str, iteration: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `config.cases` successful cases of `case`, panicking on the first
+/// property failure. Rejected cases are retried (with a global cap so a
+/// too-strict `prop_assume!` cannot loop forever).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut iteration: u64 = 0;
+    let reject_cap = 1024 + 64 * config.cases as u64;
+    while passed < config.cases {
+        let seed = case_seed(name, iteration);
+        iteration += 1;
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_cap,
+                    "proptest '{name}': too many rejected cases ({rejected}); \
+                     prop_assume! condition is too strict"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (case {passed}, seed {seed:#018x}): {msg}")
+            }
+        }
+    }
+}
