@@ -1,6 +1,15 @@
-//! Ablation (DESIGN.md §6): static block scheduling vs dynamic
-//! chunk-stealing on the thread pool, real wall time, for a uniform and a
-//! skewed (triangular-cost) workload.
+//! Ablation (DESIGN.md §7): static block scheduling vs dynamic
+//! chunk-stealing on the thread pool, real wall time, for a uniform, a
+//! skewed (triangular-cost), and a block-loop-shaped workload.
+//!
+//! The chunk sweep (`dynamic-1` … `dynamic-256`) is what the
+//! `Schedule::Dynamic { chunk: 0 }` auto-chunk heuristic is tuned against:
+//! too small and the atomic grab dominates, too large and skewed workloads
+//! lose load balance to the tail chunk.
+//!
+//! Set `RACC_BENCH_THREADS` to measure a fixed pool width (useful on
+//! constrained CI machines where `available_parallelism()` is 1 and every
+//! schedule degenerates to the serial path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use racc_threadpool::{Schedule, ThreadPool};
@@ -13,18 +22,30 @@ fn work(units: usize) -> f64 {
     acc
 }
 
+fn bench_threads() -> usize {
+    std::env::var("RACC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
 fn bench_sched(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = bench_threads();
     let n = 4096usize;
     let mut group = c.benchmark_group("ablate_sched");
     group.sample_size(10);
 
-    let schedules: [(&str, Schedule); 3] = [
+    let schedules: [(&str, Schedule); 6] = [
         ("static", Schedule::Static),
         ("dynamic-auto", Schedule::Dynamic { chunk: 0 }),
+        ("dynamic-1", Schedule::Dynamic { chunk: 1 }),
         ("dynamic-16", Schedule::Dynamic { chunk: 16 }),
+        ("dynamic-64", Schedule::Dynamic { chunk: 64 }),
+        ("dynamic-256", Schedule::Dynamic { chunk: 256 }),
     ];
 
     for (name, sched) in schedules {
@@ -41,6 +62,15 @@ fn bench_sched(c: &mut Criterion) {
             let pool = ThreadPool::new(threads);
             b.iter(|| {
                 let s = pool.parallel_reduce(n, sched, 0.0, |i| work(i / 8), |a, b| a + b);
+                std::hint::black_box(s)
+            })
+        });
+        // Block-loop shape: each index is one simulated 64-thread block, the
+        // iteration profile of `racc-gpusim`'s `execute_grid` block loop.
+        group.bench_with_input(BenchmarkId::new("blockloop", name), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            b.iter(|| {
+                let s = pool.parallel_reduce(n, sched, 0.0, |_| work(64), |a, b| a + b);
                 std::hint::black_box(s)
             })
         });

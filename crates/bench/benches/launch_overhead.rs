@@ -1,0 +1,177 @@
+//! Launch-overhead microbenchmark: **launches per second** through each
+//! simulated vendor API (cudasim / hipsim / oneapisim) and the threads
+//! backend, for an empty kernel and an AXPY-shaped kernel.
+//!
+//! The paper's overhead claim (Figs. 8–13) assumes dispatch is cheap; in the
+//! simulator the functional execution of a launch is host work, so per-block
+//! allocations or per-thread div/mods show up directly as lost launches/sec.
+//! This bench is the gate for the hot-path work in `racc-gpusim`: the
+//! `empty/*` series isolates pure dispatch overhead (nothing but context
+//! plumbing per thread), while `axpy/*` adds a realistic memory-bound body.
+//!
+//! Set `RACC_BENCH_QUICK=1` for a smoke-test run (small grids, few samples)
+//! — used by CI to keep the bench from rotting without paying for a full
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use racc_core::{Context, KernelProfile, ThreadsBackend};
+use racc_cudasim::Cuda;
+use racc_gpusim::perf::KernelCost;
+use racc_hipsim::Hip;
+use racc_oneapisim::OneApi;
+
+fn quick() -> bool {
+    std::env::var_os("RACC_BENCH_QUICK").is_some()
+}
+
+fn sample_size() -> usize {
+    if quick() {
+        3
+    } else {
+        10
+    }
+}
+
+/// Small-block grid shape: many blocks of few threads, the worst case for
+/// per-block launch overhead.
+fn empty_shape() -> (u32, u32) {
+    if quick() {
+        (128, 32) // blocks, threads
+    } else {
+        (1024, 32)
+    }
+}
+
+fn axpy_n() -> usize {
+    if quick() {
+        1 << 12
+    } else {
+        1 << 16
+    }
+}
+
+/// An empty launch: every thread receives its context and does nothing.
+/// Measures pure per-launch + per-block + per-thread harness overhead.
+fn bench_empty(c: &mut Criterion) {
+    let (blocks, threads) = empty_shape();
+    let mut group = c.benchmark_group("launch_overhead_empty");
+    group.sample_size(sample_size());
+    // One launch per iteration: Melem/s in the report reads as launches/µs.
+    group.throughput(Throughput::Elements(1));
+    let shape = format!("{blocks}x{threads}");
+
+    let cuda = Cuda::new();
+    group.bench_with_input(BenchmarkId::new("cudasim", &shape), &(), |b, _| {
+        b.iter(|| {
+            cuda.launch(threads, blocks, 0, KernelCost::default(), |_| {})
+                .unwrap()
+        })
+    });
+
+    let hip = Hip::new();
+    group.bench_with_input(BenchmarkId::new("hipsim", &shape), &(), |b, _| {
+        b.iter(|| {
+            hip.launch(threads, blocks, 0, KernelCost::default(), |_| {})
+                .unwrap()
+        })
+    });
+
+    let oneapi = OneApi::new();
+    group.bench_with_input(BenchmarkId::new("oneapisim", &shape), &(), |b, _| {
+        b.iter(|| {
+            oneapi
+                .launch(threads, blocks, 0, KernelCost::default(), |_| {})
+                .unwrap()
+        })
+    });
+
+    let ctx = Context::new(ThreadsBackend::new());
+    let n = (blocks * threads) as usize;
+    group.bench_with_input(BenchmarkId::new("threads", n), &(), |b, _| {
+        b.iter(|| ctx.parallel_for(n, &KernelProfile::axpy(), |_i| {}))
+    });
+
+    group.finish();
+}
+
+/// AXPY-shaped launch: one global read-modify-write per thread, 256-thread
+/// blocks — the dispatch shape behind Fig. 8's BLAS-1 series.
+fn bench_axpy(c: &mut Criterion) {
+    let n = axpy_n();
+    let threads = 256u32;
+    let blocks = n.div_ceil(threads as usize) as u32;
+    let cost = KernelCost::new(2.0, 16.0, 8.0, 1.0);
+
+    let mut group = c.benchmark_group("launch_overhead_axpy");
+    group.sample_size(sample_size());
+    group.throughput(Throughput::Elements(1));
+
+    let host_x = vec![1.0f64; n];
+    let host_y = vec![2.0f64; n];
+
+    let cuda = Cuda::new();
+    let x = cuda.cu_array(&host_x).unwrap();
+    let y = cuda.cu_array(&host_y).unwrap();
+    let (xv, yv) = (cuda.view_mut(&x).unwrap(), cuda.view(&y).unwrap());
+    group.bench_with_input(BenchmarkId::new("cudasim", n), &(), |b, _| {
+        b.iter(|| {
+            cuda.launch(threads, blocks, 0, cost, |t| {
+                let i = t.global_id_x();
+                if i < n {
+                    xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+                }
+            })
+            .unwrap()
+        })
+    });
+
+    let hip = Hip::new();
+    let x = hip.roc_array(&host_x).unwrap();
+    let y = hip.roc_array(&host_y).unwrap();
+    let (xv, yv) = (hip.view_mut(&x).unwrap(), hip.view(&y).unwrap());
+    group.bench_with_input(BenchmarkId::new("hipsim", n), &(), |b, _| {
+        b.iter(|| {
+            hip.launch(threads, blocks, 0, cost, |t| {
+                let i = t.global_id_x();
+                if i < n {
+                    xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+                }
+            })
+            .unwrap()
+        })
+    });
+
+    let oneapi = OneApi::new();
+    let x = oneapi.one_array(&host_x).unwrap();
+    let y = oneapi.one_array(&host_y).unwrap();
+    let (xv, yv) = (oneapi.view_mut(&x).unwrap(), oneapi.view(&y).unwrap());
+    group.bench_with_input(BenchmarkId::new("oneapisim", n), &(), |b, _| {
+        b.iter(|| {
+            oneapi
+                .launch(threads, blocks, 0, cost, |t| {
+                    let i = t.global_id_x();
+                    if i < n {
+                        xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+                    }
+                })
+                .unwrap()
+        })
+    });
+
+    let ctx = Context::new(ThreadsBackend::new());
+    let x = ctx.array_from(&host_x).unwrap();
+    let y = ctx.array_from(&host_y).unwrap();
+    group.bench_with_input(BenchmarkId::new("threads", n), &(), |b, _| {
+        b.iter(|| {
+            let (xv, yv) = (x.view_mut(), y.view());
+            ctx.parallel_for(n, &KernelProfile::axpy(), move |i| {
+                xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_empty, bench_axpy);
+criterion_main!(benches);

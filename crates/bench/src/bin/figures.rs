@@ -38,6 +38,7 @@ fn main() {
         "ablate-coalescing" => ablate_coalescing(),
         "ablate-reduce" => ablate_reduce(full),
         "ablate-lbm-launch" => ablate_lbm_launch(),
+        "bench-launch-overhead" => bench_launch_overhead(),
         "trace" => {
             let experiment = args
                 .iter()
@@ -60,7 +61,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|trace|all"
+                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|trace|all"
             );
             std::process::exit(2);
         }
@@ -482,6 +483,201 @@ fn host_folded_dot(
     let _sum: f64 = host.iter().sum();
     let e1 = cuda.record_event();
     e0.elapsed_ns(&e1)
+}
+
+/// Launch-overhead gate: **wall-clock** launches/sec through each simulated
+/// vendor API plus the threads backend, for an empty kernel (pure dispatch)
+/// and an AXPY-shaped kernel. The same workloads as the
+/// `launch_overhead` criterion bench, packaged for CI: prints a table and
+/// writes `results/BENCH_launch_overhead.json`. `RACC_BENCH_QUICK=1`
+/// shrinks shapes and iteration counts to smoke-test scale.
+fn bench_launch_overhead() {
+    use racc_core::{Context, KernelProfile, ThreadsBackend};
+    use racc_cudasim::Cuda;
+    use racc_gpusim::KernelCost;
+    use racc_hipsim::Hip;
+    use racc_oneapisim::OneApi;
+    use std::time::Instant;
+
+    let quick = std::env::var_os("RACC_BENCH_QUICK").is_some();
+    let (blocks, threads) = if quick {
+        (128u32, 32u32)
+    } else {
+        (1024u32, 32u32)
+    };
+    let n: usize = if quick { 1 << 12 } else { 1 << 16 };
+    let iters: u32 = if quick { 50 } else { 400 };
+
+    /// Warm up (arena growth, op-log fill), then time `iters` launches.
+    fn measure(iters: u32, mut launch: impl FnMut()) -> f64 {
+        for _ in 0..(iters / 4).max(4) {
+            launch();
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            launch();
+        }
+        t0.elapsed().as_nanos() as f64 / f64::from(iters)
+    }
+
+    // (workload, backend, shape, ns-per-launch)
+    let mut rows: Vec<(&'static str, &'static str, String, f64)> = Vec::new();
+    let empty_shape = format!("{blocks}x{threads}");
+
+    let cuda = Cuda::new();
+    let hip = Hip::new();
+    let oneapi = OneApi::new();
+    let ctx = Context::new(ThreadsBackend::new());
+
+    rows.push((
+        "empty",
+        "cudasim",
+        empty_shape.clone(),
+        measure(iters, || {
+            cuda.launch(threads, blocks, 0, KernelCost::default(), |_| {})
+                .unwrap();
+        }),
+    ));
+    rows.push((
+        "empty",
+        "hipsim",
+        empty_shape.clone(),
+        measure(iters, || {
+            hip.launch(threads, blocks, 0, KernelCost::default(), |_| {})
+                .unwrap();
+        }),
+    ));
+    rows.push((
+        "empty",
+        "oneapisim",
+        empty_shape.clone(),
+        measure(iters, || {
+            oneapi
+                .launch(threads, blocks, 0, KernelCost::default(), |_| {})
+                .unwrap();
+        }),
+    ));
+    let flat = (blocks * threads) as usize;
+    rows.push((
+        "empty",
+        "threads",
+        empty_shape.clone(),
+        measure(iters, || {
+            ctx.parallel_for(flat, &KernelProfile::axpy(), |_i| {});
+        }),
+    ));
+
+    let axpy_threads = 256u32;
+    let axpy_blocks = n.div_ceil(axpy_threads as usize) as u32;
+    let cost = KernelCost::new(2.0, 16.0, 8.0, 1.0);
+    let axpy_shape = format!("n={n}");
+    let host_x = vec![1.0f64; n];
+    let host_y = vec![2.0f64; n];
+
+    {
+        let x = cuda.cu_array(&host_x).unwrap();
+        let y = cuda.cu_array(&host_y).unwrap();
+        let (xv, yv) = (cuda.view_mut(&x).unwrap(), cuda.view(&y).unwrap());
+        rows.push((
+            "axpy",
+            "cudasim",
+            axpy_shape.clone(),
+            measure(iters, || {
+                cuda.launch(axpy_threads, axpy_blocks, 0, cost, |t| {
+                    let i = t.global_id_x();
+                    if i < n {
+                        xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+                    }
+                })
+                .unwrap();
+            }),
+        ));
+    }
+    {
+        let x = hip.roc_array(&host_x).unwrap();
+        let y = hip.roc_array(&host_y).unwrap();
+        let (xv, yv) = (hip.view_mut(&x).unwrap(), hip.view(&y).unwrap());
+        rows.push((
+            "axpy",
+            "hipsim",
+            axpy_shape.clone(),
+            measure(iters, || {
+                hip.launch(axpy_threads, axpy_blocks, 0, cost, |t| {
+                    let i = t.global_id_x();
+                    if i < n {
+                        xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+                    }
+                })
+                .unwrap();
+            }),
+        ));
+    }
+    {
+        let x = oneapi.one_array(&host_x).unwrap();
+        let y = oneapi.one_array(&host_y).unwrap();
+        let (xv, yv) = (oneapi.view_mut(&x).unwrap(), oneapi.view(&y).unwrap());
+        rows.push((
+            "axpy",
+            "oneapisim",
+            axpy_shape.clone(),
+            measure(iters, || {
+                oneapi
+                    .launch(axpy_threads, axpy_blocks, 0, cost, |t| {
+                        let i = t.global_id_x();
+                        if i < n {
+                            xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+                        }
+                    })
+                    .unwrap();
+            }),
+        ));
+    }
+    {
+        let x = ctx.array_from(&host_x).unwrap();
+        let y = ctx.array_from(&host_y).unwrap();
+        rows.push((
+            "axpy",
+            "threads",
+            axpy_shape.clone(),
+            measure(iters, || {
+                let (xv, yv) = (x.view_mut(), y.view());
+                ctx.parallel_for(n, &KernelProfile::axpy(), move |i| {
+                    xv.set(i, xv.get(i) + 2.5 * yv.get(i));
+                });
+            }),
+        ));
+    }
+
+    let mut t = Table::new(
+        "Launch overhead — wall-clock dispatch rate per backend",
+        &["workload", "backend", "shape", "ns/launch", "launches/sec"],
+    );
+    let mut entries = Vec::new();
+    for (workload, backend, shape, ns) in &rows {
+        let per_sec = 1e9 / ns;
+        t.row(vec![
+            (*workload).to_string(),
+            (*backend).to_string(),
+            shape.clone(),
+            format!("{ns:.0}"),
+            format!("{per_sec:.0}"),
+        ]);
+        entries.push(format!(
+            "    {{\"workload\": \"{workload}\", \"backend\": \"{backend}\", \"shape\": \"{shape}\", \
+             \"iters\": {iters}, \"ns_per_launch\": {ns:.1}, \"launches_per_sec\": {per_sec:.1}}}"
+        ));
+    }
+    t.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"launch_overhead\",\n  \"quick\": {quick},\n  \"series\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    racc::trace::json::validate(&json).expect("bench JSON must be valid");
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_launch_overhead.json";
+    std::fs::write(path, json).expect("write bench JSON");
+    println!("\nlaunch-overhead series written to {path}");
 }
 
 /// Ablation: native 2D tiled launch vs flattened 1D launch for the LBM

@@ -171,6 +171,10 @@ impl Cuda {
     /// `@cuda threads=threads blocks=blocks shmem=shmem kernel(...)`:
     /// launch a non-cooperative kernel over a 1D grid. Synchronous, like the
     /// `CUDA.@sync` pattern the paper's back end uses.
+    ///
+    /// With `shmem == 0` this dispatches through the simulator's
+    /// non-cooperative fast path (no per-block arena or phase machinery —
+    /// see `DESIGN.md` §6); the `launch_overhead` bench gates its cost.
     pub fn launch<F>(
         &self,
         threads: u32,

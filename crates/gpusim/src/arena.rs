@@ -1,0 +1,120 @@
+//! Per-worker launch arenas.
+//!
+//! `execute_grid` needs two scratch objects per block: the block's
+//! [`SharedMem`] buffer and a `Vec`-shaped array of per-thread
+//! [`PhasedKernel::State`](crate::PhasedKernel::State) values. Allocating
+//! them per block put ~2 heap allocations on every block of every launch
+//! (~8192 for a 4096-block grid). The arena keeps one reusable `SharedMem`
+//! and one type-erased state buffer ([`RawScratch`]) per *pool participant*
+//! (thread-local on the host threads that run blocks), so steady-state
+//! launches perform zero per-block allocations:
+//!
+//! * the shared buffer is [`SharedMem::reset`] between blocks — zero-filled
+//!   only when `shared_mem_bytes > 0` — preserving the zeroed-at-block-start
+//!   contract documented on [`SharedMem`];
+//! * states are placement-initialized into the scratch via
+//!   [`scratch::with_slots`], which default-constructs them before the block
+//!   and drops them after (so `State` types owning resources stay correct).
+//!
+//! The arena uses the same take/restore thread-local protocol as
+//! `racc_threadpool::scratch`: reentrant use (a kernel body launching on a
+//! nested pool from the same host thread) falls back to a fresh temporary
+//! arena rather than aliasing the cached one.
+
+use std::cell::Cell;
+
+use racc_threadpool::scratch::{self, RawScratch};
+
+use crate::phased::SharedMem;
+
+/// One host thread's reusable launch scratch.
+pub(crate) struct LaunchArena {
+    /// Reused shared-memory buffer, `reset` per block.
+    pub shared: SharedMem,
+    /// Type-erased backing storage for the per-thread state slots.
+    pub states: RawScratch,
+}
+
+impl LaunchArena {
+    fn new() -> Self {
+        LaunchArena {
+            shared: SharedMem::new(0),
+            states: RawScratch::new(),
+        }
+    }
+
+    /// Run `f` with `block_threads` default-initialized state slots and the
+    /// shared buffer sized (and zeroed) to `shared_mem_bytes`.
+    pub fn run_block<S: Default, R>(
+        &mut self,
+        shared_mem_bytes: usize,
+        block_threads: usize,
+        f: impl FnOnce(&mut [S], &SharedMem) -> R,
+    ) -> R {
+        self.shared.reset(shared_mem_bytes);
+        let shared = &self.shared;
+        scratch::with_slots(&mut self.states, block_threads, S::default, |states| {
+            f(states, shared)
+        })
+    }
+}
+
+thread_local! {
+    static TLS_ARENA: Cell<Option<LaunchArena>> = const { Cell::new(None) };
+}
+
+/// Borrow this host thread's cached [`LaunchArena`] for the duration of `f`
+/// (take/restore: reentrant callers get a fresh temporary arena; a panic
+/// inside `f` discards the taken arena and the next call re-creates it).
+pub(crate) fn with_arena<R>(f: impl FnOnce(&mut LaunchArena) -> R) -> R {
+    let mut arena = TLS_ARENA
+        .with(|c| c.take())
+        .unwrap_or_else(LaunchArena::new);
+    let result = f(&mut arena);
+    TLS_ARENA.with(|c| c.set(Some(arena)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_rezeroes_shared_between_blocks() {
+        with_arena(|arena| {
+            arena.run_block::<(), _>(32, 4, |states, shared| {
+                assert_eq!(states.len(), 4);
+                assert_eq!(shared.get::<f64>(0), 0.0);
+                shared.set::<f64>(0, 5.0);
+            });
+            arena.run_block::<(), _>(32, 4, |_, shared| {
+                assert_eq!(shared.get::<f64>(0), 0.0, "stale shared-mem value");
+            });
+        });
+    }
+
+    #[test]
+    fn arena_states_fresh_per_block() {
+        with_arena(|arena| {
+            arena.run_block::<u64, _>(0, 3, |states, _| {
+                assert_eq!(states, &[0, 0, 0]);
+                states[1] = 42;
+            });
+            arena.run_block::<u64, _>(0, 3, |states, _| {
+                assert_eq!(states, &[0, 0, 0], "states must be re-defaulted");
+            });
+        });
+    }
+
+    #[test]
+    fn arena_is_cached_per_thread() {
+        let cap = with_arena(|arena| {
+            arena.run_block::<u64, _>(0, 100, |_, _| ());
+            arena.states.capacity()
+        });
+        assert!(cap >= 800);
+        with_arena(|arena| {
+            assert_eq!(arena.states.capacity(), cap, "arena must be reused");
+        });
+    }
+}

@@ -1,5 +1,6 @@
 //! The simulated device: heap + launch engine + clock + op log.
 
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -7,6 +8,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use racc_threadpool::{Schedule, ThreadPool};
 
+use crate::arena;
+use crate::dim::Dim3;
 use crate::error::SimError;
 use crate::event::Event;
 use crate::heap::{Allocation, DeviceBuffer, DeviceSlice, DeviceSliceMut, Element};
@@ -36,7 +39,7 @@ pub struct Device {
     used_bytes: Arc<AtomicUsize>,
     racecheck: std::sync::atomic::AtomicBool,
     tracker: Arc<RaceTracker>,
-    op_log: Mutex<Vec<OpRecord>>,
+    op_log: Mutex<VecDeque<OpRecord>>,
     /// Completion time (absolute device ns) of the last operation on each
     /// non-default stream; the substrate of the async-overlap model.
     stream_clocks: Mutex<std::collections::HashMap<u64, u64>>,
@@ -72,7 +75,7 @@ impl Device {
             used_bytes: Arc::new(AtomicUsize::new(0)),
             racecheck: std::sync::atomic::AtomicBool::new(false),
             tracker: Arc::new(RaceTracker::new()),
-            op_log: Mutex::new(Vec::new()),
+            op_log: Mutex::new(VecDeque::new()),
             stream_clocks: Mutex::new(std::collections::HashMap::new()),
         }
     }
@@ -124,9 +127,11 @@ impl Device {
         let after = self.clock_ns.fetch_add(ns, Ordering::Relaxed) + ns;
         let mut log = self.op_log.lock();
         if log.len() == OP_LOG_CAP {
-            log.remove(0);
+            // O(1) ring step (a `Vec::remove(0)` here would memmove the whole
+            // log on every op once the cap is reached — per-launch overhead).
+            log.pop_front();
         }
-        log.push(OpRecord {
+        log.push_back(OpRecord {
             kind,
             bytes,
             threads,
@@ -138,7 +143,7 @@ impl Device {
 
     /// Snapshot of the most recent operations (up to an internal cap).
     pub fn op_log(&self) -> Vec<OpRecord> {
-        self.op_log.lock().clone()
+        self.op_log.lock().iter().cloned().collect()
     }
 
     /// Record a timestamp on the device clock.
@@ -431,7 +436,74 @@ impl Device {
 
     /// Functionally execute every block/thread of a launch (shared by the
     /// synchronous, asynchronous, and cooperative paths).
+    ///
+    /// Hot-path structure (see DESIGN.md §gpusim "execution hot path"):
+    /// blocks are distributed in tuned multi-block chunks ([`block_chunk`]);
+    /// each block runs out of its host thread's reusable [`arena`] (zero
+    /// steady-state allocations); non-cooperative kernels (single phase,
+    /// zero-sized state, no shared memory, racecheck off) skip the arena and
+    /// phase/state machinery entirely.
     fn execute_grid<K: PhasedKernel>(&self, cfg: LaunchConfig, kernel: &K) {
+        let racecheck = self.racecheck_enabled();
+        if racecheck {
+            self.tracker.begin_epoch();
+        }
+        let grid = cfg.grid;
+        let block = cfg.block;
+        let blocks = grid.count();
+        let phases = kernel.num_phases();
+        let schedule = Schedule::Dynamic {
+            chunk: block_chunk(blocks, block.count(), self.pool.num_threads()),
+        };
+
+        // Fast path: nothing survives a barrier (single phase, zero-sized
+        // state) and no shared memory or racecheck is involved, so each
+        // simulated thread costs only its context and the kernel body.
+        if phases == 1
+            && std::mem::size_of::<K::State>() == 0
+            && cfg.shared_mem_bytes == 0
+            && !racecheck
+        {
+            let empty = SharedMem::new(0);
+            self.pool.parallel_for(blocks, schedule, |b| {
+                let block_idx = grid.unflatten(b);
+                for_each_thread(block, |thread_idx| {
+                    let ctx = ThreadCtx {
+                        block_idx,
+                        thread_idx,
+                        block_dim: block,
+                        grid_dim: grid,
+                    };
+                    // Zero-sized, so construction is free and no state array
+                    // is needed.
+                    let mut state = K::State::default();
+                    kernel.phase(0, &ctx, &mut state, &empty);
+                });
+            });
+            return;
+        }
+
+        // General (cooperative) path: per-worker arenas hold the shared-mem
+        // buffer and the state slots; the racecheck test is hoisted into a
+        // const generic so the per-thread loop stays branch-free.
+        self.pool.parallel_for(blocks, schedule, |b| {
+            arena::with_arena(|ar| {
+                if racecheck {
+                    run_block_in_arena::<K, true>(kernel, ar, grid, block, &cfg, phases, b)
+                } else {
+                    run_block_in_arena::<K, false>(kernel, ar, grid, block, &cfg, phases, b)
+                }
+            });
+        });
+    }
+
+    /// Functional-only reference executor preserving the pre-arena semantics:
+    /// a fresh `SharedMem` and a fresh state `Vec` per block, `unflatten`
+    /// per thread. Kept as the differential-test oracle for the arena hot
+    /// path (see `tests/proptest_sim.rs`); does not validate the launch
+    /// config or charge the timeline.
+    #[doc(hidden)]
+    pub fn execute_grid_reference<K: PhasedKernel>(&self, cfg: LaunchConfig, kernel: &K) {
         let racecheck = self.racecheck_enabled();
         if racecheck {
             self.tracker.begin_epoch();
@@ -532,6 +604,72 @@ impl Device {
         streams.insert(stream.id(), end);
         Ok(ns)
     }
+}
+
+/// Iterate a block's threads in linear order (`x` fastest, matching
+/// `Dim3::unflatten`) with nested counters instead of a div/mod per thread.
+#[inline]
+fn for_each_thread(block: Dim3, mut f: impl FnMut((u32, u32, u32))) {
+    for tz in 0..block.z {
+        for ty in 0..block.y {
+            for tx in 0..block.x {
+                f((tx, ty, tz));
+            }
+        }
+    }
+}
+
+/// Execute one block out of a worker's arena. `RC` hoists the racecheck
+/// branch out of the per-thread loop: the `false` instantiation compiles to
+/// a loop with no racecheck code at all.
+fn run_block_in_arena<K: PhasedKernel, const RC: bool>(
+    kernel: &K,
+    arena: &mut arena::LaunchArena,
+    grid: Dim3,
+    block: Dim3,
+    cfg: &LaunchConfig,
+    phases: usize,
+    b: usize,
+) {
+    let block_idx = grid.unflatten(b);
+    arena.run_block::<K::State, _>(cfg.shared_mem_bytes, block.count(), |states, shared| {
+        for phase in 0..phases {
+            let mut t = 0;
+            for_each_thread(block, |thread_idx| {
+                let ctx = ThreadCtx {
+                    block_idx,
+                    thread_idx,
+                    block_dim: block,
+                    grid_dim: grid,
+                };
+                if RC {
+                    racecheck::set_current_sim_thread(ctx.global_linear() as u64);
+                }
+                kernel.phase(phase, &ctx, &mut states[t], shared);
+                t += 1;
+            });
+        }
+    });
+    if RC {
+        racecheck::clear_current_sim_thread();
+    }
+}
+
+/// Blocks per dynamic-schedule grab for the block loop.
+///
+/// Tuned against `ablate_sched` on a 4-participant pool (see EXPERIMENTS.md):
+/// single-block grabs were ~4x slower than 16+-block grabs for cheap
+/// 64-thread blocks (atomic RMW per grab dominates), while grabs past ~64
+/// blocks bought nothing and risk tail imbalance. So: target ~2048 simulated
+/// thread-iterations per grab, clamp to [4, 64] blocks, and never exceed an
+/// equal share of the grid.
+fn block_chunk(blocks: usize, block_threads: usize, participants: usize) -> usize {
+    if participants <= 1 {
+        // Serial pool: `parallel_for` runs inline and ignores the schedule.
+        return blocks.max(1);
+    }
+    let target = (2048 / block_threads.max(1)).clamp(4, 64);
+    target.min((blocks / participants).max(1))
 }
 
 /// Build a dedicated handle to the global pool. `ThreadPool` is not `Clone`;

@@ -48,6 +48,7 @@
 //! assert!(dev.clock_ns() > 0);
 //! ```
 
+mod arena;
 mod device;
 mod dim;
 mod error;

@@ -38,6 +38,17 @@ pub trait PhasedKernel: Sync {
 /// on the raw byte buffer; the executor guarantees each block's `SharedMem`
 /// is touched by one host thread at a time, so the interior mutability is
 /// single-threaded in practice.
+///
+/// # Initialization contract
+///
+/// **Every block observes zeroed shared memory at the start of its phase 0.**
+/// Real CUDA/HIP dynamic shared memory is *uninitialized* at block start;
+/// the simulator deliberately provides the stronger guarantee and keeps it
+/// even though the executor reuses one arena buffer across blocks
+/// ([`SharedMem::reset`] re-zeroes between blocks). Kernels in
+/// `backend-common` rely on phase 0 fully initializing what they read, which
+/// is portable to real hardware; zeroing additionally makes any
+/// read-before-write bug deterministic instead of value-dependent.
 pub struct SharedMem {
     bytes: UnsafeCell<Vec<u8>>,
 }
@@ -98,6 +109,20 @@ impl SharedMem {
         // SAFETY: single-threaded access per the executor contract.
         unsafe { (*self.bytes.get()).fill(0) };
     }
+
+    /// Resize to `bytes` zeroed bytes, reusing the existing capacity: the
+    /// executor calls this between blocks so a reused arena buffer still
+    /// honors the zeroed-at-block-start contract without reallocating.
+    /// Writes nothing when `bytes == 0`.
+    pub fn reset(&self, bytes: usize) {
+        // SAFETY: single-threaded access per the executor contract; the
+        // executor only calls this between blocks, never during one.
+        unsafe {
+            let v = &mut *self.bytes.get();
+            v.clear();
+            v.resize(bytes, 0);
+        }
+    }
 }
 
 /// Adapter: a non-cooperative closure as a single-phase kernel, so the two
@@ -141,6 +166,30 @@ mod tests {
         sm.set::<f64>(1, 9.0);
         sm.clear();
         assert_eq!(sm.get::<f64>(1), 0.0);
+    }
+
+    #[test]
+    fn reset_rezeroes_and_reuses_capacity() {
+        // Regression test for the executor's arena reuse: a block that dirties
+        // shared memory must not leak values into the next block's view.
+        let sm = SharedMem::new(0);
+        sm.reset(64);
+        assert_eq!(sm.size_bytes(), 64);
+        for i in 0..8 {
+            assert_eq!(sm.get::<f64>(i), 0.0, "fresh reset must be zeroed");
+            sm.set::<f64>(i, (i + 1) as f64);
+        }
+        // Same size: contents must come back zeroed, not stale.
+        sm.reset(64);
+        for i in 0..8 {
+            assert_eq!(sm.get::<f64>(i), 0.0, "reset must re-zero");
+        }
+        // Shrink then grow within capacity: still zeroed.
+        sm.set::<f64>(7, 9.0);
+        sm.reset(16);
+        assert_eq!(sm.size_bytes(), 16);
+        sm.reset(64);
+        assert_eq!(sm.get::<f64>(7), 0.0, "regrown bytes must be zeroed");
     }
 
     #[test]

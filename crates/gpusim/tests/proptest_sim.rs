@@ -154,6 +154,186 @@ proptest! {
     }
 }
 
+/// Differential tests for the executor hot path: the arena/fast-path
+/// executor (`Device::launch_phased` → `execute_grid`) must produce
+/// **bit-identical** results to the pre-arena reference executor
+/// (`Device::execute_grid_reference`, which allocates a fresh `SharedMem`
+/// and state `Vec` per block), across grid/block shapes including partial
+/// blocks.
+mod arena_vs_reference {
+    use super::*;
+
+    /// Non-cooperative AXPY-shaped kernel: single phase, zero-sized state,
+    /// no shared memory — exactly the fast-path conditions.
+    struct NonCoop {
+        n: usize,
+        x: DeviceSlice<f64>,
+        y: DeviceSlice<f64>,
+        out: DeviceSliceMut<f64>,
+    }
+    impl PhasedKernel for NonCoop {
+        type State = ();
+        fn num_phases(&self) -> usize {
+            1
+        }
+        fn phase(&self, _p: usize, ctx: &ThreadCtx, _s: &mut (), _sh: &SharedMem) {
+            let i = ctx.global_linear();
+            if i < self.n {
+                self.out.set(i, 2.5 * self.x.get(i) + self.y.get(i));
+            }
+        }
+    }
+
+    /// Cooperative shared-memory tree-reduction DOT (the paper's Fig. 3
+    /// shape): multi-phase, per-block shared memory — the arena path.
+    struct TreeDot {
+        n: usize,
+        block: usize,
+        x: DeviceSlice<f64>,
+        y: DeviceSlice<f64>,
+        partials: DeviceSliceMut<f64>,
+    }
+    impl PhasedKernel for TreeDot {
+        type State = ();
+        fn num_phases(&self) -> usize {
+            2 + self.block.trailing_zeros() as usize
+        }
+        fn phase(&self, phase: usize, ctx: &ThreadCtx, _s: &mut (), sh: &SharedMem) {
+            let ti = ctx.thread_linear();
+            let steps = self.block.trailing_zeros() as usize;
+            if phase == 0 {
+                let i = ctx.global_id_x();
+                let v = if i < self.n {
+                    self.x.get(i) * self.y.get(i)
+                } else {
+                    0.0
+                };
+                sh.set::<f64>(ti, v);
+            } else if phase <= steps {
+                let half = self.block >> phase;
+                if ti < half {
+                    sh.set::<f64>(ti, sh.get::<f64>(ti) + sh.get::<f64>(ti + half));
+                }
+            } else if ti == 0 {
+                self.partials.set(ctx.block_linear(), sh.get::<f64>(0));
+            }
+        }
+    }
+
+    /// Non-zero-sized `State` carried across a barrier, no shared memory:
+    /// exercises the arena's placement-initialized state slots.
+    struct StatefulSquare {
+        n: usize,
+        x: DeviceSlice<f64>,
+        out: DeviceSliceMut<f64>,
+    }
+    impl PhasedKernel for StatefulSquare {
+        type State = f64;
+        fn num_phases(&self) -> usize {
+            2
+        }
+        fn phase(&self, phase: usize, ctx: &ThreadCtx, state: &mut f64, _sh: &SharedMem) {
+            let i = ctx.global_linear();
+            if phase == 0 {
+                *state = if i < self.n { self.x.get(i) } else { 0.0 };
+            } else if i < self.n {
+                self.out.set(i, *state * *state);
+            }
+        }
+    }
+
+    fn bits(dev: &Device, buf: &racc_gpusim::DeviceBuffer<f64>) -> Vec<u64> {
+        dev.read_vec(buf)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Fast path vs reference, arbitrary 2D grids and (possibly
+        /// non-power-of-two) block shapes, with a partial last block.
+        #[test]
+        fn non_cooperative_bit_identical(
+            data in prop::collection::vec(-1e6f64..1e6, 1..800),
+            bx in 1u32..33, by in 1u32..3, gy in 1u32..4,
+        ) {
+            let dev = test_device();
+            let n = data.len();
+            let block = Dim3::xy(bx, by);
+            prop_assume!(block.count() <= 64);
+            let gx = n.div_ceil(block.count() * gy as usize).max(1) as u32;
+            let cfg = LaunchConfig::new(Dim3::xy(gx, gy), block);
+            let x = dev.alloc_from(&data).unwrap();
+            let y = dev.alloc_from(&data).unwrap();
+            let out_fast = dev.alloc::<f64>(n).unwrap();
+            let out_ref = dev.alloc::<f64>(n).unwrap();
+            let mk = |out: &racc_gpusim::DeviceBuffer<f64>| NonCoop {
+                n,
+                x: dev.slice(&x).unwrap(),
+                y: dev.slice(&y).unwrap(),
+                out: dev.slice_mut(out).unwrap(),
+            };
+            dev.launch_phased(cfg, KernelCost::default(), &mk(&out_fast)).unwrap();
+            dev.execute_grid_reference(cfg, &mk(&out_ref));
+            prop_assert_eq!(bits(&dev, &out_fast), bits(&dev, &out_ref));
+        }
+
+        /// Cooperative DOT vs reference: same block partials, bit for bit.
+        #[test]
+        fn cooperative_dot_bit_identical(
+            data in prop::collection::vec(-1e3f64..1e3, 1..1200),
+            block_pow in 2u32..7,
+        ) {
+            let dev = test_device();
+            let n = data.len();
+            let block = 1usize << block_pow; // 4..=64, includes partial blocks
+            let blocks = n.div_ceil(block);
+            let x = dev.alloc_from(&data).unwrap();
+            let y = dev.alloc_from(&data).unwrap();
+            let out_fast = dev.alloc::<f64>(blocks).unwrap();
+            let out_ref = dev.alloc::<f64>(blocks).unwrap();
+            let cfg = LaunchConfig::new(blocks as u32, block as u32)
+                .with_shared_mem(block * 8);
+            let mk = |out: &racc_gpusim::DeviceBuffer<f64>| TreeDot {
+                n,
+                block,
+                x: dev.slice(&x).unwrap(),
+                y: dev.slice(&y).unwrap(),
+                partials: dev.slice_mut(out).unwrap(),
+            };
+            dev.launch_phased(cfg, KernelCost::default(), &mk(&out_fast)).unwrap();
+            dev.execute_grid_reference(cfg, &mk(&out_ref));
+            prop_assert_eq!(bits(&dev, &out_fast), bits(&dev, &out_ref));
+        }
+
+        /// Non-ZST state across a barrier: arena state slots vs per-block Vec.
+        #[test]
+        fn stateful_kernel_bit_identical(
+            data in prop::collection::vec(-1e3f64..1e3, 1..700),
+            bx in 1u32..65,
+        ) {
+            let dev = test_device();
+            let n = data.len();
+            let gx = n.div_ceil(bx as usize) as u32;
+            let cfg = LaunchConfig::new(gx, bx);
+            let x = dev.alloc_from(&data).unwrap();
+            let out_fast = dev.alloc::<f64>(n).unwrap();
+            let out_ref = dev.alloc::<f64>(n).unwrap();
+            let mk = |out: &racc_gpusim::DeviceBuffer<f64>| StatefulSquare {
+                n,
+                x: dev.slice(&x).unwrap(),
+                out: dev.slice_mut(out).unwrap(),
+            };
+            dev.launch_phased(cfg, KernelCost::default(), &mk(&out_fast)).unwrap();
+            dev.execute_grid_reference(cfg, &mk(&out_ref));
+            prop_assert_eq!(bits(&dev, &out_fast), bits(&dev, &out_ref));
+        }
+    }
+}
+
 /// A Hillis–Steele inclusive block scan: each doubling step is split into a
 /// read phase and a write phase, with the per-thread value carried across
 /// the barrier in the kernel `State` — exercising the simulated register

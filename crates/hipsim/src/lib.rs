@@ -168,6 +168,10 @@ impl Hip {
 
     /// `@roc groupsize=groupsize gridsize=groups kernel(...)`: launch over a
     /// 1D grid of `groups` workgroups of `groupsize` workitems.
+    ///
+    /// With `lds_bytes == 0` this dispatches through the simulator's
+    /// non-cooperative fast path (no per-group arena or phase machinery —
+    /// see `DESIGN.md` §6); the `launch_overhead` bench gates its cost.
     pub fn launch<F>(
         &self,
         groupsize: u32,

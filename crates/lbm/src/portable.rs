@@ -148,7 +148,7 @@ impl<'c, B: Backend> LbmSim<'c, B> {
 
     /// One time step launched as a *flattened 1D* `parallel_for` over
     /// `s*s` sites (x fastest) instead of the native 2D construct — the
-    /// launch-shape ablation of `DESIGN.md` §6. Functionally identical to
+    /// launch-shape ablation of `DESIGN.md` §7. Functionally identical to
     /// [`LbmSim::step`].
     pub fn step_flat(&mut self) {
         let (s, tau) = (self.s, self.tau);

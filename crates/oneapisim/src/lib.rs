@@ -212,6 +212,10 @@ impl OneApi {
     /// `@oneapi items=items groups=groups kernel(...)`: 1D launch of
     /// `groups` work-groups of `items` work-items; the body receives a SYCL
     /// flavored [`NdItem`].
+    ///
+    /// Plain 1D launches (no SLM) dispatch through the simulator's
+    /// non-cooperative fast path (no per-group arena or phase machinery —
+    /// see `DESIGN.md` §6); the `launch_overhead` bench gates its cost.
     pub fn launch<F>(
         &self,
         items: u32,

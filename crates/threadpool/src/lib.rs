@@ -40,7 +40,9 @@ mod latch;
 mod pool;
 mod reduce;
 mod schedule;
+pub mod scratch;
 
 pub use latch::CountLatch;
 pub use pool::{PoolError, ThreadPool};
 pub use schedule::{chunk_count, chunks, Schedule};
+pub use scratch::RawScratch;

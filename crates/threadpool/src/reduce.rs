@@ -5,12 +5,50 @@
 //! combines the partials **in participant order**, so a static schedule gives
 //! bit-reproducible results for a fixed thread count.
 
-use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::pool::ThreadPool;
 use crate::schedule::{static_block, Schedule};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::scratch;
+
+/// One participant's reduction partial, padded to its own pair of cache
+/// lines so neighboring accumulators never share a line (false sharing).
+#[repr(align(128))]
+struct PaddedPartial<T>(UnsafeCell<Option<T>>);
+
+/// Shared view of the partial slots handed to the broadcast closures.
+///
+/// Safety contract: while the broadcast runs, participant `who` touches only
+/// slot `who`; the pool's completion latch orders those writes before the
+/// caller's combine loop. That exclusivity is what lets the slots drop the
+/// `Mutex` the previous implementation paid for on every access.
+struct PartialSlots<T> {
+    ptr: *const PaddedPartial<T>,
+    len: usize,
+}
+
+// SAFETY: per the contract above, no slot is ever accessed from two threads
+// concurrently; `T: Send` lets the value itself cross threads.
+unsafe impl<T: Send> Sync for PartialSlots<T> {}
+
+impl<T> PartialSlots<T> {
+    /// Move slot `who`'s value out.
+    ///
+    /// # Safety
+    /// The caller must hold exclusive logical access to slot `who` (its own
+    /// participant slot during a broadcast, or any slot after the latch).
+    unsafe fn take(&self, who: usize) -> Option<T> {
+        debug_assert!(who < self.len);
+        (*(*self.ptr.add(who)).0.get()).take()
+    }
+
+    /// Store `value` into slot `who`. Same safety contract as [`Self::take`].
+    unsafe fn put(&self, who: usize, value: T) {
+        debug_assert!(who < self.len);
+        *(*self.ptr.add(who)).0.get() = Some(value);
+    }
+}
 
 /// Clean single-thread fold. Kept out of `parallel_reduce`'s body: there
 /// the broadcast closures borrow `map`/`combine`, which takes their address
@@ -59,49 +97,69 @@ impl ThreadPool {
         }
         // Pre-seed one identity per participant so the broadcast closure
         // never touches `identity` itself (avoiding a `T: Sync` requirement).
-        let partials: Vec<CachePadded<Mutex<Option<T>>>> = (0..p)
-            .map(|_| CachePadded::new(Mutex::new(Some(identity.clone()))))
-            .collect();
-        match schedule {
-            Schedule::Static => {
-                self.broadcast(|who| {
-                    let (start, end) = static_block(n, p, who);
-                    if start == end {
-                        return;
-                    }
-                    let mut acc = partials[who].lock().take().expect("partial seeded");
-                    for i in start..end {
-                        acc = combine(acc, map(i));
-                    }
-                    *partials[who].lock() = Some(acc);
-                });
-            }
-            Schedule::Dynamic { .. } => {
-                let chunk = schedule.dynamic_chunk(n, p);
-                let next = AtomicUsize::new(0);
-                self.broadcast(|who| {
-                    let mut acc = partials[who].lock().take().expect("partial seeded");
-                    loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
+        // The padded slots live in this thread's reusable scratch buffer, so
+        // steady-state reductions perform zero heap allocations.
+        scratch::with_thread_scratch(|buf| {
+            scratch::with_slots(
+                buf,
+                p,
+                || PaddedPartial(UnsafeCell::new(Some(identity.clone()))),
+                |slots| {
+                    let partials = PartialSlots {
+                        ptr: slots.as_ptr(),
+                        len: p,
+                    };
+                    match schedule {
+                        Schedule::Static => {
+                            self.broadcast(|who| {
+                                let (start, end) = static_block(n, p, who);
+                                if start == end {
+                                    return;
+                                }
+                                // SAFETY: `who` is this participant's own slot.
+                                let mut acc =
+                                    unsafe { partials.take(who) }.expect("partial seeded");
+                                for i in start..end {
+                                    acc = combine(acc, map(i));
+                                }
+                                // SAFETY: same exclusive slot.
+                                unsafe { partials.put(who, acc) };
+                            });
                         }
-                        let end = (start + chunk).min(n);
-                        for i in start..end {
-                            acc = combine(acc, map(i));
+                        Schedule::Dynamic { .. } => {
+                            let chunk = schedule.dynamic_chunk(n, p);
+                            let next = AtomicUsize::new(0);
+                            self.broadcast(|who| {
+                                // SAFETY: `who` is this participant's own slot.
+                                let mut acc =
+                                    unsafe { partials.take(who) }.expect("partial seeded");
+                                loop {
+                                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                    if start >= n {
+                                        break;
+                                    }
+                                    let end = (start + chunk).min(n);
+                                    for i in start..end {
+                                        acc = combine(acc, map(i));
+                                    }
+                                }
+                                // SAFETY: same exclusive slot.
+                                unsafe { partials.put(who, acc) };
+                            });
                         }
                     }
-                    *partials[who].lock() = Some(acc);
-                });
-            }
-        }
-        let mut acc = identity;
-        for slot in &partials {
-            if let Some(part) = slot.lock().take() {
-                acc = combine(acc, part);
-            }
-        }
-        acc
+                    let mut acc = identity.clone();
+                    for who in 0..p {
+                        // SAFETY: the broadcast has completed (latch), so the
+                        // caller holds exclusive access to every slot.
+                        if let Some(part) = unsafe { partials.take(who) } {
+                            acc = combine(acc, part);
+                        }
+                    }
+                    acc
+                },
+            )
+        })
     }
 
     /// 2D reduction over `0..m × 0..n`, distributed column-wise like

@@ -1,0 +1,276 @@
+//! Reusable raw scratch buffers for hot-path code.
+//!
+//! `parallel_reduce` and the GPU simulator's launch executor both need
+//! short-lived per-call arrays (reduction partials, per-thread kernel
+//! state). Allocating them fresh puts a malloc/free pair on every launch;
+//! [`RawScratch`] is a type-erased, 128-byte-aligned buffer that grows
+//! geometrically, never shrinks, and is reused across calls — kept in
+//! thread-local storage by [`with_thread_scratch`] — so steady-state hot
+//! paths perform zero heap allocations.
+//!
+//! Typed use goes through [`with_slots`], which placement-initializes `n`
+//! values of `T` in the buffer, hands them to a closure as `&mut [T]`, and
+//! drops them on exit (including on panic). The backing bytes are retained.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::cell::Cell;
+use std::ptr::NonNull;
+
+/// Alignment of every [`RawScratch`] allocation: two cache lines (matching
+/// `CachePadded`), so cache-line-padded slots placed at the buffer start
+/// stay padded.
+pub const SCRATCH_ALIGN: usize = 128;
+
+/// A reusable, type-erased scratch allocation. Grows geometrically via
+/// [`RawScratch::reserve`]; never shrinks; freed on drop.
+pub struct RawScratch {
+    ptr: *mut u8,
+    cap: usize,
+}
+
+// SAFETY: the buffer is uniquely owned; moving the struct moves ownership.
+unsafe impl Send for RawScratch {}
+
+impl RawScratch {
+    /// An empty scratch (no allocation until first `reserve`).
+    pub const fn new() -> Self {
+        RawScratch {
+            ptr: std::ptr::null_mut(),
+            cap: 0,
+        }
+    }
+
+    /// Pointer to the buffer start (null while `capacity() == 0`).
+    pub fn as_mut_ptr(&mut self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Usable bytes currently allocated.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Ensure at least `bytes` of capacity. Existing contents are NOT
+    /// preserved — scratch holds no live data between uses.
+    pub fn reserve(&mut self, bytes: usize) {
+        if bytes <= self.cap {
+            return;
+        }
+        let new_cap = bytes.next_power_of_two().max(256);
+        let layout = Layout::from_size_align(new_cap, SCRATCH_ALIGN).expect("scratch layout");
+        // SAFETY: layout has non-zero size (at least 256 bytes).
+        let new_ptr = unsafe { alloc(layout) };
+        if new_ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        self.release();
+        self.ptr = new_ptr;
+        self.cap = new_cap;
+    }
+
+    fn release(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: `ptr` was allocated with exactly this layout.
+            unsafe {
+                dealloc(
+                    self.ptr,
+                    Layout::from_size_align(self.cap, SCRATCH_ALIGN).expect("scratch layout"),
+                )
+            };
+            self.ptr = std::ptr::null_mut();
+            self.cap = 0;
+        }
+    }
+}
+
+impl Default for RawScratch {
+    fn default() -> Self {
+        RawScratch::new()
+    }
+}
+
+impl Drop for RawScratch {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Run `f` over `n` freshly `init`-ialized slots of `T` placed in `scratch`.
+/// The slots are dropped when `f` returns (or panics); the backing memory is
+/// retained by `scratch` for the next call.
+///
+/// Types whose alignment exceeds [`SCRATCH_ALIGN`] fall back to a plain
+/// `Vec` (correct, just not allocation-free).
+pub fn with_slots<T, R>(
+    scratch: &mut RawScratch,
+    n: usize,
+    mut init: impl FnMut() -> T,
+    f: impl FnOnce(&mut [T]) -> R,
+) -> R {
+    if std::mem::align_of::<T>() > SCRATCH_ALIGN {
+        let mut v: Vec<T> = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(init());
+        }
+        return f(&mut v);
+    }
+
+    let size = std::mem::size_of::<T>();
+    let ptr: *mut T = if size == 0 || n == 0 {
+        // ZSTs and empty slices need no storage; any aligned pointer works.
+        NonNull::<T>::dangling().as_ptr()
+    } else {
+        scratch.reserve(size * n);
+        scratch.as_mut_ptr().cast::<T>()
+    };
+
+    /// Drops the `len` initialized slots; runs on normal exit and on panic
+    /// (from `init` or `f`), so `T: Drop` types never leak.
+    struct Guard<T> {
+        ptr: *mut T,
+        len: usize,
+    }
+    impl<T> Drop for Guard<T> {
+        fn drop(&mut self) {
+            for i in 0..self.len {
+                // SAFETY: slots `0..len` were initialized and not yet dropped.
+                unsafe { std::ptr::drop_in_place(self.ptr.add(i)) };
+            }
+        }
+    }
+
+    let mut guard = Guard { ptr, len: 0 };
+    for i in 0..n {
+        // SAFETY: `i < n` is within the reserved capacity (or a ZST write).
+        unsafe { guard.ptr.add(i).write(init()) };
+        guard.len = i + 1;
+    }
+    // SAFETY: exactly `n` initialized, properly aligned slots; `guard` holds
+    // the only other pointer and does not touch them until after `f`.
+    f(unsafe { std::slice::from_raw_parts_mut(ptr, n) })
+}
+
+thread_local! {
+    static TLS_SCRATCH: Cell<Option<RawScratch>> = const { Cell::new(None) };
+}
+
+/// Borrow this thread's cached [`RawScratch`] for the duration of `f`.
+///
+/// Uses a take/restore protocol: a reentrant call (while an outer `f` is
+/// still running) finds the cell empty and gets a fresh temporary buffer —
+/// correct, just not reusing the cached allocation — and a panic inside `f`
+/// simply discards the taken buffer (freed by unwinding, re-created on the
+/// next call).
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut RawScratch) -> R) -> R {
+    let mut scratch = TLS_SCRATCH.with(|c| c.take()).unwrap_or_default();
+    let result = f(&mut scratch);
+    TLS_SCRATCH.with(|c| c.set(Some(scratch)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn reserve_grows_geometrically_and_reuses() {
+        let mut s = RawScratch::new();
+        assert_eq!(s.capacity(), 0);
+        s.reserve(10);
+        let cap1 = s.capacity();
+        assert!(cap1 >= 256);
+        let p1 = s.as_mut_ptr();
+        s.reserve(10); // no-op
+        assert_eq!(s.capacity(), cap1);
+        assert_eq!(s.as_mut_ptr(), p1);
+        s.reserve(cap1 + 1);
+        assert!(s.capacity() > cap1);
+        assert_eq!(s.as_mut_ptr() as usize % SCRATCH_ALIGN, 0);
+    }
+
+    #[test]
+    fn slots_initialized_and_dropped() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe(u64);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut s = RawScratch::new();
+        let sum = with_slots(
+            &mut s,
+            5,
+            || Probe(7),
+            |slots| {
+                assert_eq!(slots.len(), 5);
+                slots[3].0 = 100;
+                slots.iter().map(|p| p.0).sum::<u64>()
+            },
+        );
+        assert_eq!(sum, 7 * 4 + 100);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn slots_dropped_on_panic() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut s = RawScratch::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_slots(&mut s, 3, || Probe, |_| panic!("boom"))
+        }));
+        assert!(caught.is_err());
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn zst_and_empty_slots_work() {
+        let mut s = RawScratch::new();
+        let n = with_slots(&mut s, 4, || (), |slots| slots.len());
+        assert_eq!(n, 4);
+        assert_eq!(s.capacity(), 0, "ZST slots must not allocate");
+        let n = with_slots(&mut s, 0, || 1u8, |slots| slots.len());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn overaligned_types_fall_back_to_vec() {
+        #[repr(align(256))]
+        struct Big(u8);
+        let mut s = RawScratch::new();
+        let v = with_slots(&mut s, 2, || Big(9), |slots| slots[1].0);
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn thread_scratch_is_reused_across_calls() {
+        let p1 = with_thread_scratch(|s| {
+            s.reserve(1024);
+            s.as_mut_ptr() as usize
+        });
+        let p2 = with_thread_scratch(|s| {
+            assert!(s.capacity() >= 1024, "capacity must persist across calls");
+            s.as_mut_ptr() as usize
+        });
+        assert_eq!(p1, p2, "same cached buffer expected");
+    }
+
+    #[test]
+    fn reentrant_thread_scratch_gets_fresh_buffer() {
+        with_thread_scratch(|outer| {
+            outer.reserve(64);
+            let outer_ptr = outer.as_mut_ptr() as usize;
+            with_thread_scratch(|inner| {
+                inner.reserve(64);
+                assert_ne!(outer_ptr, inner.as_mut_ptr() as usize);
+            });
+        });
+    }
+}
