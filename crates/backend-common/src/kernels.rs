@@ -91,15 +91,10 @@ where
             let mut acc = self.op.identity();
             let mut ii = ti;
             while ii < self.len {
-                // SAFETY: `ii < self.len <= partials.len()` by the loop
-                // condition (kernel 1 wrote one partial per block, and
-                // `len` is the block count). The only inner-loop device
-                // access in the reduction: unchecked saves a branch per
-                // stride without losing racecheck coverage (reads are not
-                // tracked; all writes below stay on the checked path).
-                acc = self
-                    .op
-                    .combine(acc, unsafe { self.partials.get_unchecked(ii) });
+                // Checked read: `ii < self.len <= partials.len()` holds by
+                // the loop condition, and the checked accessor is what feeds
+                // the sanitizer's read tracking when it is enabled.
+                acc = self.op.combine(acc, self.partials.get(ii));
                 ii += self.block_size;
             }
             shared.set::<T>(ti, acc);

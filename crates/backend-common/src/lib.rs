@@ -272,6 +272,22 @@ impl Backend for SimBackend {
         &self.timeline
     }
 
+    fn set_sanitizer(&self, enabled: bool) -> bool {
+        self.device.set_sanitizer(enabled);
+        true
+    }
+
+    fn sanitizer_report(&self) -> Option<String> {
+        let report = self.device.sanitizer_report()?;
+        #[cfg(feature = "trace")]
+        self.timeline.record_span(|| {
+            Span::new(self.config.key, ConstructKind::Sanitizer, "sancheck")
+                .dims(report.allocations_tracked, 0, 0)
+                .payload(report.bytes_outstanding as u64)
+        });
+        Some(report.to_string())
+    }
+
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError> {
         // Model device-memory pressure with a real simulator allocation held
         // by the array for its lifetime.

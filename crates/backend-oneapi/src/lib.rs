@@ -80,6 +80,12 @@ impl Backend for OneApiBackend {
     fn timeline(&self) -> &Timeline {
         self.inner.timeline()
     }
+    fn set_sanitizer(&self, enabled: bool) -> bool {
+        self.inner.set_sanitizer(enabled)
+    }
+    fn sanitizer_report(&self) -> Option<String> {
+        self.inner.sanitizer_report()
+    }
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError> {
         self.inner.on_alloc(bytes, upload)
     }

@@ -48,6 +48,15 @@ fn main() {
                 .unwrap_or("fig8");
             trace_experiment(experiment, full);
         }
+        "sancheck" => {
+            let experiment = args
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .nth(1)
+                .map(String::as_str)
+                .unwrap_or("fig8");
+            sancheck(experiment);
+        }
         "all" => {
             fig8(full);
             fig9(full);
@@ -61,7 +70,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|trace|all"
+                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|trace|sancheck|all"
             );
             std::process::exit(2);
         }
@@ -144,6 +153,31 @@ fn traced_workload(ctx: &racc::Ctx, experiment: &str, full: bool) {
             std::process::exit(2);
         }
     }
+}
+
+/// `sancheck <experiment>`: run one experiment's RACC path under the
+/// `simsan` sanitizer on every architecture and print each backend's
+/// report (checks performed, leaks outstanding). Always uses the small
+/// problem sizes — read tracking makes every element access pay hash-table
+/// work, which is the point of an opt-in checker.
+fn sancheck(experiment: &str) {
+    for arch in Arch::all() {
+        let ctx = racc::builder()
+            .backend(arch.backend_key())
+            .sanitizer(true)
+            .build()
+            .expect("backend compiled in");
+        traced_workload(&ctx, experiment, false);
+        println!("\n=== sancheck: {experiment} on {} ===", arch.label());
+        match racc_core::Backend::sanitizer_report(ctx.backend()) {
+            Some(report) => print!("{report}"),
+            None => println!(
+                "sanitizer unsupported on this backend \
+                 (CPU back ends need the `racecheck` feature)"
+            ),
+        }
+    }
+    println!();
 }
 
 /// `trace <experiment>`: per-launch decomposition on all four

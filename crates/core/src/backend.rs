@@ -60,6 +60,21 @@ pub trait Backend: Send + Sync + 'static {
         self.timeline().install_tracer(Arc::clone(recorder));
     }
 
+    /// Enable or disable the backend's dynamic sanitizer (`simsan`):
+    /// out-of-bounds, use-after-free, read-write race, barrier-divergence,
+    /// and leak checking, in the spirit of `compute-sanitizer`. Returns
+    /// `true` when the backend supports sanitizing; the default
+    /// implementation is an unsupported no-op.
+    fn set_sanitizer(&self, _enabled: bool) -> bool {
+        false
+    }
+
+    /// Human-readable sanitizer findings (leaks outstanding, checks
+    /// performed). `None` when the sanitizer is unsupported or disabled.
+    fn sanitizer_report(&self) -> Option<String> {
+        None
+    }
+
     /// Model an array allocation of `bytes` (with an upload of the initial
     /// contents when `upload`), returning a residency token the array holds.
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError>;

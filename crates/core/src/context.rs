@@ -465,6 +465,7 @@ pub struct ContextBuilder<B: Backend> {
     trace_capacity: usize,
     #[cfg_attr(not(feature = "racecheck"), allow(dead_code))]
     racecheck: Option<bool>,
+    sanitizer: Option<bool>,
 }
 
 impl<B: Backend> ContextBuilder<B> {
@@ -477,6 +478,7 @@ impl<B: Backend> ContextBuilder<B> {
             #[cfg(not(feature = "trace"))]
             trace_capacity: 0,
             racecheck: None,
+            sanitizer: None,
         }
     }
 
@@ -504,11 +506,25 @@ impl<B: Backend> ContextBuilder<B> {
         self
     }
 
+    /// Switch the backend's dynamic sanitizer (`simsan`) on or off:
+    /// out-of-bounds, use-after-free, read-write race, barrier-divergence,
+    /// and leak checking. Leaving it unset keeps the backend's default
+    /// (simulator back ends also honor `RACC_SANITIZER=1`). A documented
+    /// no-op on back ends without sanitizer support — see
+    /// [`Backend::set_sanitizer`].
+    pub fn sanitizer(mut self, enabled: bool) -> Self {
+        self.sanitizer = Some(enabled);
+        self
+    }
+
     /// Build the context, applying the selected options.
     pub fn build(self) -> Context<B> {
         #[cfg(feature = "racecheck")]
         if let Some(enabled) = self.racecheck {
             crate::racecheck::set_enabled(enabled);
+        }
+        if let Some(enabled) = self.sanitizer {
+            self.backend.set_sanitizer(enabled);
         }
         #[allow(unused_mut)]
         let mut ctx = Context::new(self.backend);

@@ -7,6 +7,12 @@
 //! panic. Backends bracket each construct with [`begin_launch`] /
 //! [`end_launch`] and tag each iteration with [`set_current_iteration`].
 //!
+//! With read tracking additionally switched on ([`set_track_reads`], the
+//! CPU half of the `simsan` sanitizer), `View*::get` records reads too, and
+//! a read and a write of the same element by *different* iterations of one
+//! construct is reported as a read-write race — iterations of a
+//! `parallel_for` have no ordering, so such an exchange is nondeterministic.
+//!
 //! The checker is process-global and heavyweight; enable it in tests via
 //! [`set_enabled`], never in benchmarks.
 
@@ -18,9 +24,19 @@ use std::sync::OnceLock;
 use parking_lot::Mutex;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACK_READS: AtomicBool = AtomicBool::new(false);
 
 fn table() -> &'static Mutex<HashMap<(usize, usize), u64>> {
     static TABLE: OnceLock<Mutex<HashMap<(usize, usize), u64>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// First reader iteration per element, plus whether a second, different
+/// iteration also read it.
+type ReadTable = HashMap<(usize, usize), (u64, bool)>;
+
+fn read_table() -> &'static Mutex<ReadTable> {
+    static TABLE: OnceLock<Mutex<ReadTable>> = OnceLock::new();
     TABLE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -33,6 +49,7 @@ pub fn set_enabled(enabled: bool) {
     ENABLED.store(enabled, Ordering::Relaxed);
     if enabled {
         table().lock().clear();
+        read_table().lock().clear();
     }
 }
 
@@ -41,10 +58,28 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Additionally track reads (requires [`set_enabled`]`(true)` to take
+/// effect). This is the sanitizer's read-write race detection; it roughly
+/// doubles the checker's overhead.
+pub fn set_track_reads(enabled: bool) {
+    TRACK_READS.store(enabled, Ordering::Relaxed);
+    if enabled {
+        read_table().lock().clear();
+    }
+}
+
+/// Whether read tracking is on.
+pub fn track_reads() -> bool {
+    TRACK_READS.load(Ordering::Relaxed)
+}
+
 /// Clear state at the start of a construct invocation.
 pub fn begin_launch() {
     if enabled() {
         table().lock().clear();
+        if track_reads() {
+            read_table().lock().clear();
+        }
     }
 }
 
@@ -87,6 +122,56 @@ pub fn record_write(base: usize, element: usize) {
             e.insert(iter);
         }
     }
+    drop(writes);
+    if track_reads() {
+        if let Some(&(reader, multi)) = read_table().lock().get(&(base, element)) {
+            if multi || reader != iter {
+                let reader = if multi && reader == iter {
+                    "another iteration".to_string()
+                } else {
+                    format!("iteration {reader}")
+                };
+                panic!(
+                    "simsan: read-write race on element {element} of array storage \
+                     {base:#x}: {reader} read it and iteration {iter} wrote it in \
+                     one construct"
+                );
+            }
+        }
+    }
+}
+
+/// Record a read of `element` of the storage at `base`. Called by
+/// `View*::get` when read tracking is on.
+#[inline]
+pub fn record_read(base: usize, element: usize) {
+    if !enabled() || !track_reads() {
+        return;
+    }
+    let iter = CURRENT_ITER.with(|c| c.get());
+    if iter == u64::MAX {
+        return; // host-side read outside a construct
+    }
+    match read_table().lock().entry((base, element)) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            let (first, multi) = *e.get();
+            if first != iter && !multi {
+                *e.get_mut() = (first, true);
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert((iter, false));
+        }
+    }
+    if let Some(&writer) = table().lock().get(&(base, element)) {
+        if writer != iter {
+            panic!(
+                "simsan: read-write race on element {element} of array storage \
+                 {base:#x}: iteration {writer} wrote it and iteration {iter} read \
+                 it in one construct"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +211,56 @@ mod tests {
         record_write(0x30, 2);
         set_current_iteration(2);
         record_write(0x30, 2);
+    }
+
+    #[test]
+    fn reads_ignored_without_tracking() {
+        set_enabled(true);
+        set_track_reads(false);
+        begin_launch();
+        set_current_iteration(1);
+        record_read(0x40, 0);
+        set_current_iteration(2);
+        record_write(0x40, 0); // reader was not recorded: no race
+        end_launch();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn same_iteration_read_write_is_fine() {
+        set_enabled(true);
+        set_track_reads(true);
+        begin_launch();
+        set_current_iteration(3);
+        record_read(0x50, 1);
+        record_write(0x50, 1);
+        record_read(0x50, 1);
+        end_launch();
+        set_track_reads(false);
+        set_enabled(false);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-write race")]
+    fn write_after_foreign_read_panics() {
+        set_enabled(true);
+        set_track_reads(true);
+        begin_launch();
+        set_current_iteration(1);
+        record_read(0x60, 4);
+        set_current_iteration(2);
+        record_write(0x60, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-write race")]
+    fn read_after_foreign_write_panics() {
+        set_enabled(true);
+        set_track_reads(true);
+        begin_launch();
+        set_current_iteration(1);
+        record_write(0x70, 5);
+        set_current_iteration(2);
+        record_read(0x70, 5);
     }
 }

@@ -88,6 +88,19 @@ impl Backend for SerialBackend {
         &self.timeline
     }
 
+    fn set_sanitizer(&self, _enabled: bool) -> bool {
+        // The CPU half of simsan is the racecheck machinery with read
+        // tracking switched on; it needs the `racecheck` feature compiled in.
+        #[cfg(feature = "racecheck")]
+        {
+            crate::racecheck::set_enabled(_enabled);
+            crate::racecheck::set_track_reads(_enabled);
+            true
+        }
+        #[cfg(not(feature = "racecheck"))]
+        false
+    }
+
     fn on_alloc(&self, _bytes: usize, _upload: bool) -> Result<DeviceToken, RaccError> {
         // Host memory is the array's storage; no transfer, no token.
         #[cfg(feature = "trace")]

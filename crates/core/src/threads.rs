@@ -132,6 +132,19 @@ impl Backend for ThreadsBackend {
         self.pool.install_tracer(Arc::clone(recorder));
     }
 
+    fn set_sanitizer(&self, _enabled: bool) -> bool {
+        // The CPU half of simsan is the racecheck machinery with read
+        // tracking switched on; it needs the `racecheck` feature compiled in.
+        #[cfg(feature = "racecheck")]
+        {
+            crate::racecheck::set_enabled(_enabled);
+            crate::racecheck::set_track_reads(_enabled);
+            true
+        }
+        #[cfg(not(feature = "racecheck"))]
+        false
+    }
+
     fn on_alloc(&self, _bytes: usize, _upload: bool) -> Result<DeviceToken, RaccError> {
         // The paper: "when using Base.Threads as the back end, using
         // JACC.Array is not necessary" — host memory, no transfer.

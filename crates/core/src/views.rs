@@ -96,6 +96,8 @@ impl<T: AccScalar> View1<T> {
         if i >= self.len {
             oob_1d(i, self.len);
         }
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record_read(self.ptr as usize, i);
         // SAFETY: bounds checked; storage alive via Arc.
         unsafe { *self.ptr.add(i) }
     }
@@ -145,6 +147,8 @@ impl<T: AccScalar> ViewMut1<T> {
         if i >= self.len {
             oob_1d(i, self.len);
         }
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record_read(self.ptr as usize, i);
         // SAFETY: bounds checked; storage alive via Arc.
         unsafe { *(self.ptr as *const T).add(i) }
     }
@@ -221,6 +225,8 @@ impl<T: AccScalar> View2<T> {
         if i >= self.m || j >= self.n {
             oob_2d(i, j, self.m, self.n);
         }
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record_read(self.ptr as usize, j * self.m + i);
         // SAFETY: bounds checked.
         unsafe { *self.ptr.add(j * self.m + i) }
     }
@@ -274,6 +280,8 @@ impl<T: AccScalar> ViewMut2<T> {
         if i >= self.m || j >= self.n {
             oob_2d(i, j, self.m, self.n);
         }
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record_read(self.ptr as usize, j * self.m + i);
         // SAFETY: bounds checked.
         unsafe { *(self.ptr as *const T).add(j * self.m + i) }
     }
@@ -324,6 +332,8 @@ impl<T: AccScalar> View3<T> {
         if i >= self.m || j >= self.n || k >= self.l {
             oob_3d(i, j, k, self.m, self.n, self.l);
         }
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record_read(self.ptr as usize, (k * self.n + j) * self.m + i);
         // SAFETY: bounds checked.
         unsafe { *self.ptr.add((k * self.n + j) * self.m + i) }
     }
@@ -362,6 +372,8 @@ impl<T: AccScalar> ViewMut3<T> {
         if i >= self.m || j >= self.n || k >= self.l {
             oob_3d(i, j, k, self.m, self.n, self.l);
         }
+        #[cfg(feature = "racecheck")]
+        crate::racecheck::record_read(self.ptr as usize, (k * self.n + j) * self.m + i);
         // SAFETY: bounds checked.
         unsafe { *(self.ptr as *const T).add((k * self.n + j) * self.m + i) }
     }

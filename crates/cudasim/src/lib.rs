@@ -121,6 +121,17 @@ impl Cuda {
         Arc::clone(&self.device)
     }
 
+    /// Enable or disable the device sanitizer (`compute-sanitizer`
+    /// equivalent: OOB/UAF/race/barrier/leak checking on the simulator).
+    pub fn set_sanitizer(&self, enabled: bool) {
+        self.device.set_sanitizer(enabled);
+    }
+
+    /// Sanitizer findings for this context; `None` while disabled.
+    pub fn sanitizer_report(&self) -> Option<racc_gpusim::SanitizerReport> {
+        self.device.sanitizer_report()
+    }
+
     /// Query a device attribute.
     pub fn attribute(&self, attr: DeviceAttribute) -> usize {
         let spec = self.device.spec();

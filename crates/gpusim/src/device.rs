@@ -17,6 +17,7 @@ use crate::launch::{LaunchConfig, ThreadCtx};
 use crate::perf::{self, KernelCost, OpKind, OpRecord};
 use crate::phased::{PhasedKernel, SharedMem, SinglePhase};
 use crate::racecheck::{self, RaceTracker};
+use crate::sanitizer::{self, Sanitizer, SanitizerReport};
 use crate::spec::DeviceSpec;
 use crate::stream::Stream;
 
@@ -39,6 +40,7 @@ pub struct Device {
     used_bytes: Arc<AtomicUsize>,
     racecheck: std::sync::atomic::AtomicBool,
     tracker: Arc<RaceTracker>,
+    sanitizer: Arc<Sanitizer>,
     op_log: Mutex<VecDeque<OpRecord>>,
     /// Completion time (absolute device ns) of the last operation on each
     /// non-default stream; the substrate of the async-overlap model.
@@ -75,6 +77,7 @@ impl Device {
             used_bytes: Arc::new(AtomicUsize::new(0)),
             racecheck: std::sync::atomic::AtomicBool::new(false),
             tracker: Arc::new(RaceTracker::new()),
+            sanitizer: Arc::new(Sanitizer::new(sanitizer::env_enabled())),
             op_log: Mutex::new(VecDeque::new()),
             stream_clocks: Mutex::new(std::collections::HashMap::new()),
         }
@@ -103,6 +106,32 @@ impl Device {
     /// Whether racecheck is enabled.
     pub fn racecheck_enabled(&self) -> bool {
         self.racecheck.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable **simsan**, the device sanitizer (slow; tests and
+    /// debugging only). Also settable at device creation via
+    /// `RACC_SANITIZER=1`. On top of the write-race checker this tracks
+    /// reads (phase-aware read-write races), verifies barrier arrival in
+    /// cooperative kernels, instruments allocations with canaries and
+    /// live/freed state, and reports leaks — see [`Device::sanitizer_report`].
+    ///
+    /// Only buffers allocated (and slices created) while the sanitizer is
+    /// on carry the full heap instrumentation.
+    pub fn set_sanitizer(&self, enabled: bool) {
+        self.sanitizer.set_enabled(enabled);
+    }
+
+    /// Whether the sanitizer is enabled.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.enabled()
+    }
+
+    /// Snapshot the sanitizer's findings: check counters plus the table of
+    /// still-live sanitized allocations (the leak report, when taken at
+    /// teardown). `None` while the sanitizer is disabled.
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        self.sanitizer_enabled()
+            .then(|| self.sanitizer.report(self.id, &self.tracker))
     }
 
     // ------------------------------------------------------------------
@@ -214,16 +243,42 @@ impl Device {
 
     /// Allocate a zero-initialized buffer of `len` elements.
     pub fn alloc<T: Element>(&self, len: usize) -> Result<DeviceBuffer<T>, SimError> {
-        let bytes = len * std::mem::size_of::<T>();
         let in_use = self.used_bytes();
-        if in_use + bytes > self.spec.memory_bytes {
+        // An overflowing byte count can never fit in any device: surface it
+        // as OOM instead of wrapping into a tiny (and wildly unsound)
+        // allocation with a huge `len`.
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or(SimError::OutOfMemory {
+                requested: usize::MAX,
+                in_use,
+                capacity: self.spec.memory_bytes,
+            })?;
+        if in_use
+            .checked_add(bytes)
+            .is_none_or(|total| total > self.spec.memory_bytes)
+        {
             return Err(SimError::OutOfMemory {
                 requested: bytes,
                 in_use,
                 capacity: self.spec.memory_bytes,
             });
         }
-        let alloc = Arc::new(Allocation::new(bytes, Arc::clone(&self.used_bytes)));
+        let alloc = if self.sanitizer_enabled() {
+            let meta = self.sanitizer.new_meta::<T>(len, bytes);
+            let alloc = Arc::new(Allocation::new_sanitized(
+                bytes,
+                Arc::clone(&self.used_bytes),
+                Arc::clone(&meta),
+            ));
+            // Install the back-pointer before registering so the canary
+            // sweep can always reach the live memory.
+            let _ = meta.alloc.set(Arc::downgrade(&alloc));
+            self.sanitizer.register(meta);
+            alloc
+        } else {
+            Arc::new(Allocation::new(bytes, Arc::clone(&self.used_bytes)))
+        };
         Ok(DeviceBuffer {
             alloc,
             len,
@@ -291,8 +346,25 @@ impl Device {
 
     /// Download into a fresh `Vec`.
     pub fn read_vec<T: Element>(&self, buf: &DeviceBuffer<T>) -> Result<Vec<T>, SimError> {
-        let mut out = vec![unsafe { std::mem::zeroed() }; buf.len];
-        self.download(buf, &mut out)?;
+        self.check_owned(buf)?;
+        // Copy straight into the Vec's spare capacity: materializing a
+        // zeroed `T` first would be UB for types like `NonZeroU32` where
+        // the all-zero bit pattern is invalid.
+        let mut out: Vec<T> = Vec::with_capacity(buf.len);
+        // SAFETY: `buf.len` elements fit in the reserved capacity; the
+        // source allocation holds exactly `len` elements of T; every
+        // element is initialized before `set_len`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(buf.alloc.ptr() as *const T, out.as_mut_ptr(), buf.len);
+            out.set_len(buf.len);
+        }
+        let bytes = buf.size_bytes();
+        self.charge(
+            OpKind::D2H,
+            bytes as u64,
+            0,
+            perf::transfer_time_ns(&self.spec, bytes),
+        );
         Ok(out)
     }
 
@@ -336,7 +408,13 @@ impl Device {
                 actual: src.len,
             });
         }
-        // SAFETY: distinct allocations of equal length.
+        if Arc::ptr_eq(&src.alloc, &dst.alloc) {
+            // Exact self-copy: `copy_nonoverlapping` on overlapping ranges
+            // is UB, and the result is the identity anyway — no-op, free.
+            return Ok(());
+        }
+        // SAFETY: distinct allocations of equal length (checked above;
+        // separate allocations never partially overlap).
         unsafe {
             std::ptr::copy_nonoverlapping(
                 src.alloc.ptr() as *const T,
@@ -374,7 +452,13 @@ impl Device {
                 actual: src.len,
             });
         }
-        // SAFETY: distinct allocations of equal length.
+        if Arc::ptr_eq(&src.alloc, &dst.alloc) {
+            // Same allocation on both ends (only possible when `peer` is
+            // this device): a staged self-transfer is a programming error.
+            return Err(SimError::OverlappingCopy);
+        }
+        // SAFETY: distinct allocations of equal length (checked above;
+        // separate allocations never partially overlap).
         unsafe {
             std::ptr::copy_nonoverlapping(
                 src.alloc.ptr() as *const T,
@@ -390,25 +474,40 @@ impl Device {
         Ok(())
     }
 
-    /// A read-only view for kernel bodies.
+    /// A read-only view for kernel bodies (participates in the sanitizer's
+    /// read tracking when enabled at view-creation time).
     pub fn slice<T: Element>(&self, buf: &DeviceBuffer<T>) -> Result<DeviceSlice<T>, SimError> {
         self.check_owned(buf)?;
-        Ok(DeviceSlice::new(buf))
+        if self.sanitizer_enabled() {
+            Ok(DeviceSlice::new_tracked(
+                buf,
+                Some(Arc::clone(&self.tracker)),
+                buf.alloc.meta().cloned(),
+            ))
+        } else {
+            Ok(DeviceSlice::new(buf))
+        }
     }
 
-    /// A writable view for kernel bodies (participates in racecheck when
-    /// enabled at view-creation time).
+    /// A writable view for kernel bodies (participates in racecheck and the
+    /// sanitizer when enabled at view-creation time).
     pub fn slice_mut<T: Element>(
         &self,
         buf: &DeviceBuffer<T>,
     ) -> Result<DeviceSliceMut<T>, SimError> {
         self.check_owned(buf)?;
-        let tracker = if self.racecheck_enabled() {
+        let sanitize = self.sanitizer_enabled();
+        let tracker = if self.racecheck_enabled() || sanitize {
             Some(Arc::clone(&self.tracker))
         } else {
             None
         };
-        Ok(DeviceSliceMut::new(buf, tracker))
+        let meta = if sanitize {
+            buf.alloc.meta().cloned()
+        } else {
+            None
+        };
+        Ok(DeviceSliceMut::new_tracked(buf, tracker, meta))
     }
 
     fn check_owned<T: Element>(&self, buf: &DeviceBuffer<T>) -> Result<(), SimError> {
@@ -445,8 +544,10 @@ impl Device {
     /// phase/state machinery entirely.
     fn execute_grid<K: PhasedKernel>(&self, cfg: LaunchConfig, kernel: &K) {
         let racecheck = self.racecheck_enabled();
-        if racecheck {
+        let sanitize = self.sanitizer_enabled();
+        if racecheck || sanitize {
             self.tracker.begin_epoch();
+            self.tracker.set_track_reads(sanitize);
         }
         let grid = cfg.grid;
         let block = cfg.block;
@@ -457,12 +558,13 @@ impl Device {
         };
 
         // Fast path: nothing survives a barrier (single phase, zero-sized
-        // state) and no shared memory or racecheck is involved, so each
-        // simulated thread costs only its context and the kernel body.
+        // state) and no shared memory, racecheck, or sanitizer is involved,
+        // so each simulated thread costs only its context and the kernel
+        // body.
         if phases == 1
             && std::mem::size_of::<K::State>() == 0
             && cfg.shared_mem_bytes == 0
-            && !racecheck
+            && !(racecheck || sanitize)
         {
             let empty = SharedMem::new(0);
             self.pool.parallel_for(blocks, schedule, |b| {
@@ -484,17 +586,23 @@ impl Device {
         }
 
         // General (cooperative) path: per-worker arenas hold the shared-mem
-        // buffer and the state slots; the racecheck test is hoisted into a
-        // const generic so the per-thread loop stays branch-free.
+        // buffer and the state slots; the racecheck/sanitizer test is
+        // hoisted into a const generic so the per-thread loop stays
+        // branch-free.
+        let san = sanitize.then_some(&*self.sanitizer);
         self.pool.parallel_for(blocks, schedule, |b| {
             arena::with_arena(|ar| {
-                if racecheck {
-                    run_block_in_arena::<K, true>(kernel, ar, grid, block, &cfg, phases, b)
+                if racecheck || sanitize {
+                    run_block_in_arena::<K, true>(kernel, ar, grid, block, &cfg, phases, b, san)
                 } else {
-                    run_block_in_arena::<K, false>(kernel, ar, grid, block, &cfg, phases, b)
+                    run_block_in_arena::<K, false>(kernel, ar, grid, block, &cfg, phases, b, None)
                 }
             });
         });
+        if sanitize {
+            self.sanitizer.sweep_canaries();
+            self.sanitizer.count_launch();
+        }
     }
 
     /// Functional-only reference executor preserving the pre-arena semantics:
@@ -505,8 +613,11 @@ impl Device {
     #[doc(hidden)]
     pub fn execute_grid_reference<K: PhasedKernel>(&self, cfg: LaunchConfig, kernel: &K) {
         let racecheck = self.racecheck_enabled();
-        if racecheck {
+        let sanitize = self.sanitizer_enabled();
+        let track = racecheck || sanitize;
+        if track {
             self.tracker.begin_epoch();
+            self.tracker.set_track_reads(sanitize);
         }
         let grid = cfg.grid;
         let block = cfg.block;
@@ -515,6 +626,9 @@ impl Device {
         self.pool
             .parallel_for(grid.count(), Schedule::Dynamic { chunk: 0 }, |b| {
                 let (bx, by, bz) = grid.unflatten(b);
+                if sanitize {
+                    sanitizer::set_active(true);
+                }
                 let shared = SharedMem::new(cfg.shared_mem_bytes);
                 let mut states: Vec<K::State> = Vec::with_capacity(block_threads);
                 states.resize_with(block_threads, K::State::default);
@@ -527,14 +641,24 @@ impl Device {
                             block_dim: block,
                             grid_dim: grid,
                         };
-                        if racecheck {
-                            racecheck::set_current_sim_thread(ctx.global_linear() as u64);
+                        if track {
+                            racecheck::set_sim_location(
+                                ctx.global_linear() as u64,
+                                b as u64,
+                                phase as u32,
+                            );
                         }
                         kernel.phase(phase, &ctx, state, &shared);
                     }
+                    if sanitize {
+                        self.sanitizer.check_block_phase((bx, by, bz), block, phase);
+                    }
                 }
-                if racecheck {
+                if track {
                     racecheck::clear_current_sim_thread();
+                }
+                if sanitize {
+                    sanitizer::set_active(false);
                 }
             });
     }
@@ -606,6 +730,20 @@ impl Device {
     }
 }
 
+impl Drop for Device {
+    fn drop(&mut self) {
+        // Leak report: a sanitized device dropping with buffers still live
+        // prints the allocation table (backtraces included) to stderr.
+        // Never panics — a Drop diagnostic must not abort the process.
+        if self.sanitizer_enabled() {
+            let report = self.sanitizer.report(self.id, &self.tracker);
+            if !report.live_allocations.is_empty() {
+                eprintln!("{report}");
+            }
+        }
+    }
+}
+
 /// Iterate a block's threads in linear order (`x` fastest, matching
 /// `Dim3::unflatten`) with nested counters instead of a div/mod per thread.
 #[inline]
@@ -619,9 +757,12 @@ fn for_each_thread(block: Dim3, mut f: impl FnMut((u32, u32, u32))) {
     }
 }
 
-/// Execute one block out of a worker's arena. `RC` hoists the racecheck
-/// branch out of the per-thread loop: the `false` instantiation compiles to
-/// a loop with no racecheck code at all.
+/// Execute one block out of a worker's arena. `RC` hoists the
+/// racecheck/sanitizer branch out of the per-thread loop: the `false`
+/// instantiation compiles to a loop with no tracking code at all. `san` is
+/// `Some` when the sanitizer is on (always with `RC = true`), enabling
+/// barrier-arrival bookkeeping per phase boundary.
+#[allow(clippy::too_many_arguments)]
 fn run_block_in_arena<K: PhasedKernel, const RC: bool>(
     kernel: &K,
     arena: &mut arena::LaunchArena,
@@ -630,8 +771,12 @@ fn run_block_in_arena<K: PhasedKernel, const RC: bool>(
     cfg: &LaunchConfig,
     phases: usize,
     b: usize,
+    san: Option<&Sanitizer>,
 ) {
     let block_idx = grid.unflatten(b);
+    if san.is_some() {
+        sanitizer::set_active(true);
+    }
     arena.run_block::<K::State, _>(cfg.shared_mem_bytes, block.count(), |states, shared| {
         for phase in 0..phases {
             let mut t = 0;
@@ -643,15 +788,21 @@ fn run_block_in_arena<K: PhasedKernel, const RC: bool>(
                     grid_dim: grid,
                 };
                 if RC {
-                    racecheck::set_current_sim_thread(ctx.global_linear() as u64);
+                    racecheck::set_sim_location(ctx.global_linear() as u64, b as u64, phase as u32);
                 }
                 kernel.phase(phase, &ctx, &mut states[t], shared);
                 t += 1;
             });
+            if let Some(san) = san {
+                san.check_block_phase(block_idx, block, phase);
+            }
         }
     });
     if RC {
         racecheck::clear_current_sim_thread();
+    }
+    if san.is_some() {
+        sanitizer::set_active(false);
     }
 }
 
@@ -1146,5 +1297,243 @@ mod stream_tests {
             KernelCost::default(),
             |_| {},
         );
+    }
+}
+
+#[cfg(test)]
+mod sanitizer_tests {
+    use super::*;
+    use crate::profiles;
+
+    fn small_device() -> Device {
+        Device::new(profiles::test_device())
+    }
+
+    // ---- soundness regression tests (PR 3) ------------------------------
+
+    #[test]
+    fn overflowing_alloc_is_oom_not_wraparound() {
+        let dev = small_device();
+        // len * size_of::<f64>() overflows usize; before the checked_mul fix
+        // this wrapped to a tiny byte count and "succeeded".
+        let err = dev.alloc::<f64>(usize::MAX / 4).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }), "{err:?}");
+        assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn self_copy_is_a_free_noop() {
+        let dev = small_device();
+        let a = dev.alloc_from(&vec![2.5f64; 64]).unwrap();
+        let clock = dev.clock_ns();
+        dev.copy(&a, &a).unwrap();
+        assert_eq!(dev.clock_ns(), clock, "self-copy must not charge time");
+        assert_eq!(dev.read_vec(&a).unwrap(), vec![2.5f64; 64]);
+    }
+
+    #[test]
+    fn peer_self_copy_is_rejected() {
+        let dev = small_device();
+        let a = dev.alloc_from(&[1u32; 16]).unwrap();
+        assert_eq!(
+            dev.copy_to_peer(&a, &dev, &a).unwrap_err(),
+            SimError::OverlappingCopy
+        );
+    }
+
+    #[test]
+    fn read_vec_round_trips_niche_types() {
+        use std::num::NonZeroU32;
+        let dev = small_device();
+        // `vec![zeroed; n]` would be instant UB for a niche type like
+        // NonZeroU32; read_vec must build the Vec without materializing
+        // zeroed elements.
+        let host: Vec<NonZeroU32> = (1..=257u32).map(|i| NonZeroU32::new(i).unwrap()).collect();
+        let buf = dev.alloc_from(&host).unwrap();
+        assert_eq!(dev.read_vec(&buf).unwrap(), host);
+    }
+
+    #[test]
+    fn zero_len_alloc_charges_nothing() {
+        let dev = small_device();
+        let buf = dev.alloc::<f64>(0).unwrap();
+        assert_eq!(dev.used_bytes(), 0);
+        assert!(dev.read_vec(&buf).unwrap().is_empty());
+        drop(buf);
+        assert_eq!(dev.used_bytes(), 0);
+    }
+
+    // ---- sanitizer (simsan) tests ---------------------------------------
+
+    /// Unwrap a panic payload into its message.
+    fn panic_msg(err: Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn sanitizer_oob_access_names_the_allocation() {
+        let dev = small_device();
+        dev.set_sanitizer(true);
+        let n = 8usize;
+        let buf = dev.alloc::<f64>(n).unwrap();
+        let view = dev.slice_mut(&buf).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch(LaunchConfig::linear(64, 64), KernelCost::default(), |t| {
+                // Classic missing bounds guard: threads past n write anyway.
+                view.set(t.global_id_x(), 1.0);
+            })
+        }))
+        .unwrap_err();
+        let msg = panic_msg(err);
+        assert!(msg.contains("simsan"), "{msg}");
+        assert!(msg.contains("out of bounds"), "{msg}");
+        assert!(msg.contains("allocation #"), "{msg}");
+    }
+
+    #[test]
+    fn sanitizer_detects_read_write_race() {
+        let dev = small_device();
+        dev.set_sanitizer(true);
+        let buf = dev.alloc::<f64>(8).unwrap();
+        let view = dev.slice_mut(&buf).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch(LaunchConfig::linear(64, 64), KernelCost::default(), |t| {
+                // Thread 0 writes the element every other thread reads, with
+                // no barrier between — a read-write race.
+                if t.global_id_x() == 0 {
+                    view.set(0, 1.0);
+                } else {
+                    let _ = view.get(0);
+                }
+            })
+        }))
+        .unwrap_err();
+        let msg = panic_msg(err);
+        assert!(msg.contains("read-write race"), "{msg}");
+    }
+
+    #[test]
+    fn sanitizer_allows_barrier_separated_read_write() {
+        struct Broadcast {
+            data: DeviceSliceMut<f64>,
+        }
+        impl PhasedKernel for Broadcast {
+            type State = f64;
+            fn num_phases(&self) -> usize {
+                2
+            }
+            fn phase(&self, phase: usize, ctx: &ThreadCtx, s: &mut f64, _sh: &SharedMem) {
+                let ti = ctx.thread_linear();
+                if phase == 0 {
+                    // Every thread reads element 0...
+                    *s = self.data.get(0);
+                    ctx.barrier();
+                } else if ti == 1 {
+                    // ...and after the implicit barrier one thread may
+                    // legally overwrite it.
+                    self.data.set(0, *s + 1.0);
+                }
+            }
+        }
+        let dev = small_device();
+        dev.set_sanitizer(true);
+        let buf = dev.alloc_from(&[41.0f64; 8]).unwrap();
+        let kernel = Broadcast {
+            data: dev.slice_mut(&buf).unwrap(),
+        };
+        dev.launch_phased(
+            LaunchConfig::new(1u32, 64u32),
+            KernelCost::default(),
+            &kernel,
+        )
+        .unwrap();
+        assert_eq!(dev.read_scalar(&buf, 0).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn sanitizer_detects_barrier_divergence() {
+        struct Divergent;
+        impl PhasedKernel for Divergent {
+            type State = ();
+            fn num_phases(&self) -> usize {
+                2
+            }
+            fn phase(&self, phase: usize, ctx: &ThreadCtx, _s: &mut (), _sh: &SharedMem) {
+                // `__syncthreads` inside a divergent branch: only the first
+                // half of the block arrives.
+                if phase == 0 && ctx.thread_linear() < 32 {
+                    ctx.barrier();
+                }
+            }
+        }
+        let dev = small_device();
+        dev.set_sanitizer(true);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.launch_phased(
+                LaunchConfig::new(2u32, 64u32),
+                KernelCost::default(),
+                &Divergent,
+            )
+        }))
+        .unwrap_err();
+        let msg = panic_msg(err);
+        assert!(msg.contains("barrier divergence"), "{msg}");
+        assert!(msg.contains("32 of 64"), "{msg}");
+    }
+
+    #[test]
+    fn sanitizer_full_barrier_is_clean() {
+        struct Uniform;
+        impl PhasedKernel for Uniform {
+            type State = ();
+            fn num_phases(&self) -> usize {
+                2
+            }
+            fn phase(&self, _phase: usize, ctx: &ThreadCtx, _s: &mut (), _sh: &SharedMem) {
+                ctx.barrier();
+            }
+        }
+        let dev = small_device();
+        dev.set_sanitizer(true);
+        dev.launch_phased(
+            LaunchConfig::new(2u32, 64u32),
+            KernelCost::default(),
+            &Uniform,
+        )
+        .unwrap();
+        let report = dev.sanitizer_report().unwrap();
+        assert!(report.barriers_checked > 0);
+    }
+
+    #[test]
+    fn sanitizer_reports_leaked_allocations() {
+        let dev = small_device();
+        dev.set_sanitizer(true);
+        let buf = dev.alloc_from(&vec![0u8; 4096]).unwrap();
+        std::mem::forget(buf); // deliberate leak
+        let report = dev.sanitizer_report().unwrap();
+        assert_eq!(report.live_allocations.len(), 1);
+        assert_eq!(report.bytes_outstanding, 4096);
+        assert!(report.to_string().contains("LEAK"), "{report}");
+        // Freed buffers drop out of the report.
+        let ok = dev.alloc::<f64>(8).unwrap();
+        drop(ok);
+        assert_eq!(dev.sanitizer_report().unwrap().live_allocations.len(), 1);
+        // Silence the leak report in Device::drop for this deliberate leak.
+        dev.set_sanitizer(false);
+    }
+
+    #[test]
+    fn sanitizer_report_is_none_when_disabled() {
+        let dev = small_device();
+        dev.set_sanitizer(false); // override RACC_SANITIZER if set
+        assert!(dev.sanitizer_report().is_none());
+        dev.set_sanitizer(true);
+        let report = dev.sanitizer_report().unwrap();
+        assert_eq!(report.bytes_outstanding, 0);
+        assert!(report.to_string().contains("no leaks"), "{report}");
     }
 }

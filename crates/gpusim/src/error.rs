@@ -48,6 +48,8 @@ pub enum SimError {
         /// Length of the buffer.
         buffer_len: usize,
     },
+    /// Source and destination of a copy share an allocation.
+    OverlappingCopy,
 }
 
 impl std::fmt::Display for SimError {
@@ -87,6 +89,10 @@ impl std::fmt::Display for SimError {
                 f,
                 "range {offset}..{} out of bounds for buffer of length {buffer_len}",
                 offset + len
+            ),
+            SimError::OverlappingCopy => write!(
+                f,
+                "source and destination of the copy overlap (same allocation)"
             ),
         }
     }

@@ -5,6 +5,12 @@
 //! device, **distinct from the caller's data**: the only way data crosses the
 //! boundary is through the device's upload/download methods, which charge the
 //! link-transfer cost — exactly the discipline a discrete GPU imposes.
+//!
+//! Under the sanitizer (see [`crate::Device::set_sanitizer`]) every
+//! allocation additionally carries [`AllocMeta`]: live/freed state, canary
+//! regions flanking the payload, and an allocation-site backtrace, so
+//! out-of-bounds accesses, use-after-free through stale slices, and leaks
+//! produce diagnostics naming the allocation.
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::marker::PhantomData;
@@ -12,12 +18,33 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::racecheck::RaceTracker;
+use crate::sanitizer::{AllocMeta, CANARY_BYTES, CANARY_PATTERN};
 
 /// Cold, outlined bounds failure (keeps formatting out of hot accessors).
 #[cold]
 #[inline(never)]
 fn oob(i: usize, len: usize) -> ! {
     panic!("device access {i} out of bounds (len {len})");
+}
+
+/// Bounds failure naming the sanitized allocation.
+#[cold]
+#[inline(never)]
+fn oob_named(i: usize, len: usize, meta: &AllocMeta) -> ! {
+    panic!(
+        "simsan: device access {i} out of bounds (len {len}) for {}",
+        meta.label()
+    );
+}
+
+/// Use-after-free through a slice whose owning buffer has dropped.
+#[cold]
+#[inline(never)]
+fn use_after_free(meta: &AllocMeta) -> ! {
+    panic!(
+        "simsan: use-after-free: access through a stale slice of freed {}",
+        meta.label()
+    );
 }
 
 /// Marker trait for element types storable in device memory. Blanket-implemented
@@ -28,10 +55,18 @@ impl<T: Copy + Send + Sync + 'static> Element for T {}
 /// One raw allocation on the device heap. Deallocates itself (and returns
 /// its bytes to the heap accounting) when the last handle drops.
 pub(crate) struct Allocation {
+    /// Payload pointer (the canary region precedes it when sanitized).
     ptr: *mut u8,
+    /// Base of the real host allocation; null when nothing was allocated
+    /// (zero-byte payloads are truly dangling).
+    raw: *mut u8,
+    /// Payload bytes charged to the device heap.
     bytes: usize,
+    /// Layout of the real allocation behind `raw`.
     layout: Layout,
     used_counter: Arc<AtomicUsize>,
+    /// Sanitizer metadata; present iff the allocation has canary regions.
+    meta: Option<Arc<AllocMeta>>,
 }
 
 // SAFETY: access to the allocation's memory is coordinated by the launch
@@ -41,32 +76,126 @@ unsafe impl Send for Allocation {}
 unsafe impl Sync for Allocation {}
 
 impl Allocation {
-    /// Allocate `bytes` zeroed bytes, charging `used_counter`.
+    /// Allocate `bytes` zeroed bytes, charging `used_counter`. Zero-byte
+    /// allocations perform **no** host allocation: they hold a dangling,
+    /// well-aligned pointer and charge 0, so accounting matches reality.
     pub(crate) fn new(bytes: usize, used_counter: Arc<AtomicUsize>) -> Self {
-        // Zero-sized allocations keep a dangling, well-aligned pointer.
         let layout = Layout::from_size_align(bytes.max(1), 64).expect("valid layout");
-        // SAFETY: layout has non-zero size.
-        let ptr = unsafe { alloc_zeroed(layout) };
-        assert!(!ptr.is_null(), "host allocation for device heap failed");
+        let (raw, ptr) = if bytes == 0 {
+            (std::ptr::null_mut(), std::ptr::without_provenance_mut(64))
+        } else {
+            // SAFETY: layout has non-zero size.
+            let p = unsafe { alloc_zeroed(layout) };
+            assert!(!p.is_null(), "host allocation for device heap failed");
+            (p, p)
+        };
         used_counter.fetch_add(bytes, Ordering::Relaxed);
         Allocation {
             ptr,
+            raw,
             bytes,
             layout,
             used_counter,
+            meta: None,
+        }
+    }
+
+    /// Allocate a sanitized payload flanked by [`CANARY_BYTES`] canary
+    /// regions on both sides. Only the payload is charged to the heap
+    /// accounting (the canaries are checker overhead, not user memory).
+    pub(crate) fn new_sanitized(
+        bytes: usize,
+        used_counter: Arc<AtomicUsize>,
+        meta: Arc<AllocMeta>,
+    ) -> Self {
+        if bytes == 0 {
+            let mut a = Self::new(0, used_counter);
+            a.meta = Some(meta);
+            return a;
+        }
+        let layout = Layout::from_size_align(bytes + 2 * CANARY_BYTES, 64).expect("valid layout");
+        // SAFETY: layout has non-zero size.
+        let raw = unsafe { alloc_zeroed(layout) };
+        assert!(!raw.is_null(), "host allocation for device heap failed");
+        // SAFETY: the allocation spans 2 * CANARY_BYTES + bytes; both canary
+        // regions are in bounds.
+        unsafe {
+            std::ptr::write_bytes(raw, CANARY_PATTERN, CANARY_BYTES);
+            std::ptr::write_bytes(raw.add(CANARY_BYTES + bytes), CANARY_PATTERN, CANARY_BYTES);
+        }
+        used_counter.fetch_add(bytes, Ordering::Relaxed);
+        Allocation {
+            // SAFETY: CANARY_BYTES is within the allocation; 64-byte offset
+            // keeps 64-byte alignment.
+            ptr: unsafe { raw.add(CANARY_BYTES) },
+            raw,
+            bytes,
+            layout,
+            used_counter,
+            meta: Some(meta),
         }
     }
 
     pub(crate) fn ptr(&self) -> *mut u8 {
         self.ptr
     }
+
+    pub(crate) fn meta(&self) -> Option<&Arc<AllocMeta>> {
+        self.meta.as_ref()
+    }
+
+    /// Check both canary regions; `Some(description)` on corruption. Only
+    /// sanitized, non-empty allocations have canaries.
+    pub(crate) fn verify_canaries(&self) -> Option<String> {
+        let meta = self.meta.as_ref()?;
+        if self.raw.is_null() {
+            return None;
+        }
+        for k in 0..CANARY_BYTES {
+            // SAFETY: both canary regions are within the allocation.
+            let before = unsafe { *self.raw.add(k) };
+            if before != CANARY_PATTERN {
+                return Some(format!(
+                    "{}: canary before the payload corrupted {} B before the start \
+                     (wild out-of-bounds write)",
+                    meta.label(),
+                    CANARY_BYTES - k
+                ));
+            }
+            let after = unsafe { *self.raw.add(CANARY_BYTES + self.bytes + k) };
+            if after != CANARY_PATTERN {
+                return Some(format!(
+                    "{}: canary after the payload corrupted {} B past the end \
+                     (wild out-of-bounds write)",
+                    meta.label(),
+                    k
+                ));
+            }
+        }
+        None
+    }
 }
 
 impl Drop for Allocation {
     fn drop(&mut self) {
+        // Last chance to catch wild writes on allocations that die between
+        // launch-end sweeps. Never panic while already unwinding.
+        if let Some(desc) = self.verify_canaries() {
+            if std::thread::panicking() {
+                eprintln!("simsan: heap corruption (detected during unwind): {desc}");
+            } else {
+                // Deallocate first so the panic does not leak the block.
+                // SAFETY: allocated with this exact layout in `new_sanitized`.
+                unsafe { dealloc(self.raw, self.layout) };
+                self.used_counter.fetch_sub(self.bytes, Ordering::Relaxed);
+                panic!("simsan: heap corruption: {desc}");
+            }
+        }
         self.used_counter.fetch_sub(self.bytes, Ordering::Relaxed);
-        // SAFETY: allocated with this exact layout in `new`.
-        unsafe { dealloc(self.ptr, self.layout) };
+        if !self.raw.is_null() {
+            // SAFETY: allocated with this exact layout in `new`/`new_sanitized`.
+            unsafe { dealloc(self.raw, self.layout) };
+        }
     }
 }
 
@@ -94,14 +223,26 @@ impl<T: Element> DeviceBuffer<T> {
         self.len == 0
     }
 
-    /// Size in bytes.
+    /// Size in bytes (saturating: a buffer this size can never actually be
+    /// allocated — `Device::alloc` rejects overflowing requests).
     pub fn size_bytes(&self) -> usize {
-        self.len * std::mem::size_of::<T>()
+        self.len.saturating_mul(std::mem::size_of::<T>())
     }
 
     /// Id of the owning device.
     pub fn device_id(&self) -> u64 {
         self.device_id
+    }
+}
+
+impl<T: Element> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        // Under the sanitizer, mark the allocation freed: the memory stays
+        // alive while slices pin it, but any access through a stale slice
+        // after this point is a use-after-free under the driver model.
+        if let Some(meta) = self.alloc.meta() {
+            meta.freed.store(true, Ordering::Release);
+        }
     }
 }
 
@@ -120,6 +261,10 @@ pub struct DeviceSlice<T: Element> {
     alloc: Arc<Allocation>,
     ptr: *const T,
     len: usize,
+    /// Present when the device tracks reads (sanitizer mode).
+    tracker: Option<Arc<RaceTracker>>,
+    /// Present when the allocation is sanitized.
+    meta: Option<Arc<AllocMeta>>,
 }
 
 // SAFETY: reads from device memory race-freely per the launch contract.
@@ -132,6 +277,8 @@ impl<T: Element> Clone for DeviceSlice<T> {
             alloc: Arc::clone(&self.alloc),
             ptr: self.ptr,
             len: self.len,
+            tracker: self.tracker.clone(),
+            meta: self.meta.clone(),
         }
     }
 }
@@ -146,10 +293,20 @@ impl<T: Element> std::fmt::Debug for DeviceSlice<T> {
 
 impl<T: Element> DeviceSlice<T> {
     pub(crate) fn new(buffer: &DeviceBuffer<T>) -> Self {
+        Self::new_tracked(buffer, None, None)
+    }
+
+    pub(crate) fn new_tracked(
+        buffer: &DeviceBuffer<T>,
+        tracker: Option<Arc<RaceTracker>>,
+        meta: Option<Arc<AllocMeta>>,
+    ) -> Self {
         DeviceSlice {
             alloc: Arc::clone(&buffer.alloc),
             ptr: buffer.alloc.ptr() as *const T,
             len: buffer.len,
+            tracker,
+            meta,
         }
     }
 
@@ -167,13 +324,25 @@ impl<T: Element> DeviceSlice<T> {
     #[inline]
     pub fn get(&self, i: usize) -> T {
         if i >= self.len {
-            oob(i, self.len);
+            match &self.meta {
+                Some(m) => oob_named(i, self.len, m),
+                None => oob(i, self.len),
+            }
+        }
+        if let Some(m) = &self.meta {
+            if m.freed.load(Ordering::Acquire) {
+                use_after_free(m);
+            }
+        }
+        if let Some(t) = &self.tracker {
+            t.record_read(self.ptr as usize, i);
         }
         // SAFETY: index checked; allocation alive via `alloc`.
         unsafe { *self.ptr.add(i) }
     }
 
-    /// Unchecked element read for hot inner loops.
+    /// Unchecked element read for hot inner loops (bypasses the sanitizer;
+    /// canary sweeps still catch writes that stray past the allocation).
     ///
     /// # Safety
     /// `i` must be `< self.len()`.
@@ -189,12 +358,16 @@ impl<T: Element> DeviceSlice<T> {
 /// Writes use interior mutability under the SIMT contract: **distinct
 /// simulated threads must write distinct elements** within one launch.
 /// Enable the device's race checker ([`crate::Device::set_racecheck`]) to
-/// verify that contract dynamically.
+/// verify that contract dynamically, or the full sanitizer
+/// ([`crate::Device::set_sanitizer`]) to also track reads, freed state, and
+/// bounds canaries.
 pub struct DeviceSliceMut<T: Element> {
     alloc: Arc<Allocation>,
     ptr: *mut T,
     len: usize,
     tracker: Option<Arc<RaceTracker>>,
+    /// Present when the allocation is sanitized.
+    meta: Option<Arc<AllocMeta>>,
 }
 
 // SAFETY: the disjoint-writes contract (optionally dynamically enforced)
@@ -209,6 +382,7 @@ impl<T: Element> Clone for DeviceSliceMut<T> {
             ptr: self.ptr,
             len: self.len,
             tracker: self.tracker.clone(),
+            meta: self.meta.clone(),
         }
     }
 }
@@ -222,12 +396,17 @@ impl<T: Element> std::fmt::Debug for DeviceSliceMut<T> {
 }
 
 impl<T: Element> DeviceSliceMut<T> {
-    pub(crate) fn new(buffer: &DeviceBuffer<T>, tracker: Option<Arc<RaceTracker>>) -> Self {
+    pub(crate) fn new_tracked(
+        buffer: &DeviceBuffer<T>,
+        tracker: Option<Arc<RaceTracker>>,
+        meta: Option<Arc<AllocMeta>>,
+    ) -> Self {
         DeviceSliceMut {
             alloc: Arc::clone(&buffer.alloc),
             ptr: buffer.alloc.ptr() as *mut T,
             len: buffer.len,
             tracker,
+            meta,
         }
     }
 
@@ -245,7 +424,18 @@ impl<T: Element> DeviceSliceMut<T> {
     #[inline]
     pub fn get(&self, i: usize) -> T {
         if i >= self.len {
-            oob(i, self.len);
+            match &self.meta {
+                Some(m) => oob_named(i, self.len, m),
+                None => oob(i, self.len),
+            }
+        }
+        if let Some(m) = &self.meta {
+            if m.freed.load(Ordering::Acquire) {
+                use_after_free(m);
+            }
+        }
+        if let Some(t) = &self.tracker {
+            t.record_read(self.ptr as usize, i);
         }
         // SAFETY: index checked; allocation alive via `alloc`.
         unsafe { *(self.ptr as *const T).add(i) }
@@ -255,7 +445,15 @@ impl<T: Element> DeviceSliceMut<T> {
     #[inline]
     pub fn set(&self, i: usize, value: T) {
         if i >= self.len {
-            oob(i, self.len);
+            match &self.meta {
+                Some(m) => oob_named(i, self.len, m),
+                None => oob(i, self.len),
+            }
+        }
+        if let Some(m) = &self.meta {
+            if m.freed.load(Ordering::Acquire) {
+                use_after_free(m);
+            }
         }
         if let Some(tracker) = &self.tracker {
             tracker.record_write(self.ptr as usize, i);
@@ -275,7 +473,7 @@ impl<T: Element> DeviceSliceMut<T> {
         *(self.ptr as *const T).add(i)
     }
 
-    /// Unchecked element write (skips the race tracker).
+    /// Unchecked element write (skips the race tracker and sanitizer).
     ///
     /// # Safety
     /// `i` must be `< self.len()` and no other simulated thread may touch
@@ -302,6 +500,20 @@ mod tests {
         }
     }
 
+    fn make_sanitized_buffer<T: Element>(len: usize) -> DeviceBuffer<T> {
+        let used = Arc::new(AtomicUsize::new(0));
+        let bytes = len * std::mem::size_of::<T>();
+        let san = crate::sanitizer::Sanitizer::new(true);
+        let meta = san.new_meta::<T>(len, bytes);
+        let alloc = Arc::new(Allocation::new_sanitized(bytes, used, meta));
+        DeviceBuffer {
+            alloc,
+            len,
+            device_id: 0,
+            _marker: PhantomData,
+        }
+    }
+
     #[test]
     fn allocation_charges_and_releases_counter() {
         let used = Arc::new(AtomicUsize::new(0));
@@ -312,6 +524,17 @@ mod tests {
         drop(a);
         assert_eq!(used.load(Ordering::Relaxed), 512);
         drop(b);
+        assert_eq!(used.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn zero_byte_allocation_is_dangling_and_uncharged() {
+        let used = Arc::new(AtomicUsize::new(0));
+        let a = Allocation::new(0, Arc::clone(&used));
+        assert_eq!(used.load(Ordering::Relaxed), 0, "zero bytes charge nothing");
+        assert!(!a.ptr().is_null(), "pointer is dangling but non-null");
+        assert_eq!(a.ptr() as usize % 64, 0, "and well-aligned");
+        drop(a);
         assert_eq!(used.load(Ordering::Relaxed), 0);
     }
 
@@ -327,7 +550,7 @@ mod tests {
     #[test]
     fn slice_read_write_round_trip() {
         let buf = make_buffer::<u32>(16);
-        let w = DeviceSliceMut::new(&buf, None);
+        let w = DeviceSliceMut::new_tracked(&buf, None, None);
         for i in 0..16 {
             w.set(i, (i * i) as u32);
         }
@@ -368,7 +591,7 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn write_out_of_bounds_panics() {
         let buf = make_buffer::<f64>(4);
-        let w = DeviceSliceMut::new(&buf, None);
+        let w = DeviceSliceMut::new_tracked(&buf, None, None);
         w.set(10, 1.0);
     }
 
@@ -379,5 +602,63 @@ mod tests {
         assert_eq!(buf.size_bytes(), 0);
         let s = DeviceSlice::new(&buf);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn size_bytes_saturates_instead_of_wrapping() {
+        let buf = make_buffer::<f64>(0);
+        let huge = DeviceBuffer::<f64> {
+            alloc: Arc::clone(&buf.alloc),
+            len: usize::MAX / 2,
+            device_id: 0,
+            _marker: PhantomData,
+        };
+        assert_eq!(huge.size_bytes(), usize::MAX);
+    }
+
+    #[test]
+    fn sanitized_allocation_round_trips_and_verifies() {
+        let buf = make_sanitized_buffer::<u64>(16);
+        let w = DeviceSliceMut::new_tracked(&buf, None, buf.alloc.meta().cloned());
+        for i in 0..16 {
+            w.set(i, i as u64);
+        }
+        assert!(buf.alloc.verify_canaries().is_none(), "canaries intact");
+        let r = DeviceSlice::new_tracked(&buf, None, buf.alloc.meta().cloned());
+        for i in 0..16 {
+            assert_eq!(r.get(i), i as u64);
+        }
+    }
+
+    #[test]
+    fn canary_catches_unchecked_write_past_the_end() {
+        let buf = make_sanitized_buffer::<u64>(8);
+        let base = buf.alloc.ptr() as *mut u64;
+        // SAFETY(test): a deliberate one-past-the-end write; it lands in the
+        // trailing canary region, which is inside the same host allocation.
+        unsafe { base.add(8).write(0xDEAD) };
+        let desc = buf.alloc.verify_canaries().expect("corruption detected");
+        assert!(desc.contains("past the end"), "{desc}");
+        assert!(desc.contains("allocation #"), "{desc}");
+        // Repair before drop so Allocation::drop does not panic the test.
+        unsafe { base.add(8).write(u64::from_ne_bytes([CANARY_PATTERN; 8])) };
+        assert!(buf.alloc.verify_canaries().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sanitized_oob_names_the_allocation() {
+        let buf = make_sanitized_buffer::<f64>(4);
+        let s = DeviceSlice::new_tracked(&buf, None, buf.alloc.meta().cloned());
+        let _ = s.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "use-after-free")]
+    fn stale_slice_access_is_use_after_free() {
+        let buf = make_sanitized_buffer::<f64>(4);
+        let s = DeviceSlice::new_tracked(&buf, None, buf.alloc.meta().cloned());
+        drop(buf); // DeviceBuffer::drop marks the allocation freed
+        let _ = s.get(0);
     }
 }

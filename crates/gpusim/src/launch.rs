@@ -176,6 +176,22 @@ impl ThreadCtx {
     pub fn total_threads(&self) -> usize {
         self.grid_dim.count() * self.block_dim.count()
     }
+
+    /// Declare arrival at the block-wide barrier that ends the current
+    /// phase (`__syncthreads()`).
+    ///
+    /// In the simulator's phased execution model the barrier itself is
+    /// implicit — every thread of a block finishes phase `p` before any
+    /// starts `p + 1` — so functionally this is a no-op. Under the
+    /// sanitizer ([`crate::Device::set_sanitizer`]) it feeds
+    /// barrier-divergence detection: if only a subset of a block's threads
+    /// calls `barrier()` within a phase (e.g. a `__syncthreads` inside a
+    /// divergent branch), the launch panics naming the block, phase, and
+    /// first missing thread.
+    #[inline]
+    pub fn barrier(&self) {
+        crate::sanitizer::barrier_arrive(self.thread_linear());
+    }
 }
 
 #[cfg(test)]

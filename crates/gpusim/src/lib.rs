@@ -60,6 +60,7 @@ mod phased;
 pub mod profiles;
 mod racecheck;
 mod report;
+mod sanitizer;
 mod spec;
 mod stream;
 
@@ -72,5 +73,6 @@ pub use launch::{LaunchConfig, ThreadCtx};
 pub use perf::{KernelCost, OpKind, OpRecord};
 pub use phased::{PhasedKernel, SharedMem};
 pub use report::{OpStats, ProfileReport};
+pub use sanitizer::{LeakRecord, SanitizerReport};
 pub use spec::DeviceSpec;
 pub use stream::Stream;

@@ -115,6 +115,17 @@ impl Hip {
         Arc::clone(&self.device)
     }
 
+    /// Enable or disable the device sanitizer (the simulator's
+    /// `rocgdb`/compute-sanitizer analogue).
+    pub fn set_sanitizer(&self, enabled: bool) {
+        self.device.set_sanitizer(enabled);
+    }
+
+    /// Sanitizer findings for this context; `None` while disabled.
+    pub fn sanitizer_report(&self) -> Option<racc_gpusim::SanitizerReport> {
+        self.device.sanitizer_report()
+    }
+
     /// Device properties.
     pub fn props(&self) -> HipDeviceProps {
         let spec = self.device.spec();

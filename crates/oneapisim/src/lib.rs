@@ -152,6 +152,17 @@ impl OneApi {
         Arc::clone(&self.device)
     }
 
+    /// Enable or disable the device sanitizer (the simulator's analogue of
+    /// `onetrace`/`gpuinspect` correctness checking).
+    pub fn set_sanitizer(&self, enabled: bool) {
+        self.device.set_sanitizer(enabled);
+    }
+
+    /// Sanitizer findings for this context; `None` while disabled.
+    pub fn sanitizer_report(&self) -> Option<racc_gpusim::SanitizerReport> {
+        self.device.sanitizer_report()
+    }
+
     /// Level Zero's `compute_properties(device()).maxTotalGroupSize`.
     pub fn max_total_group_size(&self) -> usize {
         self.device.spec().max_threads_per_block as usize

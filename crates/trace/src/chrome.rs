@@ -24,6 +24,7 @@ fn lane(kind: ConstructKind) -> (u32, &'static str) {
         ConstructKind::Alloc | ConstructKind::H2d | ConstructKind::D2h => (2, "memory"),
         ConstructKind::Collective => (3, "collectives"),
         ConstructKind::WorkerChunk => (4, "workers"),
+        ConstructKind::Sanitizer => (5, "sanitizer"),
     }
 }
 
@@ -68,8 +69,8 @@ pub fn chrome_trace(groups: &[(&str, &[Span])]) -> String {
         push_meta(&mut one, label, "process_name", pid, None);
         events.push(one);
         // Back-to-back layout per lane on the modeled clock.
-        let mut lane_cursor_us = [0.0f64; 5];
-        let mut lanes_used = [false; 5];
+        let mut lane_cursor_us = [0.0f64; 6];
+        let mut lanes_used = [false; 6];
         for span in spans.iter() {
             let (tid, _) = lane(span.kind);
             lanes_used[tid as usize] = true;
@@ -85,7 +86,8 @@ pub fn chrome_trace(groups: &[(&str, &[Span])]) -> String {
                     1 => "reductions",
                     2 => "memory",
                     3 => "collectives",
-                    _ => "workers",
+                    4 => "workers",
+                    _ => "sanitizer",
                 };
                 let mut one = String::new();
                 push_meta(&mut one, name, "thread_name", pid, Some(tid as u32));
@@ -142,6 +144,20 @@ mod tests {
         // Second kernel starts where the first ended: ts = 1.000 (µs).
         assert!(doc.contains("\"ts\":0.000"), "{doc}");
         assert!(doc.contains("\"ts\":1.000"), "{doc}");
+    }
+
+    #[test]
+    fn sanitizer_spans_land_on_their_own_lane() {
+        let spans = vec![
+            Span::new("cudasim", ConstructKind::For1d, "axpy").modeled(1000),
+            Span::new("cudasim", ConstructKind::Sanitizer, "sancheck")
+                .dims(3, 0, 0)
+                .payload(4096),
+        ];
+        let doc = chrome_trace(&[("a100", &spans)]);
+        validate(&doc).unwrap_or_else(|(at, msg)| panic!("invalid JSON at {at}: {msg}"));
+        assert!(doc.contains("\"tid\":5"), "{doc}");
+        assert!(doc.contains("\"sancheck\""));
     }
 
     #[test]

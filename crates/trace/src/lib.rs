@@ -62,6 +62,9 @@ pub enum ConstructKind {
     Collective,
     /// One worker's chunk of a CPU `parallel_for` (threadpool detail lane).
     WorkerChunk,
+    /// A sanitizer (`simsan`) report snapshot: `dims.0` is allocations
+    /// tracked, `bytes` is bytes outstanding (leaked) at snapshot time.
+    Sanitizer,
 }
 
 impl ConstructKind {
@@ -79,6 +82,7 @@ impl ConstructKind {
             ConstructKind::D2h => "d2h",
             ConstructKind::Collective => "collective",
             ConstructKind::WorkerChunk => "chunk",
+            ConstructKind::Sanitizer => "sanitizer",
         }
     }
 

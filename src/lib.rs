@@ -163,6 +163,13 @@ impl Backend for AnyBackend {
     fn attach_tracer(&self, recorder: &std::sync::Arc<trace::TraceRecorder>) {
         dispatch!(self, b => b.attach_tracer(recorder))
     }
+    // Forwarded (not defaulted) so simulator back ends reach their devices.
+    fn set_sanitizer(&self, enabled: bool) -> bool {
+        dispatch!(self, b => b.set_sanitizer(enabled))
+    }
+    fn sanitizer_report(&self) -> Option<String> {
+        dispatch!(self, b => b.sanitizer_report())
+    }
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError> {
         dispatch!(self, b => b.on_alloc(bytes, upload))
     }
@@ -295,6 +302,7 @@ pub struct ContextBuilder {
     trace: bool,
     trace_capacity: Option<usize>,
     racecheck: Option<bool>,
+    sanitizer: Option<bool>,
 }
 
 impl ContextBuilder {
@@ -352,6 +360,15 @@ impl ContextBuilder {
         self
     }
 
+    /// Toggle the backend's dynamic sanitizer (`simsan`): out-of-bounds,
+    /// use-after-free, read-write race, barrier-divergence, and leak
+    /// checking. Simulator back ends also honor `RACC_SANITIZER=1`; CPU
+    /// back ends need the `racecheck` feature for this to take effect.
+    pub fn sanitizer(mut self, enabled: bool) -> Self {
+        self.sanitizer = Some(enabled);
+        self
+    }
+
     /// Resolve the key, construct the backend, and build the context.
     pub fn build(self) -> Result<Ctx, RaccError> {
         let key = match &self.key {
@@ -404,6 +421,9 @@ impl ContextBuilder {
         }
         if let Some(enabled) = self.racecheck {
             inner = inner.racecheck(enabled);
+        }
+        if let Some(enabled) = self.sanitizer {
+            inner = inner.sanitizer(enabled);
         }
         Ok(inner.build())
     }
