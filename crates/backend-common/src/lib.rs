@@ -138,7 +138,12 @@ impl SimBackend {
         ns: f64,
     ) {
         self.timeline.record_span(|| {
-            let mut span = Span::new(self.config.key, ConstructKind::for_rank(rank), profile.name)
+            let kind = if profile.fused {
+                ConstructKind::Fused
+            } else {
+                ConstructKind::for_rank(rank)
+            };
+            let mut span = Span::new(self.config.key, kind, profile.name)
                 .dims(dims[0], dims[1], dims[2])
                 .profile(profile.flops_per_iter, profile.bytes_per_iter())
                 .modeled(Timeline::quantize(ns));
@@ -167,19 +172,21 @@ impl SimBackend {
         F: Fn(usize) -> T + Sync,
         O: ReduceOp<T>,
     {
+        #[cfg(feature = "trace")]
+        let reduce_kind = if profile.fused {
+            ConstructKind::Fused
+        } else {
+            ConstructKind::reduce_rank(_rank)
+        };
         if total == 0 {
             self.timeline
                 .charge_reduction(self.config.racc_launch_extra_ns);
             #[cfg(feature = "trace")]
             self.timeline.record_span(|| {
-                Span::new(
-                    self.config.key,
-                    ConstructKind::reduce_rank(_rank),
-                    profile.name,
-                )
-                .dims(_dims[0], _dims[1], _dims[2])
-                .profile(profile.flops_per_iter, profile.bytes_per_iter())
-                .modeled(Timeline::quantize(self.config.racc_launch_extra_ns))
+                Span::new(self.config.key, reduce_kind, profile.name)
+                    .dims(_dims[0], _dims[1], _dims[2])
+                    .profile(profile.flops_per_iter, profile.bytes_per_iter())
+                    .modeled(Timeline::quantize(self.config.racc_launch_extra_ns))
             });
             return op.identity();
         }
@@ -235,15 +242,11 @@ impl SimBackend {
             // One span for the whole two-kernel sequence, one for the scalar
             // readback — matching the two timeline charges above.
             self.timeline.record_span(|| {
-                Span::new(
-                    self.config.key,
-                    ConstructKind::reduce_rank(_rank),
-                    profile.name,
-                )
-                .dims(_dims[0], _dims[1], _dims[2])
-                .geometry(blocks as u64, block as u64)
-                .profile(profile.flops_per_iter, profile.bytes_per_iter())
-                .modeled(Timeline::quantize(reduce_ns))
+                Span::new(self.config.key, reduce_kind, profile.name)
+                    .dims(_dims[0], _dims[1], _dims[2])
+                    .geometry(blocks as u64, block as u64)
+                    .profile(profile.flops_per_iter, profile.bytes_per_iter())
+                    .modeled(Timeline::quantize(reduce_ns))
             });
             self.timeline.record_span(|| {
                 Span::new(self.config.key, ConstructKind::D2h, "reduce_result")

@@ -1,0 +1,122 @@
+//! Fusion microbenchmark: wall-clock time per CG iteration and per
+//! expression-chain round, **eager vs fused**, on the CPU backends and the
+//! three simulated vendor APIs.
+//!
+//! This is the wall-clock companion of `figures -- bench-fusion` (which
+//! also records construct counts and the modeled timeline and writes
+//! `results/BENCH_fusion.json`). The interesting comparison is within a
+//! backend: the fused series replaces the iteration's four maps + two
+//! reductions with one map + two fused reductions, so the gap between the
+//! `eager/*` and `fused/*` lines is pure launch/pass overhead.
+//!
+//! Set `RACC_BENCH_QUICK=1` for a smoke-test run (small vectors, few
+//! samples) — used by CI to keep the bench from rotting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use racc_cg::solver::CgWorkspace;
+use racc_cg::tridiag::{DeviceTridiag, Tridiag};
+use racc_fuse::{lit, load, FusedExt};
+
+const BACKENDS: [&str; 5] = ["serial", "threads", "cudasim", "hipsim", "oneapisim"];
+
+fn quick() -> bool {
+    std::env::var_os("RACC_BENCH_QUICK").is_some()
+}
+
+fn sample_size() -> usize {
+    if quick() {
+        3
+    } else {
+        10
+    }
+}
+
+fn problem_n() -> usize {
+    if quick() {
+        1 << 12
+    } else {
+        1 << 16
+    }
+}
+
+fn context(key: &str, fused: bool) -> racc::Ctx {
+    let mut b = racc::builder().backend(key).fusion(fused);
+    if key == "threads" {
+        // Fixed worker count: on a small CI box the default pool can
+        // degenerate to one participant, which measures the serial fold
+        // instead of the threaded runtime that fusion halves.
+        b = b.threads(4);
+    }
+    b.build().expect("context")
+}
+
+/// One CG iteration on the tridiagonal operator — the fig13 inner loop.
+fn bench_cg_iteration(c: &mut Criterion) {
+    let n = problem_n();
+    let a = Tridiag::diagonally_dominant(n);
+    let b: Vec<f64> = (0..n).map(|i| 0.5 + ((i % 7) as f64) * 0.1).collect();
+
+    let mut group = c.benchmark_group("fusion_cg_iteration");
+    group.sample_size(sample_size());
+    group.throughput(Throughput::Elements(1));
+
+    for key in BACKENDS {
+        for (mode, fused) in [("eager", false), ("fused", true)] {
+            let ctx = context(key, fused);
+            let da = DeviceTridiag::upload(&ctx, &a).expect("upload matrix");
+            let db = ctx.array_from(&b).expect("upload rhs");
+            let mut ws = CgWorkspace::new(&ctx, &db).expect("workspace");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode}/{key}"), n),
+                &(),
+                |bch, _| bch.iter(|| ws.iterate(&ctx, &da)),
+            );
+        }
+    }
+
+    group.finish();
+}
+
+/// The expression-engine chain (two maps + a sum): three constructs eager,
+/// one fused launch.
+fn bench_expr_chain(c: &mut Criterion) {
+    let n = problem_n();
+
+    let mut group = c.benchmark_group("fusion_expr_chain");
+    group.sample_size(sample_size());
+    group.throughput(Throughput::Elements(1));
+
+    for key in BACKENDS {
+        for (mode, fused) in [("eager", false), ("fused", true)] {
+            let ctx = context(key, fused);
+            let x = ctx
+                .array_from_fn(n, |i| 0.25 * ((i % 9) as f64) - 1.0)
+                .expect("x");
+            let y = ctx
+                .array_from_fn(n, |i| 0.125 * ((i % 5) as f64) + 0.5)
+                .expect("y");
+            let z = ctx.zeros::<f64>(n).expect("z");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode}/{key}"), n),
+                &(),
+                |bch, _| {
+                    bch.iter(|| {
+                        let mut f = if fused {
+                            ctx.fused()
+                        } else {
+                            ctx.fused().eager()
+                        };
+                        let xn = f.assign(&x, load(&x) * 0.999 + 0.001 * load(&y));
+                        let zn = f.assign(&z, (xn - load(&y)).abs());
+                        f.sum(zn * lit(2.0))
+                    })
+                },
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_iteration, bench_expr_chain);
+criterion_main!(benches);

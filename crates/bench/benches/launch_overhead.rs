@@ -91,6 +91,16 @@ fn bench_empty(c: &mut Criterion) {
         b.iter(|| ctx.parallel_for(n, &KernelProfile::axpy(), |_i| {}))
     });
 
+    // Gate for the fusion knob: a context built with fusion explicitly off
+    // must dispatch exactly like the plain one — the knob lives outside the
+    // launch hot path, so this series must track `threads` (~71 ns empty).
+    let ctx_off = Context::builder(ThreadsBackend::new())
+        .fusion(false)
+        .build();
+    group.bench_with_input(BenchmarkId::new("threads-fusion-off", n), &(), |b, _| {
+        b.iter(|| ctx_off.parallel_for(n, &KernelProfile::axpy(), |_i| {}))
+    });
+
     group.finish();
 }
 

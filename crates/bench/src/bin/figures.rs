@@ -39,6 +39,7 @@ fn main() {
         "ablate-reduce" => ablate_reduce(full),
         "ablate-lbm-launch" => ablate_lbm_launch(),
         "bench-launch-overhead" => bench_launch_overhead(),
+        "bench-fusion" => bench_fusion(),
         "trace" => {
             let experiment = args
                 .iter()
@@ -70,7 +71,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|trace|sancheck|all"
+                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|trace|sancheck|all"
             );
             std::process::exit(2);
         }
@@ -712,6 +713,220 @@ fn bench_launch_overhead() {
     let path = "results/BENCH_launch_overhead.json";
     std::fs::write(path, json).expect("write bench JSON");
     println!("\nlaunch-overhead series written to {path}");
+}
+
+/// Fusion benchmark: the fig13 CG iteration and a standalone expression
+/// chain, eager vs fused, on every backend. Residual histories are
+/// asserted bit-identical between the two modes before anything is
+/// reported. Prints tables and writes `results/BENCH_fusion.json`
+/// (launch counts per iteration plus modeled and wall-clock time).
+/// `RACC_BENCH_QUICK=1` shrinks sizes and iteration counts.
+fn bench_fusion() {
+    use racc_cg::solver::CgWorkspace;
+    use racc_cg::tridiag::{DeviceTridiag, Tridiag};
+    use racc_fuse::{lit, load, FusedExt};
+    use std::time::Instant;
+
+    let quick = std::env::var_os("RACC_BENCH_QUICK").is_some();
+    let n: usize = if quick { 1 << 12 } else { 1 << 14 };
+    let iters: u32 = if quick { 10 } else { 60 };
+    // Fixed worker count for the threads backend: on a small CI box the
+    // default pool can degenerate to one participant, which measures the
+    // serial fold instead of the threaded runtime (broadcast, partials,
+    // latch) that fusion actually halves.
+    const THREADS_WORKERS: usize = 4;
+
+    const BACKENDS: [&str; 5] = ["serial", "threads", "cudasim", "hipsim", "oneapisim"];
+
+    /// One timed CG run: residual-history bits plus per-iteration counters.
+    struct CgRun {
+        hist: Vec<u64>,
+        launches: u64,
+        reductions: u64,
+        modeled_ns: f64,
+        wall_ns: f64,
+    }
+
+    fn run_cg(ctx: &racc::Ctx, n: usize, iters: u32) -> CgRun {
+        let a = Tridiag::diagonally_dominant(n);
+        let b: Vec<f64> = (0..n).map(|i| 0.5 + ((i % 7) as f64) * 0.1).collect();
+        let da = DeviceTridiag::upload(ctx, &a).expect("upload matrix");
+        let db = ctx.array_from(&b).expect("upload rhs");
+        let mut ws = CgWorkspace::new(ctx, &db).expect("workspace");
+        // Warm-up (pool wake-up, arena growth) — still part of the compared
+        // residual history, only excluded from the timing.
+        let mut hist = Vec::new();
+        for _ in 0..(iters / 4).max(2) {
+            hist.push(ws.iterate(ctx, &da).to_bits());
+        }
+        let before = ctx.timeline();
+        let mut wall_ns = f64::INFINITY;
+        for _rep in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                hist.push(ws.iterate(ctx, &da).to_bits());
+            }
+            wall_ns = wall_ns.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+        }
+        let after = ctx.timeline();
+        let total = u64::from(5 * iters);
+        CgRun {
+            hist,
+            launches: (after.launches - before.launches) / total,
+            reductions: (after.reductions - before.reductions) / total,
+            modeled_ns: (after.modeled_ns - before.modeled_ns) as f64 / total as f64,
+            wall_ns,
+        }
+    }
+
+    /// The expression-engine chain (two maps + a sum), returning result
+    /// bits (per-round sums plus the final vector), constructs per round
+    /// and wall time per round.
+    fn run_expr(ctx: &racc::Ctx, n: usize, iters: u32, eager: bool) -> (Vec<u64>, usize, f64) {
+        let x = ctx
+            .array_from_fn(n, |i| 0.25 * ((i % 9) as f64) - 1.0)
+            .expect("x");
+        let y = ctx
+            .array_from_fn(n, |i| 0.125 * ((i % 5) as f64) + 0.5)
+            .expect("y");
+        let z = ctx.zeros::<f64>(n).expect("z");
+        let mut bits = Vec::with_capacity(iters as usize + n);
+        let mut launches = 0usize;
+        let mut round = |bits: &mut Vec<u64>| {
+            let mut f = if eager {
+                ctx.fused().eager()
+            } else {
+                ctx.fused()
+            };
+            let xn = f.assign(&x, load(&x) * 0.999 + 0.001 * load(&y));
+            let zn = f.assign(&z, (xn - load(&y)).abs());
+            bits.push(f.sum(zn * lit(2.0)).to_bits());
+            launches = f.count_launches();
+        };
+        for _ in 0..(iters / 4).max(2) {
+            round(&mut bits);
+        }
+        let mut wall_ns = f64::INFINITY;
+        for _rep in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                round(&mut bits);
+            }
+            wall_ns = wall_ns.min(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+        }
+        let xs = ctx.to_host(&x).expect("readback");
+        bits.extend(xs.iter().map(|v| v.to_bits()));
+        (bits, launches, wall_ns)
+    }
+
+    let mut cg_table = Table::new(
+        "Fusion — fig13 CG iteration, eager vs fused (constructs = for+reduce launches)",
+        &[
+            "backend",
+            "constructs e→f",
+            "device kernels e→f",
+            "modeled e/f",
+            "wall e/f (ns)",
+            "speedup",
+        ],
+    );
+    let mut expr_table = Table::new(
+        "Fusion — expression chain (2 maps + sum), eager vs fused",
+        &["backend", "constructs e→f", "wall e/f (ns)", "speedup"],
+    );
+    let mut cg_entries = Vec::new();
+    let mut expr_entries = Vec::new();
+
+    for key in BACKENDS {
+        let is_sim = matches!(key, "cudasim" | "hipsim" | "oneapisim");
+        let build = |fused: bool| {
+            let mut b = racc::builder().backend(key).fusion(fused);
+            if key == "threads" {
+                b = b.threads(THREADS_WORKERS);
+            }
+            b.build().expect("context")
+        };
+        let eager_ctx = build(false);
+        let fused_ctx = build(true);
+
+        let e = run_cg(&eager_ctx, n, iters);
+        let f = run_cg(&fused_ctx, n, iters);
+        assert_eq!(
+            e.hist, f.hist,
+            "fused CG residual history must be bit-identical to eager on {key}"
+        );
+        // On the simulated devices each reduction is a two-kernel tree plus
+        // a readback; on the CPU backends a construct is one launch.
+        let kernels = |r: &CgRun| {
+            if is_sim {
+                r.launches + 2 * r.reductions
+            } else {
+                r.launches + r.reductions
+            }
+        };
+        let ops = |r: &CgRun| kernels(r) + if is_sim { r.reductions } else { 0 };
+        let (ec, fc) = (e.launches + e.reductions, f.launches + f.reductions);
+        let speedup = e.wall_ns / f.wall_ns;
+        cg_table.row(vec![
+            key.to_string(),
+            format!("{ec} -> {fc}"),
+            format!("{} -> {}", kernels(&e), kernels(&f)),
+            format!("{} / {}", fmt_ns(e.modeled_ns), fmt_ns(f.modeled_ns)),
+            format!("{:.0} / {:.0}", e.wall_ns, f.wall_ns),
+            format!("{speedup:.2}x"),
+        ]);
+        cg_entries.push(format!(
+            "    {{\"backend\": \"{key}\", \"n\": {n}, \"iters\": {iters}, \
+             \"eager_constructs_per_iter\": {ec}, \"fused_constructs_per_iter\": {fc}, \
+             \"eager_device_kernels_per_iter\": {}, \"fused_device_kernels_per_iter\": {}, \
+             \"eager_device_ops_per_iter\": {}, \"fused_device_ops_per_iter\": {}, \
+             \"eager_modeled_ns_per_iter\": {:.1}, \"fused_modeled_ns_per_iter\": {:.1}, \
+             \"eager_wall_ns_per_iter\": {:.1}, \"fused_wall_ns_per_iter\": {:.1}, \
+             \"wall_speedup\": {speedup:.3}, \"bit_identical\": true}}",
+            kernels(&e),
+            kernels(&f),
+            ops(&e),
+            ops(&f),
+            e.modeled_ns,
+            f.modeled_ns,
+            e.wall_ns,
+            f.wall_ns,
+        ));
+
+        let (ebits, elaunch, ewall) = run_expr(&eager_ctx, n, iters, true);
+        let (fbits, flaunch, fwall) = run_expr(&fused_ctx, n, iters, false);
+        assert_eq!(
+            ebits, fbits,
+            "fused expression chain must be bit-identical to eager on {key}"
+        );
+        let espeed = ewall / fwall;
+        expr_table.row(vec![
+            key.to_string(),
+            format!("{elaunch} -> {flaunch}"),
+            format!("{ewall:.0} / {fwall:.0}"),
+            format!("{espeed:.2}x"),
+        ]);
+        expr_entries.push(format!(
+            "    {{\"backend\": \"{key}\", \"n\": {n}, \"iters\": {iters}, \
+             \"eager_constructs\": {elaunch}, \"fused_constructs\": {flaunch}, \
+             \"eager_wall_ns\": {ewall:.1}, \"fused_wall_ns\": {fwall:.1}, \
+             \"wall_speedup\": {espeed:.3}, \"bit_identical\": true}}"
+        ));
+    }
+
+    cg_table.print();
+    expr_table.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"fusion\",\n  \"quick\": {quick},\n  \"threads_workers\": {THREADS_WORKERS},\n  \"cg\": [\n{}\n  ],\n  \"expr\": [\n{}\n  ]\n}}\n",
+        cg_entries.join(",\n"),
+        expr_entries.join(",\n")
+    );
+    racc::trace::json::validate(&json).expect("bench JSON must be valid");
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_fusion.json";
+    std::fs::write(path, json).expect("write bench JSON");
+    println!("\nfusion series written to {path}");
 }
 
 /// Ablation: native 2D tiled launch vs flattened 1D launch for the LBM

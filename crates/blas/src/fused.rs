@@ -1,0 +1,152 @@
+//! Hand-fused BLAS chains for the CG hot path.
+//!
+//! These are the closed-form counterparts of what the `racc-fuse`
+//! expression engine plans dynamically: each function collapses a chain
+//! of [`portable`](crate::portable) operations into **one** construct
+//! with the chain's *summed* [`KernelProfile`], flagged
+//! [`KernelProfile::as_fused`] so its spans land on the fused trace lane.
+//! Unlike the expression engine they interpret nothing — the bodies are
+//! plain closures, so the wall-clock win on the CPU backends is the full
+//! launch-count reduction.
+//!
+//! Every body performs the identical f64 operations in the identical
+//! order as the eager sequence it replaces (loads before stores per
+//! index, reductions through the same backend primitive over the same
+//! extent), so results are **bit-identical** to the eager chain — the
+//! tests at the bottom pin that per backend.
+
+use racc_core::{Array1, Backend, Context, KernelProfile};
+
+/// `x[i] += alpha * y[i]`, then `sum(x[i] * z[i])` — an
+/// `axpy`-then-`dot` chain as one reduction, forwarding the updated
+/// `x[i]` through a register instead of re-reading it.
+pub fn axpy_dot<B: Backend>(
+    ctx: &Context<B>,
+    alpha: f64,
+    x: &Array1<f64>,
+    y: &Array1<f64>,
+    z: &Array1<f64>,
+) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy_dot length mismatch");
+    assert_eq!(x.len(), z.len(), "axpy_dot length mismatch");
+    let n = x.len();
+    let (xv, yv, zv) = (x.view_mut(), y.view(), z.view());
+    ctx.parallel_reduce(n, &profiles::axpy_dot(), move |i| {
+        let xi = xv.get(i) + alpha * yv.get(i);
+        xv.set(i, xi);
+        xi * zv.get(i)
+    })
+}
+
+/// The CG α-update as one reduction: `x[i] += alpha * p[i]`,
+/// `r[i] -= alpha * s[i]`, returning the new `r·r` — three constructs
+/// (two AXPYs and a DOT) fused into one, with the updated `r[i]`
+/// forwarded into the reduction map.
+///
+/// The subtraction is written `r[i] + (-alpha) * s[i]` with `-alpha`
+/// negated once up front, exactly like the eager call
+/// `axpy(ctx, -alpha, r, s)`, so the residual history stays
+/// bit-identical.
+pub fn cg_update<B: Backend>(
+    ctx: &Context<B>,
+    alpha: f64,
+    x: &Array1<f64>,
+    p: &Array1<f64>,
+    r: &Array1<f64>,
+    s: &Array1<f64>,
+) -> f64 {
+    let n = x.len();
+    assert!(
+        p.len() == n && r.len() == n && s.len() == n,
+        "cg_update length mismatch"
+    );
+    let neg_alpha = -alpha;
+    let (xv, pv, rv, sv) = (x.view_mut(), p.view(), r.view_mut(), s.view());
+    ctx.parallel_reduce(n, &profiles::cg_update(), move |i| {
+        xv.set(i, xv.get(i) + alpha * pv.get(i));
+        let ri = rv.get(i) + neg_alpha * sv.get(i);
+        rv.set(i, ri);
+        ri * ri
+    })
+}
+
+/// Summed profiles of the fused chains, mirroring
+/// [`crate::profiles`] for the eager pieces.
+pub mod profiles {
+    use super::KernelProfile;
+
+    /// AXPY (2 flops, 16 B read, 8 B written) + DOT (2 flops, 16 B read)
+    /// with the updated vector forwarded: one of the DOT's reads never
+    /// touches memory.
+    pub const fn axpy_dot() -> KernelProfile {
+        KernelProfile::new("fused-axpy-dot", 4.0, 24.0, 8.0).as_fused()
+    }
+
+    /// Two AXPYs + DOT with `r` forwarded: 6 flops, reads of `x`, `p`,
+    /// `r`, `s`, writes of `x` and `r`.
+    pub const fn cg_update() -> KernelProfile {
+        KernelProfile::new("fused-cg-update", 6.0, 32.0, 16.0).as_fused()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portable;
+    use racc_core::{SerialBackend, ThreadsBackend};
+
+    fn arrays<B: Backend>(ctx: &Context<B>, n: usize) -> [Array1<f64>; 4] {
+        [3usize, 5, 7, 11].map(|salt| {
+            ctx.array_from_fn(n, move |i| ((i * salt + 1) % 13) as f64 * 0.5 - 3.0)
+                .unwrap()
+        })
+    }
+
+    fn check_backend<B: Backend>(make: impl Fn() -> Context<B>) {
+        let n = 4097;
+        let alpha = 0.8125;
+
+        // axpy_dot vs the eager pair.
+        let ctx = make();
+        let [x, y, z, _] = arrays(&ctx, n);
+        let fused = axpy_dot(&ctx, alpha, &x, &y, &z);
+        let fx = ctx.to_host(&x).unwrap();
+        let ctx = make();
+        let [x, y, z, _] = arrays(&ctx, n);
+        portable::axpy(&ctx, alpha, &x, &y);
+        let eager = portable::dot(&ctx, &x, &z);
+        assert_eq!(fused.to_bits(), eager.to_bits());
+        let ex = ctx.to_host(&x).unwrap();
+        assert_eq!(
+            fx.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ex.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // cg_update vs the eager triple.
+        let ctx = make();
+        let [x, p, r, s] = arrays(&ctx, n);
+        let before = ctx.timeline();
+        let fused = cg_update(&ctx, alpha, &x, &p, &r, &s);
+        let after = ctx.timeline();
+        assert_eq!(after.reductions - before.reductions, 1);
+        assert_eq!(after.launches, before.launches);
+        let (fx, fr) = (ctx.to_host(&x).unwrap(), ctx.to_host(&r).unwrap());
+        let ctx = make();
+        let [x, p, r, s] = arrays(&ctx, n);
+        portable::axpy(&ctx, alpha, &x, &p);
+        portable::axpy(&ctx, -alpha, &r, &s);
+        let eager = portable::dot(&ctx, &r, &r);
+        assert_eq!(fused.to_bits(), eager.to_bits());
+        let (ex, er) = (ctx.to_host(&x).unwrap(), ctx.to_host(&r).unwrap());
+        for i in 0..n {
+            assert_eq!(fx[i].to_bits(), ex[i].to_bits());
+            assert_eq!(fr[i].to_bits(), er[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_chains_match_eager_on_cpu_backends() {
+        check_backend(|| Context::new(SerialBackend::new()));
+        check_backend(|| Context::new(ThreadsBackend::with_threads(3)));
+    }
+}

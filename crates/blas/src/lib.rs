@@ -14,9 +14,15 @@
 //!   two-kernel shared-memory DOT of the paper's Fig. 3. These are the
 //!   baselines the overhead study compares against.
 //!
+//! [`fused`] adds hand-fused chains of the portable operations (AXPY+DOT,
+//! the CG α-update) — one construct each with the summed profile — used by
+//! the CG solver when the context's fusion knob
+//! (`racc::builder().fusion(true)` / `RACC_FUSION=1`) is on.
+//!
 //! [`mod@reference`] holds plain serial implementations used as ground truth in
 //! tests.
 
+pub mod fused;
 pub mod portable;
 pub mod reference;
 pub mod vendor;

@@ -238,6 +238,28 @@ impl<'c, B: Backend> DeviceCsr<'c, B> {
             yv.set(r, acc);
         });
     }
+
+    /// `y = A x` and `x·y` as **one** `parallel_reduce` — the row-parallel
+    /// matvec with the dot's map folded in, the row value forwarded
+    /// through a register. Bit-identical to the eager `matvec` + `dot`
+    /// pair (same per-row f64, same reduce primitive and extent).
+    pub fn matvec_dot(&self, x: &Array1<f64>, y: &Array1<f64>) -> f64 {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        let (rp, ci, vals) = (self.row_ptr.view(), self.col_idx.view(), self.values.view());
+        let (xv, yv) = (x.view(), y.view_mut());
+        let profile = crate::csr_matvec_dot_profile(self.avg_nnz);
+        self.ctx.parallel_reduce(self.nrows, &profile, move |r| {
+            let start = rp.get(r) as usize;
+            let end = rp.get(r + 1) as usize;
+            let mut acc = 0.0;
+            for idx in start..end {
+                acc += vals.get(idx) * xv.get(ci.get(idx) as usize);
+            }
+            yv.set(r, acc);
+            xv.get(r) * acc
+        })
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,26 @@ pub fn csr_matvec_profile(nnz_per_row: f64) -> KernelProfile {
     )
 }
 
+/// Summed profile of the fused tridiagonal matvec+dot: the matvec plus
+/// the dot's multiply-accumulate, with the row value forwarded (only the
+/// dot's `x` read touches memory).
+pub const fn tridiag_matvec_dot_profile() -> KernelProfile {
+    KernelProfile::new("fused-tridiag-matvec-dot", 7.0, 56.0, 8.0).as_fused()
+}
+
+/// Summed profile of the fused CSR matvec+dot (see
+/// [`csr_matvec_profile`]): two extra FLOPs and one extra 8-byte read per
+/// row, the row value forwarded.
+pub fn csr_matvec_dot_profile(nnz_per_row: f64) -> KernelProfile {
+    KernelProfile::new(
+        "fused-csr-matvec-dot",
+        2.0 * nnz_per_row + 2.0,
+        24.0 * nnz_per_row + 8.0,
+        8.0,
+    )
+    .as_fused()
+}
+
 /// Result of a CG solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CgResult {

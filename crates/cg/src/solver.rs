@@ -14,6 +14,15 @@ pub trait LinearOperator<B: Backend> {
     fn n(&self) -> usize;
     /// `y = A x`.
     fn apply(&self, x: &Array1<f64>, y: &Array1<f64>);
+    /// `y = A x`, returning `x·y` — the matvec-then-dot pair at the top
+    /// of every CG iteration. The default runs them as two constructs;
+    /// operators that can fold the dot's map into the matvec body
+    /// override this with a single fused reduction (bit-identical to the
+    /// pair, since the same per-row value feeds the same reduce order).
+    fn apply_dot(&self, ctx: &Context<B>, x: &Array1<f64>, y: &Array1<f64>) -> f64 {
+        self.apply(x, y);
+        blas::dot(ctx, x, y)
+    }
 }
 
 impl<B: Backend> LinearOperator<B> for DeviceTridiag<'_, B> {
@@ -23,6 +32,9 @@ impl<B: Backend> LinearOperator<B> for DeviceTridiag<'_, B> {
     fn apply(&self, x: &Array1<f64>, y: &Array1<f64>) {
         self.matvec(x, y)
     }
+    fn apply_dot(&self, _ctx: &Context<B>, x: &Array1<f64>, y: &Array1<f64>) -> f64 {
+        self.matvec_dot(x, y)
+    }
 }
 
 impl<B: Backend> LinearOperator<B> for DeviceCsr<'_, B> {
@@ -31,6 +43,9 @@ impl<B: Backend> LinearOperator<B> for DeviceCsr<'_, B> {
     }
     fn apply(&self, x: &Array1<f64>, y: &Array1<f64>) {
         self.matvec(x, y)
+    }
+    fn apply_dot(&self, _ctx: &Context<B>, x: &Array1<f64>, y: &Array1<f64>) -> f64 {
+        self.matvec_dot(x, y)
     }
 }
 
@@ -80,7 +95,16 @@ impl<B: Backend> CgWorkspace<B> {
     /// One CG iteration — the paper's measured unit (Fig. 13): one matvec,
     /// two reductions, three vector updates, one copy-shaped update.
     /// Returns the updated residual norm.
+    ///
+    /// When the context's fusion knob is on (`ContextBuilder::fusion` /
+    /// `RACC_FUSION=1`) the same iteration runs as three constructs
+    /// instead of six — [`LinearOperator::apply_dot`] folds the dot into
+    /// the matvec, [`racc_blas::fused::cg_update`] folds both AXPYs into
+    /// the second dot — with a bit-identical residual history.
     pub fn iterate<Op: LinearOperator<B>>(&mut self, ctx: &Context<B>, op: &Op) -> f64 {
+        if ctx.fusion_enabled() {
+            return self.iterate_fused(ctx, op);
+        }
         // s = A p
         op.apply(&self.p, &self.s);
         // alpha = (r·r) / (p·s)
@@ -91,6 +115,20 @@ impl<B: Backend> CgWorkspace<B> {
         blas::axpy(ctx, -alpha, &self.r, &self.s);
         // beta = (r·r)_new / (r·r)_old ; p = r + beta p
         let rr_new = blas::dot(ctx, &self.r, &self.r);
+        let beta = rr_new / self.rr;
+        blas::axpby(ctx, 1.0, &self.r, beta, &self.p);
+        self.rr = rr_new;
+        rr_new.sqrt()
+    }
+
+    /// The fused iteration: `{s = A p, p·s}` in one reduction, the
+    /// α-update `{x += αp, r -= αs, r·r}` in one reduction, and the eager
+    /// β-update (it reads the scalar the second reduction just produced,
+    /// and its stencil neighbors forbid folding it into the next matvec).
+    fn iterate_fused<Op: LinearOperator<B>>(&mut self, ctx: &Context<B>, op: &Op) -> f64 {
+        let ps = op.apply_dot(ctx, &self.p, &self.s);
+        let alpha = self.rr / ps;
+        let rr_new = racc_blas::fused::cg_update(ctx, alpha, &self.x, &self.p, &self.r, &self.s);
         let beta = rr_new / self.rr;
         blas::axpby(ctx, 1.0, &self.r, beta, &self.p);
         self.rr = rr_new;
@@ -231,6 +269,64 @@ mod tests {
         let (result, _) = solve(&ctx, &da, &b, 0.0, 3).unwrap();
         assert!(!result.converged);
         assert_eq!(result.iterations, 3);
+    }
+
+    /// Residual history (as bits) of `iters` iterations plus the
+    /// per-iteration construct counts `(parallel_fors, reductions)`.
+    fn residual_history<B: racc_core::Backend, Op: LinearOperator<B>>(
+        ctx: &Context<B>,
+        op: &Op,
+        b: &Array1<f64>,
+        iters: u64,
+    ) -> (Vec<u64>, u64, u64) {
+        let mut ws = CgWorkspace::new(ctx, b).unwrap();
+        let before = ctx.timeline();
+        let mut history = Vec::new();
+        for _ in 0..iters {
+            history.push(ws.iterate(ctx, op).to_bits());
+        }
+        let after = ctx.timeline();
+        (
+            history,
+            (after.launches - before.launches) / iters,
+            (after.reductions - before.reductions) / iters,
+        )
+    }
+
+    /// Fusion on vs off: the residual history must agree bit for bit, and
+    /// the fused iteration must run as 3 constructs (1 for + 2 fused
+    /// reductions) against the eager 6 (4 fors + 2 reductions).
+    fn check_fused_iteration_bitwise<B: racc_core::Backend>(make: impl Fn() -> B) {
+        let n = 400;
+        let iters = 25;
+        for use_csr in [false, true] {
+            let eager_ctx = Context::builder(make()).fusion(false).build();
+            let fused_ctx = Context::builder(make()).fusion(true).build();
+            assert!(!eager_ctx.fusion_enabled() && fused_ctx.fusion_enabled());
+            let run = |ctx: &Context<B>| {
+                let b = ctx.array_from_fn(n, |i| ((i % 11) as f64) - 5.0).unwrap();
+                if use_csr {
+                    let m = crate::csr::Csr::laplacian_2d(20, 20);
+                    let op = DeviceCsr::upload(ctx, &m).unwrap();
+                    residual_history(ctx, &op, &b, iters)
+                } else {
+                    let a = Tridiag::diagonally_dominant(n);
+                    let op = DeviceTridiag::upload(ctx, &a).unwrap();
+                    residual_history(ctx, &op, &b, iters)
+                }
+            };
+            let (eager_hist, eager_fors, eager_reds) = run(&eager_ctx);
+            let (fused_hist, fused_fors, fused_reds) = run(&fused_ctx);
+            assert_eq!(fused_hist, eager_hist, "residual history diverged");
+            assert_eq!((eager_fors, eager_reds), (4, 2));
+            assert_eq!((fused_fors, fused_reds), (1, 2));
+        }
+    }
+
+    #[test]
+    fn fused_iteration_is_bit_identical_and_three_constructs() {
+        check_fused_iteration_bitwise(SerialBackend::new);
+        check_fused_iteration_bitwise(|| ThreadsBackend::with_threads(4));
     }
 
     #[test]

@@ -114,6 +114,34 @@ impl<'c, B: Backend> DeviceTridiag<'c, B> {
         self.n
     }
 
+    /// `y = A x` and `x·y` as **one** `parallel_reduce`: the matvec body
+    /// with the dot's map (`x[i] * y[i]`) folded in, the per-row value
+    /// forwarded through a register. Same per-row f64 value and the same
+    /// reduce primitive as the eager `matvec` + `dot` pair, so the result
+    /// is bit-identical; the summed profile (flagged fused) keeps the perf
+    /// model and the trace reconciliation exact.
+    pub fn matvec_dot(&self, x: &Array1<f64>, y: &Array1<f64>) -> f64 {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let n = self.n;
+        let (sub, diag, sup) = (self.sub.view(), self.diag.view(), self.sup.view());
+        let (xv, yv) = (x.view(), y.view_mut());
+        let profile = crate::tridiag_matvec_dot_profile();
+        self.ctx.parallel_reduce(n, &profile, move |i| {
+            let v = if n == 1 {
+                diag.get(0) * xv.get(0)
+            } else if i == 0 {
+                diag.get(0) * xv.get(0) + sup.get(0) * xv.get(1)
+            } else if i == n - 1 {
+                sub.get(i) * xv.get(i - 1) + diag.get(i) * xv.get(i)
+            } else {
+                sub.get(i) * xv.get(i - 1) + diag.get(i) * xv.get(i) + sup.get(i) * xv.get(i + 1)
+            };
+            yv.set(i, v);
+            xv.get(i) * v
+        })
+    }
+
     /// `y = A x` as one `parallel_for`, the paper's `matvecmul` kernel.
     pub fn matvec(&self, x: &Array1<f64>, y: &Array1<f64>) {
         assert_eq!(x.len(), self.n);

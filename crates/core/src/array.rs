@@ -49,6 +49,15 @@ macro_rules! array_common {
                 self.ctx_id
             }
 
+            /// Stable identity of the underlying buffer: the storage base
+            /// address. Two arrays alias iff their ids are equal (storages
+            /// are uniquely owned, so the id also matches the key the
+            /// racecheck layer uses). `racc-fuse` uses this to detect
+            /// read-after-write hazards across fused statements.
+            pub fn buffer_id(&self) -> usize {
+                self.storage.ptr() as usize
+            }
+
             pub(crate) fn storage(&self) -> &Arc<RawStorage<T>> {
                 &self.storage
             }

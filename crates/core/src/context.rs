@@ -23,6 +23,10 @@ static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
 pub struct Context<B: Backend> {
     backend: B,
     id: u64,
+    /// Whether higher layers (`racc-fuse`, `racc-blas`, the CG solver)
+    /// should take their fused fast paths. Purely advisory: the core
+    /// constructs behave identically either way.
+    fusion: bool,
     /// The span recorder attached at build time (see [`Context::builder`]).
     #[cfg(feature = "trace")]
     tracer: Option<Arc<racc_trace::TraceRecorder>>,
@@ -44,6 +48,9 @@ impl<B: Backend> Context<B> {
         Context {
             backend,
             id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
+            // Direct construction honors the environment knob so harnesses
+            // (and the CI `RACC_FUSION=1` step) reach every code path.
+            fusion: fusion_env_default(),
             #[cfg(feature = "trace")]
             tracer: None,
         }
@@ -449,6 +456,23 @@ impl<B: Backend> Context<B> {
     pub fn trace_spans(&self) -> Vec<racc_trace::Span> {
         self.tracer.as_ref().map(|r| r.spans()).unwrap_or_default()
     }
+
+    /// Whether fused fast paths are requested for this context (set by
+    /// [`ContextBuilder::fusion`] or the `RACC_FUSION` environment
+    /// variable). Advisory: consulted by `racc-fuse`, `racc-blas` and the
+    /// CG solver; the core constructs never change behavior.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion
+    }
+}
+
+/// Default of the fusion knob: `RACC_FUSION` set to anything but `0`,
+/// `false` or the empty string.
+fn fusion_env_default() -> bool {
+    match std::env::var("RACC_FUSION") {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off"),
+        Err(_) => false,
+    }
 }
 
 /// Builder for a [`Context`] with construction-time observability options.
@@ -466,6 +490,7 @@ pub struct ContextBuilder<B: Backend> {
     #[cfg_attr(not(feature = "racecheck"), allow(dead_code))]
     racecheck: Option<bool>,
     sanitizer: Option<bool>,
+    fusion: Option<bool>,
 }
 
 impl<B: Backend> ContextBuilder<B> {
@@ -479,6 +504,7 @@ impl<B: Backend> ContextBuilder<B> {
             trace_capacity: 0,
             racecheck: None,
             sanitizer: None,
+            fusion: None,
         }
     }
 
@@ -517,6 +543,14 @@ impl<B: Backend> ContextBuilder<B> {
         self
     }
 
+    /// Request (or veto) the fused fast paths of the expression layer
+    /// (`racc-fuse`) and its users. Leaving it unset defers to the
+    /// `RACC_FUSION` environment variable; off by default.
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.fusion = Some(enabled);
+        self
+    }
+
     /// Build the context, applying the selected options.
     pub fn build(self) -> Context<B> {
         #[cfg(feature = "racecheck")]
@@ -528,6 +562,9 @@ impl<B: Backend> ContextBuilder<B> {
         }
         #[allow(unused_mut)]
         let mut ctx = Context::new(self.backend);
+        if let Some(enabled) = self.fusion {
+            ctx.fusion = enabled;
+        }
         #[cfg(feature = "trace")]
         if self.trace {
             let recorder = Arc::new(racc_trace::TraceRecorder::new(self.trace_capacity));

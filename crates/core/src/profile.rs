@@ -24,6 +24,13 @@ pub struct KernelProfile {
     /// GPU memory-coalescing factor in `[0, 1]`; 1 when iteration `i`
     /// touches addresses contiguous in `i` (ignored by CPU back ends).
     pub coalescing: f64,
+    /// Whether this profile describes a *fused* launch: one construct
+    /// standing in for a chain of elementwise statements (see `racc-fuse`).
+    /// Fused launches carry the summed per-iteration figures of their
+    /// statements and land on the `fused` trace lane instead of the plain
+    /// kernel/reduction lanes. Purely observational — like the rest of the
+    /// profile it never changes functional results.
+    pub fused: bool,
 }
 
 impl KernelProfile {
@@ -40,12 +47,19 @@ impl KernelProfile {
             bytes_read_per_iter,
             bytes_written_per_iter,
             coalescing: 1.0,
+            fused: false,
         }
     }
 
     /// Override the coalescing factor.
     pub const fn with_coalescing(mut self, coalescing: f64) -> Self {
         self.coalescing = coalescing;
+        self
+    }
+
+    /// Mark this profile as describing a fused launch (`racc-fuse`).
+    pub const fn as_fused(mut self) -> Self {
+        self.fused = true;
         self
     }
 
@@ -101,5 +115,13 @@ mod tests {
         let p = KernelProfile::axpy().with_coalescing(0.25);
         assert_eq!(p.coalescing, 0.25);
         assert_eq!(p.flops_per_iter, 2.0);
+    }
+
+    #[test]
+    fn fused_flag() {
+        assert!(!KernelProfile::axpy().fused);
+        let p = KernelProfile::new("fused", 5.0, 40.0, 16.0).as_fused();
+        assert!(p.fused);
+        assert_eq!(p.bytes_per_iter(), 56.0);
     }
 }

@@ -208,11 +208,19 @@ impl Backend for SerialBackend {
         #[cfg(feature = "trace")]
         let t0 = self.timeline.trace_start();
         self.begin_bracket();
-        let mut acc = op.identity();
-        for i in 0..n {
-            tag(i as u64);
-            acc = op.combine(acc, f(i));
-        }
+        // Order-preserving tiled fold: same combine association as the
+        // naive loop (bit-reproducible), but a heavy `f` — e.g. a fused
+        // matvec+dot row — can vectorize free of the `acc` chain.
+        let acc = racc_threadpool::ordered_tiled_fold(
+            op.identity(),
+            0,
+            n,
+            &|i| {
+                tag(i as u64);
+                f(i)
+            },
+            &|a, b| op.combine(a, b),
+        );
         self.end_bracket();
         let ns = self.cpu.reduce_time_ns(n, profile);
         self.timeline.charge_reduction(ns);

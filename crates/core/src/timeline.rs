@@ -173,6 +173,13 @@ impl Timeline {
     ) {
         self.record_span(|| {
             let iters: u64 = dims.iter().product();
+            // Fused launches keep the construct's execution path but land on
+            // the dedicated `fused` trace lane (see `racc-fuse`).
+            let kind = if profile.fused {
+                racc_trace::ConstructKind::Fused
+            } else {
+                kind
+            };
             Span::new(backend, kind, profile.name)
                 .dims(dims[0], dims[1], dims[2])
                 .geometry(workers, iters.div_ceil(workers.max(1)))

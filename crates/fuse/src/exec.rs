@@ -1,0 +1,120 @@
+//! Fused-group execution.
+//!
+//! Each compiled group becomes exactly one backend construct: a
+//! `parallel_for` when it only stores, a `parallel_reduce_with` when it
+//! ends in a reduction (stores ride inside the reduction's map phase —
+//! every backend invokes the map exactly once per index). The group's
+//! summed profile is charged through the normal construct path, so the
+//! `Timeline` and trace spans reconcile exactly as they do eagerly.
+//!
+//! ## Bit-identity
+//!
+//! Per index, the interpreter evaluates the same f64 operations in the
+//! same order the eager statement sequence does, and the launch goes
+//! through the *same* backend primitive over the same extent — so the
+//! serial fold, the threadpool's per-chunk partials, and the simulated
+//! GPUs' two-kernel tree reduction all combine in exactly the eager
+//! order. Fused results are therefore bit-identical to eager ones, which
+//! `tests/differential.rs` pins on every backend.
+//!
+//! ## Cost per element
+//!
+//! Evaluation walks the flat node list into a stack scratch array
+//! (`[f64; MAX_NODES]`): no heap allocation, no recursion, no virtual
+//! dispatch per node beyond one match.
+
+use racc_core::{Backend, Context, Max, Min, Sum};
+
+use crate::plan::{CNode, Compiled, MAX_NODES};
+use crate::ReduceKind;
+
+#[inline]
+fn eval(nodes: &[CNode], idx: usize, vals: &mut [f64; MAX_NODES]) {
+    for (k, node) in nodes.iter().enumerate() {
+        vals[k] = match node {
+            CNode::Load(view, extent) => view.get(*extent, idx),
+            CNode::Scalar(v) => *v,
+            CNode::Un(op, a) => op.apply(vals[*a as usize]),
+            CNode::Bin(op, a, b) => op.apply(vals[*a as usize], vals[*b as usize]),
+        };
+    }
+}
+
+/// One fused index: evaluate every node, then materialize the stores in
+/// statement order. Returns the reduce root's value (0.0 when unused).
+#[inline]
+fn step(g: &Compiled, idx: usize) -> f64 {
+    let mut vals = [0.0f64; MAX_NODES];
+    eval(&g.nodes, idx, &mut vals);
+    for (dst, extent, node) in &g.stores {
+        dst.set(*extent, idx, vals[*node as usize]);
+    }
+    match g.reduce {
+        Some((root, _)) => vals[root as usize],
+        None => 0.0,
+    }
+}
+
+/// Launches one compiled group on `ctx`; returns the reduction value when
+/// the group has one.
+pub(crate) fn run_group<B: Backend>(ctx: &Context<B>, g: &Compiled) -> Option<f64> {
+    for id in &g.ctx_ids {
+        assert_eq!(
+            *id,
+            ctx.id(),
+            "fused expression uses an array from another context"
+        );
+    }
+    let extent = g.extent;
+    match g.reduce {
+        None => {
+            launch_for(ctx, g);
+            None
+        }
+        Some((_, kind)) => Some(launch_reduce(ctx, g, kind, extent)),
+    }
+}
+
+fn launch_for<B: Backend>(ctx: &Context<B>, g: &Compiled) {
+    use crate::graph::Extent::*;
+    match g.extent {
+        D1(n) => ctx.parallel_for(n, &g.profile, |i| {
+            step(g, i);
+        }),
+        D2(m, n) => ctx.parallel_for_2d((m, n), &g.profile, |i, j| {
+            step(g, j * m + i);
+        }),
+        D3(m, n, l) => ctx.parallel_for_3d((m, n, l), &g.profile, |i, j, k| {
+            step(g, (k * n + j) * m + i);
+        }),
+    }
+}
+
+fn launch_reduce<B: Backend>(
+    ctx: &Context<B>,
+    g: &Compiled,
+    kind: ReduceKind,
+    extent: crate::graph::Extent,
+) -> f64 {
+    use crate::graph::Extent::*;
+    macro_rules! dispatch {
+        ($op:expr) => {
+            match extent {
+                D1(n) => ctx.parallel_reduce_with(n, &g.profile, $op, |i| step(g, i)),
+                D2(m, n) => {
+                    ctx.parallel_reduce_2d_with((m, n), &g.profile, $op, |i, j| step(g, j * m + i))
+                }
+                D3(m, n, l) => {
+                    ctx.parallel_reduce_3d_with((m, n, l), &g.profile, $op, |i, j, k| {
+                        step(g, (k * n + j) * m + i)
+                    })
+                }
+            }
+        };
+    }
+    match kind {
+        ReduceKind::Sum => dispatch!(Sum),
+        ReduceKind::Min => dispatch!(Min),
+        ReduceKind::Max => dispatch!(Max),
+    }
+}

@@ -1,0 +1,539 @@
+//! # racc-fuse
+//!
+//! A lazy array-expression layer and kernel-fusion engine over
+//! `racc_core` — the Rust analog of the meta-programming story in the
+//! JACC paper: the front end stays one high-level expression API while
+//! the engine regroups the work into fewer, fatter device launches.
+//!
+//! Elementwise operations (`axpy`-style maps, scalar broadcasts, zips)
+//! and trailing reductions build a small expression DAG ([`Expr`])
+//! instead of launching. A fusion planner coalesces each maximal chain of
+//! same-extent elementwise statements — plus an optional terminal
+//! reduction — into **one** `parallel_for` / `parallel_reduce_with`
+//! launch carrying the *summed* [`racc_core::KernelProfile`] of its
+//! statements, so the analytic perf model, the `Timeline`, and trace
+//! reconciliation stay exact. Unfusable boundaries (extent change,
+//! explicit [`Fused::barrier`], a reload of a buffer stored earlier in
+//! the group, the [`MAX_NODES`] budget) force a materialize.
+//!
+//! Fused evaluation is **bit-identical** to the eager statement sequence
+//! on every backend: per index the interpreter performs the same f64
+//! operations in program order, and the single launch dispatches through
+//! the same backend primitive over the same extent, so every backend's
+//! reduction order (serial fold, threadpool partials, the simulators'
+//! two-kernel tree) is unchanged.
+//!
+//! ```
+//! use racc_core::{Context, SerialBackend};
+//! use racc_fuse::{load, FusedExt};
+//!
+//! let ctx = Context::new(SerialBackend::new());
+//! let x = ctx.array_from_fn(1024, |i| i as f64).unwrap();
+//! let y = ctx.array_from_fn(1024, |i| 2.0 * i as f64).unwrap();
+//!
+//! // x += 0.5 * y, then dot(x, y) — ONE launch instead of three.
+//! let mut f = ctx.fused();
+//! let xv = f.assign(&x, load(&x) + 0.5 * load(&y));
+//! let dot = f.sum(xv * load(&y));
+//! assert!(dot > 0.0);
+//! ```
+//!
+//! The engine interprets in `f64` — the element type of every workload in
+//! the reproduced paper.
+
+use std::rc::Rc;
+
+use racc_core::{Array1, Backend, Context, RaccError};
+
+mod exec;
+mod graph;
+mod plan;
+
+pub use graph::{BinOp, Extent, Fusable, UnOp};
+pub use plan::MAX_NODES;
+
+use graph::ENode;
+use plan::Stmt;
+
+/// Reduction operator of a terminal [`Fused::reduce`]-style evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceKind {
+    /// `Σ f(i)` — JACC's `parallel_reduce`.
+    Sum,
+    /// `min f(i)`.
+    Min,
+    /// `max f(i)`.
+    Max,
+}
+
+/// A lazy elementwise expression: a node of the DAG. Cheap to clone
+/// (`Rc`); cloned subexpressions share one compiled node per group (CSE).
+#[derive(Clone)]
+pub struct Expr {
+    pub(crate) node: Rc<ENode>,
+}
+
+impl Expr {
+    fn wrap(node: ENode) -> Self {
+        Expr {
+            node: Rc::new(node),
+        }
+    }
+
+    fn unary(op: UnOp, a: Expr) -> Expr {
+        Expr::wrap(ENode::Unary(op, a))
+    }
+
+    fn binary(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::wrap(ENode::Binary(op, a, b))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(self) -> Expr {
+        Expr::unary(UnOp::Abs, self)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(self) -> Expr {
+        Expr::unary(UnOp::Sqrt, self)
+    }
+
+    /// Elementwise minimum with another expression.
+    pub fn min(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::Min, self, other)
+    }
+
+    /// Elementwise maximum with another expression.
+    pub fn max(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::Max, self, other)
+    }
+
+    /// Evaluates this 1D expression into a fresh array: one fused launch.
+    pub fn eval<B: Backend>(&self, ctx: &Context<B>) -> Result<Array1<f64>, RaccError> {
+        let n = match plan::expr_extent(self) {
+            Some(Extent::D1(n)) => n,
+            Some(e) => panic!("Expr::eval allocates 1D results; expression has extent {e:?}"),
+            None => panic!("Expr::eval needs at least one array in the expression"),
+        };
+        let out = ctx.zeros::<f64>(n)?;
+        let mut f = Fused::new(ctx);
+        f.assign(&out, self.clone());
+        f.run();
+        Ok(out)
+    }
+
+    /// Evaluates this expression into an existing array: one fused launch.
+    pub fn eval_into<B: Backend, A: Fusable>(&self, ctx: &Context<B>, dst: &A) {
+        let mut f = Fused::new(ctx);
+        f.assign(dst, self.clone());
+        f.run();
+    }
+
+    /// Sum-reduces this expression in one fused launch.
+    pub fn eval_sum<B: Backend>(&self, ctx: &Context<B>) -> f64 {
+        Fused::new(ctx).sum(self.clone())
+    }
+}
+
+/// A lazy load of an array's elements.
+pub fn load<A: Fusable>(a: &A) -> Expr {
+    Expr::wrap(ENode::Load(a.load_ref()))
+}
+
+/// A scalar broadcast. Plain `f64` literals coerce through the operator
+/// overloads, so this is rarely needed explicitly.
+pub fn lit(v: f64) -> Expr {
+    Expr::wrap(ENode::Scalar(v))
+}
+
+macro_rules! impl_bin_op {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl std::ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::binary($op, self, rhs)
+            }
+        }
+
+        impl std::ops::$trait<f64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f64) -> Expr {
+                Expr::binary($op, self, lit(rhs))
+            }
+        }
+
+        impl std::ops::$trait<Expr> for f64 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::binary($op, lit(self), rhs)
+            }
+        }
+    };
+}
+
+impl_bin_op!(Add, add, BinOp::Add);
+impl_bin_op!(Sub, sub, BinOp::Sub);
+impl_bin_op!(Mul, mul, BinOp::Mul);
+impl_bin_op!(Div, div, BinOp::Div);
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::unary(UnOp::Neg, self)
+    }
+}
+
+/// A fused program under construction: an ordered list of array
+/// assignments, optionally closed by one reduction. Obtained from
+/// [`FusedExt::fused`] (`ctx.fused()`).
+///
+/// Semantics are *defined* by the eager reading — each `assign` is a full
+/// pass, in order, and the terminal reduction runs last. Fusion only
+/// regroups the passes; [`Fused::eager`] forces the reference grouping
+/// (one launch per statement), which the differential tests hold the
+/// planner to, bit for bit.
+pub struct Fused<'c, B: Backend> {
+    ctx: &'c Context<B>,
+    stmts: Vec<Stmt>,
+    /// Statement indices before which an explicit barrier sits.
+    barriers: Vec<usize>,
+    eager: bool,
+    /// Constructs launched by `run`/`sum` (for tests and benches).
+    launches: std::cell::Cell<usize>,
+}
+
+impl<'c, B: Backend> Fused<'c, B> {
+    /// An empty program over `ctx`.
+    pub fn new(ctx: &'c Context<B>) -> Self {
+        Fused {
+            ctx,
+            stmts: Vec::new(),
+            barriers: Vec::new(),
+            eager: false,
+            launches: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Force one launch per statement — the reference semantics that the
+    /// fused execution must reproduce bit-identically.
+    pub fn eager(mut self) -> Self {
+        self.eager = true;
+        self
+    }
+
+    /// Appends `dst[i] = expr[i]` and returns the stored value as an
+    /// expression. Using the returned `Expr` in later statements forwards
+    /// the value through registers inside a fusion group; re-`load`ing
+    /// `dst` instead forces a materialize boundary.
+    pub fn assign<A: Fusable>(&mut self, dst: &A, expr: Expr) -> Expr {
+        let dst_ref = dst.store_ref();
+        let reload = dst.load_ref();
+        let stmt_idx = self.stmts.len();
+        self.stmts.push(Stmt { dst: dst_ref, expr });
+        Expr::wrap(ENode::Forward {
+            stmt: stmt_idx,
+            reload,
+        })
+    }
+
+    /// Forces every destination assigned so far to materialize before any
+    /// later statement runs (an explicit fusion boundary).
+    pub fn barrier(&mut self) {
+        self.barriers.push(self.stmts.len());
+    }
+
+    /// Runs the program (no terminal reduction).
+    pub fn run(&mut self) {
+        self.finish(None);
+    }
+
+    /// Runs the program, then reduces `expr` with `kind`. The reduction
+    /// fuses into the last group when legal.
+    pub fn reduce(&mut self, expr: Expr, kind: ReduceKind) -> f64 {
+        self.finish(Some((expr, kind)))
+            .expect("terminal reduction returns a value")
+    }
+
+    /// Runs the program and sum-reduces `expr` (`Σ expr[i]`).
+    pub fn sum(&mut self, expr: Expr) -> f64 {
+        self.reduce(expr, ReduceKind::Sum)
+    }
+
+    /// Runs the program and computes `Σ a[i]·b[i]`.
+    pub fn dot(&mut self, a: Expr, b: Expr) -> f64 {
+        self.sum(a * b)
+    }
+
+    /// Number of backend constructs the last `run`/`sum`/`reduce` issued
+    /// — fused launches per program (for tests and benches).
+    pub fn count_launches(&self) -> usize {
+        self.launches.get()
+    }
+
+    /// Plans, compiles and executes; returns the terminal reduction value
+    /// when one was requested.
+    fn finish(&self, terminal: Option<(Expr, ReduceKind)>) -> Option<f64> {
+        let groups = plan::plan(&self.stmts, &self.barriers, terminal, self.eager);
+        let mut result = None;
+        for group in &groups {
+            let compiled = plan::compile(&self.stmts, group, self.eager);
+            if let Some(v) = exec::run_group(self.ctx, &compiled) {
+                result = Some(v);
+            }
+        }
+        self.launches.set(groups.len());
+        result
+    }
+}
+
+/// Extension hanging the fusion front end off any [`Context`]:
+/// `ctx.fused()`.
+pub trait FusedExt<B: Backend> {
+    /// Starts an empty fused program over this context.
+    fn fused(&self) -> Fused<'_, B>;
+}
+
+impl<B: Backend> FusedExt<B> for Context<B> {
+    fn fused(&self) -> Fused<'_, B> {
+        Fused::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racc_core::SerialBackend;
+
+    fn ctx() -> Context<SerialBackend> {
+        Context::new(SerialBackend::new())
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn axpy_chain_fuses_to_one_launch() {
+        let ctx = ctx();
+        let n = 1000;
+        let x = ctx.array_from_fn(n, |i| i as f64).unwrap();
+        let y = ctx.array_from_fn(n, |i| (i % 7) as f64).unwrap();
+        let z = ctx.zeros::<f64>(n).unwrap();
+        let before = ctx.timeline();
+
+        let mut f = ctx.fused();
+        let xv = f.assign(&x, load(&x) + 2.0 * load(&y));
+        f.assign(&z, xv * 0.5);
+        f.run();
+
+        assert_eq!(f.count_launches(), 1);
+        let after = ctx.timeline();
+        assert_eq!(after.launches - before.launches, 1);
+        let xs = ctx.to_host(&x).unwrap();
+        let zs = ctx.to_host(&z).unwrap();
+        for i in 0..n {
+            assert_eq!(xs[i], i as f64 + 2.0 * (i % 7) as f64);
+            assert_eq!(zs[i], xs[i] * 0.5);
+        }
+    }
+
+    #[test]
+    fn map_reduce_fuses_to_one_reduction() {
+        let ctx = ctx();
+        let n = 513;
+        let x = ctx.array_from_fn(n, |i| i as f64).unwrap();
+        let y = ctx.array_from_fn(n, |i| 1.0 + (i % 3) as f64).unwrap();
+        let before = ctx.timeline();
+
+        let mut f = ctx.fused();
+        let xv = f.assign(&x, load(&x) + 0.5 * load(&y));
+        let dot = f.sum(xv * load(&y));
+
+        assert_eq!(f.count_launches(), 1);
+        let after = ctx.timeline();
+        assert_eq!(after.launches, before.launches, "no separate parallel_for");
+        assert_eq!(after.reductions - before.reductions, 1);
+        let expect: f64 = (0..n)
+            .map(|i| {
+                let yv = 1.0 + (i % 3) as f64;
+                (i as f64 + 0.5 * yv) * yv
+            })
+            .sum();
+        assert_eq!(dot.to_bits(), expect.to_bits(), "serial fold order");
+    }
+
+    #[test]
+    fn fused_matches_eager_bitwise() {
+        let ctx = ctx();
+        let n = 777;
+        let mk = || {
+            (
+                ctx.array_from_fn(n, |i| (i as f64).sin()).unwrap(),
+                ctx.array_from_fn(n, |i| (i as f64 * 0.1).cos()).unwrap(),
+                ctx.zeros::<f64>(n).unwrap(),
+            )
+        };
+        let run = |eager: bool| -> (Vec<u64>, Vec<u64>, u64) {
+            let (x, y, z) = mk();
+            let mut f = ctx.fused();
+            if eager {
+                f = f.eager();
+            }
+            let xv = f.assign(&x, load(&x) * 1.5 - load(&y));
+            let zv = f.assign(&z, xv.clone().abs().sqrt() + load(&y));
+            let s = f.sum(zv.max(xv));
+            (
+                bits(&ctx.to_host(&x).unwrap()),
+                bits(&ctx.to_host(&z).unwrap()),
+                s.to_bits(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn barrier_and_reload_split_groups() {
+        let ctx = ctx();
+        let n = 100;
+        let x = ctx.zeros::<f64>(n).unwrap();
+        let y = ctx.zeros::<f64>(n).unwrap();
+
+        // Explicit barrier: 2 launches.
+        let mut f = ctx.fused();
+        f.assign(&x, lit(1.0) + load(&y));
+        f.barrier();
+        f.assign(&y, lit(2.0) * load(&x).min(lit(8.0)));
+        f.run();
+        assert_eq!(f.count_launches(), 2);
+
+        // Raw reload of a stored buffer: planner splits on the hazard.
+        let mut f = ctx.fused();
+        f.assign(&x, load(&y) + 1.0);
+        f.assign(&y, load(&x) * 2.0); // reload of x, not the forward
+        f.run();
+        assert_eq!(f.count_launches(), 2);
+        let xs = ctx.to_host(&x).unwrap();
+        let ys = ctx.to_host(&y).unwrap();
+        assert_eq!(xs[0], 3.0);
+        assert_eq!(ys[0], 6.0);
+    }
+
+    #[test]
+    fn extent_change_splits_groups() {
+        let ctx = ctx();
+        let a = ctx.zeros::<f64>(64).unwrap();
+        let b = ctx.zeros::<f64>(128).unwrap();
+        let mut f = ctx.fused();
+        f.assign(&a, lit(1.0) + load(&a));
+        f.assign(&b, lit(2.0) + load(&b));
+        f.run();
+        assert_eq!(f.count_launches(), 2);
+    }
+
+    #[test]
+    fn fused_2d_and_3d_assignments() {
+        let ctx = ctx();
+        let a = ctx.zeros2::<f64>(5, 7).unwrap();
+        let b = ctx.zeros2::<f64>(5, 7).unwrap();
+        let mut f = ctx.fused();
+        let av = f.assign(&a, load(&a) + 3.0);
+        let bv = f.assign(&b, av * 2.0);
+        let s = f.sum(bv);
+        assert_eq!(f.count_launches(), 1);
+        assert_eq!(s, 5.0 * 7.0 * 6.0);
+
+        let c = ctx.zeros3::<f64>(3, 4, 5).unwrap();
+        let mut f = ctx.fused();
+        let cv = f.assign(&c, load(&c) + 1.0);
+        let s = f.sum(cv.clone() * cv);
+        assert_eq!(f.count_launches(), 1);
+        assert_eq!(s, 60.0);
+    }
+
+    #[test]
+    fn eval_entry_points() {
+        let ctx = ctx();
+        let n = 50;
+        let x = ctx.array_from_fn(n, |i| i as f64).unwrap();
+        let z = (load(&x) * 2.0).eval(&ctx).unwrap();
+        assert_eq!(ctx.to_host(&z).unwrap()[10], 20.0);
+        (load(&x) + 1.0).eval_into(&ctx, &z);
+        assert_eq!(ctx.to_host(&z).unwrap()[10], 11.0);
+        let s = load(&x).eval_sum(&ctx);
+        assert_eq!(s, (n * (n - 1) / 2) as f64);
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let ctx = ctx();
+        let x = ctx
+            .array_from_fn(101, |i| ((i as f64) - 50.0) * ((i % 13) as f64))
+            .unwrap();
+        let lo = ctx.fused().reduce(load(&x), ReduceKind::Min);
+        let hi = ctx.fused().reduce(load(&x), ReduceKind::Max);
+        let host = ctx.to_host(&x).unwrap();
+        assert_eq!(lo, host.iter().cloned().fold(f64::INFINITY, f64::min));
+        assert_eq!(hi, host.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn shared_subexpressions_compile_once() {
+        let ctx = ctx();
+        let n = 10;
+        let x = ctx.array_from_fn(n, |i| i as f64).unwrap();
+        let y = ctx.zeros::<f64>(n).unwrap();
+        let e = load(&x) * 2.0;
+        let mut f = ctx.fused();
+        // `e` appears twice through the same Rc: CSE keeps the fused group
+        // inside the node budget and reads x only once per index.
+        f.assign(&y, e.clone() + e.clone() * e);
+        f.run();
+        assert_eq!(f.count_launches(), 1);
+        let ys = ctx.to_host(&y).unwrap();
+        assert_eq!(ys[3], 6.0 + 36.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different extents")]
+    fn zip_extent_mismatch_panics() {
+        let ctx = ctx();
+        let a = ctx.zeros::<f64>(4).unwrap();
+        let b = ctx.zeros::<f64>(5).unwrap();
+        let mut f = ctx.fused();
+        f.assign(&a, load(&a) + load(&b));
+        f.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "another context")]
+    fn cross_context_panics() {
+        let c1 = ctx();
+        let c2 = ctx();
+        let a = c1.zeros::<f64>(4).unwrap();
+        let mut f = c2.fused();
+        f.assign(&a, load(&a) + 1.0);
+        f.run();
+    }
+
+    #[test]
+    fn node_budget_splits() {
+        let ctx = ctx();
+        let n = 16;
+        let x = ctx.array_from_fn(n, |i| i as f64 + 1.0).unwrap();
+        let y = ctx.zeros::<f64>(n).unwrap();
+        let mut f = ctx.fused();
+        // Each statement ~21 nodes; three of them exceed MAX_NODES = 64,
+        // so the planner must split at least once — and results stay right.
+        for _ in 0..3 {
+            let mut e = load(&x);
+            for _ in 0..10 {
+                e = e * 1.0 + 0.0;
+            }
+            f.assign(&y, e);
+        }
+        f.run();
+        assert!(f.count_launches() >= 2, "{}", f.count_launches());
+        let ys = ctx.to_host(&y).unwrap();
+        assert_eq!(ys[3], 4.0);
+    }
+}

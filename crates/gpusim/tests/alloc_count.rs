@@ -152,4 +152,37 @@ fn execute_grid_steady_state_is_allocation_free() {
     // Results still correct after all the reuse.
     assert_eq!(dev.read_scalar(&out, 7).unwrap(), 2.0);
     assert_eq!(dev.read_scalar(&partials, 0).unwrap(), 64.0);
+
+    // The portable-front-end fast path with the fusion knob off: a
+    // `Context<CudaBackend>` `parallel_for` must also be allocation-free in
+    // steady state — the knob is consulted outside the launch path, so
+    // turning fusion machinery into the tree must not cost the eager path
+    // anything.
+    let ctx = racc_core::Context::builder(racc_backend_cuda::CudaBackend::new())
+        .sanitizer(false)
+        .fusion(false)
+        .build();
+    assert!(!ctx.fusion_enabled());
+    let a = ctx.array_from(&vec![1.0f64; 4096]).unwrap();
+    let profile = racc_core::KernelProfile::axpy();
+    let run_ctx = || {
+        let av = a.view_mut();
+        ctx.parallel_for(4096, &profile, move |i| {
+            av.set(i, av.get(i) + 1.0);
+        });
+    };
+    // Warm-up (arena growth, op-log fill happened above on a different
+    // device; this context owns a fresh one).
+    for _ in 0..5000 {
+        run_ctx();
+    }
+    let before = allocs();
+    for _ in 0..4 {
+        run_ctx();
+    }
+    let ctx_allocs = allocs() - before;
+    assert_eq!(
+        ctx_allocs, 0,
+        "Context parallel_for with fusion off must not allocate in steady state"
+    );
 }

@@ -44,5 +44,6 @@ pub mod scratch;
 
 pub use latch::CountLatch;
 pub use pool::{PoolError, ThreadPool};
+pub use reduce::ordered_tiled_fold;
 pub use schedule::{chunk_count, chunks, Schedule};
 pub use scratch::RawScratch;

@@ -50,6 +50,50 @@ impl<T> PartialSlots<T> {
     }
 }
 
+/// Tile width of [`ordered_tiled_fold`]: big enough to amortize the tile
+/// loop and let a heavy `map` vectorize, small enough that a tile of
+/// partials (256 B for `f64`) stays in registers/L1.
+const FOLD_TILE: usize = 32;
+
+/// Fold `map(i)` for `i in start..end` into `acc` **in ascending index
+/// order**, tile by tile: each tile first evaluates `map` into a stack
+/// buffer, then folds the buffer in order.
+///
+/// The combine association is *identical* to the naive
+/// `for i { acc = combine(acc, map(i)) }` loop — `map` and `combine` are
+/// pure, so only the interleaving changes, never the operand order — which
+/// keeps every reduction bit-reproducible. The point of the tiling is
+/// optimizer robustness: a heavy `map` (a fused matvec+dot row, say) sits
+/// in its own loop with no loop-carried dependence, so it can vectorize,
+/// instead of being serialized by the scalar `acc` chain. Whether the
+/// straight-line fold vectorizes such a body is codegen-unit luck — with
+/// the tile split it no longer has to.
+///
+/// On panic inside `map`/`combine`, already-mapped buffer elements leak
+/// (never double-dropped); reductions here are over plain scalars.
+pub fn ordered_tiled_fold<T, F, C>(mut acc: T, start: usize, end: usize, map: &F, combine: &C) -> T
+where
+    F: Fn(usize) -> T,
+    C: Fn(T, T) -> T,
+{
+    let mut buf: [std::mem::MaybeUninit<T>; FOLD_TILE] =
+        // SAFETY: an array of `MaybeUninit` needs no initialization.
+        unsafe { std::mem::MaybeUninit::uninit().assume_init() };
+    let mut i = start;
+    while i < end {
+        let t = FOLD_TILE.min(end - i);
+        for (j, slot) in buf[..t].iter_mut().enumerate() {
+            slot.write(map(i + j));
+        }
+        for slot in &buf[..t] {
+            // SAFETY: slots 0..t were just written; each is read exactly once.
+            acc = combine(acc, unsafe { slot.assume_init_read() });
+        }
+        i += t;
+    }
+    acc
+}
+
 /// Clean single-thread fold. Kept out of `parallel_reduce`'s body: there
 /// the broadcast closures borrow `map`/`combine`, which takes their address
 /// and blocks loop optimization of the serial path.
@@ -59,11 +103,7 @@ where
     F: Fn(usize) -> T,
     C: Fn(T, T) -> T,
 {
-    let mut acc = identity;
-    for i in 0..n {
-        acc = combine(acc, map(i));
-    }
-    acc
+    ordered_tiled_fold(identity, 0, n, &map, &combine)
 }
 
 impl ThreadPool {
@@ -117,11 +157,8 @@ impl ThreadPool {
                                     return;
                                 }
                                 // SAFETY: `who` is this participant's own slot.
-                                let mut acc =
-                                    unsafe { partials.take(who) }.expect("partial seeded");
-                                for i in start..end {
-                                    acc = combine(acc, map(i));
-                                }
+                                let acc = unsafe { partials.take(who) }.expect("partial seeded");
+                                let acc = ordered_tiled_fold(acc, start, end, &map, &combine);
                                 // SAFETY: same exclusive slot.
                                 unsafe { partials.put(who, acc) };
                             });
@@ -139,9 +176,7 @@ impl ThreadPool {
                                         break;
                                     }
                                     let end = (start + chunk).min(n);
-                                    for i in start..end {
-                                        acc = combine(acc, map(i));
-                                    }
+                                    acc = ordered_tiled_fold(acc, start, end, &map, &combine);
                                 }
                                 // SAFETY: same exclusive slot.
                                 unsafe { partials.put(who, acc) };

@@ -15,7 +15,7 @@ use crate::json::escape;
 use crate::{ConstructKind, Span};
 
 /// Lane assignment within a process: kernels, reductions, transfers, comm.
-fn lane(kind: ConstructKind) -> (u32, &'static str) {
+const fn lane(kind: ConstructKind) -> (u32, &'static str) {
     match kind {
         ConstructKind::For1d | ConstructKind::For2d | ConstructKind::For3d => (0, "kernels"),
         ConstructKind::Reduce1d | ConstructKind::Reduce2d | ConstructKind::Reduce3d => {
@@ -25,7 +25,35 @@ fn lane(kind: ConstructKind) -> (u32, &'static str) {
         ConstructKind::Collective => (3, "collectives"),
         ConstructKind::WorkerChunk => (4, "workers"),
         ConstructKind::Sanitizer => (5, "sanitizer"),
+        ConstructKind::Fused => (6, "fused"),
     }
+}
+
+/// Number of lanes, derived from the lane map over `ConstructKind::ALL` so
+/// that adding a kind (this bit PR 3 when `Sanitizer` arrived) can never
+/// leave the per-lane arrays below under-sized again.
+const NUM_LANES: usize = {
+    let mut i = 0;
+    let mut max = 0;
+    while i < ConstructKind::COUNT {
+        let (l, _) = lane(ConstructKind::ALL[i]);
+        if l as usize > max {
+            max = l as usize;
+        }
+        i += 1;
+    }
+    max + 1
+};
+
+/// The display name of a lane index, derived from the same map.
+fn lane_name(tid: usize) -> &'static str {
+    ConstructKind::ALL
+        .iter()
+        .find_map(|k| {
+            let (l, name) = lane(*k);
+            (l as usize == tid).then_some(name)
+        })
+        .unwrap_or("unknown")
 }
 
 fn push_event(out: &mut String, span: &Span, pid: usize, tid: u32, ts_us: f64) {
@@ -69,8 +97,8 @@ pub fn chrome_trace(groups: &[(&str, &[Span])]) -> String {
         push_meta(&mut one, label, "process_name", pid, None);
         events.push(one);
         // Back-to-back layout per lane on the modeled clock.
-        let mut lane_cursor_us = [0.0f64; 6];
-        let mut lanes_used = [false; 6];
+        let mut lane_cursor_us = [0.0f64; NUM_LANES];
+        let mut lanes_used = [false; NUM_LANES];
         for span in spans.iter() {
             let (tid, _) = lane(span.kind);
             lanes_used[tid as usize] = true;
@@ -81,16 +109,14 @@ pub fn chrome_trace(groups: &[(&str, &[Span])]) -> String {
         }
         for (tid, used) in lanes_used.iter().enumerate() {
             if *used {
-                let name = match tid {
-                    0 => "kernels",
-                    1 => "reductions",
-                    2 => "memory",
-                    3 => "collectives",
-                    4 => "workers",
-                    _ => "sanitizer",
-                };
                 let mut one = String::new();
-                push_meta(&mut one, name, "thread_name", pid, Some(tid as u32));
+                push_meta(
+                    &mut one,
+                    lane_name(tid),
+                    "thread_name",
+                    pid,
+                    Some(tid as u32),
+                );
                 events.push(one);
             }
         }
@@ -158,6 +184,41 @@ mod tests {
         validate(&doc).unwrap_or_else(|(at, msg)| panic!("invalid JSON at {at}: {msg}"));
         assert!(doc.contains("\"tid\":5"), "{doc}");
         assert!(doc.contains("\"sancheck\""));
+    }
+
+    #[test]
+    fn lane_map_is_exhaustive_and_in_bounds() {
+        // Every construct kind must map to a lane inside the derived array
+        // size, and every lane index must resolve to the same name `lane`
+        // assigns it. This is the guard the hand-sized `[_; 6]` arrays
+        // lacked when `ConstructKind` grew from 5 to 6 kinds.
+        for kind in ConstructKind::ALL {
+            let (tid, name) = lane(kind);
+            assert!(
+                (tid as usize) < NUM_LANES,
+                "{kind:?} lane {tid} out of bounds ({NUM_LANES} lanes)"
+            );
+            assert_eq!(lane_name(tid as usize), name, "{kind:?}");
+        }
+        // Lanes are dense: no index below NUM_LANES is unnamed.
+        for tid in 0..NUM_LANES {
+            assert_ne!(lane_name(tid), "unknown", "lane {tid} has no kind");
+        }
+    }
+
+    #[test]
+    fn fused_spans_land_on_their_own_lane() {
+        let spans = vec![
+            Span::new("cudasim", ConstructKind::For1d, "axpy").modeled(1000),
+            Span::new("cudasim", ConstructKind::Fused, "fused")
+                .dims(1024, 1, 1)
+                .profile(5.0, 48.0)
+                .modeled(2500),
+        ];
+        let doc = chrome_trace(&[("a100", &spans)]);
+        validate(&doc).unwrap_or_else(|(at, msg)| panic!("invalid JSON at {at}: {msg}"));
+        assert!(doc.contains("\"tid\":6"), "{doc}");
+        assert!(doc.contains("\"fused\""));
     }
 
     #[test]

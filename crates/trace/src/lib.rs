@@ -65,9 +65,35 @@ pub enum ConstructKind {
     /// A sanitizer (`simsan`) report snapshot: `dims.0` is allocations
     /// tracked, `bytes` is bytes outstanding (leaked) at snapshot time.
     Sanitizer,
+    /// A fused expression group (`racc-fuse`): one launch standing in for a
+    /// whole chain of elementwise statements, optionally ending in a
+    /// reduction. Carries the *summed* profile of the fused statements.
+    Fused,
 }
 
 impl ConstructKind {
+    /// Number of construct kinds. Sinks that size per-kind state (e.g. the
+    /// chrome exporter's lane arrays) must derive it from here so adding a
+    /// kind cannot silently go out of bounds again.
+    pub const COUNT: usize = ConstructKind::ALL.len();
+
+    /// Every kind, in declaration order. Kept next to the enum; the
+    /// `all_kinds_listed_exactly_once` test below pins exhaustiveness.
+    pub const ALL: [ConstructKind; 13] = [
+        ConstructKind::For1d,
+        ConstructKind::For2d,
+        ConstructKind::For3d,
+        ConstructKind::Reduce1d,
+        ConstructKind::Reduce2d,
+        ConstructKind::Reduce3d,
+        ConstructKind::Alloc,
+        ConstructKind::H2d,
+        ConstructKind::D2h,
+        ConstructKind::Collective,
+        ConstructKind::WorkerChunk,
+        ConstructKind::Sanitizer,
+        ConstructKind::Fused,
+    ];
     /// The lowercase label used in sinks (`for1d`, `reduce2d`, `h2d`, ...).
     pub fn label(self) -> &'static str {
         match self {
@@ -83,6 +109,7 @@ impl ConstructKind {
             ConstructKind::Collective => "collective",
             ConstructKind::WorkerChunk => "chunk",
             ConstructKind::Sanitizer => "sanitizer",
+            ConstructKind::Fused => "fused",
         }
     }
 
@@ -453,5 +480,20 @@ mod tests {
         assert_eq!(ConstructKind::for_rank(2), ConstructKind::For2d);
         assert_eq!(ConstructKind::reduce_rank(3), ConstructKind::Reduce3d);
         assert_eq!(ConstructKind::H2d.label(), "h2d");
+        assert_eq!(ConstructKind::Fused.label(), "fused");
+    }
+
+    #[test]
+    fn all_kinds_listed_exactly_once() {
+        // `ALL` (and hence `COUNT`) must stay in sync with the enum. Labels
+        // are unique per kind, so a duplicated or missing entry shows up as
+        // a duplicate/missing label here; a brand-new variant that was not
+        // added to `ALL` fails the non-exhaustive-match lint at the `label`
+        // match instead.
+        let mut labels: Vec<&str> = ConstructKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ConstructKind::COUNT);
+        assert_eq!(ConstructKind::ALL.len(), ConstructKind::COUNT);
     }
 }

@@ -64,6 +64,13 @@ pub use racc_core::RaccError as Error;
 #[cfg(feature = "trace")]
 pub use racc_core::trace;
 
+/// The lazy expression-graph and kernel-fusion engine (`racc-fuse`):
+/// build elementwise expressions over arrays, and the planner coalesces
+/// each maximal same-extent chain (plus an optional trailing reduction)
+/// into one launch. See [`ContextBuilder::fusion`] for the knob libraries
+/// consult.
+pub use racc_fuse as fuse;
+
 #[cfg(feature = "backend-cuda")]
 pub use racc_backend_cuda::CudaBackend;
 #[cfg(feature = "backend-hip")]
@@ -81,6 +88,7 @@ pub use racc_backend_oneapi::OneApiBackend;
 /// | [`default_context`], [`context_for`], [`available_backends`] | selection helpers |
 /// | [`Array1`]–[`Array3`] | the `JACC.Array` analogs |
 /// | [`KernelProfile`] | per-kernel cost annotations |
+/// | `load`, `lit`, `Expr`, `Fused`, `FusedExt`, `ReduceKind` | lazy fused expressions ([`fuse`]) |
 /// | [`Sum`], [`Max`], [`Min`], [`Prod`], [`ReduceOp`] | reduction operators |
 /// | [`Backend`], [`AnyBackend`], [`SerialBackend`], [`ThreadsBackend`] | back ends |
 /// | [`RaccError`] / [`Error`] | the unified error type |
@@ -102,6 +110,8 @@ pub mod prelude {
         available_backends, builder, context_for, default_context, AnyBackend, ContextBuilder, Ctx,
         Error,
     };
+
+    pub use racc_fuse::{lit, load, Expr, Fused, FusedExt, ReduceKind};
 
     #[cfg(feature = "trace")]
     pub use racc_core::trace::{Span, TraceRecorder};
@@ -303,6 +313,7 @@ pub struct ContextBuilder {
     trace_capacity: Option<usize>,
     racecheck: Option<bool>,
     sanitizer: Option<bool>,
+    fusion: Option<bool>,
 }
 
 impl ContextBuilder {
@@ -369,6 +380,17 @@ impl ContextBuilder {
         self
     }
 
+    /// Toggle kernel fusion for libraries that consult the context's
+    /// fusion knob (the CG solver's fused iteration, `racc-blas` fused
+    /// chains). Defaults to the `RACC_FUSION` environment variable.
+    /// Fused execution is bit-identical to eager; the knob only changes
+    /// how many constructs are launched. See [`fuse`] for
+    /// the expression-graph engine itself.
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.fusion = Some(enabled);
+        self
+    }
+
     /// Resolve the key, construct the backend, and build the context.
     pub fn build(self) -> Result<Ctx, RaccError> {
         let key = match &self.key {
@@ -424,6 +446,9 @@ impl ContextBuilder {
         }
         if let Some(enabled) = self.sanitizer {
             inner = inner.sanitizer(enabled);
+        }
+        if let Some(enabled) = self.fusion {
+            inner = inner.fusion(enabled);
         }
         Ok(inner.build())
     }
@@ -590,6 +615,28 @@ mod tests {
                 "{key}: {dot} vs {first}"
             );
         }
+    }
+
+    #[test]
+    fn fusion_knob_and_prelude_wire_through() {
+        use crate::prelude::{load, FusedExt};
+
+        let ctx = builder().backend("serial").fusion(true).build().unwrap();
+        assert!(ctx.fusion_enabled());
+        let ctx = builder().backend("serial").fusion(false).build().unwrap();
+        assert!(!ctx.fusion_enabled());
+
+        // The expression engine works through the enum-dispatched Ctx.
+        let x = ctx.array_from_fn(64, |i| i as f64).unwrap();
+        let y = ctx.array_from_fn(64, |i| (i % 5) as f64).unwrap();
+        let mut f = ctx.fused();
+        let xv = f.assign(&x, load(&x) + 2.0 * load(&y));
+        let dot = f.sum(xv * load(&y));
+        assert_eq!(f.count_launches(), 1);
+        let want: f64 = (0..64)
+            .map(|i| (i as f64 + 2.0 * (i % 5) as f64) * (i % 5) as f64)
+            .sum();
+        assert_eq!(dot, want);
     }
 
     #[test]
