@@ -29,7 +29,9 @@ use std::sync::Arc;
 
 use racc_core::{AccScalar, Backend, DeviceToken, KernelProfile, RaccError, ReduceOp, Timeline};
 use racc_gpusim::perf::{self, KernelCost};
-use racc_gpusim::{Device, LaunchConfig, SimError};
+use racc_gpusim::{
+    Device, FaultEvent, FaultPlan, FaultSite, LaunchConfig, RetryPolicy, SimError, SinglePhase,
+};
 
 #[cfg(feature = "trace")]
 use racc_core::trace::{ConstructKind, Span};
@@ -73,6 +75,10 @@ pub struct SimBackend {
     device: Arc<Device>,
     config: SimBackendConfig,
     timeline: Timeline,
+    /// Recovery policy for transient device faults (injected faults, OOM).
+    /// Only read on the error path: a successful first attempt never locks,
+    /// keeping the launch hot path overhead-free.
+    retry: std::sync::Mutex<RetryPolicy>,
 }
 
 impl SimBackend {
@@ -82,6 +88,7 @@ impl SimBackend {
             device,
             config,
             timeline: Timeline::new(),
+            retry: std::sync::Mutex::new(RetryPolicy::none()),
         }
     }
 
@@ -121,8 +128,59 @@ impl SimBackend {
 
     fn unwrap_launch(result: Result<u64, SimError>) -> u64 {
         // Launch geometry is computed by this backend from device limits, so
-        // a failure here is an internal invariant violation, not user error.
-        result.expect("simulated launch rejected its own geometry")
+        // a failure here is either an internal invariant violation or an
+        // injected fault that outlived the retry budget (see
+        // `ContextBuilder::retry`), not user error.
+        result.expect(
+            "simulated launch failed (bad geometry, or injected faults exhausted the retry policy)",
+        )
+    }
+
+    /// Run a fallible device operation under the retry policy. The success
+    /// path costs nothing extra (no lock, no branch beyond the `Result`
+    /// match); on a transient error the policy is consulted, each retry
+    /// charging its backoff to the timeline as a `Fault` span before
+    /// re-running the operation — which re-consults the fault schedule, so
+    /// attempts advance through the plan deterministically.
+    fn with_retry<R>(
+        &self,
+        site: &'static str,
+        attempt: impl Fn() -> Result<R, SimError>,
+    ) -> Result<R, SimError> {
+        match attempt() {
+            Ok(r) => Ok(r),
+            Err(first) => self.retry_slow(site, first, attempt),
+        }
+    }
+
+    #[cold]
+    fn retry_slow<R>(
+        &self,
+        _site: &'static str,
+        mut err: SimError,
+        attempt: impl Fn() -> Result<R, SimError>,
+    ) -> Result<R, SimError> {
+        let policy = *self.retry.lock().unwrap_or_else(|e| e.into_inner());
+        let mut retry_no = 0u32;
+        while err.is_transient() && retry_no + 1 < policy.max_attempts {
+            retry_no += 1;
+            let backoff = policy.backoff_ns(retry_no) as f64;
+            // Backoff is modeled time, not a host sleep; the paired Fault
+            // span carries the identical quantized charge so per-span sums
+            // still reconcile with the timeline.
+            self.timeline.add_ns(backoff);
+            #[cfg(feature = "trace")]
+            self.timeline.record_span(|| {
+                Span::new(self.config.key, ConstructKind::Fault, _site)
+                    .dims(retry_no as u64, 0, 0)
+                    .modeled(Timeline::quantize(backoff))
+            });
+            match attempt() {
+                Ok(r) => return Ok(r),
+                Err(e) => err = e,
+            }
+        }
+        Err(err)
     }
 
     /// One `parallel_for` span, mirroring the adjacent `charge_launch` so
@@ -195,7 +253,9 @@ impl SimBackend {
         let elem = std::mem::size_of::<T>();
 
         // Kernel 1: one partial per block (paper Fig. 3, dot_cuda_kernel).
-        let partials = self.device.alloc::<T>(blocks).expect("partials allocation");
+        let partials = self
+            .with_retry("alloc", || self.device.alloc::<T>(blocks))
+            .expect("partials allocation");
         let k1 = BlockReduceMap {
             n: total,
             block_size: block,
@@ -204,14 +264,15 @@ impl SimBackend {
             partials: self.device.slice_mut(&partials).expect("own buffer"),
         };
         let cfg1 = LaunchConfig::new(blocks as u32, block as u32).with_shared_mem(block * elem);
-        let ns1 = Self::unwrap_launch(self.device.launch_phased(
-            cfg1,
-            Self::cost_from_profile(profile),
-            &k1,
-        ));
+        let ns1 = Self::unwrap_launch(self.with_retry("launch", || {
+            self.device
+                .launch_phased(cfg1, Self::cost_from_profile(profile), &k1)
+        }));
 
         // Kernel 2: fold the partials in one block (reduce_kernel).
-        let out = self.device.alloc::<T>(1).expect("result allocation");
+        let out = self
+            .with_retry("alloc", || self.device.alloc::<T>(1))
+            .expect("result allocation");
         let k2 = FinalReduce {
             len: blocks,
             block_size: block,
@@ -221,14 +282,15 @@ impl SimBackend {
         };
         let cfg2 = LaunchConfig::new(1u32, block as u32).with_shared_mem(block * elem);
         let bytes_per_thread = (blocks * elem) as f64 / block as f64;
-        let ns2 = Self::unwrap_launch(self.device.launch_phased(
-            cfg2,
-            KernelCost::memory_bound(bytes_per_thread, 0.0),
-            &k2,
-        ));
+        let ns2 = Self::unwrap_launch(self.with_retry("launch", || {
+            self.device
+                .launch_phased(cfg2, KernelCost::memory_bound(bytes_per_thread, 0.0), &k2)
+        }));
 
         // Scalar readback + driver synchronization.
-        let result = self.device.read_scalar(&out, 0).expect("scalar readback");
+        let result = self
+            .with_retry("d2h", || self.device.read_scalar(&out, 0))
+            .expect("scalar readback");
         let spec = self.device.spec();
         let sync_ns =
             spec.link_latency_ns * spec.reduce_sync_penalty + perf::transfer_time_ns(spec, elem);
@@ -291,12 +353,39 @@ impl Backend for SimBackend {
         Some(report.to_string())
     }
 
+    fn set_chaos(&self, plan: FaultPlan) -> bool {
+        self.device.set_chaos(plan);
+        true
+    }
+
+    fn set_retry(&self, policy: RetryPolicy) -> bool {
+        *self.retry.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+        true
+    }
+
+    fn fault_log(&self) -> Vec<FaultEvent> {
+        self.device.fault_log()
+    }
+
+    fn self_check(&self) -> Result<(), RaccError> {
+        // A minimal alloc → launch → readback round trip, run through the
+        // active fault schedule and retry policy — the probe behind the
+        // graceful-degradation decision in `racc::builder().fallback(true)`.
+        let buf = self.with_retry("alloc", || self.device.alloc::<f64>(1))?;
+        let probe = SinglePhase(|_t: &racc_gpusim::ThreadCtx| {});
+        self.with_retry("launch", || {
+            self.device
+                .launch_phased(LaunchConfig::new(1u32, 1u32), KernelCost::default(), &probe)
+        })?;
+        self.with_retry("d2h", || self.device.read_scalar(&buf, 0))?;
+        Ok(())
+    }
+
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError> {
         // Model device-memory pressure with a real simulator allocation held
         // by the array for its lifetime.
         let token = self
-            .device
-            .alloc::<u8>(bytes)
+            .with_retry("alloc", || self.device.alloc::<u8>(bytes))
             .map_err(|e| RaccError::Allocation(e.to_string()))?;
         #[cfg(feature = "trace")]
         self.timeline.record_span(|| {
@@ -305,7 +394,12 @@ impl Backend for SimBackend {
                 .payload(bytes as u64)
         });
         if upload {
-            let ns = perf::transfer_time_ns(self.device.spec(), bytes);
+            // The upload is modeled (array data stays host-side), but it
+            // still runs through the fault schedule like a real transfer.
+            let spike = self
+                .with_retry("h2d", || self.device.inject_fault(FaultSite::H2d))
+                .map_err(RaccError::from)?;
+            let ns = perf::transfer_time_ns(self.device.spec(), bytes) + spike as f64;
             self.device
                 .charge(racc_gpusim::OpKind::H2D, bytes as u64, 0, ns);
             self.timeline.charge_h2d(bytes as u64, ns);
@@ -321,7 +415,15 @@ impl Backend for SimBackend {
     }
 
     fn on_download(&self, bytes: usize) {
-        let ns = perf::transfer_time_ns(self.device.spec(), bytes);
+        // Modeled transfer, same schedule as a real one. The construct
+        // returns `()`, so a download whose faults outlive the retry
+        // budget has nowhere to surface but a panic.
+        let spike = self
+            .with_retry("d2h", || self.device.inject_fault(FaultSite::D2h))
+            .unwrap_or_else(|e| {
+                panic!("download failed: {e} (injected faults exhausted the retry policy)")
+            });
+        let ns = perf::transfer_time_ns(self.device.spec(), bytes) + spike as f64;
         self.device
             .charge(racc_gpusim::OpKind::D2H, bytes as u64, 0, ns);
         self.timeline.charge_d2h(bytes as u64, ns);
@@ -353,16 +455,19 @@ impl Backend for SimBackend {
         }
         let block = self.block_1d(n);
         let cfg = LaunchConfig::linear(n, block);
-        let ns = Self::unwrap_launch(self.device.launch(
-            cfg,
-            Self::cost_from_profile(profile),
-            |t| {
-                let i = t.global_id_x();
-                if i < n {
-                    f(i);
-                }
-            },
-        ));
+        // Launched by reference (`launch_phased` + `SinglePhase`) so the
+        // retry path can re-run the kernel; `Device::launch` would consume
+        // the closure.
+        let kernel = SinglePhase(|t: &racc_gpusim::ThreadCtx| {
+            let i = t.global_id_x();
+            if i < n {
+                f(i);
+            }
+        });
+        let ns = Self::unwrap_launch(self.with_retry("launch", || {
+            self.device
+                .launch_phased(cfg, Self::cost_from_profile(profile), &kernel)
+        }));
         let total_ns = ns as f64 + self.config.racc_launch_extra_ns;
         self.timeline.charge_launch(total_ns);
         #[cfg(feature = "trace")]
@@ -388,16 +493,16 @@ impl Backend for SimBackend {
         }
         let (tx, ty) = self.config.tile_2d;
         let cfg = LaunchConfig::tiled_2d(m, n, tx, ty);
-        let ns = Self::unwrap_launch(self.device.launch(
-            cfg,
-            Self::cost_from_profile(profile),
-            |t| {
-                let (i, j) = (t.global_id_x(), t.global_id_y());
-                if i < m && j < n {
-                    f(i, j);
-                }
-            },
-        ));
+        let kernel = SinglePhase(|t: &racc_gpusim::ThreadCtx| {
+            let (i, j) = (t.global_id_x(), t.global_id_y());
+            if i < m && j < n {
+                f(i, j);
+            }
+        });
+        let ns = Self::unwrap_launch(self.with_retry("launch", || {
+            self.device
+                .launch_phased(cfg, Self::cost_from_profile(profile), &kernel)
+        }));
         let total_ns = ns as f64 + self.config.racc_launch_extra_ns;
         self.timeline.charge_launch(total_ns);
         #[cfg(feature = "trace")]
@@ -423,16 +528,16 @@ impl Backend for SimBackend {
         }
         let (tx, ty, tz) = self.config.tile_3d;
         let cfg = LaunchConfig::tiled_3d(m, n, l, tx, ty, tz);
-        let ns = Self::unwrap_launch(self.device.launch(
-            cfg,
-            Self::cost_from_profile(profile),
-            |t| {
-                let (i, j, k) = (t.global_id_x(), t.global_id_y(), t.global_id_z());
-                if i < m && j < n && k < l {
-                    f(i, j, k);
-                }
-            },
-        ));
+        let kernel = SinglePhase(|t: &racc_gpusim::ThreadCtx| {
+            let (i, j, k) = (t.global_id_x(), t.global_id_y(), t.global_id_z());
+            if i < m && j < n && k < l {
+                f(i, j, k);
+            }
+        });
+        let ns = Self::unwrap_launch(self.with_retry("launch", || {
+            self.device
+                .launch_phased(cfg, Self::cost_from_profile(profile), &kernel)
+        }));
         let total_ns = ns as f64 + self.config.racc_launch_extra_ns;
         self.timeline.charge_launch(total_ns);
         #[cfg(feature = "trace")]
@@ -679,6 +784,37 @@ mod tests {
             },
         );
         assert_eq!(b2.reduce_block(), 256);
+    }
+
+    #[test]
+    fn retries_recover_from_scripted_faults() {
+        let b = backend();
+        assert!(b.set_chaos(FaultPlan::parse("launch:nth-1;d2h:nth-1;alloc:nth-2").unwrap()));
+        assert!(b.set_retry(RetryPolicy::default()));
+        // The reduction's first kernel launch, its result allocation, and
+        // its scalar readback each hit one injected fault; the retry policy
+        // absorbs all three and the result is exact.
+        let n = 1000usize;
+        let s: f64 = b.parallel_reduce_1d(n, &KernelProfile::dot(), |i| i as f64, Sum);
+        assert_eq!(s, (n * (n - 1) / 2) as f64);
+        let log = b.fault_log();
+        assert_eq!(log.len(), 3, "{log:?}");
+        // Each retry charged its backoff to the timeline.
+        let policy = RetryPolicy::default();
+        assert!(b.timeline().modeled_ns() >= 3 * policy.backoff_ns(1));
+    }
+
+    #[test]
+    fn self_check_probes_through_the_fault_schedule() {
+        let healthy = backend();
+        assert!(healthy.self_check().is_ok());
+        let dying = backend();
+        dying.set_chaos(FaultPlan::parse("launch:always").unwrap());
+        dying.set_retry(RetryPolicy::default());
+        assert!(
+            dying.self_check().is_err(),
+            "a hard (permanent) launch failure must outlive any retry budget"
+        );
     }
 
     #[test]

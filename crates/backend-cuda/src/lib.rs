@@ -12,7 +12,10 @@
 use std::sync::Arc;
 
 use racc_backend_common::{SimBackend, SimBackendConfig};
-use racc_core::{AccScalar, Backend, DeviceToken, KernelProfile, RaccError, ReduceOp, Timeline};
+use racc_core::{
+    AccScalar, Backend, DeviceToken, FaultEvent, FaultPlan, KernelProfile, RaccError, ReduceOp,
+    RetryPolicy, Timeline,
+};
 use racc_cudasim::Cuda;
 use racc_gpusim::Device;
 
@@ -82,6 +85,18 @@ impl Backend for CudaBackend {
     }
     fn sanitizer_report(&self) -> Option<String> {
         self.inner.sanitizer_report()
+    }
+    fn set_chaos(&self, plan: FaultPlan) -> bool {
+        self.inner.set_chaos(plan)
+    }
+    fn set_retry(&self, policy: RetryPolicy) -> bool {
+        self.inner.set_retry(policy)
+    }
+    fn fault_log(&self) -> Vec<FaultEvent> {
+        self.inner.fault_log()
+    }
+    fn self_check(&self) -> Result<(), RaccError> {
+        self.inner.self_check()
     }
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError> {
         self.inner.on_alloc(bytes, upload)

@@ -6,16 +6,22 @@
 //! collectives use simple rank-0-rooted fan-in/fan-out (latency O(P));
 //! message counts are asserted in tests, not modeled in time — the comm
 //! substrate is functional, unlike the clocked device simulator.
+//!
+//! Every collective returns `Result<_, CommError>`: a peer that died
+//! mid-collective (its rank body returned early or panicked) surfaces as
+//! [`CommError::Disconnected`] at the survivors rather than poisoning the
+//! world with a panic. Misuse (a non-root rank passing a scatter payload)
+//! is still a panic — that is a programming error, not a fault.
 
 use racc_core::{AccScalar, ReduceOp, Sum};
 
-use crate::world::Rank;
+use crate::world::{CommError, Rank};
 
 impl Rank {
     /// Reduce `value` across all ranks with `op`; every rank receives the
     /// result (allreduce). Combination order is rank order, so results are
     /// deterministic.
-    pub fn allreduce<T, O>(&self, value: T, op: O) -> T
+    pub fn allreduce<T, O>(&self, value: T, op: O) -> Result<T, CommError>
     where
         T: AccScalar,
         O: ReduceOp<T>,
@@ -26,22 +32,22 @@ impl Rank {
         let total = if self.rank() == 0 {
             let mut acc = value;
             for peer in 1..self.size() {
-                let v: T = self.recv(peer).expect("fan-in recv");
+                let v: T = self.recv(peer)?;
                 acc = op.combine(acc, v);
             }
             acc
         } else {
-            self.send(0, value).expect("fan-in send");
+            self.send(0, value)?;
             op.identity()
         };
-        let out = self.broadcast_value(total);
+        let out = self.broadcast_value(total)?;
         #[cfg(feature = "trace")]
         self.record_collective("allreduce", std::mem::size_of::<T>() as u64, t0);
-        out
+        Ok(out)
     }
 
     /// Sum `value` across ranks (the common case: distributed dot products).
-    pub fn allreduce_sum<T>(&self, value: T) -> T
+    pub fn allreduce_sum<T>(&self, value: T) -> Result<T, CommError>
     where
         T: racc_core::Numeric,
     {
@@ -49,37 +55,37 @@ impl Rank {
     }
 
     /// Broadcast rank 0's `value` to every rank; returns it everywhere.
-    pub fn broadcast<T>(&self, value: T) -> T
+    pub fn broadcast<T>(&self, value: T) -> Result<T, CommError>
     where
         T: AccScalar,
     {
         #[cfg(feature = "trace")]
         let t0 = self.trace_start();
-        let out = self.broadcast_value(value);
+        let out = self.broadcast_value(value)?;
         #[cfg(feature = "trace")]
         self.record_collective("broadcast", std::mem::size_of::<T>() as u64, t0);
-        out
+        Ok(out)
     }
 
     /// Broadcast body, shared with `allreduce` so a traced allreduce records
     /// one span, not a nested broadcast span too.
-    fn broadcast_value<T>(&self, value: T) -> T
+    fn broadcast_value<T>(&self, value: T) -> Result<T, CommError>
     where
         T: AccScalar,
     {
         if self.rank() == 0 {
             for peer in 1..self.size() {
-                self.send(peer, value).expect("broadcast send");
+                self.send(peer, value)?;
             }
-            value
+            Ok(value)
         } else {
-            self.recv(0).expect("broadcast recv")
+            self.recv(0)
         }
     }
 
     /// Gather every rank's vector to rank 0 (in rank order); other ranks
-    /// get `None`.
-    pub fn gather<T>(&self, local: Vec<T>) -> Option<Vec<Vec<T>>>
+    /// get `Ok(None)`.
+    pub fn gather<T>(&self, local: Vec<T>) -> Result<Option<Vec<Vec<T>>>, CommError>
     where
         T: Send + 'static,
     {
@@ -91,21 +97,21 @@ impl Rank {
             let mut all = Vec::with_capacity(self.size());
             all.push(local);
             for peer in 1..self.size() {
-                all.push(self.recv(peer).expect("gather recv"));
+                all.push(self.recv(peer)?);
             }
             Some(all)
         } else {
-            self.send(0, local).expect("gather send");
+            self.send(0, local)?;
             None
         };
         #[cfg(feature = "trace")]
         self.record_collective("gather", bytes, t0);
-        out
+        Ok(out)
     }
 
     /// Every rank receives the concatenation of all ranks' vectors in rank
     /// order (allgather).
-    pub fn allgather<T>(&self, local: Vec<T>) -> Vec<T>
+    pub fn allgather<T>(&self, local: Vec<T>) -> Result<Vec<T>, CommError>
     where
         T: Clone + Send + 'static,
     {
@@ -116,25 +122,25 @@ impl Rank {
         let out = if self.rank() == 0 {
             let mut all: Vec<T> = local;
             for peer in 1..self.size() {
-                let chunk: Vec<T> = self.recv(peer).expect("allgather recv");
+                let chunk: Vec<T> = self.recv(peer)?;
                 all.extend(chunk);
             }
             for peer in 1..self.size() {
-                self.send(peer, all.clone()).expect("allgather send");
+                self.send(peer, all.clone())?;
             }
             all
         } else {
-            self.send(0, local).expect("allgather send");
-            self.recv(0).expect("allgather recv")
+            self.send(0, local)?;
+            self.recv(0)?
         };
         #[cfg(feature = "trace")]
         self.record_collective("allgather", bytes, t0);
-        out
+        Ok(out)
     }
 
     /// Split `data` (on rank 0) into contiguous near-equal chunks, one per
     /// rank (scatter). Other ranks pass `None`.
-    pub fn scatter<T>(&self, data: Option<Vec<T>>) -> Vec<T>
+    pub fn scatter<T>(&self, data: Option<Vec<T>>) -> Result<Vec<T>, CommError>
     where
         T: Clone + Send + 'static,
     {
@@ -153,31 +159,35 @@ impl Rank {
             };
             for peer in 1..p {
                 let (s, e) = block(peer);
-                self.send(peer, data[s..e].to_vec()).expect("scatter send");
+                self.send(peer, data[s..e].to_vec())?;
             }
             let (s, e) = block(0);
             data[s..e].to_vec()
         } else {
             assert!(data.is_none(), "only rank 0 provides the scatter payload");
-            self.recv(0).expect("scatter recv")
+            self.recv(0)?
         };
         #[cfg(feature = "trace")]
         self.record_collective("scatter", (out.len() * std::mem::size_of::<T>()) as u64, t0);
-        out
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
 
-    use crate::world::World;
+    use crate::world::{CommError, World};
     use racc_core::{Max, Min};
 
     #[test]
     fn allreduce_sum_and_extrema() {
         let results = World::run(5, |c| {
             let v = (c.rank() + 1) as i64;
-            (c.allreduce_sum(v), c.allreduce(v, Max), c.allreduce(v, Min))
+            (
+                c.allreduce_sum(v).unwrap(),
+                c.allreduce(v, Max).unwrap(),
+                c.allreduce(v, Min).unwrap(),
+            )
         });
         for (sum, max, min) in results {
             assert_eq!(sum, 15);
@@ -188,8 +198,12 @@ mod tests {
 
     #[test]
     fn allreduce_is_deterministic_for_floats() {
-        let a = World::run(4, |c| c.allreduce_sum(0.1f64 * (c.rank() as f64 + 1.0)));
-        let b = World::run(4, |c| c.allreduce_sum(0.1f64 * (c.rank() as f64 + 1.0)));
+        let a = World::run(4, |c| {
+            c.allreduce_sum(0.1f64 * (c.rank() as f64 + 1.0)).unwrap()
+        });
+        let b = World::run(4, |c| {
+            c.allreduce_sum(0.1f64 * (c.rank() as f64 + 1.0)).unwrap()
+        });
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
@@ -200,7 +214,7 @@ mod tests {
     fn broadcast_from_root() {
         let results = World::run(4, |c| {
             let v = if c.rank() == 0 { 42u32 } else { 0 };
-            c.broadcast(v)
+            c.broadcast(v).unwrap()
         });
         assert!(results.iter().all(|&v| v == 42));
     }
@@ -209,7 +223,7 @@ mod tests {
     fn gather_and_allgather_preserve_rank_order() {
         let gathered = World::run(3, |c| {
             let local = vec![c.rank() as u8; c.rank() + 1];
-            c.gather(local)
+            c.gather(local).unwrap()
         });
         let root = gathered[0].as_ref().unwrap();
         assert_eq!(root.len(), 3);
@@ -217,7 +231,7 @@ mod tests {
         assert_eq!(root[2], vec![2u8, 2, 2]);
         assert!(gathered[1].is_none());
 
-        let all = World::run(3, |c| c.allgather(vec![c.rank() as u8]));
+        let all = World::run(3, |c| c.allgather(vec![c.rank() as u8]).unwrap());
         assert!(all.iter().all(|v| v == &vec![0u8, 1, 2]));
     }
 
@@ -229,11 +243,69 @@ mod tests {
             } else {
                 None
             };
-            c.scatter(payload)
+            c.scatter(payload).unwrap()
         });
         assert_eq!(chunks[0], vec![0, 1, 2, 3]);
         assert_eq!(chunks[1], vec![4, 5, 6]);
         assert_eq!(chunks[2], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn scatter_handles_indivisible_payloads() {
+        // 7 elements over 4 ranks: the remainder spreads over the first
+        // ranks ([2, 2, 2, 1]) and concatenating the chunks in rank order
+        // reconstructs the payload exactly.
+        let chunks = World::run(4, |c| {
+            let payload = if c.rank() == 0 {
+                Some((0..7i32).collect::<Vec<_>>())
+            } else {
+                None
+            };
+            c.scatter(payload).unwrap()
+        });
+        assert_eq!(
+            chunks.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![2, 2, 2, 1]
+        );
+        assert_eq!(chunks.concat(), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn world_of_one_runs_every_collective() {
+        // Degenerate world: no peers, so every collective is the identity
+        // and must not attempt any channel traffic.
+        let results = World::run(1, |c| {
+            let sum = c.allreduce_sum(2.5f64)?;
+            let max = c.allreduce(7i64, Max)?;
+            let bc = c.broadcast(42u32)?;
+            let gathered = c.gather(vec![1u8, 2])?;
+            let all = c.allgather(vec![3u16, 4])?;
+            let chunk = c.scatter(Some(vec![5i32, 6, 7]))?;
+            Ok::<_, CommError>((sum, max, bc, gathered, all, chunk))
+        });
+        let (sum, max, bc, gathered, all, chunk) = results[0].clone().unwrap();
+        assert_eq!(sum, 2.5);
+        assert_eq!(max, 7);
+        assert_eq!(bc, 42);
+        assert_eq!(gathered, Some(vec![vec![1u8, 2]]));
+        assert_eq!(all, vec![3u16, 4]);
+        assert_eq!(chunk, vec![5i32, 6, 7]);
+    }
+
+    #[test]
+    fn dead_rank_surfaces_as_disconnected_in_collectives() {
+        // Rank 2 dies (returns early, dropping its channel endpoints)
+        // before contributing to the allreduce. The survivors must get
+        // `Disconnected`, not a deadlock or a panic.
+        let results = World::run(3, |c| {
+            if c.rank() == 2 {
+                return None; // dies without participating
+            }
+            Some(c.allreduce_sum(c.rank() as f64))
+        });
+        assert_eq!(results[0], Some(Err(CommError::Disconnected)));
+        assert_eq!(results[1], Some(Err(CommError::Disconnected)));
+        assert_eq!(results[2], None);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! let results = World::run(4, |comm| {
 //!     let chunk: Vec<f64> = (0..100).map(|i| (comm.rank() * 100 + i) as f64).collect();
 //!     let local: f64 = chunk.iter().map(|x| x * x).sum();
-//!     comm.allreduce_sum(local)
+//!     comm.allreduce_sum(local).unwrap()
 //! });
 //! // Every rank got the same global sum.
 //! assert!(results.windows(2).all(|w| w[0] == w[1]));

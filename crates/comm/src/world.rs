@@ -17,10 +17,13 @@ pub enum CommError {
     },
     /// A received message had a different payload type than requested.
     TypeMismatch,
-    /// The peer's channel is gone (its rank body panicked).
+    /// The peer's channel is gone (its rank body returned or panicked).
     Disconnected,
     /// Self-send/self-recv, which would deadlock.
     SelfMessage,
+    /// [`Rank::recv_timeout`] expired with the peer still alive but
+    /// silent.
+    Timeout,
 }
 
 impl std::fmt::Display for CommError {
@@ -32,6 +35,7 @@ impl std::fmt::Display for CommError {
             CommError::TypeMismatch => write!(f, "received message of unexpected type"),
             CommError::Disconnected => write!(f, "peer rank terminated"),
             CommError::SelfMessage => write!(f, "send/recv to self would deadlock"),
+            CommError::Timeout => write!(f, "timed out waiting for a message"),
         }
     }
 }
@@ -104,6 +108,29 @@ impl Rank {
         let payload = self.receivers[peer]
             .recv()
             .map_err(|_| CommError::Disconnected)?;
+        payload
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch)
+    }
+
+    /// Receive the next value sent by `peer`, waiting at most `timeout`.
+    /// A dead rank (body returned or panicked, dropping its channels)
+    /// surfaces as [`CommError::Disconnected`]; a live-but-silent peer as
+    /// [`CommError::Timeout`] — either way the caller gets an error it
+    /// can act on instead of deadlocking in [`recv`](Self::recv).
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        peer: usize,
+        timeout: std::time::Duration,
+    ) -> Result<T, CommError> {
+        self.check_peer(peer)?;
+        let payload = self.receivers[peer]
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                crossbeam::channel::RecvTimeoutError::Timeout => CommError::Timeout,
+                crossbeam::channel::RecvTimeoutError::Disconnected => CommError::Disconnected,
+            })?;
         payload
             .downcast::<T>()
             .map(|b| *b)
@@ -332,6 +359,46 @@ mod tests {
             CommError::InvalidRank { rank: 7, size: 2 }
         ));
         assert!(matches!(results[0].1, CommError::SelfMessage));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_a_silent_live_peer() {
+        use std::time::Duration;
+        let results = World::run(2, |c| {
+            if c.rank() == 0 {
+                let r = c.recv_timeout::<u8>(1, Duration::from_millis(20));
+                c.barrier();
+                r
+            } else {
+                // Stay alive (holding the channel open) past rank 0's
+                // window, but never send.
+                c.barrier();
+                Ok(0)
+            }
+        });
+        assert_eq!(results[0], Err(CommError::Timeout));
+    }
+
+    #[test]
+    fn dead_rank_surfaces_as_disconnected_within_the_timeout() {
+        use std::time::Duration;
+        // Rank 2 dies immediately; the survivors block on it with a
+        // generous timeout and must see `Disconnected` (the drop of the
+        // dead rank's senders), NOT `Timeout` — i.e. well before the
+        // deadline, the moment the channel closes.
+        let t0 = std::time::Instant::now();
+        let results = World::run(3, |c| {
+            if c.rank() == 2 {
+                return None;
+            }
+            Some(c.recv_timeout::<f64>(2, Duration::from_secs(30)))
+        });
+        assert_eq!(results[0], Some(Err(CommError::Disconnected)));
+        assert_eq!(results[1], Some(Err(CommError::Disconnected)));
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "disconnect must not wait out the timeout"
+        );
     }
 
     #[test]

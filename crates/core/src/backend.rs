@@ -75,6 +75,36 @@ pub trait Backend: Send + Sync + 'static {
         None
     }
 
+    /// Arm deterministic fault injection (`racc-chaos`) on the backend's
+    /// device with a fresh engine for `plan`. Returns `true` when the
+    /// backend supports injection (the simulated accelerators); the
+    /// default is an unsupported no-op — CPU backends have no driver
+    /// surface to fault.
+    fn set_chaos(&self, _plan: racc_chaos::FaultPlan) -> bool {
+        false
+    }
+
+    /// Set the retry policy applied to transient device faults (injected
+    /// faults, out-of-memory). Returns `true` when the backend honors it.
+    fn set_retry(&self, _policy: racc_chaos::RetryPolicy) -> bool {
+        false
+    }
+
+    /// Every fault injected on this backend so far, in injection order.
+    /// Empty when chaos is unsupported or disarmed.
+    fn fault_log(&self) -> Vec<racc_chaos::FaultEvent> {
+        Vec::new()
+    }
+
+    /// Probe that the backend can do real work right now: a tiny
+    /// alloc + launch + readback round trip on accelerators (which runs
+    /// through the active fault schedule and retry policy). The
+    /// graceful-degradation path uses this to decide whether to fall back
+    /// to a CPU backend. CPU backends trivially pass.
+    fn self_check(&self) -> Result<(), RaccError> {
+        Ok(())
+    }
+
     /// Model an array allocation of `bytes` (with an upload of the initial
     /// contents when `upload`), returning a residency token the array holds.
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError>;

@@ -45,11 +45,19 @@ impl<B: Backend> Context<B> {
     /// Wrap a backend in a context (no tracing, no racecheck changes). Use
     /// [`Context::builder`] to configure observability at construction.
     pub fn new(backend: B) -> Self {
+        // Direct construction honors the environment knobs so harnesses
+        // (the CI `RACC_FUSION=1` and `RACC_CHAOS=<seed>` steps) reach
+        // every code path. Env-armed chaos always comes with the default
+        // retry policy: the env knob is a whole-suite soak, and without
+        // retries every transient fault would surface as a test failure.
+        if let Some(plan) = racc_chaos::FaultPlan::from_env() {
+            if backend.set_chaos(plan) {
+                backend.set_retry(racc_chaos::RetryPolicy::default());
+            }
+        }
         Context {
             backend,
             id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
-            // Direct construction honors the environment knob so harnesses
-            // (and the CI `RACC_FUSION=1` step) reach every code path.
             fusion: fusion_env_default(),
             #[cfg(feature = "trace")]
             tracer: None,
@@ -464,15 +472,20 @@ impl<B: Backend> Context<B> {
     pub fn fusion_enabled(&self) -> bool {
         self.fusion
     }
+
+    /// Every fault injected on this context's backend so far, in injection
+    /// order (see [`ContextBuilder::chaos`] / `RACC_CHAOS`). Empty when
+    /// chaos is unsupported or disarmed.
+    pub fn fault_log(&self) -> Vec<racc_chaos::FaultEvent> {
+        self.backend.fault_log()
+    }
 }
 
-/// Default of the fusion knob: `RACC_FUSION` set to anything but `0`,
-/// `false` or the empty string.
+/// Default of the fusion knob: `RACC_FUSION` set to anything but `""`,
+/// `"0"`, `"false"`, or `"off"` (the shared [`racc_chaos::env_flag`]
+/// semantics, also used for `RACC_SANITIZER` and `RACC_CHAOS`).
 fn fusion_env_default() -> bool {
-    match std::env::var("RACC_FUSION") {
-        Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off"),
-        Err(_) => false,
-    }
+    racc_chaos::env_flag("RACC_FUSION")
 }
 
 /// Builder for a [`Context`] with construction-time observability options.
@@ -491,6 +504,8 @@ pub struct ContextBuilder<B: Backend> {
     racecheck: Option<bool>,
     sanitizer: Option<bool>,
     fusion: Option<bool>,
+    chaos: Option<racc_chaos::FaultPlan>,
+    retry: Option<racc_chaos::RetryPolicy>,
 }
 
 impl<B: Backend> ContextBuilder<B> {
@@ -505,6 +520,8 @@ impl<B: Backend> ContextBuilder<B> {
             racecheck: None,
             sanitizer: None,
             fusion: None,
+            chaos: None,
+            retry: None,
         }
     }
 
@@ -551,6 +568,27 @@ impl<B: Backend> ContextBuilder<B> {
         self
     }
 
+    /// Arm deterministic fault injection (`racc-chaos`) on the backend
+    /// with `plan`. An explicit plan replaces whatever `RACC_CHAOS` armed
+    /// (fresh engine, fresh fault log) and does **not** imply a retry
+    /// policy — pair it with [`ContextBuilder::retry`] for recovery. A
+    /// documented no-op on back ends without injection support — see
+    /// [`Backend::set_chaos`].
+    pub fn chaos(mut self, plan: racc_chaos::FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Set the retry policy the backend applies to transient device faults
+    /// (injected faults, out-of-memory): bounded attempts with exponential
+    /// *modeled* backoff. Leaving it unset keeps the backend's default
+    /// (retries on when `RACC_CHAOS` armed the chaos engine, off
+    /// otherwise). No-op on back ends without retry support.
+    pub fn retry(mut self, policy: racc_chaos::RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
     /// Build the context, applying the selected options.
     pub fn build(self) -> Context<B> {
         #[cfg(feature = "racecheck")]
@@ -562,6 +600,14 @@ impl<B: Backend> ContextBuilder<B> {
         }
         #[allow(unused_mut)]
         let mut ctx = Context::new(self.backend);
+        // After Context::new, so an explicit plan overrides the env-armed
+        // engine with a fresh one.
+        if let Some(plan) = self.chaos {
+            ctx.backend.set_chaos(plan);
+        }
+        if let Some(policy) = self.retry {
+            ctx.backend.set_retry(policy);
+        }
         if let Some(enabled) = self.fusion {
             ctx.fusion = enabled;
         }

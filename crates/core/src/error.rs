@@ -50,3 +50,11 @@ impl std::fmt::Display for RaccError {
 }
 
 impl std::error::Error for RaccError {}
+
+// A malformed `FaultPlan` script is a configuration problem, so `?`
+// unifies `FaultPlan::parse` with the builder's error flow.
+impl From<racc_chaos::ParseError> for RaccError {
+    fn from(e: racc_chaos::ParseError) -> Self {
+        RaccError::InvalidConfig(e.to_string())
+    }
+}

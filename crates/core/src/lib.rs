@@ -65,10 +65,14 @@ mod views;
 
 pub use array::{Array1, Array2, Array3};
 pub use backend::{Backend, DeviceToken};
+// Fault-injection vocabulary, re-exported so the portability layer and
+// applications can arm chaos without naming the substrate crate.
 pub use context::{Context, ContextBuilder};
 pub use cpumodel::CpuSpec;
 pub use error::RaccError;
 pub use profile::KernelProfile;
+pub use racc_chaos as chaos;
+pub use racc_chaos::{env_flag, FaultAction, FaultEvent, FaultPlan, FaultSite, RetryPolicy};
 pub use scalar::{AccScalar, Max, Min, Numeric, Prod, ReduceOp, Sum};
 pub use serial::SerialBackend;
 pub use threads::ThreadsBackend;

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use racc_chaos::{ChaosEngine, FaultAction, FaultEvent, FaultPlan, FaultSite};
 use racc_threadpool::{Schedule, ThreadPool};
 
 use crate::arena;
@@ -41,6 +42,10 @@ pub struct Device {
     racecheck: std::sync::atomic::AtomicBool,
     tracker: Arc<RaceTracker>,
     sanitizer: Arc<Sanitizer>,
+    /// Fast-path gate for fault injection: one relaxed load per injection
+    /// point when chaos is off — the zero-overhead guarantee.
+    chaos_on: std::sync::atomic::AtomicBool,
+    chaos: Mutex<Option<Arc<ChaosEngine>>>,
     op_log: Mutex<VecDeque<OpRecord>>,
     /// Completion time (absolute device ns) of the last operation on each
     /// non-default stream; the substrate of the async-overlap model.
@@ -66,9 +71,29 @@ impl Device {
         Self::with_pool(spec, Arc::new(pool_handle()))
     }
 
+    /// Fallible [`Device::new`]: a bad specification comes back as
+    /// [`SimError::InvalidSpec`] instead of a panic, so context
+    /// construction can surface it as a `RaccError`.
+    pub fn try_new(spec: DeviceSpec) -> Result<Self, SimError> {
+        Self::try_with_pool(spec, Arc::new(pool_handle()))
+    }
+
+    /// Fallible [`Device::with_pool`].
+    pub fn try_with_pool(spec: DeviceSpec, pool: Arc<ThreadPool>) -> Result<Self, SimError> {
+        spec.validate().map_err(SimError::InvalidSpec)?;
+        Ok(Self::build(spec, pool))
+    }
+
     /// Create a device executing on a caller-provided pool.
+    ///
+    /// # Panics
+    /// Panics if the specification fails validation; use
+    /// [`Device::try_with_pool`] to handle it.
     pub fn with_pool(spec: DeviceSpec, pool: Arc<ThreadPool>) -> Self {
-        spec.validate().expect("invalid device specification");
+        Self::try_with_pool(spec, pool).expect("invalid device specification")
+    }
+
+    fn build(spec: DeviceSpec, pool: Arc<ThreadPool>) -> Self {
         Device {
             id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
             spec,
@@ -78,6 +103,8 @@ impl Device {
             racecheck: std::sync::atomic::AtomicBool::new(false),
             tracker: Arc::new(RaceTracker::new()),
             sanitizer: Arc::new(Sanitizer::new(sanitizer::env_enabled())),
+            chaos_on: std::sync::atomic::AtomicBool::new(false),
+            chaos: Mutex::new(None),
             op_log: Mutex::new(VecDeque::new()),
             stream_clocks: Mutex::new(std::collections::HashMap::new()),
         }
@@ -132,6 +159,77 @@ impl Device {
     pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
         self.sanitizer_enabled()
             .then(|| self.sanitizer.report(self.id, &self.tracker))
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (racc-chaos)
+    // ------------------------------------------------------------------
+
+    /// Arm deterministic fault injection with a fresh engine for `plan`:
+    /// allocs, transfers, launches, and stream work consult the schedule
+    /// and fail / stall as it dictates. Also settable at context creation
+    /// via `RACC_CHAOS=<seed|spec>` (the portability layer reads the env;
+    /// raw devices stay chaos-free unless armed explicitly).
+    pub fn set_chaos(&self, plan: FaultPlan) {
+        *self.chaos.lock() = Some(Arc::new(ChaosEngine::new(plan)));
+        self.chaos_on.store(true, Ordering::Release);
+    }
+
+    /// Disarm fault injection (the fault log is discarded with the engine).
+    pub fn clear_chaos(&self) {
+        self.chaos_on.store(false, Ordering::Release);
+        *self.chaos.lock() = None;
+    }
+
+    /// Whether fault injection is armed.
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos_on.load(Ordering::Relaxed)
+    }
+
+    /// Every fault injected on this device so far, in injection order —
+    /// the determinism witness (same plan, same log) and the debugging
+    /// record of a chaos run. Empty when chaos is (or was re-)disarmed.
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.chaos
+            .lock()
+            .as_ref()
+            .map(|eng| eng.log())
+            .unwrap_or_default()
+    }
+
+    /// Consult the chaos schedule for one operation at `site`. `Ok(extra)`
+    /// lets the op proceed, charged `extra` additional modeled ns (a
+    /// latency spike; usually 0); `Err` is the injected failure, raised
+    /// **before** the operation's side effects so a retry re-runs it from
+    /// a clean slate. The device's own ops call this internally; it is
+    /// public for layers that *model* transfers without device buffers
+    /// (the portability backend's array uploads/downloads) and must still
+    /// run through the schedule.
+    #[inline]
+    pub fn inject_fault(&self, site: FaultSite) -> Result<u64, SimError> {
+        if !self.chaos_on.load(Ordering::Relaxed) {
+            return Ok(0);
+        }
+        self.inject_fault_slow(site)
+    }
+
+    #[cold]
+    fn inject_fault_slow(&self, site: FaultSite) -> Result<u64, SimError> {
+        let engine = match self.chaos.lock().as_ref() {
+            Some(eng) => Arc::clone(eng),
+            None => return Ok(0),
+        };
+        match engine.next(site) {
+            None => Ok(0),
+            Some(FaultEvent {
+                action: FaultAction::Delay(ns),
+                ..
+            }) => Ok(ns),
+            Some(FaultEvent { occurrence, .. }) => Err(SimError::Faulted {
+                site: site.label(),
+                occurrence,
+            }),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -254,9 +352,13 @@ impl Device {
                 in_use,
                 capacity: self.spec.memory_bytes,
             })?;
-        if in_use
-            .checked_add(bytes)
-            .is_none_or(|total| total > self.spec.memory_bytes)
+        // Injected alloc faults present as out-of-memory — the failure
+        // class a real driver reports for a failed `cudaMalloc`. (A delay
+        // at this site is logged but free: allocation advances no clock.)
+        if self.inject_fault(FaultSite::Alloc).is_err()
+            || in_use
+                .checked_add(bytes)
+                .is_none_or(|total| total > self.spec.memory_bytes)
         {
             return Err(SimError::OutOfMemory {
                 requested: bytes,
@@ -303,6 +405,9 @@ impl Device {
                 actual: host.len(),
             });
         }
+        // Injected before the copy, so a failed transfer leaves device
+        // memory untouched and a retry re-runs it from a clean slate.
+        let spike = self.inject_fault(FaultSite::H2d)?;
         // SAFETY: destination allocation holds exactly `len` elements of T.
         unsafe {
             std::ptr::copy_nonoverlapping(host.as_ptr(), buf.alloc.ptr() as *mut T, host.len());
@@ -312,7 +417,7 @@ impl Device {
             OpKind::H2D,
             bytes as u64,
             0,
-            perf::transfer_time_ns(&self.spec, bytes),
+            perf::transfer_time_ns(&self.spec, bytes) + spike as f64,
         );
         Ok(())
     }
@@ -330,6 +435,7 @@ impl Device {
                 actual: host.len(),
             });
         }
+        let spike = self.inject_fault(FaultSite::D2h)?;
         // SAFETY: source allocation holds exactly `len` elements of T.
         unsafe {
             std::ptr::copy_nonoverlapping(buf.alloc.ptr() as *const T, host.as_mut_ptr(), buf.len);
@@ -339,7 +445,7 @@ impl Device {
             OpKind::D2H,
             bytes as u64,
             0,
-            perf::transfer_time_ns(&self.spec, bytes),
+            perf::transfer_time_ns(&self.spec, bytes) + spike as f64,
         );
         Ok(())
     }
@@ -347,6 +453,7 @@ impl Device {
     /// Download into a fresh `Vec`.
     pub fn read_vec<T: Element>(&self, buf: &DeviceBuffer<T>) -> Result<Vec<T>, SimError> {
         self.check_owned(buf)?;
+        let spike = self.inject_fault(FaultSite::D2h)?;
         // Copy straight into the Vec's spare capacity: materializing a
         // zeroed `T` first would be UB for types like `NonZeroU32` where
         // the all-zero bit pattern is invalid.
@@ -363,7 +470,7 @@ impl Device {
             OpKind::D2H,
             bytes as u64,
             0,
-            perf::transfer_time_ns(&self.spec, bytes),
+            perf::transfer_time_ns(&self.spec, bytes) + spike as f64,
         );
         Ok(out)
     }
@@ -383,13 +490,14 @@ impl Device {
                 buffer_len: buf.len,
             });
         }
+        let spike = self.inject_fault(FaultSite::D2h)?;
         // SAFETY: bounds checked above.
         let value = unsafe { *(buf.alloc.ptr() as *const T).add(index) };
         self.charge(
             OpKind::D2H,
             std::mem::size_of::<T>() as u64,
             0,
-            perf::transfer_time_ns(&self.spec, std::mem::size_of::<T>()),
+            perf::transfer_time_ns(&self.spec, std::mem::size_of::<T>()) + spike as f64,
         );
         Ok(value)
     }
@@ -675,11 +783,14 @@ impl Device {
         K: PhasedKernel,
     {
         cfg.validate(&self.spec)?;
+        // After validation (an injected fault is not a geometry error),
+        // before execution (a failed launch must not run the kernel).
+        let spike = self.inject_fault(FaultSite::Launch)?;
         let grid = cfg.grid;
         let block = cfg.block;
         self.execute_grid(cfg, kernel);
 
-        let ns = perf::kernel_time_ns(&self.spec, grid, block, &cost);
+        let ns = perf::kernel_time_ns(&self.spec, grid, block, &cost) + spike as f64;
         let total_threads = cfg.total_threads() as u64;
         let bytes = (cost.bytes_per_thread() * total_threads as f64) as u64;
         Ok(self.charge(OpKind::Kernel, bytes, total_threads, ns))
@@ -715,12 +826,16 @@ impl Device {
         }
         assert_eq!(stream.device_id(), self.id, "stream from another device");
         cfg.validate(&self.spec)?;
+        // A `Fail` at the stream site rejects the async launch before it
+        // executes; a `Delay` is a stream stall, extending the stream's
+        // completion time.
+        let stall = self.inject_fault(FaultSite::Stream)?;
         // Functional execution through the normal path, but capture the
         // modeled duration without advancing the device clock.
         let grid = cfg.grid;
         let block = cfg.block;
         self.execute_grid(cfg, &crate::phased::SinglePhase(body));
-        let ns = perf::kernel_time_ns(&self.spec, grid, block, &cost).round() as u64;
+        let ns = perf::kernel_time_ns(&self.spec, grid, block, &cost).round() as u64 + stall;
         let mut streams = self.stream_clocks.lock();
         let issue = self.clock_ns();
         let start = streams.get(&stream.id()).copied().unwrap_or(0).max(issue);
@@ -1535,5 +1650,108 @@ mod sanitizer_tests {
         let report = dev.sanitizer_report().unwrap();
         assert_eq!(report.bytes_outstanding, 0);
         assert!(report.to_string().contains("no leaks"), "{report}");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_spec() {
+        let mut spec = profiles::test_device();
+        spec.simt_width = 0;
+        match Device::try_new(spec) {
+            Err(SimError::InvalidSpec(reason)) => {
+                assert!(reason.contains("simt_width"), "{reason}")
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        assert!(Device::try_new(profiles::test_device()).is_ok());
+    }
+
+    #[test]
+    fn scripted_chaos_fails_the_third_alloc_as_oom() {
+        let dev = small_device();
+        dev.set_chaos(FaultPlan::parse("alloc:nth-3").unwrap());
+        assert!(dev.alloc::<f64>(8).is_ok());
+        assert!(dev.alloc::<f64>(8).is_ok());
+        let err = dev.alloc::<f64>(8).unwrap_err();
+        assert!(
+            matches!(err, SimError::OutOfMemory { requested: 64, .. }),
+            "injected alloc fault must present as OOM, got {err:?}"
+        );
+        assert!(err.is_transient());
+        // The schedule consumed its nth-3: the retry succeeds.
+        assert!(dev.alloc::<f64>(8).is_ok());
+        let log = dev.fault_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].site, FaultSite::Alloc);
+        assert_eq!(log[0].occurrence, 3);
+    }
+
+    #[test]
+    fn scripted_chaos_rejects_launches_before_side_effects() {
+        let dev = small_device();
+        dev.set_chaos(FaultPlan::parse("launch:nth-1").unwrap());
+        let out = dev.alloc::<f64>(64).unwrap();
+        let ov = dev.slice_mut(&out).unwrap();
+        let run = || {
+            dev.launch(LaunchConfig::new(1u32, 64u32), KernelCost::default(), |t| {
+                ov.set(t.global_linear(), 1.0);
+            })
+        };
+        let err = run().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Faulted {
+                site: "launch",
+                occurrence: 1
+            }
+        ));
+        // The failed launch must not have executed the kernel body…
+        assert_eq!(dev.read_scalar(&out, 0).unwrap(), 0.0);
+        // …and the retry runs it for real.
+        run().unwrap();
+        assert_eq!(dev.read_scalar(&out, 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic_across_devices() {
+        let run = || {
+            let dev = small_device();
+            dev.set_chaos(FaultPlan::seeded(7));
+            for _ in 0..2000 {
+                let _ = dev.alloc::<u8>(16).map(|b| dev.read_scalar(&b, 0));
+            }
+            dev.fault_log()
+        };
+        let (a, b) = (run(), run());
+        assert!(!a.is_empty(), "2000 draws per site must inject something");
+        assert_eq!(a, b, "same seed, same fault schedule");
+        // Disarming clears the engine (and its log).
+        let dev = small_device();
+        dev.set_chaos(FaultPlan::seeded(7));
+        dev.clear_chaos();
+        assert!(!dev.chaos_enabled());
+        assert!(dev.fault_log().is_empty());
+        assert!(dev.alloc::<u8>(1 << 20).is_ok());
+    }
+
+    #[test]
+    fn chaos_delay_charges_the_clock_but_succeeds() {
+        let dev = small_device();
+        let buf = dev.alloc_from(&vec![0u8; 1024]).unwrap();
+        let clean = dev.clock_ns();
+        let dev2 = small_device();
+        dev2.set_chaos(FaultPlan::parse("h2d:always:delay-20000").unwrap());
+        let buf2 = dev2.alloc::<u8>(1024).unwrap();
+        dev2.upload(&buf2, &vec![0u8; 1024]).unwrap();
+        assert_eq!(
+            dev2.clock_ns(),
+            clean + 20_000,
+            "a latency spike is the clean transfer plus the injected stall"
+        );
+        assert_eq!(dev2.read_vec(&buf2).unwrap(), dev.read_vec(&buf).unwrap());
+        assert_eq!(
+            dev2.fault_log()[0].action,
+            FaultAction::Delay(20_000),
+            "spikes appear in the fault log"
+        );
     }
 }

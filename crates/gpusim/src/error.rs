@@ -50,6 +50,37 @@ pub enum SimError {
     },
     /// Source and destination of a copy share an allocation.
     OverlappingCopy,
+    /// A [`DeviceSpec`] failed validation (fallible construction path,
+    /// [`Device::try_new`]).
+    ///
+    /// [`DeviceSpec`]: crate::DeviceSpec
+    /// [`Device::try_new`]: crate::Device::try_new
+    InvalidSpec(String),
+    /// An injected fault from the chaos engine (`racc-chaos`): the
+    /// operation was selected by the active [`FaultPlan`] and failed.
+    /// Transient by definition — retrying re-runs the op against the next
+    /// schedule entry.
+    ///
+    /// [`FaultPlan`]: racc_chaos::FaultPlan
+    Faulted {
+        /// Injection-site label (`alloc`, `h2d`, `d2h`, `launch`, `stream`).
+        site: &'static str,
+        /// 1-based operation count at that site when the fault hit.
+        occurrence: u64,
+    },
+}
+
+impl SimError {
+    /// Whether a retry can plausibly succeed: true for injected faults and
+    /// out-of-memory (chaos presents alloc faults as OOM, and real OOM can
+    /// clear as peers free memory), false for the structural errors (bad
+    /// geometry, wrong device, shape mismatches) that no retry fixes.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::Faulted { .. } | SimError::OutOfMemory { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -94,6 +125,12 @@ impl std::fmt::Display for SimError {
                 f,
                 "source and destination of the copy overlap (same allocation)"
             ),
+            SimError::InvalidSpec(reason) => {
+                write!(f, "invalid device specification: {reason}")
+            }
+            SimError::Faulted { site, occurrence } => {
+                write!(f, "injected fault: {site} operation #{occurrence} failed")
+            }
         }
     }
 }
@@ -110,6 +147,7 @@ impl From<SimError> for racc_core::RaccError {
     fn from(e: SimError) -> Self {
         match &e {
             SimError::OutOfMemory { .. } => racc_core::RaccError::Allocation(e.to_string()),
+            SimError::InvalidSpec(_) => racc_core::RaccError::InvalidConfig(e.to_string()),
             _ => racc_core::RaccError::Device(e.to_string()),
         }
     }

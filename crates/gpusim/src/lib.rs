@@ -71,7 +71,10 @@ pub use event::Event;
 pub use heap::{DeviceBuffer, DeviceSlice, DeviceSliceMut, Element};
 pub use launch::{LaunchConfig, ThreadCtx};
 pub use perf::{KernelCost, OpKind, OpRecord};
-pub use phased::{PhasedKernel, SharedMem};
+pub use phased::{PhasedKernel, SharedMem, SinglePhase};
+// Fault-injection vocabulary (racc-chaos), re-exported so simulator users
+// can arm a device without naming the chaos crate.
+pub use racc_chaos::{FaultAction, FaultEvent, FaultPlan, FaultSite, RetryPolicy};
 pub use report::{OpStats, ProfileReport};
 pub use sanitizer::{LeakRecord, SanitizerReport};
 pub use spec::DeviceSpec;

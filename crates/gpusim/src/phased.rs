@@ -126,8 +126,14 @@ impl SharedMem {
 }
 
 /// Adapter: a non-cooperative closure as a single-phase kernel, so the two
-/// launch paths share the executor.
-pub(crate) struct SinglePhase<F>(pub F);
+/// launch paths share the executor. Public so callers that must *re-run* a
+/// launch (e.g. retry-on-injected-fault in the portability layer) can go
+/// through [`Device::launch_phased`], which borrows its kernel —
+/// [`Device::launch`] consumes the closure.
+///
+/// [`Device::launch_phased`]: crate::Device::launch_phased
+/// [`Device::launch`]: crate::Device::launch
+pub struct SinglePhase<F>(pub F);
 
 impl<F: Fn(&ThreadCtx) + Sync> PhasedKernel for SinglePhase<F> {
     type State = ();

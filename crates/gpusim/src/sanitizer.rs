@@ -46,12 +46,10 @@ pub(crate) const CANARY_BYTES: usize = 64;
 /// Fill pattern for canary regions.
 pub(crate) const CANARY_PATTERN: u8 = 0xC5;
 
-/// Whether `RACC_SANITIZER` asks for the sanitizer at device creation.
+/// Whether `RACC_SANITIZER` asks for the sanitizer at device creation
+/// (shared truthy semantics with `RACC_FUSION` and `RACC_CHAOS`).
 pub(crate) fn env_enabled() -> bool {
-    matches!(
-        std::env::var("RACC_SANITIZER").as_deref(),
-        Ok("1") | Ok("true") | Ok("on")
-    )
+    racc_chaos::env_flag("RACC_SANITIZER")
 }
 
 /// Per-allocation sanitizer metadata, shared between the allocation, the

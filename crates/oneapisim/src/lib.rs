@@ -142,6 +142,14 @@ impl OneApi {
         }
     }
 
+    /// Fallible [`OneApi::with_spec`]: a bad specification comes back as an
+    /// error (ZE_RESULT_ERROR_UNSUPPORTED analog) instead of a panic.
+    pub fn try_with_spec(spec: racc_gpusim::DeviceSpec) -> Result<Self, OneApiError> {
+        Ok(OneApi {
+            device: Arc::new(Device::try_new(spec)?),
+        })
+    }
+
     /// Access the underlying simulator device.
     pub fn device(&self) -> &Device {
         &self.device
@@ -161,6 +169,16 @@ impl OneApi {
     /// Sanitizer findings for this context; `None` while disabled.
     pub fn sanitizer_report(&self) -> Option<racc_gpusim::SanitizerReport> {
         self.device.sanitizer_report()
+    }
+
+    /// Arm deterministic fault injection (`racc-chaos`) on the device.
+    pub fn set_chaos(&self, plan: racc_gpusim::FaultPlan) {
+        self.device.set_chaos(plan);
+    }
+
+    /// Every fault injected on the device so far, in injection order.
+    pub fn fault_log(&self) -> Vec<racc_gpusim::FaultEvent> {
+        self.device.fault_log()
     }
 
     /// Level Zero's `compute_properties(device()).maxTotalGroupSize`.

@@ -26,6 +26,7 @@ const fn lane(kind: ConstructKind) -> (u32, &'static str) {
         ConstructKind::WorkerChunk => (4, "workers"),
         ConstructKind::Sanitizer => (5, "sanitizer"),
         ConstructKind::Fused => (6, "fused"),
+        ConstructKind::Fault => (7, "faults"),
     }
 }
 

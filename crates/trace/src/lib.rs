@@ -69,6 +69,10 @@ pub enum ConstructKind {
     /// whole chain of elementwise statements, optionally ending in a
     /// reduction. Carries the *summed* profile of the fused statements.
     Fused,
+    /// An injected fault (`racc-chaos`) or a recovery action taken for
+    /// one: the name is the fault-site label (`h2d`, `launch`, …) or
+    /// `fallback`; `modeled_ns` is the retry backoff charged, if any.
+    Fault,
 }
 
 impl ConstructKind {
@@ -79,7 +83,7 @@ impl ConstructKind {
 
     /// Every kind, in declaration order. Kept next to the enum; the
     /// `all_kinds_listed_exactly_once` test below pins exhaustiveness.
-    pub const ALL: [ConstructKind; 13] = [
+    pub const ALL: [ConstructKind; 14] = [
         ConstructKind::For1d,
         ConstructKind::For2d,
         ConstructKind::For3d,
@@ -93,6 +97,7 @@ impl ConstructKind {
         ConstructKind::WorkerChunk,
         ConstructKind::Sanitizer,
         ConstructKind::Fused,
+        ConstructKind::Fault,
     ];
     /// The lowercase label used in sinks (`for1d`, `reduce2d`, `h2d`, ...).
     pub fn label(self) -> &'static str {
@@ -110,6 +115,7 @@ impl ConstructKind {
             ConstructKind::WorkerChunk => "chunk",
             ConstructKind::Sanitizer => "sanitizer",
             ConstructKind::Fused => "fused",
+            ConstructKind::Fault => "fault",
         }
     }
 

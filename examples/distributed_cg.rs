@@ -109,16 +109,16 @@ fn run_rank(comm: &Rank, n: usize, b_global: &[f64]) -> (usize, f64) {
     };
 
     // CG with global reductions.
-    let mut rr = comm.allreduce_sum(local_dot(&r, &r));
+    let mut rr = comm.allreduce_sum(local_dot(&r, &r)).expect("allreduce rr");
     let tol = 1e-10f64;
     let mut iters = 0usize;
     while rr.sqrt() > tol && iters < 300 {
         matvec(&p, &s);
-        let ps = comm.allreduce_sum(local_dot(&p, &s));
+        let ps = comm.allreduce_sum(local_dot(&p, &s)).expect("allreduce ps");
         let alpha = rr / ps;
         axpy(alpha, &x, &p);
         axpy(-alpha, &r, &s);
-        let rr_new = comm.allreduce_sum(local_dot(&r, &r));
+        let rr_new = comm.allreduce_sum(local_dot(&r, &r)).expect("allreduce rr");
         let beta = rr_new / rr;
         {
             let (rv, pv) = (r.view(), p.view_mut());
@@ -136,7 +136,7 @@ fn run_rank(comm: &Rank, n: usize, b_global: &[f64]) -> (usize, f64) {
 
     // Verify the assembled global solution on rank 0.
     let local_x = ctx.to_host(&x).expect("download x");
-    if let Some(parts) = comm.gather(local_x) {
+    if let Some(parts) = comm.gather(local_x).expect("gather x") {
         let assembled: Vec<f64> = parts.into_iter().flatten().collect();
         let max_err = assembled
             .iter()

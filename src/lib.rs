@@ -52,6 +52,19 @@ pub use racc_core::{
     KernelProfile, Max, Min, Numeric, Prod, RaccError, ReduceOp, SerialBackend, Sum,
     ThreadsBackend, Timeline, TimelineSnapshot, View1, View2, View3, ViewMut1, ViewMut2, ViewMut3,
 };
+
+/// The deterministic fault-injection vocabulary (`racc-chaos`),
+/// re-exported so applications can arm chaos through
+/// [`ContextBuilder::chaos`] without naming the substrate crate. The
+/// module re-export [`chaos`] carries the rest (parse errors, rule
+/// types, seeded-rate constants).
+pub use racc_core::{env_flag, FaultAction, FaultEvent, FaultPlan, FaultSite, RetryPolicy};
+
+/// The fault-injection substrate crate (`racc-chaos`), re-exported
+/// whole. See [`ContextBuilder::chaos`] / [`ContextBuilder::fallback`]
+/// for how contexts consume it, and `RACC_CHAOS` for the environment
+/// grammar (`<seed>` or `site:selector[:action];...`).
+pub use racc_core::chaos;
 pub use racc_prefs::{Preferences, Value, PREFS_FILE_NAME};
 
 /// The crate's error type — an alias for [`RaccError`]. Simulator errors
@@ -108,7 +121,7 @@ pub mod prelude {
 
     pub use crate::{
         available_backends, builder, context_for, default_context, AnyBackend, ContextBuilder, Ctx,
-        Error,
+        Error, FaultPlan, RetryPolicy,
     };
 
     pub use racc_fuse::{lit, load, Expr, Fused, FusedExt, ReduceKind};
@@ -179,6 +192,20 @@ impl Backend for AnyBackend {
     }
     fn sanitizer_report(&self) -> Option<String> {
         dispatch!(self, b => b.sanitizer_report())
+    }
+    // Forwarded (not defaulted) for the same reason: the simulator back
+    // ends own the chaos engine, retry policy, and fault log.
+    fn set_chaos(&self, plan: FaultPlan) -> bool {
+        dispatch!(self, b => b.set_chaos(plan))
+    }
+    fn set_retry(&self, policy: RetryPolicy) -> bool {
+        dispatch!(self, b => b.set_retry(policy))
+    }
+    fn fault_log(&self) -> Vec<FaultEvent> {
+        dispatch!(self, b => b.fault_log())
+    }
+    fn self_check(&self) -> Result<(), RaccError> {
+        dispatch!(self, b => b.self_check())
     }
     fn on_alloc(&self, bytes: usize, upload: bool) -> Result<DeviceToken, RaccError> {
         dispatch!(self, b => b.on_alloc(bytes, upload))
@@ -314,6 +341,9 @@ pub struct ContextBuilder {
     racecheck: Option<bool>,
     sanitizer: Option<bool>,
     fusion: Option<bool>,
+    chaos: Option<FaultPlan>,
+    retry: Option<RetryPolicy>,
+    fallback: bool,
 }
 
 impl ContextBuilder {
@@ -391,6 +421,39 @@ impl ContextBuilder {
         self
     }
 
+    /// Arm deterministic fault injection (`racc-chaos`) on the selected
+    /// backend: a seeded plan ([`FaultPlan::seeded`]) or an explicit
+    /// script (`FaultPlan::parse("alloc:nth-3;h2d:every-100")`). Only the
+    /// simulated GPU back ends have a driver surface to fault; on CPU
+    /// back ends the plan is ignored. An explicit plan overrides the
+    /// `RACC_CHAOS` environment variable.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Retry policy for transient device faults (injected faults,
+    /// simulated out-of-memory): bounded attempts with exponential
+    /// modeled backoff. Defaults to [`RetryPolicy::none`] unless chaos
+    /// was armed from the environment, which installs
+    /// [`RetryPolicy::default`].
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Graceful degradation: before handing back an accelerator context,
+    /// probe the backend with a tiny alloc + launch + readback round trip
+    /// (run through the active fault schedule and retry policy). If the
+    /// probe fails, fall back to the always-available `threads` backend
+    /// instead of failing every construct later; the observed faults and
+    /// a `fallback` marker are recorded as [`trace`] spans (kind
+    /// `Fault`) in the replacement context, plus a diagnostic on stderr.
+    pub fn fallback(mut self, enabled: bool) -> Self {
+        self.fallback = enabled;
+        self
+    }
+
     /// Resolve the key, construct the backend, and build the context.
     pub fn build(self) -> Result<Ctx, RaccError> {
         let key = match &self.key {
@@ -437,6 +500,7 @@ impl ContextBuilder {
             }
             other => return Err(RaccError::BackendUnavailable(other.to_owned())),
         };
+        let (backend, degraded) = self.probe_or_fall_back(backend);
         let mut inner = Context::builder(backend).trace(self.trace);
         if let Some(spans) = self.trace_capacity {
             inner = inner.trace_capacity(spans);
@@ -450,7 +514,48 @@ impl ContextBuilder {
         if let Some(enabled) = self.fusion {
             inner = inner.fusion(enabled);
         }
-        Ok(inner.build())
+        if let Some(plan) = self.chaos {
+            inner = inner.chaos(plan);
+        }
+        if let Some(policy) = self.retry {
+            inner = inner.retry(policy);
+        }
+        let ctx = inner.build();
+        if let Some(faults) = degraded {
+            report_degradation(&ctx, &faults);
+        }
+        Ok(ctx)
+    }
+
+    /// The graceful-degradation probe. Does nothing unless
+    /// [`fallback`](Self::fallback) was requested and the selected
+    /// backend is an accelerator. Arms the same fault schedule the final
+    /// context will run under so the probe exercises the real fault
+    /// path; on probe failure returns the `threads` backend plus the
+    /// faults observed during the probe.
+    fn probe_or_fall_back(&self, backend: AnyBackend) -> (AnyBackend, Option<Vec<FaultEvent>>) {
+        if !self.fallback || !backend.is_accelerator() {
+            return (backend, None);
+        }
+        let plan = self.chaos.clone().or_else(FaultPlan::from_env);
+        if let Some(plan) = plan {
+            if backend.set_chaos(plan) {
+                backend.set_retry(self.retry.unwrap_or_default());
+            }
+        }
+        match backend.self_check() {
+            Ok(()) => (backend, None),
+            Err(err) => {
+                let faults = backend.fault_log();
+                eprintln!(
+                    "racc: backend {:?} failed its self-check ({err}); falling back to \
+                     \"threads\" after {} injected fault(s)",
+                    backend.key(),
+                    faults.len()
+                );
+                (AnyBackend::Threads(ThreadsBackend::new()), Some(faults))
+            }
+        }
     }
 
     fn reject_threads(&self, key: &str) -> Result<(), RaccError> {
@@ -488,6 +593,32 @@ impl ContextBuilder {
         )))]
         let _ = key;
         Ok(())
+    }
+}
+
+/// Surface a fallback decision inside the replacement context's trace:
+/// one `Fault` span per fault observed during the failed probe, then a
+/// `fallback` marker span (all with zero modeled time, so timeline/span
+/// reconciliation is unaffected). Without the `trace` feature the stderr
+/// diagnostic printed by the probe is the only report.
+#[cfg_attr(not(feature = "trace"), allow(unused_variables))]
+fn report_degradation(ctx: &Ctx, faults: &[FaultEvent]) {
+    #[cfg(feature = "trace")]
+    if let Some(rec) = ctx.tracer() {
+        for ev in faults {
+            rec.record(
+                trace::Span::new(ctx.key(), trace::ConstructKind::Fault, ev.site.label()).dims(
+                    ev.occurrence,
+                    0,
+                    0,
+                ),
+            );
+        }
+        rec.record(trace::Span::new(
+            ctx.key(),
+            trace::ConstructKind::Fault,
+            "fallback",
+        ));
     }
 }
 

@@ -21,7 +21,7 @@ fn distributed_dot_across_simulated_gpus() {
         let (xv, yv) = (x.view(), y.view());
         let local: f64 =
             ctx.parallel_reduce(per, &KernelProfile::dot(), move |i| xv.get(i) * yv.get(i));
-        comm.allreduce_sum(local)
+        comm.allreduce_sum(local).unwrap()
     });
     let expect: f64 = (0..n_total)
         .map(|i| ((i % 10) as f64) * (((i + 5) % 10) as f64))
@@ -88,9 +88,9 @@ fn allreduce_with_frontend_operators() {
     let results = World::run(5, |comm| {
         let local = (comm.rank() as i64 + 1) * 7;
         (
-            comm.allreduce(local, racc::Max),
-            comm.allreduce(local, racc::Min),
-            comm.allreduce(local, racc::Sum),
+            comm.allreduce(local, racc::Max).unwrap(),
+            comm.allreduce(local, racc::Min).unwrap(),
+            comm.allreduce(local, racc::Sum).unwrap(),
         )
     });
     for (max, min, sum) in results {

@@ -194,8 +194,8 @@ fn collectives_record_spans_under_run_traced() {
     let size = 4usize;
     let sums = racc_comm::World::run_traced(size, Arc::clone(&recorder), |rank| {
         let local = vec![rank.rank() as f64; 8];
-        let total = rank.allreduce_sum(rank.rank() as f64);
-        let gathered = rank.allgather(local);
+        let total = rank.allreduce_sum(rank.rank() as f64).unwrap();
+        let gathered = rank.allgather(local).unwrap();
         total + gathered.len() as f64
     });
     assert_eq!(sums.len(), size);

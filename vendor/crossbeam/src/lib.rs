@@ -70,6 +70,19 @@ pub mod channel {
                 .map_err(|_| RecvError)
         }
 
+        /// Blocks until a message arrives, all senders disconnected, or the
+        /// timeout elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
+        }
+
         /// Receives a pending message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.inner
@@ -118,6 +131,28 @@ pub mod channel {
     }
 
     impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// Channel drained and all senders disconnected.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.pad("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.pad("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,7 +231,7 @@ pub mod utils {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, TryRecvError};
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
     use super::utils::CachePadded;
 
     #[test]
@@ -229,6 +264,22 @@ mod tests {
         let (tx, rx) = unbounded::<i32>();
         assert_sync(&tx);
         assert_sync(&rx);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_disconnects() {
+        let (tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
