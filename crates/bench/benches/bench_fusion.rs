@@ -1,13 +1,15 @@
 //! Fusion microbenchmark: wall-clock time per CG iteration and per
-//! expression-chain round, **eager vs fused**, on the CPU backends and the
-//! three simulated vendor APIs.
+//! expression-chain round — **eager vs fused** for CG, and **eager vs
+//! interpreted vs compiled** for the expression chain — on the CPU
+//! backends and the three simulated vendor APIs.
 //!
 //! This is the wall-clock companion of `figures -- bench-fusion` (which
-//! also records construct counts and the modeled timeline and writes
-//! `results/BENCH_fusion.json`). The interesting comparison is within a
-//! backend: the fused series replaces the iteration's four maps + two
-//! reductions with one map + two fused reductions, so the gap between the
-//! `eager/*` and `fused/*` lines is pure launch/pass overhead.
+//! also records construct counts, the modeled timeline, and plan-cache
+//! counters, and writes `results/BENCH_fusion.json`). The interesting
+//! comparisons are within a backend: `eager/*` vs `compiled/*` is the
+//! full fusion win (fewer launches *and* a cached specialized executor),
+//! while `interpreted/*` vs `compiled/*` isolates what compiling the
+//! plan buys over re-walking the expression DAG per element.
 //!
 //! Set `RACC_BENCH_QUICK=1` for a smoke-test run (small vectors, few
 //! samples) — used by CI to keep the bench from rotting.
@@ -15,7 +17,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use racc_cg::solver::CgWorkspace;
 use racc_cg::tridiag::{DeviceTridiag, Tridiag};
-use racc_fuse::{lit, load, FusedExt};
+use racc_fuse::{lit, load, LazyExt};
 
 const BACKENDS: [&str; 5] = ["serial", "threads", "cudasim", "hipsim", "oneapisim"];
 
@@ -78,7 +80,8 @@ fn bench_cg_iteration(c: &mut Criterion) {
 }
 
 /// The expression-engine chain (two maps + a sum): three constructs eager,
-/// one fused launch.
+/// one fused launch — interpreted per element, or replayed as a cached
+/// compiled plan.
 fn bench_expr_chain(c: &mut Criterion) {
     let n = problem_n();
 
@@ -87,8 +90,8 @@ fn bench_expr_chain(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
 
     for key in BACKENDS {
-        for (mode, fused) in [("eager", false), ("fused", true)] {
-            let ctx = context(key, fused);
+        for mode in ["eager", "interpreted", "compiled"] {
+            let ctx = context(key, mode != "eager");
             let x = ctx
                 .array_from_fn(n, |i| 0.25 * ((i % 9) as f64) - 1.0)
                 .expect("x");
@@ -101,14 +104,14 @@ fn bench_expr_chain(c: &mut Criterion) {
                 &(),
                 |bch, _| {
                     bch.iter(|| {
-                        let mut f = if fused {
-                            ctx.fused()
-                        } else {
-                            ctx.fused().eager()
+                        let mut l = match mode {
+                            "eager" => ctx.lazy().eager(),
+                            "interpreted" => ctx.lazy().interpreted(),
+                            _ => ctx.lazy(),
                         };
-                        let xn = f.assign(&x, load(&x) * 0.999 + 0.001 * load(&y));
-                        let zn = f.assign(&z, (xn - load(&y)).abs());
-                        f.sum(zn * lit(2.0))
+                        let xn = l.assign(&x, load(&x) * 0.999 + 0.001 * load(&y));
+                        let zn = l.assign(&z, (xn - load(&y)).abs());
+                        l.sum(zn * lit(2.0))
                     })
                 },
             );

@@ -1,21 +1,26 @@
-//! Hand-fused BLAS chains for the CG hot path.
+//! Fused BLAS chains for the CG hot path, expressed through the
+//! `racc-fuse` expression engine.
 //!
-//! These are the closed-form counterparts of what the `racc-fuse`
-//! expression engine plans dynamically: each function collapses a chain
-//! of [`portable`](crate::portable) operations into **one** construct
-//! with the chain's *summed* [`KernelProfile`], flagged
-//! [`KernelProfile::as_fused`] so its spans land on the fused trace lane.
-//! Unlike the expression engine they interpret nothing — the bodies are
-//! plain closures, so the wall-clock win on the CPU backends is the full
-//! launch-count reduction.
+//! Until the plan cache landed these were *hand*-fused closures — the
+//! engine's interpreter re-walked the DAG per element, so writing the
+//! bodies by hand was the only way to get closure-grade code on the hot
+//! path. Now each chain is a [`Lazy`](racc_fuse::Lazy) program: the first
+//! call plans, lowers, and caches a compiled plan keyed by the chain's
+//! shape; every later call (each CG iteration, with its fresh `alpha`)
+//! hits the cache and dispatches a specialized template executor whose
+//! per-element body is exactly the closure that used to be written here.
+//! One construct per call, the chain's *summed*
+//! [`KernelProfile`] flagged [`KernelProfile::as_fused`] — nothing about
+//! the timeline, the trace lanes, or the launch count changes.
 //!
-//! Every body performs the identical f64 operations in the identical
+//! Every chain performs the identical f64 operations in the identical
 //! order as the eager sequence it replaces (loads before stores per
 //! index, reductions through the same backend primitive over the same
 //! extent), so results are **bit-identical** to the eager chain — the
 //! tests at the bottom pin that per backend.
 
 use racc_core::{Array1, Backend, Context, KernelProfile};
+use racc_fuse::{lit, load, LazyExt};
 
 /// `x[i] += alpha * y[i]`, then `sum(x[i] * z[i])` — an
 /// `axpy`-then-`dot` chain as one reduction, forwarding the updated
@@ -29,13 +34,9 @@ pub fn axpy_dot<B: Backend>(
 ) -> f64 {
     assert_eq!(x.len(), y.len(), "axpy_dot length mismatch");
     assert_eq!(x.len(), z.len(), "axpy_dot length mismatch");
-    let n = x.len();
-    let (xv, yv, zv) = (x.view_mut(), y.view(), z.view());
-    ctx.parallel_reduce(n, &profiles::axpy_dot(), move |i| {
-        let xi = xv.get(i) + alpha * yv.get(i);
-        xv.set(i, xi);
-        xi * zv.get(i)
-    })
+    let mut l = ctx.lazy().named("fused-axpy-dot");
+    let xv = l.assign(x, load(x) + lit(alpha) * load(y));
+    l.sum(xv * load(z))
 }
 
 /// The CG α-update as one reduction: `x[i] += alpha * p[i]`,
@@ -60,18 +61,16 @@ pub fn cg_update<B: Backend>(
         p.len() == n && r.len() == n && s.len() == n,
         "cg_update length mismatch"
     );
-    let neg_alpha = -alpha;
-    let (xv, pv, rv, sv) = (x.view_mut(), p.view(), r.view_mut(), s.view());
-    ctx.parallel_reduce(n, &profiles::cg_update(), move |i| {
-        xv.set(i, xv.get(i) + alpha * pv.get(i));
-        let ri = rv.get(i) + neg_alpha * sv.get(i);
-        rv.set(i, ri);
-        ri * ri
-    })
+    let mut l = ctx.lazy().named("fused-cg-update");
+    l.store(x, load(x) + lit(alpha) * load(p));
+    let rv = l.assign(r, load(r) + lit(-alpha) * load(s));
+    l.sum(rv.clone() * rv)
 }
 
 /// Summed profiles of the fused chains, mirroring
-/// [`crate::profiles`] for the eager pieces.
+/// [`crate::profiles`] for the eager pieces. The engine derives exactly
+/// these from the expression programs above (the tests pin it); the
+/// constants remain the documented reference.
 pub mod profiles {
     use super::KernelProfile;
 
@@ -148,5 +147,34 @@ mod tests {
     fn fused_chains_match_eager_on_cpu_backends() {
         check_backend(|| Context::new(SerialBackend::new()));
         check_backend(|| Context::new(ThreadsBackend::with_threads(3)));
+    }
+
+    /// The engine must price the chains exactly like the documented
+    /// reference profiles: one fused call charges the modeled timeline
+    /// like one reduction with the summed hand profile — on the first
+    /// (compiling) call and on cached re-evaluations alike.
+    #[test]
+    fn engine_derived_profiles_match_reference_constants() {
+        let n = 2048;
+
+        // Reference charge: one parallel_reduce with the hand profile.
+        let ref_ctx = Context::new(SerialBackend::new());
+        let [x, _, _, z] = arrays(&ref_ctx, n);
+        let (xv, zv) = (x.view(), z.view());
+        ref_ctx.parallel_reduce(n, &profiles::cg_update(), move |i| xv.get(i) * zv.get(i));
+        let want = ref_ctx.timeline().modeled_ns;
+
+        let ctx = Context::new(SerialBackend::new());
+        let [x, p, r, s] = arrays(&ctx, n);
+        let t0 = ctx.timeline().modeled_ns;
+        cg_update(&ctx, 0.5, &x, &p, &r, &s);
+        let first = ctx.timeline().modeled_ns - t0;
+        assert_eq!(first, want, "derived cg_update profile diverges");
+
+        // And the cached re-evaluation charges the same.
+        let t1 = ctx.timeline().modeled_ns;
+        cg_update(&ctx, 0.25, &x, &p, &r, &s);
+        assert_eq!(ctx.timeline().modeled_ns - t1, want);
+        assert!(ctx.stats().plan_cache.hits >= 1);
     }
 }

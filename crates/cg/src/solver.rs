@@ -329,6 +329,25 @@ mod tests {
         check_fused_iteration_bitwise(|| ThreadsBackend::with_threads(4));
     }
 
+    /// The CG loop re-issues the same fused update shape every iteration,
+    /// so after the first (compiling) call the plan cache must serve every
+    /// later one: steady-state hit rate ≥ 90% over a real solve.
+    #[test]
+    fn fused_solve_runs_hot_from_the_plan_cache() {
+        let n = 400;
+        let ctx = Context::builder(SerialBackend::new()).fusion(true).build();
+        let da = DeviceTridiag::upload(&ctx, &Tridiag::diagonally_dominant(n)).unwrap();
+        let b = ctx.array_from_fn(n, |i| ((i % 11) as f64) - 5.0).unwrap();
+        let (result, _) = solve(&ctx, &da, &b, 1e-30, 25).unwrap();
+        assert!(result.iterations >= 10, "want a real loop, got {result:?}");
+        let pc = ctx.stats().plan_cache;
+        assert!(pc.misses >= 1 && pc.hits >= 9, "{pc:?}");
+        assert!(
+            pc.hit_rate() >= 0.9,
+            "steady-state CG should hit the cache: {pc:?}"
+        );
+    }
+
     #[test]
     fn exact_convergence_in_n_steps_for_tiny_system() {
         // CG converges in at most n iterations in exact arithmetic.

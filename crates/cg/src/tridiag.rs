@@ -123,22 +123,31 @@ impl<'c, B: Backend> DeviceTridiag<'c, B> {
     pub fn matvec_dot(&self, x: &Array1<f64>, y: &Array1<f64>) -> f64 {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
+        assert!(self.sub.len() == self.n && self.diag.len() == self.n && self.sup.len() == self.n);
         let n = self.n;
         let (sub, diag, sup) = (self.sub.view(), self.diag.view(), self.sup.view());
         let (xv, yv) = (x.view(), y.view_mut());
         let profile = crate::tridiag_matvec_dot_profile();
-        self.ctx.parallel_reduce(n, &profile, move |i| {
+        // SAFETY: the asserts above pin every view's length to `n`; the
+        // branch structure keeps each index in `0..n` (`i - 1` only for
+        // `i > 0`, `i + 1` only for `i < n - 1`). Checked accessors here
+        // would re-verify bounds after the `y` store, which the optimizer
+        // cannot elide through the raw view pointers.
+        self.ctx.parallel_reduce(n, &profile, move |i| unsafe {
+            let xi = xv.get_unchecked(i);
             let v = if n == 1 {
-                diag.get(0) * xv.get(0)
+                diag.get_unchecked(0) * xi
             } else if i == 0 {
-                diag.get(0) * xv.get(0) + sup.get(0) * xv.get(1)
+                diag.get_unchecked(0) * xi + sup.get_unchecked(0) * xv.get_unchecked(1)
             } else if i == n - 1 {
-                sub.get(i) * xv.get(i - 1) + diag.get(i) * xv.get(i)
+                sub.get_unchecked(i) * xv.get_unchecked(i - 1) + diag.get_unchecked(i) * xi
             } else {
-                sub.get(i) * xv.get(i - 1) + diag.get(i) * xv.get(i) + sup.get(i) * xv.get(i + 1)
+                sub.get_unchecked(i) * xv.get_unchecked(i - 1)
+                    + diag.get_unchecked(i) * xi
+                    + sup.get_unchecked(i) * xv.get_unchecked(i + 1)
             };
-            yv.set(i, v);
-            xv.get(i) * v
+            yv.set_unchecked(i, v);
+            xi * v
         })
     }
 
@@ -146,23 +155,27 @@ impl<'c, B: Backend> DeviceTridiag<'c, B> {
     pub fn matvec(&self, x: &Array1<f64>, y: &Array1<f64>) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
+        assert!(self.sub.len() == self.n && self.diag.len() == self.n && self.sup.len() == self.n);
         let n = self.n;
         let (sub, diag, sup) = (self.sub.view(), self.diag.view(), self.sup.view());
         let (xv, yv) = (x.view(), y.view_mut());
+        // SAFETY: same in-bounds argument as `matvec_dot`.
         self.ctx
-            .parallel_for(n, &tridiag_matvec_profile(), move |i| {
+            .parallel_for(n, &tridiag_matvec_profile(), move |i| unsafe {
                 let v = if n == 1 {
-                    diag.get(0) * xv.get(0)
+                    diag.get_unchecked(0) * xv.get_unchecked(0)
                 } else if i == 0 {
-                    diag.get(0) * xv.get(0) + sup.get(0) * xv.get(1)
+                    diag.get_unchecked(0) * xv.get_unchecked(0)
+                        + sup.get_unchecked(0) * xv.get_unchecked(1)
                 } else if i == n - 1 {
-                    sub.get(i) * xv.get(i - 1) + diag.get(i) * xv.get(i)
+                    sub.get_unchecked(i) * xv.get_unchecked(i - 1)
+                        + diag.get_unchecked(i) * xv.get_unchecked(i)
                 } else {
-                    sub.get(i) * xv.get(i - 1)
-                        + diag.get(i) * xv.get(i)
-                        + sup.get(i) * xv.get(i + 1)
+                    sub.get_unchecked(i) * xv.get_unchecked(i - 1)
+                        + diag.get_unchecked(i) * xv.get_unchecked(i)
+                        + sup.get_unchecked(i) * xv.get_unchecked(i + 1)
                 };
-                yv.set(i, v);
+                yv.set_unchecked(i, v);
             });
     }
 }

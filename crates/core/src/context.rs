@@ -8,9 +8,11 @@ use std::sync::Arc;
 use crate::array::{Array1, Array2, Array3};
 use crate::backend::Backend;
 use crate::buffer::RawStorage;
+use crate::config::{PlanCacheMode, RuntimeConfig};
 use crate::error::RaccError;
 use crate::profile::KernelProfile;
 use crate::scalar::{AccScalar, Numeric, ReduceOp, Sum};
+use crate::stats::{fold_faults, snapshot_plan_cache, PlanCacheSlot, RuntimeStats};
 use crate::timeline::TimelineSnapshot;
 
 static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
@@ -27,6 +29,9 @@ pub struct Context<B: Backend> {
     /// should take their fused fast paths. Purely advisory: the core
     /// constructs behave identically either way.
     fusion: bool,
+    /// Home of the fused-plan cache: mode, counters, and the type-erased
+    /// cell `racc-fuse` parks its cache in (see [`crate::stats`]).
+    plan_cache: PlanCacheSlot,
     /// The span recorder attached at build time (see [`Context::builder`]).
     #[cfg(feature = "trace")]
     tracer: Option<Arc<racc_trace::TraceRecorder>>,
@@ -47,10 +52,20 @@ impl<B: Backend> Context<B> {
     pub fn new(backend: B) -> Self {
         // Direct construction honors the environment knobs so harnesses
         // (the CI `RACC_FUSION=1` and `RACC_CHAOS=<seed>` steps) reach
-        // every code path. Env-armed chaos always comes with the default
-        // retry policy: the env knob is a whole-suite soak, and without
-        // retries every transient fault would surface as a test failure.
-        if let Some(plan) = racc_chaos::FaultPlan::from_env() {
+        // every code path. All `RACC_*` knobs are parsed in one place —
+        // `racc::config` — exactly once per construction.
+        Self::with_config(backend, RuntimeConfig::from_env())
+    }
+
+    /// Construct from an already-parsed [`RuntimeConfig`]. Note that
+    /// `config.sanitizer` is *not* applied here: the simulator devices
+    /// honor `RACC_SANITIZER` at device creation, and builder overrides
+    /// run before this point (see `racc_core::config` docs).
+    fn with_config(backend: B, config: RuntimeConfig) -> Self {
+        // Env-armed chaos always comes with the default retry policy: the
+        // env knob is a whole-suite soak, and without retries every
+        // transient fault would surface as a test failure.
+        if let Some(plan) = config.chaos {
             if backend.set_chaos(plan) {
                 backend.set_retry(racc_chaos::RetryPolicy::default());
             }
@@ -58,7 +73,8 @@ impl<B: Backend> Context<B> {
         Context {
             backend,
             id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
-            fusion: fusion_env_default(),
+            fusion: config.fusion,
+            plan_cache: PlanCacheSlot::new(config.plan_cache),
             #[cfg(feature = "trace")]
             tracer: None,
         }
@@ -479,13 +495,27 @@ impl<B: Backend> Context<B> {
     pub fn fault_log(&self) -> Vec<racc_chaos::FaultEvent> {
         self.backend.fault_log()
     }
-}
 
-/// Default of the fusion knob: `RACC_FUSION` set to anything but `""`,
-/// `"0"`, `"false"`, or `"off"` (the shared [`racc_chaos::env_flag`]
-/// semantics, also used for `RACC_SANITIZER` and `RACC_CHAOS`).
-fn fusion_env_default() -> bool {
-    racc_chaos::env_flag("RACC_FUSION")
+    /// One uniform snapshot of this context's runtime machinery: fused
+    /// plan-cache hits/misses/evictions, injected-fault counts from
+    /// `racc-chaos`, and the backend's sanitizer report. Replaces
+    /// stitching `fault_log()` + `sanitizer_report()` + per-subsystem
+    /// counters by hand.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            plan_cache: snapshot_plan_cache(&self.plan_cache),
+            faults: fold_faults(&self.backend.fault_log()),
+            sanitizer: self.backend.sanitizer_report(),
+        }
+    }
+
+    /// The per-context home of the fused-plan cache. Public for the
+    /// fusion layer (`racc-fuse`), which parks its cache here; application
+    /// code wants [`Context::stats`] instead.
+    #[doc(hidden)]
+    pub fn plan_cache_slot(&self) -> &PlanCacheSlot {
+        &self.plan_cache
+    }
 }
 
 /// Builder for a [`Context`] with construction-time observability options.
@@ -504,6 +534,7 @@ pub struct ContextBuilder<B: Backend> {
     racecheck: Option<bool>,
     sanitizer: Option<bool>,
     fusion: Option<bool>,
+    plan_cache: Option<PlanCacheMode>,
     chaos: Option<racc_chaos::FaultPlan>,
     retry: Option<racc_chaos::RetryPolicy>,
 }
@@ -520,6 +551,7 @@ impl<B: Backend> ContextBuilder<B> {
             racecheck: None,
             sanitizer: None,
             fusion: None,
+            plan_cache: None,
             chaos: None,
             retry: None,
         }
@@ -568,6 +600,15 @@ impl<B: Backend> ContextBuilder<B> {
         self
     }
 
+    /// Override the fused-plan cache mode (capacity or
+    /// [`PlanCacheMode::Off`]). Leaving it unset defers to the
+    /// `RACC_PLAN_CACHE` environment variable; the default retains
+    /// [`crate::config::DEFAULT_PLAN_CACHE_CAPACITY`] compiled programs.
+    pub fn plan_cache(mut self, mode: PlanCacheMode) -> Self {
+        self.plan_cache = Some(mode);
+        self
+    }
+
     /// Arm deterministic fault injection (`racc-chaos`) on the backend
     /// with `plan`. An explicit plan replaces whatever `RACC_CHAOS` armed
     /// (fresh engine, fresh fault log) and does **not** imply a retry
@@ -610,6 +651,12 @@ impl<B: Backend> ContextBuilder<B> {
         }
         if let Some(enabled) = self.fusion {
             ctx.fusion = enabled;
+        }
+        if let Some(mode) = self.plan_cache {
+            // Nothing has touched the slot yet (the fusion layer installs
+            // its cache lazily, on first evaluation), so replacing it here
+            // is a plain reconfiguration.
+            ctx.plan_cache = PlanCacheSlot::new(mode);
         }
         #[cfg(feature = "trace")]
         if self.trace {

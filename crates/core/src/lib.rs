@@ -51,6 +51,7 @@
 mod array;
 mod backend;
 mod buffer;
+pub mod config;
 mod context;
 pub mod cpumodel;
 mod error;
@@ -59,12 +60,14 @@ mod profile;
 pub mod racecheck;
 mod scalar;
 mod serial;
+pub mod stats;
 mod threads;
 mod timeline;
 mod views;
 
 pub use array::{Array1, Array2, Array3};
 pub use backend::{Backend, DeviceToken};
+pub use config::{PlanCacheMode, RuntimeConfig};
 // Fault-injection vocabulary, re-exported so the portability layer and
 // applications can arm chaos without naming the substrate crate.
 pub use context::{Context, ContextBuilder};
@@ -75,6 +78,7 @@ pub use racc_chaos as chaos;
 pub use racc_chaos::{env_flag, FaultAction, FaultEvent, FaultPlan, FaultSite, RetryPolicy};
 pub use scalar::{AccScalar, Max, Min, Numeric, Prod, ReduceOp, Sum};
 pub use serial::SerialBackend;
+pub use stats::{FaultStats, PlanCacheStats, RuntimeStats};
 pub use threads::ThreadsBackend;
 pub use timeline::{Timeline, TimelineSnapshot};
 pub use views::{View1, View2, View3, ViewMut1, ViewMut2, ViewMut3};
@@ -86,9 +90,13 @@ pub use views::{View1, View2, View3, ViewMut1, ViewMut2, ViewMut3};
 pub use racc_trace as trace;
 
 /// Convenience glob import for application code.
+///
+/// Introspection rides along: [`Context::stats`] returns one
+/// [`RuntimeStats`] snapshot (plan-cache hits/misses/evictions, injected
+/// faults, sanitizer report) instead of per-subsystem getters.
 pub mod prelude {
     pub use crate::{
         Array1, Array2, Array3, Backend, Context, KernelProfile, Max, Min, Prod, RaccError,
-        ReduceOp, SerialBackend, Sum, ThreadsBackend,
+        ReduceOp, RuntimeStats, SerialBackend, Sum, ThreadsBackend,
     };
 }

@@ -102,13 +102,24 @@ impl<T: AccScalar> View1<T> {
         unsafe { *self.ptr.add(i) }
     }
 
-    /// Unchecked read.
+    /// Unchecked read for kernels that pin every index in bounds up front
+    /// (an assert outside the loop), where the per-access check would block
+    /// vectorization. Under the `racecheck` feature the access is still
+    /// bounds-checked and recorded — sanitizer builds trade the speed back
+    /// for full coverage, so going unchecked never hides a race.
     ///
     /// # Safety
     /// `i < self.len()`.
     #[inline]
     pub unsafe fn get_unchecked(&self, i: usize) -> T {
         debug_assert!(i < self.len);
+        #[cfg(feature = "racecheck")]
+        {
+            if i >= self.len {
+                oob_1d(i, self.len);
+            }
+            crate::racecheck::record_read(self.ptr as usize, i);
+        }
         *self.ptr.add(i)
     }
 }
@@ -166,23 +177,39 @@ impl<T: AccScalar> ViewMut1<T> {
         unsafe { *self.ptr.add(i) = value };
     }
 
-    /// Unchecked read.
+    /// Unchecked read — see [`View1::get_unchecked`] for the contract and
+    /// the racecheck behavior.
     ///
     /// # Safety
     /// `i < self.len()`.
     #[inline]
     pub unsafe fn get_unchecked(&self, i: usize) -> T {
         debug_assert!(i < self.len);
+        #[cfg(feature = "racecheck")]
+        {
+            if i >= self.len {
+                oob_1d(i, self.len);
+            }
+            crate::racecheck::record_read(self.ptr as usize, i);
+        }
         *(self.ptr as *const T).add(i)
     }
 
-    /// Unchecked write (bypasses racecheck).
+    /// Unchecked write. Under the `racecheck` feature the access is still
+    /// bounds-checked and recorded (see [`View1::get_unchecked`]).
     ///
     /// # Safety
     /// `i < self.len()` and element `i` is owned by this iteration.
     #[inline]
     pub unsafe fn set_unchecked(&self, i: usize, value: T) {
         debug_assert!(i < self.len);
+        #[cfg(feature = "racecheck")]
+        {
+            if i >= self.len {
+                oob_1d(i, self.len);
+            }
+            crate::racecheck::record_write(self.ptr as usize, i);
+        }
         *self.ptr.add(i) = value;
     }
 }
@@ -231,13 +258,21 @@ impl<T: AccScalar> View2<T> {
         unsafe { *self.ptr.add(j * self.m + i) }
     }
 
-    /// Unchecked read.
+    /// Unchecked read — see [`View1::get_unchecked`] for the contract and
+    /// the racecheck behavior.
     ///
     /// # Safety
     /// `i < nrows() && j < ncols()`.
     #[inline]
     pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.m && j < self.n);
+        #[cfg(feature = "racecheck")]
+        {
+            if i >= self.m || j >= self.n {
+                oob_2d(i, j, self.m, self.n);
+            }
+            crate::racecheck::record_read(self.ptr as usize, j * self.m + i);
+        }
         *self.ptr.add(j * self.m + i)
     }
 }

@@ -1,0 +1,836 @@
+//! Compiled fused plans: canonical shape keys, slot-based tapes, and
+//! whole-group specialized executors.
+//!
+//! The interpreter in [`crate::exec`] re-walks the expression DAG and
+//! zeroes a full 64-slot scratch array *per element, per launch* — fine
+//! for one-shot programs, wasteful for the steady-state case where the
+//! same chain (the CG update, a relaxation sweep) is re-issued thousands
+//! of times with only the array bindings and scalar values changing.
+//!
+//! Compilation splits a program into **shape** and **bindings**:
+//!
+//! * [`ingest`] walks the statements once and produces, in a single
+//!   allocation-free pass, a canonical token stream (the cache key) plus
+//!   positional binding tables (views, scalars, extents). The key encodes
+//!   structure only — ops, extent *slots*, buffer-aliasing pattern,
+//!   `Rc`-sharing pattern — never array identities, sizes, or scalar
+//!   values, so the CG loop's changing `alpha` and a shape-identical
+//!   chain over different arrays both hit the same entry.
+//! * On a miss, the planner groups statements exactly as the interpreter
+//!   would, and each group is lowered to a [`CachedGroup`]: a flat tape
+//!   of slot-indexed [`TOp`]s sized to the smallest power-of-two scratch
+//!   class, plus (when the group matches a known hot shape) a
+//!   [`Template`] executor whose per-element body is a direct closure
+//!   with every load, store and scalar hoisted out of the loop.
+//! * On a hit, the cached program executes immediately against the fresh
+//!   bindings: no planning, no DAG walk, no allocation.
+//!
+//! Every execution path performs the identical f64 operations in the
+//! identical order as the eager statement sequence, through the same
+//! backend primitive over the same extent — compiled evaluation stays
+//! bit-identical to eager and interpreted evaluation (the differential
+//! tests pin all three).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+use racc_core::{Backend, Context, KernelProfile, Max, Min, Sum, View1, ViewMut1};
+
+use crate::graph::{AnyView, AnyViewMut, BinOp, ENode, Extent, UnOp};
+use crate::plan::{Group, Stmt};
+use crate::{Expr, ReduceKind};
+
+// Token tags (high byte of each u32) for the canonical key stream. The
+// low bits carry small payloads: the extent rank for loads/stores, the
+// operator id for ops, the reduce kind.
+const TOK_STORE: u32 = 0x0100_0000;
+const TOK_LOAD: u32 = 0x0200_0000;
+const TOK_SCALAR: u32 = 0x0300_0000;
+const TOK_UN: u32 = 0x0400_0000;
+const TOK_BIN: u32 = 0x0500_0000;
+const TOK_FWD: u32 = 0x0600_0000;
+const TOK_REF: u32 = 0x0700_0000;
+const TOK_BARRIER: u32 = 0x0800_0000;
+const TOK_REDUCE: u32 = 0x0900_0000;
+
+const fn rank_bits(extent: Extent) -> u32 {
+    match extent {
+        Extent::D1(_) => 1,
+        Extent::D2(..) => 2,
+        Extent::D3(..) => 3,
+    }
+}
+
+const fn un_id(op: UnOp) -> u32 {
+    match op {
+        UnOp::Neg => 0,
+        UnOp::Abs => 1,
+        UnOp::Sqrt => 2,
+    }
+}
+
+const fn bin_id(op: BinOp) -> u32 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Min => 4,
+        BinOp::Max => 5,
+    }
+}
+
+const fn kind_id(kind: ReduceKind) -> u32 {
+    match kind {
+        ReduceKind::Sum => 0,
+        ReduceKind::Min => 1,
+        ReduceKind::Max => 2,
+    }
+}
+
+/// Identity hasher for the `*const ENode` memo maps. Heap addresses are
+/// already well distributed; one multiply spreads the alignment zeros
+/// into the low bits the table indexes by. Siphashing every node on the
+/// steady-state ingest pass would cost more than the rest of the walk.
+#[derive(Default)]
+struct PtrHasher(u64);
+
+impl Hasher for PtrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | u64::from(b);
+        }
+    }
+    fn write_usize(&mut self, p: usize) {
+        self.0 = (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PtrMap<V> = HashMap<*const ENode, V, BuildHasherDefault<PtrHasher>>;
+
+/// Where a DAG node's value comes from at execution time.
+pub(crate) enum SlotRef {
+    /// A load binding (index into [`EvalScratch::loads`]).
+    Load(u16),
+    /// A scalar binding (index into [`EvalScratch::scalars`]).
+    Scalar(u16),
+    /// A forward; `reload` is the load binding used when the forward
+    /// degrades to a reload outside its statement's group.
+    Forward { reload: u16 },
+    /// An interior operator node (no binding of its own).
+    Op,
+}
+
+/// Per-DAG-node ingest record: first-visit ordinal (for `Rc`-sharing
+/// tokens) plus the node's binding slot.
+pub(crate) struct NodeMemo {
+    pub ordinal: u32,
+    pub slot: SlotRef,
+}
+
+/// Reusable per-evaluation state, pooled per thread by [`crate::Lazy`] so
+/// steady-state evaluation allocates nothing: the program under
+/// construction, the canonical key, and the positional binding tables the
+/// cached program executes against. `clear` retains every capacity.
+#[derive(Default)]
+pub(crate) struct EvalScratch {
+    /// The statements appended by `assign`/`store`.
+    pub stmts: Vec<Stmt>,
+    /// Statement indices before which an explicit barrier sits.
+    pub barriers: Vec<usize>,
+    /// Canonical shape key, filled by [`ingest`].
+    pub key: Vec<u32>,
+    /// Load bindings in first-visit order (slot = index).
+    pub loads: Vec<(AnyView, Extent)>,
+    /// Buffer slot (first-touch order) of each load binding — the
+    /// aliasing pattern the key pins, exposed for template lowering.
+    pub load_bufs: Vec<u32>,
+    /// Store bindings in statement order (slot = statement index).
+    pub stores: Vec<(AnyViewMut, Extent)>,
+    /// Buffer slot of each store binding.
+    pub store_bufs: Vec<u32>,
+    /// Scalar bindings in first-visit order.
+    pub scalars: Vec<f64>,
+    /// Distinct extents by value (slot = index).
+    pub extents: Vec<Extent>,
+    /// Distinct buffer ids in first-touch order (aliasing pattern).
+    buffers: Vec<usize>,
+    /// `Rc` identity → ingest record; also the CSE table the lowering
+    /// pass reads slots from.
+    memo: PtrMap<NodeMemo>,
+}
+
+impl EvalScratch {
+    pub(crate) fn clear(&mut self) {
+        self.stmts.clear();
+        self.barriers.clear();
+        self.key.clear();
+        self.loads.clear();
+        self.load_bufs.clear();
+        self.stores.clear();
+        self.store_bufs.clear();
+        self.scalars.clear();
+        self.extents.clear();
+        self.buffers.clear();
+        self.memo.clear();
+    }
+}
+
+struct Ingest<'a> {
+    key: &'a mut Vec<u32>,
+    loads: &'a mut Vec<(AnyView, Extent)>,
+    load_bufs: &'a mut Vec<u32>,
+    scalars: &'a mut Vec<f64>,
+    extents: &'a mut Vec<Extent>,
+    buffers: &'a mut Vec<usize>,
+    memo: &'a mut PtrMap<NodeMemo>,
+    ctx_id: u64,
+    next_ordinal: u32,
+}
+
+impl Ingest<'_> {
+    /// De Bruijn-style buffer slot: position in first-touch order, so the
+    /// key captures which leaves alias without naming buffers.
+    fn buffer_slot(&mut self, id: usize) -> u32 {
+        match self.buffers.iter().position(|&b| b == id) {
+            Some(i) => i as u32,
+            None => {
+                self.buffers.push(id);
+                (self.buffers.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Extent slot by *value* equality: the same program at a different
+    /// size keys identically (the actual extents live in the bindings).
+    fn extent_slot(&mut self, extent: Extent) -> u32 {
+        match self.extents.iter().position(|&e| e == extent) {
+            Some(i) => i as u32,
+            None => {
+                self.extents.push(extent);
+                (self.extents.len() - 1) as u32
+            }
+        }
+    }
+
+    fn guard_ctx(&self, ctx_id: u64) {
+        assert_eq!(
+            ctx_id, self.ctx_id,
+            "fused expression uses an array from another context"
+        );
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        let ptr = Rc::as_ptr(&e.node);
+        if let Some(m) = self.memo.get(&ptr) {
+            // Shared subexpression: the sharing pattern is part of the
+            // shape (it decides CSE and the planner's node budget), so it
+            // must be part of the key.
+            self.key.push(TOK_REF);
+            self.key.push(m.ordinal);
+            return;
+        }
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        let slot = match &*e.node {
+            ENode::Load(l) => {
+                self.guard_ctx(l.ctx_id);
+                let slot = self.loads.len() as u16;
+                self.loads.push((l.view.clone(), l.extent));
+                let buf = self.buffer_slot(l.id);
+                self.load_bufs.push(buf);
+                let ext = self.extent_slot(l.extent);
+                self.key.push(TOK_LOAD | rank_bits(l.extent));
+                self.key.push(buf);
+                self.key.push(ext);
+                SlotRef::Load(slot)
+            }
+            ENode::Scalar(v) => {
+                // Occurrence only: the value is a binding, so a changing
+                // coefficient (CG's alpha) still hits the cache.
+                let slot = self.scalars.len() as u16;
+                self.scalars.push(*v);
+                self.key.push(TOK_SCALAR);
+                SlotRef::Scalar(slot)
+            }
+            ENode::Unary(op, a) => {
+                self.key.push(TOK_UN | un_id(*op));
+                self.expr(a);
+                SlotRef::Op
+            }
+            ENode::Binary(op, a, b) => {
+                self.key.push(TOK_BIN | bin_id(*op));
+                self.expr(a);
+                self.expr(b);
+                SlotRef::Op
+            }
+            ENode::Forward { stmt, reload } => {
+                self.guard_ctx(reload.ctx_id);
+                // Bind the reload unconditionally; it is only read when
+                // the forward lands outside its statement's group, which
+                // the key (and therefore the plan) fully determines.
+                let slot = self.loads.len() as u16;
+                self.loads.push((reload.view.clone(), reload.extent));
+                let buf = self.buffer_slot(reload.id);
+                self.load_bufs.push(buf);
+                let ext = self.extent_slot(reload.extent);
+                self.key.push(TOK_FWD);
+                self.key.push(*stmt as u32);
+                self.key.push(buf);
+                self.key.push(ext);
+                SlotRef::Forward { reload: slot }
+            }
+        };
+        self.memo.insert(ptr, NodeMemo { ordinal, slot });
+    }
+}
+
+/// One pass over the program: emit the canonical key and fill the binding
+/// tables. Guards every leaf against cross-context arrays (same message
+/// as the interpreted path).
+pub(crate) fn ingest(s: &mut EvalScratch, ctx_id: u64, terminal: Option<(&Expr, ReduceKind)>) {
+    let EvalScratch {
+        stmts,
+        barriers,
+        key,
+        loads,
+        load_bufs,
+        stores,
+        store_bufs,
+        scalars,
+        extents,
+        buffers,
+        memo,
+    } = s;
+    let mut st = Ingest {
+        key,
+        loads,
+        load_bufs,
+        scalars,
+        extents,
+        buffers,
+        memo,
+        ctx_id,
+        next_ordinal: 0,
+    };
+    for (i, stmt) in stmts.iter().enumerate() {
+        if barriers.contains(&i) {
+            st.key.push(TOK_BARRIER);
+        }
+        st.guard_ctx(stmt.dst.ctx_id);
+        let buf = st.buffer_slot(stmt.dst.id);
+        let ext = st.extent_slot(stmt.dst.extent);
+        stores.push((stmt.dst.view.clone(), stmt.dst.extent));
+        store_bufs.push(buf);
+        st.key.push(TOK_STORE | rank_bits(stmt.dst.extent));
+        st.key.push(buf);
+        st.key.push(ext);
+        st.expr(&stmt.expr);
+    }
+    if barriers.contains(&stmts.len()) {
+        st.key.push(TOK_BARRIER);
+    }
+    if let Some((expr, kind)) = terminal {
+        st.key.push(TOK_REDUCE | kind_id(kind));
+        st.expr(expr);
+    }
+}
+
+/// One tape instruction. Operands are scratch-array indices; `Load` and
+/// `Scalar` name binding slots resolved per evaluation.
+#[derive(Clone, Copy)]
+pub(crate) enum TOp {
+    Load(u16),
+    Scalar(u16),
+    Un(UnOp, u16),
+    Bin(BinOp, u16, u16),
+}
+
+/// Scratch-array size class the tape executor is monomorphized over, so
+/// a 5-node axpy chain zeroes 8 slots per element instead of 64.
+#[derive(Clone, Copy)]
+pub(crate) enum SizeClass {
+    S8,
+    S16,
+    S32,
+    S64,
+}
+
+/// Hot program shapes with hand-shaped executors: the whole group becomes
+/// one direct closure, with bindings hoisted out of the element loop.
+/// Fields are load/scalar binding slots. Templates are recognized on the
+/// lowered tape, so recognition cost is paid once per cache miss.
+#[derive(Clone, Copy)]
+pub(crate) enum Template {
+    /// `d0[i] = x[i] + a·p[i]; d1[i] = r[i] + b·s[i]; Σ d1[i]²` — the CG
+    /// α-update (`racc_blas::fused::cg_update`).
+    ///
+    /// `in_place` is set when `x` aliases `d0` **and** `r` aliases `d1`
+    /// (the actual CG update): the executor then reads and writes through
+    /// one mutable view per vector, which the optimizer can keep in
+    /// registers — two split views over the same buffer force it to
+    /// assume every store may clobber the other view's loads. The cache
+    /// key encodes the aliasing pattern, so the flag is valid for every
+    /// evaluation that hits this plan.
+    DualAxpySumSq {
+        x: u16,
+        a: u16,
+        p: u16,
+        r: u16,
+        b: u16,
+        s: u16,
+        in_place: bool,
+    },
+    /// `d0[i] = x[i] + a·y[i]; Σ d0[i]·z[i]` — axpy feeding a dot
+    /// (`racc_blas::fused::axpy_dot`). `in_place` as above, for `x`/`d0`.
+    AxpyDot {
+        x: u16,
+        a: u16,
+        y: u16,
+        z: u16,
+        in_place: bool,
+    },
+}
+
+/// One lowered fusion group: pure shape, no bindings — safe to share
+/// across threads and evaluations.
+pub(crate) struct CachedGroup {
+    /// Index into the evaluation's extent bindings.
+    pub extent_slot: u16,
+    pub ops: Vec<TOp>,
+    /// `(store-binding slot, value-node index)` in statement order.
+    pub stores: Vec<(u16, u16)>,
+    pub reduce: Option<(u16, ReduceKind)>,
+    pub size_class: SizeClass,
+    pub template: Option<Template>,
+    pub profile: KernelProfile,
+}
+
+/// A compiled program: the groups the planner formed, lowered to tapes.
+pub(crate) struct CachedProgram {
+    pub groups: Vec<CachedGroup>,
+}
+
+/// Mirrors [`crate::plan`]'s `GroupCompiler` — same traversal, same CSE,
+/// same FLOP/byte accounting — but emits slot-indexed tape ops by reading
+/// binding slots from the ingest memo instead of cloning views.
+struct TapeCompiler<'p> {
+    in_group: &'p [usize],
+    slots: &'p PtrMap<NodeMemo>,
+    memo: PtrMap<u16>,
+    stmt_values: HashMap<usize, u16>,
+    ops: Vec<TOp>,
+    loads: usize,
+    flops: usize,
+}
+
+impl TapeCompiler<'_> {
+    fn push(&mut self, op: TOp) -> u16 {
+        self.ops.push(op);
+        (self.ops.len() - 1) as u16
+    }
+
+    fn compile(&mut self, e: &Expr) -> u16 {
+        let ptr = Rc::as_ptr(&e.node);
+        if let Some(&id) = self.memo.get(&ptr) {
+            return id;
+        }
+        let slot = &self.slots.get(&ptr).expect("node ingested").slot;
+        let id = match &*e.node {
+            ENode::Load(_) => {
+                let SlotRef::Load(s) = slot else {
+                    unreachable!("load node has a load slot")
+                };
+                self.loads += 1;
+                self.push(TOp::Load(*s))
+            }
+            ENode::Scalar(_) => {
+                let SlotRef::Scalar(s) = slot else {
+                    unreachable!("scalar node has a scalar slot")
+                };
+                self.push(TOp::Scalar(*s))
+            }
+            ENode::Unary(op, a) => {
+                let a = self.compile(a);
+                self.flops += 1;
+                self.push(TOp::Un(*op, a))
+            }
+            ENode::Binary(op, a, b) => {
+                let a = self.compile(a);
+                let b = self.compile(b);
+                self.flops += 1;
+                self.push(TOp::Bin(*op, a, b))
+            }
+            ENode::Forward { stmt, .. } => {
+                if self.in_group.contains(stmt) {
+                    *self
+                        .stmt_values
+                        .get(stmt)
+                        .expect("forward target compiled before use")
+                } else {
+                    let SlotRef::Forward { reload } = slot else {
+                        unreachable!("forward node has a reload slot")
+                    };
+                    self.loads += 1;
+                    self.push(TOp::Load(*reload))
+                }
+            }
+        };
+        self.memo.insert(ptr, id);
+        id
+    }
+}
+
+fn size_class(nodes: usize) -> SizeClass {
+    match nodes {
+        0..=8 => SizeClass::S8,
+        9..=16 => SizeClass::S16,
+        17..=32 => SizeClass::S32,
+        _ => SizeClass::S64,
+    }
+}
+
+/// Structural template recognition over the lowered tape. Only 1D groups
+/// qualify (the hot BLAS chains), and only exact shapes — anything else
+/// takes the generic tape, which is always correct.
+///
+/// Interleaving a template's stores between its statements is sound
+/// because the planner never fuses a statement that loads a buffer an
+/// earlier group statement stores: by the time a template writes `d0[i]`,
+/// no later load of the group can observe it.
+fn recognize(
+    s: &EvalScratch,
+    ops: &[TOp],
+    stores: &[(u16, u16)],
+    reduce: Option<(u16, ReduceKind)>,
+    extent: Extent,
+) -> Option<Template> {
+    if !matches!(extent, Extent::D1(_)) {
+        return None;
+    }
+    // Does load binding `l` name the same buffer as store binding `d`?
+    // Buffer slots come from the ingest pass, so this is exactly the
+    // aliasing pattern the cache key pins for every hit of this plan.
+    let aliases = |l: u16, d: u16| s.load_bufs[l as usize] == s.store_bufs[d as usize];
+    use BinOp::{Add, Mul};
+    if let (
+        [TOp::Load(x), TOp::Scalar(a), TOp::Load(p), TOp::Bin(Mul, 1, 2), TOp::Bin(Add, 0, 3), TOp::Load(r), TOp::Scalar(b), TOp::Load(s_), TOp::Bin(Mul, 6, 7), TOp::Bin(Add, 5, 8), TOp::Bin(Mul, 9, 9)],
+        [(d0, 4), (d1, 9)],
+        Some((10, ReduceKind::Sum)),
+    ) = (ops, stores, reduce)
+    {
+        return Some(Template::DualAxpySumSq {
+            x: *x,
+            a: *a,
+            p: *p,
+            r: *r,
+            b: *b,
+            s: *s_,
+            in_place: aliases(*x, *d0) && aliases(*r, *d1),
+        });
+    }
+    if let (
+        [TOp::Load(x), TOp::Scalar(a), TOp::Load(y), TOp::Bin(Mul, 1, 2), TOp::Bin(Add, 0, 3), TOp::Load(z), TOp::Bin(Mul, 4, 5)],
+        [(d0, 4)],
+        Some((6, ReduceKind::Sum)),
+    ) = (ops, stores, reduce)
+    {
+        return Some(Template::AxpyDot {
+            x: *x,
+            a: *a,
+            y: *y,
+            z: *z,
+            in_place: aliases(*x, *d0),
+        });
+    }
+    None
+}
+
+fn compile_group(s: &EvalScratch, group: &Group, name: &'static str) -> CachedGroup {
+    let mut c = TapeCompiler {
+        in_group: &group.stmts,
+        slots: &s.memo,
+        memo: PtrMap::default(),
+        stmt_values: HashMap::new(),
+        ops: Vec::new(),
+        loads: 0,
+        flops: 0,
+    };
+    let mut stores = Vec::new();
+    for &si in &group.stmts {
+        let value = c.compile(&s.stmts[si].expr);
+        c.stmt_values.insert(si, value);
+        stores.push((si as u16, value));
+    }
+    let reduce = group.reduce.as_ref().map(|(expr, kind)| {
+        let root = c.compile(expr);
+        // The combine is one more FLOP per element, matching the eager
+        // DOT profile (multiply + add = 2).
+        c.flops += 1;
+        (root, *kind)
+    });
+    let profile = KernelProfile::new(
+        name,
+        c.flops as f64,
+        (c.loads * 8) as f64,
+        (stores.len() * 8) as f64,
+    )
+    .as_fused();
+    let extent_slot = s
+        .extents
+        .iter()
+        .position(|&e| e == group.extent)
+        .expect("group extent was bound during ingest") as u16;
+    let template = recognize(s, &c.ops, &stores, reduce, group.extent);
+    CachedGroup {
+        extent_slot,
+        size_class: size_class(c.ops.len()),
+        template,
+        profile,
+        ops: c.ops,
+        stores,
+        reduce,
+    }
+}
+
+/// Lower every planned group against the ingest tables. Runs once per
+/// cache miss; hits skip straight to [`execute`].
+pub(crate) fn compile_program(
+    s: &EvalScratch,
+    groups: &[Group],
+    name: &'static str,
+) -> CachedProgram {
+    CachedProgram {
+        groups: groups.iter().map(|g| compile_group(s, g, name)).collect(),
+    }
+}
+
+/// Run a compiled program against the evaluation's bindings; returns the
+/// terminal reduction's value when the program has one.
+pub(crate) fn execute<B: Backend>(
+    ctx: &Context<B>,
+    prog: &CachedProgram,
+    s: &EvalScratch,
+) -> Option<f64> {
+    let mut result = None;
+    for g in &prog.groups {
+        let extent = s.extents[g.extent_slot as usize];
+        let v = if let Some(t) = g.template {
+            Some(run_template(ctx, g, t, s, extent))
+        } else {
+            match g.size_class {
+                SizeClass::S8 => run_tape::<B, 8>(ctx, g, s, extent),
+                SizeClass::S16 => run_tape::<B, 16>(ctx, g, s, extent),
+                SizeClass::S32 => run_tape::<B, 32>(ctx, g, s, extent),
+                SizeClass::S64 => run_tape::<B, 64>(ctx, g, s, extent),
+            }
+        };
+        if let Some(v) = v {
+            result = Some(v);
+        }
+    }
+    result
+}
+
+/// Generic tape executor, monomorphized per scratch size class. Captures
+/// only the binding slices (all `Sync`), never the scratch struct itself.
+fn run_tape<B: Backend, const N: usize>(
+    ctx: &Context<B>,
+    g: &CachedGroup,
+    s: &EvalScratch,
+    extent: Extent,
+) -> Option<f64> {
+    let ops = &g.ops[..];
+    let gstores = &g.stores[..];
+    let loads = &s.loads[..];
+    let scalars = &s.scalars[..];
+    let stores = &s.stores[..];
+    let reduce_root = g.reduce.map(|(root, _)| root);
+    let step = move |idx: usize| -> f64 {
+        let mut vals = [0.0f64; N];
+        for (k, op) in ops.iter().enumerate() {
+            vals[k] = match *op {
+                TOp::Load(b) => {
+                    let (view, e) = &loads[b as usize];
+                    view.get(*e, idx)
+                }
+                TOp::Scalar(b) => scalars[b as usize],
+                TOp::Un(op, a) => op.apply(vals[a as usize]),
+                TOp::Bin(op, a, b) => op.apply(vals[a as usize], vals[b as usize]),
+            };
+        }
+        for &(dst, node) in gstores {
+            let (view, e) = &stores[dst as usize];
+            view.set(*e, idx, vals[node as usize]);
+        }
+        match reduce_root {
+            Some(root) => vals[root as usize],
+            None => 0.0,
+        }
+    };
+    match g.reduce {
+        None => {
+            launch_for(ctx, &g.profile, extent, step);
+            None
+        }
+        Some((_, kind)) => Some(launch_reduce(ctx, &g.profile, extent, kind, step)),
+    }
+}
+
+fn launch_for<B: Backend>(
+    ctx: &Context<B>,
+    profile: &KernelProfile,
+    extent: Extent,
+    step: impl Fn(usize) -> f64 + Send + Sync,
+) {
+    match extent {
+        Extent::D1(n) => ctx.parallel_for(n, profile, move |i| {
+            step(i);
+        }),
+        Extent::D2(m, n) => ctx.parallel_for_2d((m, n), profile, move |i, j| {
+            step(j * m + i);
+        }),
+        Extent::D3(m, n, l) => ctx.parallel_for_3d((m, n, l), profile, move |i, j, k| {
+            step((k * n + j) * m + i);
+        }),
+    }
+}
+
+fn launch_reduce<B: Backend>(
+    ctx: &Context<B>,
+    profile: &KernelProfile,
+    extent: Extent,
+    kind: ReduceKind,
+    step: impl Fn(usize) -> f64 + Send + Sync,
+) -> f64 {
+    macro_rules! dispatch {
+        ($op:expr) => {
+            match extent {
+                Extent::D1(n) => ctx.parallel_reduce_with(n, profile, $op, |i| step(i)),
+                Extent::D2(m, n) => {
+                    ctx.parallel_reduce_2d_with((m, n), profile, $op, |i, j| step(j * m + i))
+                }
+                Extent::D3(m, n, l) => {
+                    ctx.parallel_reduce_3d_with((m, n, l), profile, $op, |i, j, k| {
+                        step((k * n + j) * m + i)
+                    })
+                }
+            }
+        };
+    }
+    match kind {
+        ReduceKind::Sum => dispatch!(Sum),
+        ReduceKind::Min => dispatch!(Min),
+        ReduceKind::Max => dispatch!(Max),
+    }
+}
+
+fn view1(v: &AnyView) -> View1<f64> {
+    match v {
+        AnyView::D1(v) => v.clone(),
+        _ => unreachable!("template groups are 1D"),
+    }
+}
+
+fn view1_mut(v: &AnyViewMut) -> ViewMut1<f64> {
+    match v {
+        AnyViewMut::D1(v) => v.clone(),
+        _ => unreachable!("template groups are 1D"),
+    }
+}
+
+/// Template executors: the per-element body is a direct closure over
+/// hoisted `View1`s and scalars — no tape walk, no scratch array. The
+/// operations and their order are exactly the tape's, so results stay
+/// bit-identical.
+fn run_template<B: Backend>(
+    ctx: &Context<B>,
+    g: &CachedGroup,
+    t: Template,
+    s: &EvalScratch,
+    extent: Extent,
+) -> f64 {
+    let Extent::D1(n) = extent else {
+        unreachable!("template groups are 1D")
+    };
+    match t {
+        Template::DualAxpySumSq {
+            x,
+            a,
+            p,
+            r,
+            b,
+            s: sv,
+            in_place,
+        } => {
+            let pv = view1(&s.loads[p as usize].0);
+            let sv = view1(&s.loads[sv as usize].0);
+            let a = s.scalars[a as usize];
+            let b = s.scalars[b as usize];
+            let d0 = view1_mut(&s.stores[g.stores[0].0 as usize].0);
+            let d1 = view1_mut(&s.stores[g.stores[1].0 as usize].0);
+            // SAFETY (both arms): every bound view spans the group extent —
+            // asserted here once so the per-element bodies can skip the
+            // bounds checks that would otherwise be re-verified after each
+            // store (the raw view pointers defeat the optimizer's aliasing
+            // analysis). Same loads, same order, same bits.
+            assert!(pv.len() >= n && sv.len() >= n && d0.len() >= n && d1.len() >= n);
+            if in_place {
+                // `x` IS `d0` and `r` IS `d1`: read-modify-write through
+                // the mutable views. Same loads, same order, same bits —
+                // but the compiler now sees one pointer per vector.
+                ctx.parallel_reduce_with(n, &g.profile, Sum, move |i| unsafe {
+                    let xi = d0.get_unchecked(i) + a * pv.get_unchecked(i);
+                    d0.set_unchecked(i, xi);
+                    let ri = d1.get_unchecked(i) + b * sv.get_unchecked(i);
+                    d1.set_unchecked(i, ri);
+                    ri * ri
+                })
+            } else {
+                let xv = view1(&s.loads[x as usize].0);
+                let rv = view1(&s.loads[r as usize].0);
+                assert!(xv.len() >= n && rv.len() >= n);
+                ctx.parallel_reduce_with(n, &g.profile, Sum, move |i| unsafe {
+                    let xi = xv.get_unchecked(i) + a * pv.get_unchecked(i);
+                    d0.set_unchecked(i, xi);
+                    let ri = rv.get_unchecked(i) + b * sv.get_unchecked(i);
+                    d1.set_unchecked(i, ri);
+                    ri * ri
+                })
+            }
+        }
+        Template::AxpyDot {
+            x,
+            a,
+            y,
+            z,
+            in_place,
+        } => {
+            let yv = view1(&s.loads[y as usize].0);
+            let zv = view1(&s.loads[z as usize].0);
+            let a = s.scalars[a as usize];
+            let d0 = view1_mut(&s.stores[g.stores[0].0 as usize].0);
+            // SAFETY (both arms): see `DualAxpySumSq`.
+            assert!(yv.len() >= n && zv.len() >= n && d0.len() >= n);
+            if in_place {
+                ctx.parallel_reduce_with(n, &g.profile, Sum, move |i| unsafe {
+                    let xi = d0.get_unchecked(i) + a * yv.get_unchecked(i);
+                    d0.set_unchecked(i, xi);
+                    xi * zv.get_unchecked(i)
+                })
+            } else {
+                let xv = view1(&s.loads[x as usize].0);
+                assert!(xv.len() >= n);
+                ctx.parallel_reduce_with(n, &g.profile, Sum, move |i| unsafe {
+                    let xi = xv.get_unchecked(i) + a * yv.get_unchecked(i);
+                    d0.set_unchecked(i, xi);
+                    xi * zv.get_unchecked(i)
+                })
+            }
+        }
+    }
+}

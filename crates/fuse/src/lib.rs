@@ -13,38 +13,51 @@
 //! launch carrying the *summed* [`racc_core::KernelProfile`] of its
 //! statements, so the analytic perf model, the `Timeline`, and trace
 //! reconciliation stay exact. Unfusable boundaries (extent change,
-//! explicit [`Fused::barrier`], a reload of a buffer stored earlier in
+//! explicit [`Lazy::barrier`], a reload of a buffer stored earlier in
 //! the group, the [`MAX_NODES`] budget) force a materialize.
 //!
-//! Fused evaluation is **bit-identical** to the eager statement sequence
-//! on every backend: per index the interpreter performs the same f64
-//! operations in program order, and the single launch dispatches through
-//! the same backend primitive over the same extent, so every backend's
-//! reduction order (serial fold, threadpool partials, the simulators'
-//! two-kernel tree) is unchanged.
+//! ## Compiled plans and the plan cache
+//!
+//! By default every evaluation goes through a **compiled plan**: the
+//! program's canonical shape (ops, extent classes, aliasing and sharing
+//! pattern — never array identities or scalar values) keys a per-context
+//! cache of lowered programs, so steady-state loops like CG plan and
+//! lower **once** and then re-execute specialized tape or template
+//! executors against fresh bindings with zero allocation. Cache traffic
+//! is visible through `ctx.stats()`; `RACC_PLAN_CACHE=<capacity|off>`
+//! sizes or disables the cache. [`Lazy::interpreted`] keeps the
+//! walk-the-DAG-each-time path (for A/B measurement), and
+//! [`Lazy::eager`] forces one launch per statement — the reference
+//! semantics both other modes must reproduce bit-identically.
 //!
 //! ```
 //! use racc_core::{Context, SerialBackend};
-//! use racc_fuse::{load, FusedExt};
+//! use racc_fuse::{load, LazyExt};
 //!
 //! let ctx = Context::new(SerialBackend::new());
 //! let x = ctx.array_from_fn(1024, |i| i as f64).unwrap();
 //! let y = ctx.array_from_fn(1024, |i| 2.0 * i as f64).unwrap();
 //!
 //! // x += 0.5 * y, then dot(x, y) — ONE launch instead of three.
-//! let mut f = ctx.fused();
-//! let xv = f.assign(&x, load(&x) + 0.5 * load(&y));
-//! let dot = f.sum(xv * load(&y));
+//! let mut l = ctx.lazy();
+//! let xv = l.assign(&x, load(&x) + 0.5 * load(&y));
+//! let dot = l.sum(xv * load(&y));
 //! assert!(dot > 0.0);
+//! // The second evaluation of the same chain hits the plan cache.
+//! assert!(ctx.stats().plan_cache.misses >= 1);
 //! ```
 //!
 //! The engine interprets in `f64` — the element type of every workload in
 //! the reproduced paper.
 
+use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use racc_core::{Array1, Backend, Context, RaccError};
 
+mod cache;
+mod compile;
 mod exec;
 mod graph;
 mod plan;
@@ -52,10 +65,12 @@ mod plan;
 pub use graph::{BinOp, Extent, Fusable, UnOp};
 pub use plan::MAX_NODES;
 
+use cache::PlanCache;
+use compile::EvalScratch;
 use graph::ENode;
 use plan::Stmt;
 
-/// Reduction operator of a terminal [`Fused::reduce`]-style evaluation.
+/// Reduction operator of a terminal [`Lazy::reduce`]-style evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceKind {
     /// `Σ f(i)` — JACC's `parallel_reduce`.
@@ -108,7 +123,8 @@ impl Expr {
         Expr::binary(BinOp::Max, self, other)
     }
 
-    /// Evaluates this 1D expression into a fresh array: one fused launch.
+    /// Evaluates this 1D expression into a fresh array: one compiled
+    /// fused launch (cached by program shape).
     pub fn eval<B: Backend>(&self, ctx: &Context<B>) -> Result<Array1<f64>, RaccError> {
         let n = match plan::expr_extent(self) {
             Some(Extent::D1(n)) => n,
@@ -116,22 +132,23 @@ impl Expr {
             None => panic!("Expr::eval needs at least one array in the expression"),
         };
         let out = ctx.zeros::<f64>(n)?;
-        let mut f = Fused::new(ctx);
-        f.assign(&out, self.clone());
-        f.run();
+        let mut l = Lazy::new(ctx);
+        l.store(&out, self.clone());
+        l.eval();
         Ok(out)
     }
 
-    /// Evaluates this expression into an existing array: one fused launch.
+    /// Evaluates this expression into an existing array: one compiled
+    /// fused launch (cached by program shape).
     pub fn eval_into<B: Backend, A: Fusable>(&self, ctx: &Context<B>, dst: &A) {
-        let mut f = Fused::new(ctx);
-        f.assign(dst, self.clone());
-        f.run();
+        let mut l = Lazy::new(ctx);
+        l.store(dst, self.clone());
+        l.eval();
     }
 
-    /// Sum-reduces this expression in one fused launch.
+    /// Sum-reduces this expression in one compiled fused launch.
     pub fn eval_sum<B: Backend>(&self, ctx: &Context<B>) -> f64 {
-        Fused::new(ctx).sum(self.clone())
+        Lazy::new(ctx).sum(self.clone())
     }
 }
 
@@ -183,42 +200,83 @@ impl std::ops::Neg for Expr {
     }
 }
 
-/// A fused program under construction: an ordered list of array
-/// assignments, optionally closed by one reduction. Obtained from
-/// [`FusedExt::fused`] (`ctx.fused()`).
+/// How a [`Lazy`] program evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Plan once per program shape, cache the lowered program, execute
+    /// specialized tape/template kernels (the default).
+    Compiled,
+    /// Plan and walk the DAG every evaluation (the pre-cache engine);
+    /// kept callable for A/B measurement.
+    Interpreted,
+    /// One launch per statement — the reference semantics.
+    Eager,
+}
+
+thread_local! {
+    /// One pooled [`EvalScratch`] per thread, so back-to-back `Lazy`
+    /// evaluations (the steady-state loop) allocate nothing. Nested
+    /// programs fall back to a fresh allocation; the last one dropped
+    /// refills the pool.
+    static SCRATCH: Cell<Option<Box<EvalScratch>>> = const { Cell::new(None) };
+}
+
+/// A lazy expression scope: an ordered list of array assignments,
+/// optionally closed by one reduction. Obtained from [`LazyExt::lazy`]
+/// (`ctx.lazy()`).
 ///
 /// Semantics are *defined* by the eager reading — each `assign` is a full
 /// pass, in order, and the terminal reduction runs last. Fusion only
-/// regroups the passes; [`Fused::eager`] forces the reference grouping
-/// (one launch per statement), which the differential tests hold the
-/// planner to, bit for bit.
-pub struct Fused<'c, B: Backend> {
+/// regroups the passes; [`Lazy::eager`] forces the reference grouping
+/// (one launch per statement), which the differential tests hold both the
+/// interpreter and the compiled plans to, bit for bit.
+pub struct Lazy<'c, B: Backend> {
     ctx: &'c Context<B>,
-    stmts: Vec<Stmt>,
-    /// Statement indices before which an explicit barrier sits.
-    barriers: Vec<usize>,
-    eager: bool,
-    /// Constructs launched by `run`/`sum` (for tests and benches).
-    launches: std::cell::Cell<usize>,
+    /// Pooled program + binding storage; `Some` until drop.
+    scratch: Option<Box<EvalScratch>>,
+    mode: Mode,
+    /// Profile (and compile-span) name of this program's launches.
+    name: &'static str,
+    /// Constructs launched by `eval`/`sum` (for tests and benches).
+    launches: Cell<usize>,
 }
 
-impl<'c, B: Backend> Fused<'c, B> {
+impl<'c, B: Backend> Lazy<'c, B> {
     /// An empty program over `ctx`.
     pub fn new(ctx: &'c Context<B>) -> Self {
-        Fused {
+        Lazy {
             ctx,
-            stmts: Vec::new(),
-            barriers: Vec::new(),
-            eager: false,
-            launches: std::cell::Cell::new(0),
+            scratch: Some(SCRATCH.with(|c| c.take()).unwrap_or_default()),
+            mode: Mode::Compiled,
+            name: "fused",
+            launches: Cell::new(0),
         }
     }
 
-    /// Force one launch per statement — the reference semantics that the
-    /// fused execution must reproduce bit-identically.
+    /// Force one launch per statement — the reference semantics that both
+    /// fused execution modes must reproduce bit-identically.
     pub fn eager(mut self) -> Self {
-        self.eager = true;
+        self.mode = Mode::Eager;
         self
+    }
+
+    /// Fuse, but interpret the expression DAG each evaluation instead of
+    /// consulting the plan cache — the pre-compilation engine, kept for
+    /// A/B measurement (`figures -- bench-fusion` reports both).
+    pub fn interpreted(mut self) -> Self {
+        self.mode = Mode::Interpreted;
+        self
+    }
+
+    /// Names this program's kernel profile (and compile span); defaults
+    /// to `"fused"`. Programs with different names cache separately.
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    fn s(&mut self) -> &mut EvalScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
     }
 
     /// Appends `dst[i] = expr[i]` and returns the stored value as an
@@ -228,81 +286,174 @@ impl<'c, B: Backend> Fused<'c, B> {
     pub fn assign<A: Fusable>(&mut self, dst: &A, expr: Expr) -> Expr {
         let dst_ref = dst.store_ref();
         let reload = dst.load_ref();
-        let stmt_idx = self.stmts.len();
-        self.stmts.push(Stmt { dst: dst_ref, expr });
+        let s = self.s();
+        let stmt_idx = s.stmts.len();
+        s.stmts.push(Stmt { dst: dst_ref, expr });
         Expr::wrap(ENode::Forward {
             stmt: stmt_idx,
             reload,
         })
     }
 
+    /// Appends `dst[i] = expr[i]` without returning a forwarding handle —
+    /// use [`Lazy::assign`] when a later statement consumes the stored
+    /// value. (Unlike `assign` this allocates no forward node, which
+    /// keeps pre-built steady-state programs fully allocation-free.)
+    pub fn store<A: Fusable>(&mut self, dst: &A, expr: Expr) {
+        let dst_ref = dst.store_ref();
+        self.s().stmts.push(Stmt { dst: dst_ref, expr });
+    }
+
     /// Forces every destination assigned so far to materialize before any
     /// later statement runs (an explicit fusion boundary).
     pub fn barrier(&mut self) {
-        self.barriers.push(self.stmts.len());
+        let s = self.s();
+        let at = s.stmts.len();
+        s.barriers.push(at);
     }
 
-    /// Runs the program (no terminal reduction).
-    pub fn run(&mut self) {
+    /// Evaluates the program (no terminal reduction).
+    pub fn eval(&mut self) {
         self.finish(None);
     }
 
-    /// Runs the program, then reduces `expr` with `kind`. The reduction
-    /// fuses into the last group when legal.
+    /// Evaluates the program — the historical name of [`Lazy::eval`].
+    pub fn run(&mut self) {
+        self.eval();
+    }
+
+    /// Evaluates the program, then reduces `expr` with `kind`. The
+    /// reduction fuses into the last group when legal.
     pub fn reduce(&mut self, expr: Expr, kind: ReduceKind) -> f64 {
         self.finish(Some((expr, kind)))
             .expect("terminal reduction returns a value")
     }
 
-    /// Runs the program and sum-reduces `expr` (`Σ expr[i]`).
+    /// Evaluates the program and sum-reduces `expr` (`Σ expr[i]`).
     pub fn sum(&mut self, expr: Expr) -> f64 {
         self.reduce(expr, ReduceKind::Sum)
     }
 
-    /// Runs the program and computes `Σ a[i]·b[i]`.
+    /// Evaluates the program and computes `Σ a[i]·b[i]`.
     pub fn dot(&mut self, a: Expr, b: Expr) -> f64 {
         self.sum(a * b)
     }
 
-    /// Number of backend constructs the last `run`/`sum`/`reduce` issued
-    /// — fused launches per program (for tests and benches).
+    /// Number of backend constructs the last evaluation issued — fused
+    /// launches per program (for tests and benches).
     pub fn count_launches(&self) -> usize {
         self.launches.get()
     }
 
-    /// Plans, compiles and executes; returns the terminal reduction value
-    /// when one was requested.
-    fn finish(&self, terminal: Option<(Expr, ReduceKind)>) -> Option<f64> {
-        let groups = plan::plan(&self.stmts, &self.barriers, terminal, self.eager);
+    fn finish(&mut self, terminal: Option<(Expr, ReduceKind)>) -> Option<f64> {
+        match self.mode {
+            Mode::Compiled => self.finish_compiled(terminal),
+            Mode::Interpreted => self.finish_interpreted(terminal, false),
+            Mode::Eager => self.finish_interpreted(terminal, true),
+        }
+    }
+
+    /// The pre-cache engine: plan, flatten, and interpret the DAG.
+    fn finish_interpreted(
+        &mut self,
+        terminal: Option<(Expr, ReduceKind)>,
+        eager: bool,
+    ) -> Option<f64> {
+        let ctx = self.ctx;
+        let s = self.s();
+        let groups = plan::plan(&s.stmts, &s.barriers, terminal, eager);
         let mut result = None;
         for group in &groups {
-            let compiled = plan::compile(&self.stmts, group, self.eager);
-            if let Some(v) = exec::run_group(self.ctx, &compiled) {
+            let compiled = plan::compile(&s.stmts, group, eager);
+            if let Some(v) = exec::run_group(ctx, &compiled) {
                 result = Some(v);
             }
         }
         self.launches.set(groups.len());
         result
     }
+
+    /// The compiled engine: canonicalize, consult the per-context plan
+    /// cache, lower on miss, execute the cached program against this
+    /// evaluation's bindings.
+    fn finish_compiled(&mut self, terminal: Option<(Expr, ReduceKind)>) -> Option<f64> {
+        let ctx = self.ctx;
+        let name = self.name;
+        let slot = ctx.plan_cache_slot();
+        let cache: &PlanCache =
+            slot.get_or_init(|| PlanCache::new(slot.mode(), Arc::clone(slot.counters())));
+        let s = self.scratch.as_mut().expect("scratch present until drop");
+        compile::ingest(s, ctx.id(), terminal.as_ref().map(|(e, k)| (e, *k)));
+        let hash = cache::hash_key(&s.key, name);
+        let program = match cache.lookup(hash, &s.key, name) {
+            Some(program) => program,
+            None => {
+                #[cfg(feature = "trace")]
+                let t0 = ctx.tracer().map(|_| std::time::Instant::now());
+                let groups = plan::plan(&s.stmts, &s.barriers, terminal, false);
+                let program = Arc::new(compile::compile_program(s, &groups, name));
+                #[cfg(feature = "trace")]
+                if let Some(recorder) = ctx.tracer() {
+                    use racc_core::trace::{ConstructKind, Span};
+                    recorder.record(
+                        Span::new(ctx.key(), ConstructKind::Compile, name)
+                            .dims(program.groups.len() as u64, 1, 1)
+                            .real_since(t0),
+                    );
+                }
+                cache.insert(hash, &s.key, name, Arc::clone(&program));
+                program
+            }
+        };
+        self.launches.set(program.groups.len());
+        compile::execute(ctx, &program, s)
+    }
 }
 
-/// Extension hanging the fusion front end off any [`Context`]:
-/// `ctx.fused()`.
+impl<B: Backend> Drop for Lazy<'_, B> {
+    fn drop(&mut self) {
+        if let Some(mut scratch) = self.scratch.take() {
+            scratch.clear();
+            SCRATCH.with(|c| c.set(Some(scratch)));
+        }
+    }
+}
+
+/// Extension hanging the lazy-expression front end off any [`Context`]:
+/// `ctx.lazy()`.
+pub trait LazyExt<B: Backend> {
+    /// Starts an empty lazy expression scope over this context.
+    fn lazy(&self) -> Lazy<'_, B>;
+}
+
+impl<B: Backend> LazyExt<B> for Context<B> {
+    fn lazy(&self) -> Lazy<'_, B> {
+        Lazy::new(self)
+    }
+}
+
+/// The pre-0.2 name of [`Lazy`].
+#[deprecated(note = "renamed to `Lazy`; obtain one with `ctx.lazy()`")]
+pub type Fused<'c, B> = Lazy<'c, B>;
+
+/// The pre-0.2 spelling of [`LazyExt`]: `ctx.fused()`.
+#[deprecated(note = "use `LazyExt::lazy` (`ctx.lazy()`) instead")]
 pub trait FusedExt<B: Backend> {
     /// Starts an empty fused program over this context.
-    fn fused(&self) -> Fused<'_, B>;
+    fn fused(&self) -> Lazy<'_, B>;
 }
 
+#[allow(deprecated)]
 impl<B: Backend> FusedExt<B> for Context<B> {
-    fn fused(&self) -> Fused<'_, B> {
-        Fused::new(self)
+    fn fused(&self) -> Lazy<'_, B> {
+        Lazy::new(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use racc_core::SerialBackend;
+    use racc_core::{PlanCacheMode, SerialBackend};
 
     fn ctx() -> Context<SerialBackend> {
         Context::new(SerialBackend::new())
@@ -321,12 +472,12 @@ mod tests {
         let z = ctx.zeros::<f64>(n).unwrap();
         let before = ctx.timeline();
 
-        let mut f = ctx.fused();
-        let xv = f.assign(&x, load(&x) + 2.0 * load(&y));
-        f.assign(&z, xv * 0.5);
-        f.run();
+        let mut l = ctx.lazy();
+        let xv = l.assign(&x, load(&x) + 2.0 * load(&y));
+        l.assign(&z, xv * 0.5);
+        l.eval();
 
-        assert_eq!(f.count_launches(), 1);
+        assert_eq!(l.count_launches(), 1);
         let after = ctx.timeline();
         assert_eq!(after.launches - before.launches, 1);
         let xs = ctx.to_host(&x).unwrap();
@@ -345,11 +496,11 @@ mod tests {
         let y = ctx.array_from_fn(n, |i| 1.0 + (i % 3) as f64).unwrap();
         let before = ctx.timeline();
 
-        let mut f = ctx.fused();
-        let xv = f.assign(&x, load(&x) + 0.5 * load(&y));
-        let dot = f.sum(xv * load(&y));
+        let mut l = ctx.lazy();
+        let xv = l.assign(&x, load(&x) + 0.5 * load(&y));
+        let dot = l.sum(xv * load(&y));
 
-        assert_eq!(f.count_launches(), 1);
+        assert_eq!(l.count_launches(), 1);
         let after = ctx.timeline();
         assert_eq!(after.launches, before.launches, "no separate parallel_for");
         assert_eq!(after.reductions - before.reductions, 1);
@@ -363,7 +514,7 @@ mod tests {
     }
 
     #[test]
-    fn fused_matches_eager_bitwise() {
+    fn compiled_interpreted_and_eager_match_bitwise() {
         let ctx = ctx();
         let n = 777;
         let mk = || {
@@ -373,22 +524,29 @@ mod tests {
                 ctx.zeros::<f64>(n).unwrap(),
             )
         };
-        let run = |eager: bool| -> (Vec<u64>, Vec<u64>, u64) {
+        let run = |mode: u8| -> (Vec<u64>, Vec<u64>, u64) {
             let (x, y, z) = mk();
-            let mut f = ctx.fused();
-            if eager {
-                f = f.eager();
-            }
-            let xv = f.assign(&x, load(&x) * 1.5 - load(&y));
-            let zv = f.assign(&z, xv.clone().abs().sqrt() + load(&y));
-            let s = f.sum(zv.max(xv));
+            let mut l = ctx.lazy();
+            l = match mode {
+                0 => l,
+                1 => l.interpreted(),
+                _ => l.eager(),
+            };
+            let xv = l.assign(&x, load(&x) * 1.5 - load(&y));
+            let zv = l.assign(&z, xv.clone().abs().sqrt() + load(&y));
+            let s = l.sum(zv.max(xv));
             (
                 bits(&ctx.to_host(&x).unwrap()),
                 bits(&ctx.to_host(&z).unwrap()),
                 s.to_bits(),
             )
         };
-        assert_eq!(run(false), run(true));
+        let compiled = run(0);
+        assert_eq!(compiled, run(1), "compiled vs interpreted");
+        assert_eq!(compiled, run(2), "compiled vs eager");
+        // And again, so the second compiled evaluation is a cache hit.
+        assert_eq!(compiled, run(0), "cache-hit evaluation");
+        assert!(ctx.stats().plan_cache.hits >= 1);
     }
 
     #[test]
@@ -399,19 +557,19 @@ mod tests {
         let y = ctx.zeros::<f64>(n).unwrap();
 
         // Explicit barrier: 2 launches.
-        let mut f = ctx.fused();
-        f.assign(&x, lit(1.0) + load(&y));
-        f.barrier();
-        f.assign(&y, lit(2.0) * load(&x).min(lit(8.0)));
-        f.run();
-        assert_eq!(f.count_launches(), 2);
+        let mut l = ctx.lazy();
+        l.assign(&x, lit(1.0) + load(&y));
+        l.barrier();
+        l.assign(&y, lit(2.0) * load(&x).min(lit(8.0)));
+        l.eval();
+        assert_eq!(l.count_launches(), 2);
 
         // Raw reload of a stored buffer: planner splits on the hazard.
-        let mut f = ctx.fused();
-        f.assign(&x, load(&y) + 1.0);
-        f.assign(&y, load(&x) * 2.0); // reload of x, not the forward
-        f.run();
-        assert_eq!(f.count_launches(), 2);
+        let mut l = ctx.lazy();
+        l.assign(&x, load(&y) + 1.0);
+        l.assign(&y, load(&x) * 2.0); // reload of x, not the forward
+        l.eval();
+        assert_eq!(l.count_launches(), 2);
         let xs = ctx.to_host(&x).unwrap();
         let ys = ctx.to_host(&y).unwrap();
         assert_eq!(xs[0], 3.0);
@@ -423,11 +581,11 @@ mod tests {
         let ctx = ctx();
         let a = ctx.zeros::<f64>(64).unwrap();
         let b = ctx.zeros::<f64>(128).unwrap();
-        let mut f = ctx.fused();
-        f.assign(&a, lit(1.0) + load(&a));
-        f.assign(&b, lit(2.0) + load(&b));
-        f.run();
-        assert_eq!(f.count_launches(), 2);
+        let mut l = ctx.lazy();
+        l.assign(&a, lit(1.0) + load(&a));
+        l.assign(&b, lit(2.0) + load(&b));
+        l.eval();
+        assert_eq!(l.count_launches(), 2);
     }
 
     #[test]
@@ -435,18 +593,18 @@ mod tests {
         let ctx = ctx();
         let a = ctx.zeros2::<f64>(5, 7).unwrap();
         let b = ctx.zeros2::<f64>(5, 7).unwrap();
-        let mut f = ctx.fused();
-        let av = f.assign(&a, load(&a) + 3.0);
-        let bv = f.assign(&b, av * 2.0);
-        let s = f.sum(bv);
-        assert_eq!(f.count_launches(), 1);
+        let mut l = ctx.lazy();
+        let av = l.assign(&a, load(&a) + 3.0);
+        let bv = l.assign(&b, av * 2.0);
+        let s = l.sum(bv);
+        assert_eq!(l.count_launches(), 1);
         assert_eq!(s, 5.0 * 7.0 * 6.0);
 
         let c = ctx.zeros3::<f64>(3, 4, 5).unwrap();
-        let mut f = ctx.fused();
-        let cv = f.assign(&c, load(&c) + 1.0);
-        let s = f.sum(cv.clone() * cv);
-        assert_eq!(f.count_launches(), 1);
+        let mut l = ctx.lazy();
+        let cv = l.assign(&c, load(&c) + 1.0);
+        let s = l.sum(cv.clone() * cv);
+        assert_eq!(l.count_launches(), 1);
         assert_eq!(s, 60.0);
     }
 
@@ -469,8 +627,8 @@ mod tests {
         let x = ctx
             .array_from_fn(101, |i| ((i as f64) - 50.0) * ((i % 13) as f64))
             .unwrap();
-        let lo = ctx.fused().reduce(load(&x), ReduceKind::Min);
-        let hi = ctx.fused().reduce(load(&x), ReduceKind::Max);
+        let lo = ctx.lazy().reduce(load(&x), ReduceKind::Min);
+        let hi = ctx.lazy().reduce(load(&x), ReduceKind::Max);
         let host = ctx.to_host(&x).unwrap();
         assert_eq!(lo, host.iter().cloned().fold(f64::INFINITY, f64::min));
         assert_eq!(hi, host.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
@@ -483,12 +641,12 @@ mod tests {
         let x = ctx.array_from_fn(n, |i| i as f64).unwrap();
         let y = ctx.zeros::<f64>(n).unwrap();
         let e = load(&x) * 2.0;
-        let mut f = ctx.fused();
+        let mut l = ctx.lazy();
         // `e` appears twice through the same Rc: CSE keeps the fused group
         // inside the node budget and reads x only once per index.
-        f.assign(&y, e.clone() + e.clone() * e);
-        f.run();
-        assert_eq!(f.count_launches(), 1);
+        l.assign(&y, e.clone() + e.clone() * e);
+        l.eval();
+        assert_eq!(l.count_launches(), 1);
         let ys = ctx.to_host(&y).unwrap();
         assert_eq!(ys[3], 6.0 + 36.0);
     }
@@ -499,9 +657,9 @@ mod tests {
         let ctx = ctx();
         let a = ctx.zeros::<f64>(4).unwrap();
         let b = ctx.zeros::<f64>(5).unwrap();
-        let mut f = ctx.fused();
-        f.assign(&a, load(&a) + load(&b));
-        f.run();
+        let mut l = ctx.lazy();
+        l.assign(&a, load(&a) + load(&b));
+        l.eval();
     }
 
     #[test]
@@ -510,9 +668,9 @@ mod tests {
         let c1 = ctx();
         let c2 = ctx();
         let a = c1.zeros::<f64>(4).unwrap();
-        let mut f = c2.fused();
-        f.assign(&a, load(&a) + 1.0);
-        f.run();
+        let mut l = c2.lazy();
+        l.assign(&a, load(&a) + 1.0);
+        l.eval();
     }
 
     #[test]
@@ -521,7 +679,7 @@ mod tests {
         let n = 16;
         let x = ctx.array_from_fn(n, |i| i as f64 + 1.0).unwrap();
         let y = ctx.zeros::<f64>(n).unwrap();
-        let mut f = ctx.fused();
+        let mut l = ctx.lazy();
         // Each statement ~21 nodes; three of them exceed MAX_NODES = 64,
         // so the planner must split at least once — and results stay right.
         for _ in 0..3 {
@@ -529,11 +687,79 @@ mod tests {
             for _ in 0..10 {
                 e = e * 1.0 + 0.0;
             }
-            f.assign(&y, e);
+            l.assign(&y, e);
         }
-        f.run();
-        assert!(f.count_launches() >= 2, "{}", f.count_launches());
+        l.eval();
+        assert!(l.count_launches() >= 2, "{}", l.count_launches());
         let ys = ctx.to_host(&y).unwrap();
         assert_eq!(ys[3], 4.0);
+    }
+
+    #[test]
+    fn steady_state_loop_hits_the_cache() {
+        let ctx = ctx();
+        let n = 64;
+        let x = ctx.array_from_fn(n, |i| i as f64).unwrap();
+        let y = ctx.array_from_fn(n, |i| (i % 5) as f64).unwrap();
+        for iter in 0..10 {
+            // Changing the scalar must not change the cached shape.
+            let alpha = 0.25 + iter as f64;
+            let mut l = ctx.lazy();
+            let xv = l.assign(&x, load(&x) + lit(alpha) * load(&y));
+            l.sum(xv.clone() * xv);
+        }
+        let pc = ctx.stats().plan_cache;
+        assert_eq!(pc.misses, 1, "{pc:?}");
+        assert_eq!(pc.hits, 9, "{pc:?}");
+        assert_eq!(pc.entries, 1);
+    }
+
+    #[test]
+    fn named_programs_cache_separately() {
+        let ctx = ctx();
+        let x = ctx.array_from_fn(8, |i| i as f64).unwrap();
+        let a = ctx.lazy().sum(load(&x));
+        let b = ctx.lazy().named("other").sum(load(&x));
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(ctx.stats().plan_cache.misses, 2);
+    }
+
+    #[test]
+    fn builder_capacity_and_off_modes_apply() {
+        // Capacity 1: two distinct shapes evict each other.
+        let ctx = Context::builder(SerialBackend::new())
+            .plan_cache(PlanCacheMode::Capacity(1))
+            .build();
+        let x = ctx.array_from_fn(8, |i| i as f64).unwrap();
+        ctx.lazy().sum(load(&x));
+        ctx.lazy().sum(load(&x).abs());
+        ctx.lazy().sum(load(&x));
+        let pc = ctx.stats().plan_cache;
+        assert_eq!(pc.misses, 3, "{pc:?}");
+        assert_eq!(pc.evictions, 2, "{pc:?}");
+        assert_eq!(pc.entries, 1);
+
+        // Off: correct results, no caching, misses still counted.
+        let ctx = Context::builder(SerialBackend::new())
+            .plan_cache(PlanCacheMode::Off)
+            .build();
+        let x = ctx.array_from_fn(8, |i| i as f64).unwrap();
+        let a = ctx.lazy().sum(load(&x));
+        let b = ctx.lazy().sum(load(&x));
+        assert_eq!(a.to_bits(), b.to_bits());
+        let pc = ctx.stats().plan_cache;
+        assert!(!pc.enabled);
+        assert_eq!((pc.hits, pc.misses, pc.entries), (0, 2, 0), "{pc:?}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_fused_spelling_still_works() {
+        let ctx = ctx();
+        let x = ctx.array_from_fn(16, |i| i as f64).unwrap();
+        let mut f = ctx.fused();
+        let xv = f.assign(&x, load(&x) + 1.0);
+        let s = f.sum(xv);
+        assert_eq!(s, (0..16).map(|i| i as f64 + 1.0).sum::<f64>());
     }
 }

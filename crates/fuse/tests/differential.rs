@@ -15,14 +15,15 @@
 //!   different extents (a forced materialize at every extent change) plus
 //!   explicit barriers.
 //!
-//! Each case runs twice per backend — `ctx.fused()` vs
-//! `ctx.fused().eager()` — and compares every array's bytes and the
-//! reduction value via `to_bits`. The same tests must also hold under
+//! Each case runs three times per backend — compiled (`ctx.lazy()`, the
+//! plan-cache default), interpreted (`ctx.lazy().interpreted()`), and
+//! eager (`ctx.lazy().eager()`) — and compares every array's bytes and
+//! the reduction value via `to_bits`. The same tests must also hold under
 //! `--features racecheck` and `RACC_SANITIZER=1` (CI runs both).
 
 use proptest::prelude::*;
 use racc_core::{Array1, Backend, Context, SerialBackend, ThreadsBackend};
-use racc_fuse::{lit, load, Expr, FusedExt, ReduceKind};
+use racc_fuse::{lit, load, Expr, LazyExt, ReduceKind};
 
 /// Arrays per extent pool.
 const N_ARR: usize = 3;
@@ -134,24 +135,33 @@ fn fill<B: Backend>(ctx: &Context<B>, n: usize, salt: usize) -> Vec<Array1<f64>>
         .collect()
 }
 
+/// Evaluation mode of one differential run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Compiled,
+    Interpreted,
+    Eager,
+}
+
 /// Runs `spec` over `pools.len()` extent pools (statement `dst` selects
 /// pool then array) and returns every array's bytes plus the reduction
-/// bits. `eager` selects the reference grouping.
+/// bits. `mode` selects compiled plans, the interpreter, or the eager
+/// reference grouping.
 fn run_spec<B: Backend>(
     ctx: &Context<B>,
     spec: &Spec,
     sizes: &[usize],
-    eager: bool,
+    mode: Mode,
 ) -> (Vec<Vec<u64>>, Option<u64>, usize) {
     let pools: Vec<Vec<Array1<f64>>> = sizes
         .iter()
         .enumerate()
         .map(|(p, &n)| fill(ctx, n, p))
         .collect();
-    let mut f = if eager {
-        ctx.fused().eager()
-    } else {
-        ctx.fused()
+    let mut f = match mode {
+        Mode::Compiled => ctx.lazy(),
+        Mode::Interpreted => ctx.lazy().interpreted(),
+        Mode::Eager => ctx.lazy().eager(),
     };
     // Forwards are only meaningful within the destination's extent pool.
     let mut prevs: Vec<Vec<Expr>> = vec![Vec::new(); pools.len()];
@@ -196,16 +206,47 @@ fn run_spec<B: Backend>(
     (bits, red, launches)
 }
 
-/// Fused vs eager on one backend: identical bytes, identical reduction,
-/// and fusion never issues *more* launches than eager.
+/// Compiled and interpreted vs eager on one backend: identical bytes,
+/// identical reduction, identical grouping between the two fused modes,
+/// and fusion never issues *more* launches than eager. The compiled run
+/// goes first and again last, so at least one evaluation per spec is a
+/// plan-cache *hit* replaying a cached program against fresh arrays.
 fn check_backend<B: Backend>(ctx: &Context<B>, spec: &Spec, sizes: &[usize]) {
-    let (fused, fred, flaunch) = run_spec(ctx, spec, sizes, false);
-    let (eager, ered, elaunch) = run_spec(ctx, spec, sizes, true);
-    assert_eq!(fused, eager, "fused arrays diverge from eager: {spec:?}");
-    assert_eq!(fred, ered, "fused reduction diverges from eager: {spec:?}");
+    let (compiled, cred, claunch) = run_spec(ctx, spec, sizes, Mode::Compiled);
+    let (interp, ired, ilaunch) = run_spec(ctx, spec, sizes, Mode::Interpreted);
+    let (eager, ered, elaunch) = run_spec(ctx, spec, sizes, Mode::Eager);
+    assert_eq!(
+        compiled, eager,
+        "compiled arrays diverge from eager: {spec:?}"
+    );
+    assert_eq!(
+        interp, eager,
+        "interpreted arrays diverge from eager: {spec:?}"
+    );
+    assert_eq!(
+        cred, ered,
+        "compiled reduction diverges from eager: {spec:?}"
+    );
+    assert_eq!(
+        ired, ered,
+        "interpreted reduction diverges from eager: {spec:?}"
+    );
+    assert_eq!(
+        claunch, ilaunch,
+        "compiled and interpreted grouping diverge: {spec:?}"
+    );
     assert!(
-        flaunch <= elaunch,
-        "fusion used {flaunch} launches, eager {elaunch}: {spec:?}"
+        claunch <= elaunch,
+        "fusion used {claunch} launches, eager {elaunch}: {spec:?}"
+    );
+    let (rerun, rred, _) = run_spec(ctx, spec, sizes, Mode::Compiled);
+    assert_eq!(
+        rerun, eager,
+        "cache-hit arrays diverge from eager: {spec:?}"
+    );
+    assert_eq!(
+        rred, ered,
+        "cache-hit reduction diverges from eager: {spec:?}"
     );
 }
 

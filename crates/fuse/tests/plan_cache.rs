@@ -1,0 +1,170 @@
+//! Plan-cache correctness: the canonical key is a *shape* key.
+//!
+//! Two programs built from different arrays (different buffers, different
+//! scalar values, even different lengths) but with the same structure must
+//! share **one** cached plan — and executing the shared plan against the
+//! second program's bindings must be bit-identical to evaluating that
+//! program eagerly. Conversely, programs whose aliasing or `Rc`-sharing
+//! pattern differs must *not* share an entry, because grouping depends on
+//! both.
+
+use proptest::prelude::*;
+use racc_core::{Array1, Backend, Context, SerialBackend, ThreadsBackend};
+use racc_fuse::{lit, load, LazyExt};
+
+fn cg_like<B: Backend>(
+    ctx: &Context<B>,
+    alpha: f64,
+    x: &Array1<f64>,
+    p: &Array1<f64>,
+    r: &Array1<f64>,
+    s: &Array1<f64>,
+) -> f64 {
+    let mut l = ctx.lazy();
+    l.store(x, load(x) + lit(alpha) * load(p));
+    let rv = l.assign(r, load(r) + lit(-alpha) * load(s));
+    l.sum(rv.clone() * rv)
+}
+
+fn eager_cg_like<B: Backend>(
+    ctx: &Context<B>,
+    alpha: f64,
+    x: &Array1<f64>,
+    p: &Array1<f64>,
+    r: &Array1<f64>,
+    s: &Array1<f64>,
+) -> f64 {
+    let mut l = ctx.lazy().eager();
+    l.store(x, load(x) + lit(alpha) * load(p));
+    let rv = l.assign(r, load(r) + lit(-alpha) * load(s));
+    l.sum(rv.clone() * rv)
+}
+
+fn arrays<B: Backend>(ctx: &Context<B>, n: usize, salt: usize) -> [Array1<f64>; 4] {
+    [3usize, 5, 7, 11].map(|k| {
+        ctx.array_from_fn(n, move |i| ((i * k + salt) % 13) as f64 * 0.5 - 3.0)
+            .unwrap()
+    })
+}
+
+/// The heart of the satellite: same shape, different arrays, different
+/// sizes, different scalars — one cache entry, bit-identical results.
+#[test]
+fn shape_identical_programs_share_one_plan() {
+    let ctx = Context::new(SerialBackend::new());
+
+    let [x1, p1, r1, s1] = arrays(&ctx, 257, 0);
+    let v1 = cg_like(&ctx, 0.8125, &x1, &p1, &r1, &s1);
+
+    // Entirely different arrays, a different length, a different alpha.
+    let [x2, p2, r2, s2] = arrays(&ctx, 1023, 5);
+    let v2 = cg_like(&ctx, -1.375, &x2, &p2, &r2, &s2);
+
+    let pc = ctx.stats().plan_cache;
+    assert_eq!(pc.misses, 1, "second program should reuse the plan: {pc:?}");
+    assert_eq!(pc.hits, 1, "{pc:?}");
+    assert_eq!(pc.entries, 1, "{pc:?}");
+
+    // The cache-hit evaluation is bit-identical to an eager reference
+    // over fresh arrays with the same contents.
+    let eager = Context::new(SerialBackend::new());
+    let [ex, ep, er, es] = arrays(&eager, 1023, 5);
+    let ev = eager_cg_like(&eager, -1.375, &ex, &ep, &er, &es);
+    assert_eq!(v2.to_bits(), ev.to_bits());
+    assert_eq!(
+        ctx.to_host(&x2).unwrap()[100].to_bits(),
+        eager.to_host(&ex).unwrap()[100].to_bits()
+    );
+    assert_eq!(
+        ctx.to_host(&r2).unwrap()[100].to_bits(),
+        eager.to_host(&er).unwrap()[100].to_bits()
+    );
+    let _ = v1;
+}
+
+/// Aliasing pattern is part of the shape: `y += a·y` (destination aliases
+/// a source) must not share a plan with `x += a·y`.
+#[test]
+fn aliasing_pattern_keys_distinctly() {
+    let ctx = Context::new(SerialBackend::new());
+    let x = ctx.array_from_fn(64, |i| i as f64).unwrap();
+    let y = ctx.array_from_fn(64, |i| (i % 5) as f64).unwrap();
+
+    let mut l = ctx.lazy();
+    l.store(&x, load(&x) + lit(2.0) * load(&y));
+    l.eval();
+
+    // Same tree, but the destination now aliases the scaled source.
+    let mut l = ctx.lazy();
+    l.store(&y, load(&x) + lit(2.0) * load(&y));
+    l.eval();
+
+    let pc = ctx.stats().plan_cache;
+    assert_eq!(pc.misses, 2, "aliasing change must miss: {pc:?}");
+    assert_eq!(pc.entries, 2, "{pc:?}");
+}
+
+/// `Rc`-sharing is part of the shape: `e + e` through one `Rc` (CSE, one
+/// read) and through two structurally equal trees (two reads) group the
+/// same here, but tree size — and thus the planner's budget decisions —
+/// differ, so they must key separately.
+#[test]
+fn sharing_pattern_keys_distinctly() {
+    let ctx = Context::new(SerialBackend::new());
+    let x = ctx.array_from_fn(64, |i| i as f64 + 1.0).unwrap();
+    let y = ctx.zeros::<f64>(64).unwrap();
+
+    let shared = load(&x) * 2.0;
+    let mut l = ctx.lazy();
+    l.store(&y, shared.clone() + shared);
+    l.eval();
+
+    let mut l = ctx.lazy();
+    l.store(&y, load(&x) * 2.0 + load(&x) * 2.0);
+    l.eval();
+
+    let pc = ctx.stats().plan_cache;
+    assert_eq!(pc.misses, 2, "sharing change must miss: {pc:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replaying a cached plan against fresh bindings is bit-identical to
+    /// the eager reference of the second program, on a serial and a
+    /// threaded backend.
+    #[test]
+    fn cache_hit_matches_eager_reference(
+        n1 in 1usize..96,
+        n2 in 1usize..96,
+        salt in 0usize..32,
+        alpha_q in -16i32..16,
+    ) {
+        let alpha = f64::from(alpha_q) * 0.3125;
+        fn check<B: Backend>(ctx: &Context<B>, reference: &Context<B>,
+                             n1: usize, n2: usize, salt: usize, alpha: f64) {
+            // Warm the cache with shape twin #1...
+            let [x1, p1, r1, s1] = arrays(ctx, n1, salt);
+            cg_like(ctx, 0.5, &x1, &p1, &r1, &s1);
+            // ...then evaluate twin #2 through the cached plan.
+            let [x2, p2, r2, s2] = arrays(ctx, n2, salt + 1);
+            let hit = cg_like(ctx, alpha, &x2, &p2, &r2, &s2);
+            let pc = ctx.stats().plan_cache;
+            assert_eq!(pc.misses, 1, "{pc:?}");
+
+            let [ex, ep, er, es] = arrays(reference, n2, salt + 1);
+            let want = eager_cg_like(reference, alpha, &ex, &ep, &er, &es);
+            assert_eq!(hit.to_bits(), want.to_bits());
+            let (got_x, want_x) = (ctx.to_host(&x2).unwrap(), reference.to_host(&ex).unwrap());
+            let (got_r, want_r) = (ctx.to_host(&r2).unwrap(), reference.to_host(&er).unwrap());
+            for i in 0..n2 {
+                assert_eq!(got_x[i].to_bits(), want_x[i].to_bits());
+                assert_eq!(got_r[i].to_bits(), want_r[i].to_bits());
+            }
+        }
+        check(&Context::new(SerialBackend::new()),
+              &Context::new(SerialBackend::new()), n1, n2, salt, alpha);
+        check(&Context::new(ThreadsBackend::with_threads(3)),
+              &Context::new(ThreadsBackend::with_threads(3)), n1, n2, salt, alpha);
+    }
+}

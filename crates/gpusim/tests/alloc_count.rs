@@ -189,4 +189,34 @@ fn execute_grid_steady_state_is_allocation_free() {
         ctx_allocs, 0,
         "Context parallel_for with fusion off must not allocate in steady state"
     );
+
+    // The compiled-plan cache-hit path: once a lazy program's plan is
+    // cached, re-evaluating it must be allocation-free end to end —
+    // scratch comes from the thread-local pool, ingest reuses its
+    // retained buffers, the cache lookup clones an `Arc`, and the tape
+    // executor keeps per-element slots on the stack. The expression is
+    // pre-built (cloning it is an `Rc` bump, not an allocation) and uses
+    // `store` rather than `assign` (which would mint a `Forward` node per
+    // call). Map-only on purpose: the simulator's reduction kernels
+    // allocate their partials buffer per launch by design.
+    use racc_fuse::LazyExt;
+    let expr = racc_fuse::load(&a) + racc_fuse::lit(1.0);
+    let run_lazy = || {
+        let mut l = ctx.lazy();
+        l.store(&a, expr.clone());
+        l.eval();
+    };
+    // Warm-up: first call plans, compiles, and inserts; later calls hit.
+    for _ in 0..8 {
+        run_lazy();
+    }
+    let before = allocs();
+    for _ in 0..4 {
+        run_lazy();
+    }
+    let lazy_allocs = allocs() - before;
+    assert_eq!(
+        lazy_allocs, 0,
+        "cached-plan re-evaluation must not allocate in steady state"
+    );
 }

@@ -1,13 +1,43 @@
 //! A counting latch used to implement the pool's synchronous join.
+//!
+//! The latch spins briefly before parking: the pool's broadcasts are
+//! microsecond-scale (one chunk of a `parallel_for` per worker), and the
+//! caller going through a futex sleep/wake per construct used to dominate
+//! the fused-launch benchmarks. The count lives in an atomic so both the
+//! spin phase and `count_down` stay lock-free; the mutex + condvar pair is
+//! only the parking fallback for long-running jobs. Wake-ups cannot be
+//! missed: waiters re-check the count *while holding the lock*, and the
+//! final decrementer notifies under that same lock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use parking_lot::{Condvar, Mutex};
+
+/// Spin iterations before a waiter parks on the condvar. Sized so that
+/// typical broadcast turnarounds (a few microseconds) finish inside the
+/// spin, while genuinely long jobs park within ~tens of microseconds.
+///
+/// Spinning only pays when the waiter and the threads it waits on can run
+/// *simultaneously*: on a single-hardware-thread host the spinner is
+/// stealing the very core its peers need to finish, turning microsecond
+/// joins into scheduler-quantum stalls. There the spin phase is disabled
+/// and waiters park immediately.
+pub(crate) fn spin_iters() -> usize {
+    static ITERS: OnceLock<usize> = OnceLock::new();
+    *ITERS.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 1 << 14,
+        _ => 0,
+    })
+}
 
 /// A latch initialized with a count; waiters block until the count reaches
 /// zero. Unlike a barrier it is single-use per count and the decrementers
 /// need not be the waiters.
 #[derive(Debug)]
 pub struct CountLatch {
-    remaining: Mutex<usize>,
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
     cond: Condvar,
 }
 
@@ -15,7 +45,8 @@ impl CountLatch {
     /// Create a latch that releases waiters after `count` decrements.
     pub fn new(count: usize) -> Self {
         CountLatch {
-            remaining: Mutex::new(count),
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
             cond: Condvar::new(),
         }
     }
@@ -25,25 +56,33 @@ impl CountLatch {
     /// # Panics
     /// Panics if decremented below zero — that is always a bookkeeping bug.
     pub fn count_down(&self) {
-        let mut remaining = self.remaining.lock();
-        assert!(*remaining > 0, "CountLatch decremented below zero");
-        *remaining -= 1;
-        if *remaining == 0 {
+        let old = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(old > 0, "CountLatch decremented below zero");
+        if old == 1 {
+            // Take the lock so the notify cannot slip between a parked
+            // waiter's predicate check and its wait.
+            let _guard = self.lock.lock();
             self.cond.notify_all();
         }
     }
 
-    /// Block until the count reaches zero.
+    /// Block until the count reaches zero: bounded spin first, then park.
     pub fn wait(&self) {
-        let mut remaining = self.remaining.lock();
-        while *remaining > 0 {
-            self.cond.wait(&mut remaining);
+        for _ in 0..spin_iters() {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock();
+        while self.remaining.load(Ordering::Acquire) > 0 {
+            self.cond.wait(&mut guard);
         }
     }
 
     /// Current count (racy; for diagnostics and tests).
     pub fn count(&self) -> usize {
-        *self.remaining.lock()
+        self.remaining.load(Ordering::Acquire)
     }
 }
 

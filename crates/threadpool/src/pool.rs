@@ -12,11 +12,30 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use crate::latch::CountLatch;
 use crate::schedule::{static_block, Schedule};
+
+/// Bounded-spin receive: polls `try_recv` before falling back to the
+/// blocking `recv`. Returns `None` when every sender is gone.
+///
+/// The spin budget matches the latch's ([`crate::latch::spin_iters`]):
+/// back-to-back constructs are microseconds apart, so staying on-core
+/// between them pays for itself, while an idle pool still sleeps — and on
+/// a single-hardware-thread host the budget is zero, because a polling
+/// worker there starves the caller that would send it work.
+fn recv_spinning<T>(rx: &Receiver<T>) -> Option<T> {
+    for _ in 0..crate::latch::spin_iters() {
+        match rx.try_recv() {
+            Ok(msg) => return Some(msg),
+            Err(TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(TryRecvError::Disconnected) => return None,
+        }
+    }
+    rx.recv().ok()
+}
 
 /// Errors from pool construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,7 +153,11 @@ impl ThreadPool {
             let handle = std::thread::Builder::new()
                 .name(format!("racc-worker-{w}"))
                 .spawn(move || {
-                    while let Ok(msg) = rx.recv() {
+                    // Spin-then-park receive: consecutive broadcasts arrive
+                    // microseconds apart, so a bounded `try_recv` spin
+                    // avoids a futex sleep/wake per construct; an idle
+                    // worker still parks in `recv`.
+                    while let Some(msg) = recv_spinning(&rx) {
                         match msg {
                             // SAFETY: the broadcasting call is blocked on the
                             // job latch until we count it down inside

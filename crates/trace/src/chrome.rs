@@ -27,6 +27,7 @@ const fn lane(kind: ConstructKind) -> (u32, &'static str) {
         ConstructKind::Sanitizer => (5, "sanitizer"),
         ConstructKind::Fused => (6, "fused"),
         ConstructKind::Fault => (7, "faults"),
+        ConstructKind::Compile => (8, "compile"),
     }
 }
 

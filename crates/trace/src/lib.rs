@@ -73,6 +73,12 @@ pub enum ConstructKind {
     /// one: the name is the fault-site label (`h2d`, `launch`, …) or
     /// `fallback`; `modeled_ns` is the retry backoff charged, if any.
     Fault,
+    /// A fused-plan compilation (`racc-fuse`): planning + lowering one
+    /// lazy program into its cached executable form on a plan-cache miss.
+    /// Host-side work — `real_ns` is the measured compile time and
+    /// `modeled_ns` is 0, so the modeled timeline stays untouched;
+    /// `dims.0` is the number of fused groups produced.
+    Compile,
 }
 
 impl ConstructKind {
@@ -83,7 +89,7 @@ impl ConstructKind {
 
     /// Every kind, in declaration order. Kept next to the enum; the
     /// `all_kinds_listed_exactly_once` test below pins exhaustiveness.
-    pub const ALL: [ConstructKind; 14] = [
+    pub const ALL: [ConstructKind; 15] = [
         ConstructKind::For1d,
         ConstructKind::For2d,
         ConstructKind::For3d,
@@ -98,6 +104,7 @@ impl ConstructKind {
         ConstructKind::Sanitizer,
         ConstructKind::Fused,
         ConstructKind::Fault,
+        ConstructKind::Compile,
     ];
     /// The lowercase label used in sinks (`for1d`, `reduce2d`, `h2d`, ...).
     pub fn label(self) -> &'static str {
@@ -116,6 +123,7 @@ impl ConstructKind {
             ConstructKind::Sanitizer => "sanitizer",
             ConstructKind::Fused => "fused",
             ConstructKind::Fault => "fault",
+            ConstructKind::Compile => "compile",
         }
     }
 

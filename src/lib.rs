@@ -78,10 +78,12 @@ pub use racc_core::RaccError as Error;
 pub use racc_core::trace;
 
 /// The lazy expression-graph and kernel-fusion engine (`racc-fuse`):
-/// build elementwise expressions over arrays, and the planner coalesces
-/// each maximal same-extent chain (plus an optional trailing reduction)
-/// into one launch. See [`ContextBuilder::fusion`] for the knob libraries
-/// consult.
+/// open a scope with `ctx.lazy()`, build elementwise expressions over
+/// arrays, and `eval()` compiles each maximal same-extent chain (plus an
+/// optional trailing reduction) into one launch, caching the compiled
+/// plan by shape so steady-state loops skip planning entirely. See
+/// [`ContextBuilder::fusion`] for the knob libraries consult and
+/// `Context::stats` for the cache counters.
 pub use racc_fuse as fuse;
 
 #[cfg(feature = "backend-cuda")]
@@ -101,7 +103,8 @@ pub use racc_backend_oneapi::OneApiBackend;
 /// | [`default_context`], [`context_for`], [`available_backends`] | selection helpers |
 /// | [`Array1`]–[`Array3`] | the `JACC.Array` analogs |
 /// | [`KernelProfile`] | per-kernel cost annotations |
-/// | `load`, `lit`, `Expr`, `Fused`, `FusedExt`, `ReduceKind` | lazy fused expressions ([`fuse`]) |
+/// | `load`, `lit`, `Expr`, `Lazy`, `LazyExt`, `ReduceKind` | lazy fused expressions ([`fuse`]) |
+/// | `RuntimeStats` | `ctx.stats()`: plan-cache and fault counters |
 /// | [`Sum`], [`Max`], [`Min`], [`Prod`], [`ReduceOp`] | reduction operators |
 /// | [`Backend`], [`AnyBackend`], [`SerialBackend`], [`ThreadsBackend`] | back ends |
 /// | [`RaccError`] / [`Error`] | the unified error type |
@@ -116,7 +119,7 @@ pub use racc_backend_oneapi::OneApiBackend;
 pub mod prelude {
     pub use racc_core::{
         Array1, Array2, Array3, Backend, Context, KernelProfile, Max, Min, Prod, RaccError,
-        ReduceOp, SerialBackend, Sum, ThreadsBackend, TimelineSnapshot,
+        ReduceOp, RuntimeStats, SerialBackend, Sum, ThreadsBackend, TimelineSnapshot,
     };
 
     pub use crate::{
@@ -124,7 +127,10 @@ pub mod prelude {
         Error, FaultPlan, RetryPolicy,
     };
 
-    pub use racc_fuse::{lit, load, Expr, Fused, FusedExt, ReduceKind};
+    pub use racc_fuse::{lit, load, Expr, Lazy, LazyExt, ReduceKind};
+    // The pre-plan-cache spellings, kept importable for one release.
+    #[allow(deprecated)]
+    pub use racc_fuse::{Fused, FusedExt};
 
     #[cfg(feature = "trace")]
     pub use racc_core::trace::{Span, TraceRecorder};
@@ -750,7 +756,7 @@ mod tests {
 
     #[test]
     fn fusion_knob_and_prelude_wire_through() {
-        use crate::prelude::{load, FusedExt};
+        use crate::prelude::{load, LazyExt};
 
         let ctx = builder().backend("serial").fusion(true).build().unwrap();
         assert!(ctx.fusion_enabled());
@@ -760,14 +766,29 @@ mod tests {
         // The expression engine works through the enum-dispatched Ctx.
         let x = ctx.array_from_fn(64, |i| i as f64).unwrap();
         let y = ctx.array_from_fn(64, |i| (i % 5) as f64).unwrap();
-        let mut f = ctx.fused();
-        let xv = f.assign(&x, load(&x) + 2.0 * load(&y));
-        let dot = f.sum(xv * load(&y));
-        assert_eq!(f.count_launches(), 1);
+        let mut l = ctx.lazy();
+        let xv = l.assign(&x, load(&x) + 2.0 * load(&y));
+        let dot = l.sum(xv * load(&y));
+        assert_eq!(l.count_launches(), 1);
         let want: f64 = (0..64)
             .map(|i| (i as f64 + 2.0 * (i % 5) as f64) * (i % 5) as f64)
             .sum();
         assert_eq!(dot, want);
+
+        // The chain went through the compiled-plan path, and `stats()`
+        // reports it through the enum-dispatched context too.
+        let stats = ctx.stats();
+        assert_eq!(stats.plan_cache.misses, 1, "{stats}");
+
+        // The deprecated spelling still compiles and shares the cache.
+        #[allow(deprecated)]
+        {
+            use crate::prelude::FusedExt;
+            let mut f = ctx.fused();
+            let xv = f.assign(&x, load(&x) + 2.0 * load(&y));
+            f.sum(xv * load(&y));
+        }
+        assert_eq!(ctx.stats().plan_cache.hits, 1);
     }
 
     #[test]
