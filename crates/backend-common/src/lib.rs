@@ -353,6 +353,10 @@ impl Backend for SimBackend {
         Some(report.to_string())
     }
 
+    fn steal_stats(&self) -> Option<racc_core::StealStats> {
+        Some(self.device.steal_stats())
+    }
+
     fn set_chaos(&self, plan: FaultPlan) -> bool {
         self.device.set_chaos(plan);
         true

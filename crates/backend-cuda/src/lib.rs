@@ -86,6 +86,9 @@ impl Backend for CudaBackend {
     fn sanitizer_report(&self) -> Option<String> {
         self.inner.sanitizer_report()
     }
+    fn steal_stats(&self) -> Option<racc_core::StealStats> {
+        self.inner.steal_stats()
+    }
     fn set_chaos(&self, plan: FaultPlan) -> bool {
         self.inner.set_chaos(plan)
     }

@@ -1,11 +1,15 @@
-//! Ablation (DESIGN.md §7): static block scheduling vs dynamic
-//! chunk-stealing on the thread pool, real wall time, for a uniform, a
+//! Ablation (DESIGN.md §7, §14): static block scheduling vs dynamic
+//! work-stealing on the thread pool, real wall time, for a uniform, a
 //! skewed (triangular-cost), and a block-loop-shaped workload.
 //!
-//! The chunk sweep (`dynamic-1` … `dynamic-256`) is what the
-//! `Schedule::Dynamic { chunk: 0 }` auto-chunk heuristic is tuned against:
-//! too small and the atomic grab dominates, too large and skewed workloads
-//! lose load balance to the tail chunk.
+//! Since the deque rework, `Schedule::Dynamic { chunk }` sets the
+//! work-stealing *grain* — the smallest tile the binary splitter produces,
+//! i.e. the unit of theft — rather than a shared-cursor claim size. The
+//! sweep (`dynamic-1` … `dynamic-256`) is what the `chunk: 0` auto-grain
+//! heuristic (`n / 8·participants`, clamped) is tuned against: too fine
+//! and split/steal traffic dominates, too coarse and skewed workloads
+//! lose load balance to the tail tiles. `RACC_GRAIN` overrides the
+//! auto-grain at run time without touching call sites.
 //!
 //! Set `RACC_BENCH_THREADS` to measure a fixed pool width (useful on
 //! constrained CI machines where `available_parallelism()` is 1 and every

@@ -1,0 +1,109 @@
+//! Work-stealing ablation (DESIGN.md §14): the Chase–Lev deque core vs a
+//! recreation of the old shared-cursor dynamic-chunk dispatch, on the two
+//! workloads where they differ most — a ragged power-law CSR matvec (heavy
+//! rows strand a fixed-chunk split) and a skewed triangular-cost loop.
+//!
+//! The `figures -- bench-steal` binary measures the same pair core-vs-core
+//! with interleaved wall-clock windows and emits `results/BENCH_steal.json`
+//! for the CI regression gate; this criterion bench is the interactive
+//! drill-down with per-schedule statistics.
+//!
+//! Set `RACC_BENCH_THREADS` to fix the pool width (CI boxes often report
+//! `available_parallelism() == 1`). `RACC_GRAIN` overrides the deque core's
+//! split grain for `Schedule::Dynamic { chunk: 0 }`; non-zero `chunk`
+//! values set the grain directly.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use racc_cg::csr::Csr;
+use racc_threadpool::{Schedule, ThreadPool};
+
+fn bench_threads() -> usize {
+    std::env::var("RACC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The pre-deque dispatch: every participant spins on one shared cursor,
+/// claiming `chunk` iterations per atomic grab.
+fn counter_for(pool: &ThreadPool, n: usize, chunk: usize, f: &(impl Fn(usize) + Sync)) {
+    let cursor = AtomicUsize::new(0);
+    pool.broadcast(|_| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + chunk).min(n);
+        for i in start..end {
+            f(i);
+        }
+    });
+}
+
+fn work(units: usize) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..units {
+        acc += (i as f64).sqrt();
+    }
+    acc
+}
+
+fn bench_steal(c: &mut Criterion) {
+    let threads = bench_threads();
+    let sched = Schedule::Dynamic { chunk: 0 };
+    let mut group = c.benchmark_group("steal");
+    group.sample_size(10);
+
+    // Ragged power-law CSR matvec.
+    {
+        let n = 1 << 9;
+        let a = Csr::ragged_power_law(n, 256, 42);
+        let x: Vec<f64> = (0..n).map(|i| 0.25 * ((i % 9) as f64) - 1.0).collect();
+        let y: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let row = |r: usize| {
+            let mut acc = 0.0;
+            for idx in a.row_ptr[r]..a.row_ptr[r + 1] {
+                acc += a.values[idx] * x[a.col_idx[idx]];
+            }
+            y[r].store(acc.to_bits(), Ordering::Relaxed);
+        };
+        group.bench_with_input(BenchmarkId::new("ragged-csr", "chunk-core"), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            let chunk = sched.dynamic_chunk(n, pool.num_threads());
+            b.iter(|| counter_for(&pool, n, chunk, &row));
+        });
+        group.bench_with_input(BenchmarkId::new("ragged-csr", "deque-core"), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            b.iter(|| pool.parallel_for(n, sched, row));
+        });
+    }
+
+    // Skewed triangular cost (iteration i costs ~i).
+    {
+        let n = 1 << 11;
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let body = |i: usize| {
+            out[i].store(work(i / 8).to_bits(), Ordering::Relaxed);
+        };
+        group.bench_with_input(BenchmarkId::new("skewed", "chunk-core"), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            let chunk = sched.dynamic_chunk(n, pool.num_threads());
+            b.iter(|| counter_for(&pool, n, chunk, &body));
+        });
+        group.bench_with_input(BenchmarkId::new("skewed", "deque-core"), &n, |b, &n| {
+            let pool = ThreadPool::new(threads);
+            b.iter(|| pool.parallel_for(n, sched, body));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_steal);
+criterion_main!(benches);

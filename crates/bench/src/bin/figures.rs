@@ -40,6 +40,7 @@ fn main() {
         "ablate-lbm-launch" => ablate_lbm_launch(),
         "bench-launch-overhead" => bench_launch_overhead(),
         "bench-fusion" => bench_fusion(),
+        "bench-steal" => bench_steal(),
         "trace" => {
             let experiment = args
                 .iter()
@@ -71,7 +72,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|trace|sancheck|all"
+                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|bench-steal|trace|sancheck|all"
             );
             std::process::exit(2);
         }
@@ -974,6 +975,218 @@ fn bench_fusion() {
     let path = "results/BENCH_fusion.json";
     std::fs::write(path, json).expect("write bench JSON");
     println!("\nfusion series written to {path}");
+}
+
+/// Work-stealing benchmark: the deque-based pool core against the
+/// pre-deque dynamic-chunk core (re-created here: one `broadcast` per
+/// construct, every participant claiming fixed chunks from one shared
+/// atomic cursor) on three thread-pool workloads — a ragged power-law
+/// CSR matvec (the load-balance stress case), a skewed triangular-cost
+/// loop, and a uniform loop (the no-regression case). Results are
+/// asserted bit-identical between cores before anything is reported.
+/// Prints a table and writes `results/BENCH_steal.json` with wall
+/// speedups and the pool's steal telemetry. `RACC_BENCH_QUICK=1`
+/// shrinks sizes and iteration counts.
+fn bench_steal() {
+    use racc_cg::csr::Csr;
+    use racc_threadpool::{Schedule, ThreadPool};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
+
+    let quick = std::env::var_os("RACC_BENCH_QUICK").is_some();
+    // Fixed worker count, as in bench-fusion: on a small CI box the
+    // default pool degenerates to one participant and measures nothing.
+    const THREADS_WORKERS: usize = 4;
+    let iters: u32 = if quick { 20 } else { 200 };
+    let reps = if quick { 3 } else { 11 };
+
+    let pool = ThreadPool::new(THREADS_WORKERS);
+    let participants = pool.num_threads();
+
+    /// The old core's dispatch: every participant spins on one shared
+    /// cursor, claiming `chunk` iterations per atomic grab.
+    fn counter_for(pool: &ThreadPool, n: usize, chunk: usize, f: &(impl Fn(usize) + Sync)) {
+        let cursor = AtomicUsize::new(0);
+        pool.broadcast(|_| loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                f(i);
+            }
+        });
+    }
+
+    /// Minimum wall ns per construct for each of two launchers, measured in
+    /// *interleaved* windows (a,b,a,b,…) so ambient load on a shared box
+    /// lands on both sides instead of biasing whichever ran second.
+    fn measure_pair(
+        iters: u32,
+        reps: usize,
+        mut a: impl FnMut(),
+        mut b: impl FnMut(),
+    ) -> (f64, f64) {
+        for _ in 0..(iters / 4).max(2) {
+            a();
+            b();
+        }
+        let window = |launch: &mut dyn FnMut()| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                launch();
+            }
+            t0.elapsed().as_nanos() as f64 / f64::from(iters)
+        };
+        let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            best_a = best_a.min(window(&mut a));
+            best_b = best_b.min(window(&mut b));
+        }
+        (best_a, best_b)
+    }
+
+    struct Workload {
+        name: &'static str,
+        n: usize,
+        baseline_ns: f64,
+        steal_ns: f64,
+    }
+    let mut rows: Vec<Workload> = Vec::new();
+    let sched = Schedule::Dynamic { chunk: 0 };
+
+    // 1. Ragged power-law CSR matvec: a static or fixed-chunk row split
+    //    leaves the heavy rows on one participant.
+    {
+        // Sized so dispatch and load imbalance are a real fraction of the
+        // construct (~tens of µs): at much larger n the matvec is
+        // memory-bound compute on both cores and the scheduler can't show.
+        let n = if quick { 1 << 10 } else { 1 << 9 };
+        let max_nnz = if quick { 128 } else { 256 };
+        let a = Csr::ragged_power_law(n, max_nnz, 42);
+        let x: Vec<f64> = (0..n).map(|i| 0.25 * ((i % 9) as f64) - 1.0).collect();
+        let chunk = sched.dynamic_chunk(n, participants);
+        let y: Vec<std::sync::atomic::AtomicU64> = (0..n)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
+        let row = |r: usize| {
+            let mut acc = 0.0;
+            for idx in a.row_ptr[r]..a.row_ptr[r + 1] {
+                acc += a.values[idx] * x[a.col_idx[idx]];
+            }
+            y[r].store(acc.to_bits(), Ordering::Relaxed);
+        };
+        let (baseline_ns, steal_ns) = measure_pair(
+            iters,
+            reps,
+            || counter_for(&pool, n, chunk, &row),
+            || pool.parallel_for(n, sched, row),
+        );
+        counter_for(&pool, n, chunk, &row);
+        let y_base: Vec<u64> = y.iter().map(|v| v.load(Ordering::Relaxed)).collect();
+        pool.parallel_for(n, sched, row);
+        let y_steal: Vec<u64> = y.iter().map(|v| v.load(Ordering::Relaxed)).collect();
+        assert_eq!(
+            y_base, y_steal,
+            "stealing core must produce bit-identical matvec results"
+        );
+        rows.push(Workload {
+            name: "ragged-csr",
+            n,
+            baseline_ns,
+            steal_ns,
+        });
+    }
+
+    // 2. Skewed triangular cost (iteration i costs ~i) and 3. uniform
+    //    cost — the `ablate_sched` shapes, measured core-vs-core.
+    fn work(units: usize) -> f64 {
+        let mut acc = 0.0f64;
+        for i in 0..units {
+            acc += (i as f64).sqrt();
+        }
+        acc
+    }
+    type CostFn = fn(usize) -> usize;
+    let shapes: [(&'static str, CostFn); 2] = [("skewed", |i| i / 8), ("uniform", |_| 64)];
+    for (name, unit_of) in shapes {
+        let n = if quick { 1 << 10 } else { 1 << 11 };
+        let chunk = sched.dynamic_chunk(n, participants);
+        let out: Vec<std::sync::atomic::AtomicU64> = (0..n)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
+        let body = |i: usize| {
+            out[i].store(work(unit_of(i)).to_bits(), Ordering::Relaxed);
+        };
+        let (baseline_ns, steal_ns) = measure_pair(
+            iters,
+            reps,
+            || counter_for(&pool, n, chunk, &body),
+            || pool.parallel_for(n, sched, body),
+        );
+        counter_for(&pool, n, chunk, &body);
+        let base_bits: Vec<u64> = out.iter().map(|v| v.load(Ordering::Relaxed)).collect();
+        pool.parallel_for(n, sched, body);
+        let steal_bits: Vec<u64> = out.iter().map(|v| v.load(Ordering::Relaxed)).collect();
+        assert_eq!(base_bits, steal_bits, "same loop, same bits ({name})");
+        rows.push(Workload {
+            name,
+            n,
+            baseline_ns,
+            steal_ns,
+        });
+    }
+
+    let stats = pool.steal_stats();
+    let total = stats.total();
+    let mut t = Table::new(
+        "Work stealing — deque core vs dynamic-chunk core (threads, wall-clock)",
+        &[
+            "workload",
+            "n",
+            "chunk-core (ns)",
+            "deque-core (ns)",
+            "speedup",
+        ],
+    );
+    let mut entries = Vec::new();
+    for w in &rows {
+        let speedup = w.baseline_ns / w.steal_ns;
+        t.row(vec![
+            w.name.to_string(),
+            w.n.to_string(),
+            format!("{:.0}", w.baseline_ns),
+            format!("{:.0}", w.steal_ns),
+            format!("{speedup:.2}x"),
+        ]);
+        entries.push(format!(
+            "    {{\"workload\": \"{}\", \"backend\": \"threads\", \"n\": {}, \"iters\": {iters}, \
+             \"baseline_wall_ns\": {:.1}, \"steal_wall_ns\": {:.1}, \
+             \"wall_speedup\": {speedup:.3}, \"bit_identical\": true}}",
+            w.name, w.n, w.baseline_ns, w.steal_ns
+        ));
+    }
+    t.print();
+    println!("{stats}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"steal\",\n  \"quick\": {quick},\n  \"threads_workers\": {THREADS_WORKERS},\n  \
+         \"telemetry\": {{\"executed\": {}, \"stolen\": {}, \"injected\": {}, \"splits\": {}, \
+         \"wakes\": {}, \"parks\": {}}},\n  \"series\": [\n{}\n  ]\n}}\n",
+        total.executed,
+        total.stolen,
+        total.injected,
+        total.splits,
+        total.wakes,
+        total.parks,
+        entries.join(",\n")
+    );
+    racc::trace::json::validate(&json).expect("bench JSON must be valid");
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_steal.json";
+    std::fs::write(path, json).expect("write bench JSON");
+    println!("\nsteal series written to {path}");
 }
 
 /// Ablation: native 2D tiled launch vs flattened 1D launch for the LBM

@@ -75,6 +75,15 @@ pub trait Backend: Send + Sync + 'static {
         None
     }
 
+    /// Work-stealing dispatch counters (tasks executed/stolen/injected,
+    /// splits, wakes, parks) of the backend's execution engine. `None` on
+    /// back ends without a work-stealing pool — the default; the Threads
+    /// backend (and the simulated accelerators, whose worker grids run on
+    /// the same pool) return a snapshot.
+    fn steal_stats(&self) -> Option<racc_threadpool::StealStats> {
+        None
+    }
+
     /// Arm deterministic fault injection (`racc-chaos`) on the backend's
     /// device with a fresh engine for `plan`. Returns `true` when the
     /// backend supports injection (the simulated accelerators); the

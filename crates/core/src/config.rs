@@ -71,6 +71,12 @@ pub struct RuntimeConfig {
     pub chaos: Option<FaultPlan>,
     /// `RACC_PLAN_CACHE` — plan-cache capacity or off.
     pub plan_cache: PlanCacheMode,
+    /// `RACC_GRAIN` — work-stealing tile grain override for
+    /// `Schedule::Dynamic { chunk: 0 }` launches (iterations per tile).
+    /// `None` when unset or unparsable; the thread pool reads the same
+    /// knob itself (`racc_threadpool::parse_grain`), this copy is for
+    /// introspection.
+    pub grain: Option<usize>,
 }
 
 impl RuntimeConfig {
@@ -91,6 +97,7 @@ impl RuntimeConfig {
                 .filter(|raw| truthy(Some(raw)))
                 .and_then(|raw| FaultPlan::parse(raw).ok()),
             plan_cache: parse_plan_cache(lookup("RACC_PLAN_CACHE").as_deref()),
+            grain: racc_threadpool::parse_grain(lookup("RACC_GRAIN").as_deref()),
         }
     }
 }
@@ -171,6 +178,16 @@ mod tests {
             assert!(c.fusion, "RACC_FUSION={on:?}");
             assert!(c.sanitizer, "RACC_SANITIZER={on:?}");
         }
+    }
+
+    #[test]
+    fn grain_parses_positive_integers_only() {
+        assert_eq!(cfg(&[]).grain, None);
+        assert_eq!(cfg(&[("RACC_GRAIN", "64")]).grain, Some(64));
+        assert_eq!(cfg(&[("RACC_GRAIN", " 8 ")]).grain, Some(8));
+        assert_eq!(cfg(&[("RACC_GRAIN", "0")]).grain, None);
+        assert_eq!(cfg(&[("RACC_GRAIN", "-3")]).grain, None);
+        assert_eq!(cfg(&[("RACC_GRAIN", "coarse")]).grain, None);
     }
 
     #[test]

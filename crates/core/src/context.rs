@@ -498,7 +498,8 @@ impl<B: Backend> Context<B> {
 
     /// One uniform snapshot of this context's runtime machinery: fused
     /// plan-cache hits/misses/evictions, injected-fault counts from
-    /// `racc-chaos`, and the backend's sanitizer report. Replaces
+    /// `racc-chaos`, the backend's sanitizer report, and the thread pool's
+    /// work-stealing counters (when the backend runs on one). Replaces
     /// stitching `fault_log()` + `sanitizer_report()` + per-subsystem
     /// counters by hand.
     pub fn stats(&self) -> RuntimeStats {
@@ -506,6 +507,7 @@ impl<B: Backend> Context<B> {
             plan_cache: snapshot_plan_cache(&self.plan_cache),
             faults: fold_faults(&self.backend.fault_log()),
             sanitizer: self.backend.sanitizer_report(),
+            steal: self.backend.steal_stats(),
         }
     }
 
@@ -852,6 +854,19 @@ mod tests {
         assert!(ctx.id() > 0);
         let dbg = format!("{ctx:?}");
         assert!(dbg.contains("Context"));
+    }
+
+    #[test]
+    fn stats_surface_steal_counters_on_threads() {
+        let ctx = ctx();
+        ctx.parallel_for(10_000, &KernelProfile::axpy(), |_| {});
+        let stats = ctx.stats();
+        let steal = stats.steal.as_ref().expect("threads backend has a pool");
+        assert_eq!(steal.participants.len(), 4);
+        assert!(steal.total().executed > 0, "{stats}");
+        // Serial backend has no pool to report on.
+        let serial = Context::new(SerialBackend::new());
+        assert!(serial.stats().steal.is_none());
     }
 
     #[test]

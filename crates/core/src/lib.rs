@@ -76,6 +76,10 @@ pub use error::RaccError;
 pub use profile::KernelProfile;
 pub use racc_chaos as chaos;
 pub use racc_chaos::{env_flag, FaultAction, FaultEvent, FaultPlan, FaultSite, RetryPolicy};
+// The execution substrate, re-exported so backend crates can name
+// work-stealing types (`Backend::steal_stats`) without a direct dependency.
+pub use racc_threadpool as threadpool;
+pub use racc_threadpool::{StealCounters, StealStats};
 pub use scalar::{AccScalar, Max, Min, Numeric, Prod, ReduceOp, Sum};
 pub use serial::SerialBackend;
 pub use stats::{FaultStats, PlanCacheStats, RuntimeStats};

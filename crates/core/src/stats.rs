@@ -119,7 +119,8 @@ pub struct FaultStats {
 }
 
 /// One uniform snapshot of a context's runtime machinery — plan cache,
-/// chaos, sanitizer — returned by [`Context::stats`](crate::Context::stats).
+/// chaos, sanitizer, work-stealing dispatch — returned by
+/// [`Context::stats`](crate::Context::stats).
 #[derive(Debug, Clone)]
 pub struct RuntimeStats {
     /// Fused-plan cache counters.
@@ -128,6 +129,10 @@ pub struct RuntimeStats {
     pub faults: FaultStats,
     /// The backend's sanitizer report, when one is active.
     pub sanitizer: Option<String>,
+    /// Work-stealing dispatch counters of the backend's thread pool
+    /// (tasks executed/stolen/injected, splits, wakes, parks). `None` on
+    /// back ends without a work-stealing engine.
+    pub steal: Option<racc_threadpool::StealStats>,
 }
 
 impl std::fmt::Display for RuntimeStats {
@@ -153,9 +158,13 @@ impl std::fmt::Display for RuntimeStats {
             self.faults.injected, self.faults.failed, self.faults.delayed
         )?;
         match &self.sanitizer {
-            Some(report) => write!(f, "; sanitizer: {}", report.lines().next().unwrap_or("")),
-            None => write!(f, "; sanitizer off"),
+            Some(report) => write!(f, "; sanitizer: {}", report.lines().next().unwrap_or(""))?,
+            None => write!(f, "; sanitizer off")?,
         }
+        if let Some(steal) = &self.steal {
+            write!(f, "; {steal}")?;
+        }
+        Ok(())
     }
 }
 
@@ -244,9 +253,39 @@ mod tests {
             },
             faults: FaultStats::default(),
             sanitizer: None,
+            steal: None,
         };
         let line = stats.to_string();
         assert!(line.contains("90% hit"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn display_appends_steal_counters_when_present() {
+        let stats = RuntimeStats {
+            plan_cache: PlanCacheStats {
+                enabled: false,
+                capacity: 0,
+                entries: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            },
+            faults: FaultStats::default(),
+            sanitizer: None,
+            steal: Some(racc_threadpool::StealStats {
+                participants: vec![racc_threadpool::StealCounters {
+                    executed: 10,
+                    stolen: 3,
+                    injected: 1,
+                    splits: 4,
+                    wakes: 2,
+                    parks: 2,
+                }],
+            }),
+        };
+        let line = stats.to_string();
+        assert!(line.contains("steal: executed 10 stolen 3"), "{line}");
         assert!(!line.contains('\n'));
     }
 }

@@ -132,6 +132,10 @@ impl Backend for ThreadsBackend {
         self.pool.install_tracer(Arc::clone(recorder));
     }
 
+    fn steal_stats(&self) -> Option<racc_threadpool::StealStats> {
+        Some(self.pool.steal_stats())
+    }
+
     fn set_sanitizer(&self, _enabled: bool) -> bool {
         // The CPU half of simsan is the racecheck machinery with read
         // tracking switched on; it needs the `racecheck` feature compiled in.

@@ -125,6 +125,13 @@ impl Device {
         self.used_bytes.load(Ordering::Relaxed)
     }
 
+    /// Work-stealing counters of the host pool this device launches on
+    /// (block ranges execute as pool tasks, so grid launches show up as
+    /// executed/stolen tasks here).
+    pub fn steal_stats(&self) -> racc_threadpool::StealStats {
+        self.pool.steal_stats()
+    }
+
     /// Enable or disable the dynamic write-race checker (slow; tests only).
     pub fn set_racecheck(&self, enabled: bool) {
         self.racecheck.store(enabled, Ordering::Relaxed);

@@ -51,6 +51,18 @@ impl CountLatch {
         }
     }
 
+    /// Increment the count by `k` before the matching decrements arrive.
+    ///
+    /// Safe only while the count provably cannot have reached zero with a
+    /// waiter already released — the pool's wake-chain protocol guarantees
+    /// this by only adding (a) from the issuing caller before it waits, or
+    /// (b) from an executor that has not yet decremented the launch's
+    /// outstanding-tile count (the caller cannot reach its wait until that
+    /// count hits zero).
+    pub fn add(&self, k: usize) {
+        self.remaining.fetch_add(k, Ordering::AcqRel);
+    }
+
     /// Decrement the count, waking waiters if it reaches zero.
     ///
     /// # Panics

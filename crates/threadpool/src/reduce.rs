@@ -1,52 +1,72 @@
 //! Parallel reductions over the pool.
 //!
-//! Each participant folds its share of the index space into a private
-//! accumulator (cache-padded to avoid false sharing); the caller then
-//! combines the partials **in participant order**, so a static schedule gives
-//! bit-reproducible results for a fixed thread count.
+//! Every tile of the launch (see `schedule.rs::Tiling`) folds into its own
+//! 128-byte-aligned partial slot, and the caller combines the slots **in
+//! ascending tile order** after the join. Tile boundaries depend only on
+//! `(n, schedule, participants)` — never on which participant executed which
+//! tile — so the combine tree is fixed no matter how tasks are split or
+//! stolen: reductions are bit-reproducible run to run for a fixed pool size
+//! and schedule, under both `Static` and `Dynamic`.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::pool::ThreadPool;
-use crate::schedule::{static_block, Schedule};
+use crate::schedule::{Schedule, Tiling};
 use crate::scratch;
 
-/// One participant's reduction partial, padded to its own pair of cache
-/// lines so neighboring accumulators never share a line (false sharing).
+/// One tile's reduction partial, padded to its own pair of cache lines so
+/// neighboring accumulators never share a line (false sharing).
 #[repr(align(128))]
 struct PaddedPartial<T>(UnsafeCell<Option<T>>);
 
-/// Shared view of the partial slots handed to the broadcast closures.
+/// Upper bound on reduction tiles: each tile owns a 128-byte slot in the
+/// caller's reusable scratch, so a `chunk: 1` reduction over millions of
+/// elements must not allocate millions of slots. Grains are raised just
+/// enough to respect the cap; boundaries stay a pure function of the inputs,
+/// so determinism is unaffected.
+const REDUCE_MAX_TILES: usize = 1024;
+
+/// Shared view of the per-tile partial slots handed to the tile executors.
 ///
-/// Safety contract: while the broadcast runs, participant `who` touches only
-/// slot `who`; the pool's completion latch orders those writes before the
-/// caller's combine loop. That exclusivity is what lets the slots drop the
-/// `Mutex` the previous implementation paid for on every access.
+/// Safety contract: tile `t` is executed by exactly one task executor (tasks
+/// partition the tile space), so slot `t` is never touched concurrently; the
+/// launch's `tiles_left` release/acquire protocol orders every slot write
+/// before the caller's combine loop. That exclusivity is what lets the slots
+/// drop the `Mutex` the original implementation paid for on every access.
 struct PartialSlots<T> {
     ptr: *const PaddedPartial<T>,
     len: usize,
 }
 
+// Manual impls: derived Clone/Copy would add a spurious `T: Clone` bound.
+impl<T> Clone for PartialSlots<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PartialSlots<T> {}
+
 // SAFETY: per the contract above, no slot is ever accessed from two threads
-// concurrently; `T: Send` lets the value itself cross threads.
-unsafe impl<T: Send> Sync for PartialSlots<T> {}
+// concurrently; `T: Send` (enforced at the public entry points) lets the
+// value itself cross threads.
+unsafe impl<T> Sync for PartialSlots<T> {}
+unsafe impl<T> Send for PartialSlots<T> {}
 
 impl<T> PartialSlots<T> {
-    /// Move slot `who`'s value out.
+    /// Move slot `t`'s value out.
     ///
     /// # Safety
-    /// The caller must hold exclusive logical access to slot `who` (its own
-    /// participant slot during a broadcast, or any slot after the latch).
-    unsafe fn take(&self, who: usize) -> Option<T> {
-        debug_assert!(who < self.len);
-        (*(*self.ptr.add(who)).0.get()).take()
+    /// The caller must hold exclusive logical access to slot `t` (the
+    /// executor of tile `t` during the launch, or the caller after the join).
+    unsafe fn take(&self, t: usize) -> Option<T> {
+        debug_assert!(t < self.len);
+        (*(*self.ptr.add(t)).0.get()).take()
     }
 
-    /// Store `value` into slot `who`. Same safety contract as [`Self::take`].
-    unsafe fn put(&self, who: usize, value: T) {
-        debug_assert!(who < self.len);
-        *(*self.ptr.add(who)).0.get() = Some(value);
+    /// Store `value` into slot `t`. Same safety contract as [`Self::take`].
+    unsafe fn put(&self, t: usize, value: T) {
+        debug_assert!(t < self.len);
+        *(*self.ptr.add(t)).0.get() = Some(value);
     }
 }
 
@@ -95,7 +115,7 @@ where
 }
 
 /// Clean single-thread fold. Kept out of `parallel_reduce`'s body: there
-/// the broadcast closures borrow `map`/`combine`, which takes their address
+/// the erased executor borrows `map`/`combine`, which takes their address
 /// and blocks loop optimization of the serial path.
 #[inline(never)]
 fn serial_fold<T, F, C>(n: usize, identity: T, map: F, combine: C) -> T
@@ -106,14 +126,47 @@ where
     ordered_tiled_fold(identity, 0, n, &map, &combine)
 }
 
+/// Type-erased payload of a `parallel_reduce` launch.
+struct ReduceData<T, F, C> {
+    map: *const F,
+    combine: *const C,
+    tiling: Tiling,
+    partials: PartialSlots<T>,
+}
+
+/// Tile-range executor for `parallel_reduce`: folds each tile in `[t0, t1)`
+/// from its seeded slot value, in ascending index order, back into its slot.
+///
+/// # Safety
+/// `data` must point to a live `ReduceData<T, F, C>` whose referents outlive
+/// the call, and tiles `[t0, t1)` must be executed by no other task.
+unsafe fn exec_reduce<T, F, C>(data: *const (), t0: usize, t1: usize)
+where
+    F: Fn(usize) -> T,
+    C: Fn(T, T) -> T,
+{
+    let d = &*(data as *const ReduceData<T, F, C>);
+    let map = &*d.map;
+    let combine = &*d.combine;
+    for t in t0..t1 {
+        let (s, e) = d.tiling.tile_range(t);
+        // SAFETY: this executor owns tile `t` exclusively (see contract).
+        let acc = d.partials.take(t).expect("tile partial seeded");
+        let acc = ordered_tiled_fold(acc, s, e, map, combine);
+        d.partials.put(t, acc);
+    }
+}
+
 impl ThreadPool {
     /// Reduce `map(i)` for `i in 0..n` with the binary operator `combine`,
     /// starting each partial from `identity`.
     ///
-    /// `combine` must be associative; with `Schedule::Static` the combine
-    /// tree is deterministic for a fixed participant count, with
-    /// `Schedule::Dynamic` chunk assignment (and therefore floating-point
-    /// rounding) may vary run to run.
+    /// `combine` must be associative. The combine tree is a pure function of
+    /// `(n, schedule, participants)`: each tile folds into its own slot and
+    /// the slots combine in tile order, so results are deterministic run to
+    /// run for both schedules regardless of how work is stolen. (Floating
+    /// point results still differ from the serial association, as any
+    /// parallel partition must.)
     pub fn parallel_reduce<T, F, C>(
         &self,
         n: usize,
@@ -135,59 +188,46 @@ impl ThreadPool {
             // Separate frame: see `serial_fold` for why.
             return serial_fold(n, identity, map, combine);
         }
-        // Pre-seed one identity per participant so the broadcast closure
-        // never touches `identity` itself (avoiding a `T: Sync` requirement).
-        // The padded slots live in this thread's reusable scratch buffer, so
+        let tiling = Tiling::with_max_tiles(schedule, n, p, REDUCE_MAX_TILES);
+        let tiles = tiling.tiles();
+        if tiles <= 1 {
+            return serial_fold(n, identity, map, combine);
+        }
+        // Pre-seed one identity per tile so the executors never touch
+        // `identity` itself (avoiding a `T: Sync` requirement). The padded
+        // slots live in this thread's reusable scratch buffer, so
         // steady-state reductions perform zero heap allocations.
         scratch::with_thread_scratch(|buf| {
             scratch::with_slots(
                 buf,
-                p,
+                tiles,
                 || PaddedPartial(UnsafeCell::new(Some(identity.clone()))),
                 |slots| {
                     let partials = PartialSlots {
                         ptr: slots.as_ptr(),
-                        len: p,
+                        len: tiles,
                     };
-                    match schedule {
-                        Schedule::Static => {
-                            self.broadcast(|who| {
-                                let (start, end) = static_block(n, p, who);
-                                if start == end {
-                                    return;
-                                }
-                                // SAFETY: `who` is this participant's own slot.
-                                let acc = unsafe { partials.take(who) }.expect("partial seeded");
-                                let acc = ordered_tiled_fold(acc, start, end, &map, &combine);
-                                // SAFETY: same exclusive slot.
-                                unsafe { partials.put(who, acc) };
-                            });
-                        }
-                        Schedule::Dynamic { .. } => {
-                            let chunk = schedule.dynamic_chunk(n, p);
-                            let next = AtomicUsize::new(0);
-                            self.broadcast(|who| {
-                                // SAFETY: `who` is this participant's own slot.
-                                let mut acc =
-                                    unsafe { partials.take(who) }.expect("partial seeded");
-                                loop {
-                                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                                    if start >= n {
-                                        break;
-                                    }
-                                    let end = (start + chunk).min(n);
-                                    acc = ordered_tiled_fold(acc, start, end, &map, &combine);
-                                }
-                                // SAFETY: same exclusive slot.
-                                unsafe { partials.put(who, acc) };
-                            });
-                        }
+                    let data = ReduceData {
+                        map: &map as *const F,
+                        combine: &combine as *const C,
+                        tiling,
+                        partials,
+                    };
+                    // SAFETY: run_tiled is fully synchronous, so every raw
+                    // pointer in `data` outlives the launch; exec_reduce's
+                    // per-tile slot accesses are exclusive by construction.
+                    unsafe {
+                        self.run_tiled(
+                            tiling,
+                            exec_reduce::<T, F, C>,
+                            &data as *const ReduceData<T, F, C> as *const (),
+                        );
                     }
                     let mut acc = identity.clone();
-                    for who in 0..p {
-                        // SAFETY: the broadcast has completed (latch), so the
-                        // caller holds exclusive access to every slot.
-                        if let Some(part) = unsafe { partials.take(who) } {
+                    for t in 0..tiles {
+                        // SAFETY: the launch has joined, so the caller holds
+                        // exclusive access to every slot.
+                        if let Some(part) = unsafe { partials.take(t) } {
                             acc = combine(acc, part);
                         }
                     }
@@ -327,6 +367,21 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_reduce_is_deterministic_for_floats() {
+        // New with the work-stealing core: dynamic tiles own fixed slots
+        // combined in tile order, so even Dynamic reductions are
+        // bit-reproducible run to run (the counter-based core was not).
+        let pool = ThreadPool::new(4);
+        let data: Vec<f64> = (0..50_000).map(|i| (i as f64).cos()).collect();
+        for chunk in [0usize, 13, 1024] {
+            let sched = Schedule::Dynamic { chunk };
+            let r1 = pool.parallel_reduce(data.len(), sched, 0.0, |i| data[i], |a, b| a + b);
+            let r2 = pool.parallel_reduce(data.len(), sched, 0.0, |i| data[i], |a, b| a + b);
+            assert_eq!(r1.to_bits(), r2.to_bits(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
     fn reduce_2d_matches_serial() {
         let pool = ThreadPool::new(4);
         let (m, n) = (33, 47);
@@ -379,6 +434,29 @@ mod tests {
     #[test]
     fn single_thread_reduce() {
         let pool = ThreadPool::new(1);
+        let s = pool.parallel_reduce(100, Schedule::Static, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn reduce_with_panic_leaves_pool_usable() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_reduce(
+                10_000,
+                Schedule::Dynamic { chunk: 16 },
+                0u64,
+                |i| {
+                    if i == 5_000 {
+                        panic!("reduce boom");
+                    }
+                    i as u64
+                },
+                |a, b| a + b,
+            )
+        }));
+        assert!(result.is_err());
         let s = pool.parallel_reduce(100, Schedule::Static, 0u64, |i| i as u64, |a, b| a + b);
         assert_eq!(s, 4950);
     }

@@ -1,41 +1,179 @@
-//! Loop-scheduling policies and chunk arithmetic.
+//! Loop-scheduling policies, chunk arithmetic, and the tile lowering the
+//! work-stealing core executes.
+
+use std::sync::OnceLock;
 
 /// How a 1D iteration space is divided among participants.
 ///
 /// `Static` is the OpenMP-style blocked schedule Julia's `Threads.@threads`
-/// uses by default; `Dynamic` is self-scheduling via an atomic chunk counter,
-/// better for irregular iteration costs at the price of one atomic RMW per
-/// chunk.
+/// uses by default; `Dynamic` load-balances via work stealing: the range is
+/// split into grain-sized tiles that idle participants steal from busy ones,
+/// better for irregular iteration costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Schedule {
     /// Each participant gets one contiguous block of roughly `n / P`
-    /// iterations.
+    /// iterations. Blocks may *execute* on any participant (stealing moves
+    /// whole blocks), but the block boundaries — and therefore every
+    /// reduction's combine order — are fixed by `n` and `P` alone.
     #[default]
     Static,
-    /// Participants repeatedly claim chunks of the given size from an atomic
-    /// counter. A chunk size of 0 picks a heuristic (`n / (8 P)` clamped to
-    /// `[1, 4096]`).
+    /// The range is split into tiles of the given grain that participants
+    /// pop locally (LIFO) and steal from each other (FIFO). A grain of 0
+    /// picks the `RACC_GRAIN` environment override if set, otherwise a
+    /// heuristic (`n / (8 P)` clamped to `[1, 4096]`).
     Dynamic {
-        /// Iterations per claimed chunk; 0 selects the heuristic.
+        /// Iterations per tile; 0 selects `RACC_GRAIN` or the heuristic.
         chunk: usize,
     },
 }
 
 impl Schedule {
-    /// Resolve the chunk size a dynamic schedule will use for `n` iterations
+    /// Resolve the chunk size a dynamic schedule would use for `n` iterations
     /// across `participants` threads.
+    ///
+    /// An empty range resolves to 0 for **every** variant: there is nothing
+    /// to chunk, matching `chunks(0, c)` yielding no chunks. (Earlier
+    /// versions returned `max(1)` for `Static` here, which disagreed with
+    /// the chunk iterators and made callers special-case `n == 0`.)
     ///
     /// The auto heuristic (`chunk: 0`) is `n / (8 P)` clamped to
     /// `[1, 4096]`, tuned against the `ablate_sched` bench (EXPERIMENTS.md):
-    /// eight chunks per participant amortize the atomic grab — measured
-    /// ~4x slower with single-iteration grabs on cheap work — while the cap
-    /// bounds the tail imbalance a skewed workload can hit when `n` is huge.
+    /// eight chunks per participant amortize the per-tile dispatch overhead
+    /// — measured ~4x slower with single-iteration tiles on cheap work —
+    /// while the cap bounds the tail imbalance a skewed workload can hit
+    /// when `n` is huge. The same heuristic is the work-stealing grain
+    /// default (see [`Schedule::grain`]).
     pub fn dynamic_chunk(self, n: usize, participants: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
         match self {
             Schedule::Static => split_block(n, participants, 0).1.max(1),
-            Schedule::Dynamic { chunk: 0 } => (n / (8 * participants.max(1))).clamp(1, 4096),
+            Schedule::Dynamic { chunk: 0 } => auto_grain(n, participants),
             Schedule::Dynamic { chunk } => chunk,
         }
+    }
+
+    /// The tile grain the work-stealing core uses for this schedule:
+    /// `Dynamic { chunk > 0 }` is honored verbatim; `Dynamic { chunk: 0 }`
+    /// takes the `RACC_GRAIN` environment override when set (parsed once per
+    /// process), else the tuned heuristic. `Static` resolves to its block
+    /// size (the static tiling does not consume a grain, but callers may
+    /// still ask). Returns 0 for an empty range.
+    pub fn grain(self, n: usize, participants: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        match self {
+            Schedule::Dynamic { chunk: 0 } => {
+                env_grain().unwrap_or_else(|| auto_grain(n, participants))
+            }
+            other => other.dynamic_chunk(n, participants),
+        }
+    }
+}
+
+/// The tuned default grain: eight tiles per participant, clamped to
+/// `[1, 4096]`.
+fn auto_grain(n: usize, participants: usize) -> usize {
+    (n / (8 * participants.max(1))).clamp(1, 4096)
+}
+
+/// `RACC_GRAIN` parsed once per process: a positive integer overrides the
+/// auto grain; unset, zero, or garbage leaves the heuristic in charge.
+fn env_grain() -> Option<usize> {
+    static GRAIN: OnceLock<Option<usize>> = OnceLock::new();
+    *GRAIN.get_or_init(|| parse_grain(std::env::var("RACC_GRAIN").ok().as_deref()))
+}
+
+/// The testable core of the `RACC_GRAIN` parse: positive integers pass,
+/// anything else (unset, 0, garbage) means "no override".
+pub fn parse_grain(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&g| g > 0)
+}
+
+/// How a launch's index space is cut into steal-able tiles. Tile boundaries
+/// depend only on `(n, schedule, participants)` — never on which participant
+/// executes which tile — which is what keeps reductions deterministic under
+/// stealing: every tile owns a fixed partial slot and the caller combines
+/// slots in ascending tile order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tiling {
+    /// `Static`: `parts` contiguous blocks from [`static_block`], sizes
+    /// differing by at most one. Whole blocks move when stolen, preserving
+    /// the blocked schedule's combine association exactly.
+    Blocks { n: usize, parts: usize },
+    /// `Dynamic`: fixed-size tiles of `grain` iterations (last one ragged).
+    Grain { n: usize, grain: usize },
+}
+
+impl Tiling {
+    /// Lower a schedule for a `parallel_for` launch.
+    pub(crate) fn new(schedule: Schedule, n: usize, participants: usize) -> Tiling {
+        match schedule {
+            Schedule::Static => Tiling::Blocks {
+                n,
+                parts: participants.min(n).max(1),
+            },
+            dynamic => Tiling::Grain {
+                n,
+                grain: dynamic.grain(n, participants).max(1),
+            },
+        }
+    }
+
+    /// Lower a schedule for a reduction: like [`Tiling::new`], but the tile
+    /// count is clamped to `max_tiles` (each tile owns a 128-byte partial
+    /// slot in the caller's scratch, so an unbounded tile count would make a
+    /// `chunk: 1` reduction allocate `n` slots).
+    pub(crate) fn with_max_tiles(
+        schedule: Schedule,
+        n: usize,
+        participants: usize,
+        max_tiles: usize,
+    ) -> Tiling {
+        match Tiling::new(schedule, n, participants) {
+            Tiling::Grain { n, grain } => Tiling::Grain {
+                n,
+                grain: grain.max(n.div_ceil(max_tiles.max(1))),
+            },
+            blocks => blocks,
+        }
+    }
+
+    /// Number of tiles in the launch.
+    pub(crate) fn tiles(self) -> usize {
+        match self {
+            Tiling::Blocks { n, parts } => {
+                if n == 0 {
+                    0
+                } else {
+                    parts
+                }
+            }
+            Tiling::Grain { n, grain } => n.div_ceil(grain.max(1)).min(n),
+        }
+    }
+
+    /// The `[start, end)` element range of tile `t`.
+    pub(crate) fn tile_range(self, t: usize) -> (usize, usize) {
+        match self {
+            Tiling::Blocks { n, parts } => static_block(n, parts, t),
+            Tiling::Grain { n, grain } => {
+                let start = t * grain;
+                (start, (start + grain).min(n))
+            }
+        }
+    }
+
+    /// The contiguous element span covered by tiles `[t0, t1)`. Used by the
+    /// trace path (and tests) to label executed ranges in element units.
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    pub(crate) fn elem_span(self, t0: usize, t1: usize) -> (usize, usize) {
+        debug_assert!(t0 < t1);
+        (self.tile_range(t0).0, self.tile_range(t1 - 1).1)
     }
 }
 
@@ -136,7 +274,7 @@ mod tests {
         assert_eq!(Schedule::Dynamic { chunk: 0 }.dynamic_chunk(1600, 4), 50);
         assert_eq!(Schedule::Dynamic { chunk: 0 }.dynamic_chunk(3, 4), 1);
         // Huge iteration spaces are capped so skewed workloads keep their
-        // load balance (at most 4096 iterations ride on one grab).
+        // load balance (at most 4096 iterations ride on one tile).
         assert_eq!(
             Schedule::Dynamic { chunk: 0 }.dynamic_chunk(1_000_000, 4),
             4096
@@ -144,5 +282,71 @@ mod tests {
         assert_eq!(Schedule::Dynamic { chunk: 7 }.dynamic_chunk(1600, 4), 7);
         // Static resolves to the per-participant block size.
         assert_eq!(Schedule::Static.dynamic_chunk(100, 4), 25);
+    }
+
+    #[test]
+    fn empty_range_resolves_to_zero_for_every_variant() {
+        // Unified with `chunks(0, c)` yielding nothing; Static used to
+        // return `max(1)` here.
+        for sched in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 0 },
+            Schedule::Dynamic { chunk: 7 },
+        ] {
+            assert_eq!(sched.dynamic_chunk(0, 4), 0, "{sched:?}");
+            assert_eq!(sched.grain(0, 4), 0, "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn grain_parse_accepts_positive_integers_only() {
+        assert_eq!(parse_grain(Some("64")), Some(64));
+        assert_eq!(parse_grain(Some(" 8 ")), Some(8));
+        assert_eq!(parse_grain(Some("0")), None);
+        assert_eq!(parse_grain(Some("")), None);
+        assert_eq!(parse_grain(Some("lots")), None);
+        assert_eq!(parse_grain(None), None);
+    }
+
+    #[test]
+    fn explicit_grain_is_honored() {
+        assert_eq!(Schedule::Dynamic { chunk: 13 }.grain(1000, 4), 13);
+        assert_eq!(Schedule::Dynamic { chunk: 0 }.grain(1600, 4), 50);
+    }
+
+    #[test]
+    fn tiling_partitions_exactly() {
+        for (n, p) in [(0usize, 4usize), (1, 4), (7, 4), (100, 4), (101, 3), (3, 8)] {
+            for sched in [
+                Schedule::Static,
+                Schedule::Dynamic { chunk: 0 },
+                Schedule::Dynamic { chunk: 5 },
+            ] {
+                let tiling = Tiling::new(sched, n, p);
+                let tiles = tiling.tiles();
+                if n == 0 {
+                    assert_eq!(tiles, 0, "{sched:?} n={n}");
+                    continue;
+                }
+                let mut next = 0;
+                for t in 0..tiles {
+                    let (s, e) = tiling.tile_range(t);
+                    assert_eq!(s, next, "{sched:?} n={n} t={t}");
+                    assert!(e > s, "{sched:?} n={n} t={t}");
+                    next = e;
+                }
+                assert_eq!(next, n, "{sched:?} n={n}");
+                assert_eq!(tiling.elem_span(0, tiles), (0, n));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_tiling_clamps_tile_count() {
+        let t = Tiling::with_max_tiles(Schedule::Dynamic { chunk: 1 }, 100_000, 4, 1024);
+        assert!(t.tiles() <= 1024, "tiles={}", t.tiles());
+        // Static blocks are already bounded by the participant count.
+        let t = Tiling::with_max_tiles(Schedule::Static, 100_000, 4, 1024);
+        assert_eq!(t.tiles(), 4);
     }
 }

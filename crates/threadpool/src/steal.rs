@@ -1,0 +1,572 @@
+//! Work-stealing primitives: per-worker Chase–Lev deques, a bounded global
+//! FIFO injector, and the per-participant steal telemetry counters.
+//!
+//! Tasks are plain 3-word records (`[usize; 3]`: launch-header pointer plus a
+//! `[t0, t1)` tile range), so both queues store them as triples of
+//! `AtomicUsize` words. Storing the words atomically (relaxed) instead of as
+//! plain memory is what makes the classic Chase–Lev "torn read" benign: a slow
+//! thief may read a slot the owner has since overwritten, but every word read
+//! is itself atomic (no UB), and the thief's subsequent CAS on `top` fails, so
+//! the stale triple is discarded without ever being dereferenced.
+//!
+//! # Deque invariants (Chase–Lev, Lê et al. orderings)
+//!
+//! * Only the owner touches `bottom` (push/pop at the LIFO end); thieves only
+//!   advance `top` (FIFO end) via a sequentially-consistent CAS.
+//! * The buffer is fixed-size and **never grows**; `push` refuses when
+//!   `bottom - top == capacity`. That strict guard means the owner can only
+//!   overwrite a slot once `top` has moved past it, which is exactly the case
+//!   where any thief still holding the old `top` is guaranteed to fail its
+//!   CAS.
+//! * `pop` publishes the decremented `bottom` before reading `top`
+//!   (seq-cst fence between them), and resolves the one-element race against
+//!   thieves with the same CAS the thieves use.
+//!
+//! # Injector
+//!
+//! The global queue is a bounded MPMC ring in the style of Vyukov's queue:
+//! each slot carries a sequence number that encodes whether it is free for
+//! the producer or full for the consumer of a given lap. Producers and
+//! consumers claim slots with a CAS on `tail`/`head` and then transfer the
+//! payload with release/acquire on the slot's own sequence word, so the
+//! payload handoff never races.
+
+use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+
+/// A type-erased task: `[header_ptr, t0, t1]`. The header pointer targets the
+/// issuing launch's stack frame; validity is guaranteed by the launch
+/// protocol in `pool.rs` (a launch cannot return while its tiles are
+/// outstanding).
+pub(crate) type TaskWords = [usize; 3];
+
+/// Capacity of each per-participant deque (power of two). Lazy binary
+/// splitting pushes at most `log2(tiles)` tasks per executed task, so depth
+/// stays tiny; overflow falls back to the injector and then to inline
+/// execution, never to an error.
+const DEQUE_CAP: usize = 256;
+
+/// Capacity of the global injector ring (power of two).
+const INJECTOR_CAP: usize = 2048;
+
+/// One deque/injector slot: three atomically-readable words.
+#[derive(Default)]
+struct WordSlot([AtomicUsize; 3]);
+
+impl WordSlot {
+    #[inline]
+    fn store(&self, words: TaskWords) {
+        self.0[0].store(words[0], Ordering::Relaxed);
+        self.0[1].store(words[1], Ordering::Relaxed);
+        self.0[2].store(words[2], Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn load(&self) -> TaskWords {
+        [
+            self.0[0].load(Ordering::Relaxed),
+            self.0[1].load(Ordering::Relaxed),
+            self.0[2].load(Ordering::Relaxed),
+        ]
+    }
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// A task was taken.
+    Success(TaskWords),
+    /// The deque looked empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+}
+
+/// A fixed-capacity Chase–Lev work-stealing deque.
+///
+/// The owner pushes and pops at `bottom` (LIFO, hot end — best locality for
+/// the recursive splitter); thieves steal at `top` (FIFO, cold end — they
+/// take the *oldest*, i.e. largest, unsplit range).
+pub(crate) struct Deque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    slots: Box<[WordSlot]>,
+}
+
+// SAFETY: all slot payloads are read/written through atomics, and the
+// top/bottom protocol (see module docs) serializes ownership of each slot.
+unsafe impl Sync for Deque {}
+unsafe impl Send for Deque {}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..DEQUE_CAP).map(|_| WordSlot::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &WordSlot {
+        // DEQUE_CAP is a power of two; indices grow monotonically.
+        &self.slots[(index as usize) & (DEQUE_CAP - 1)]
+    }
+
+    /// Owner-only: push a task at the LIFO end. Returns `false` when full
+    /// (the caller then falls back to the injector or runs inline).
+    pub(crate) fn push(&self, words: TaskWords) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= DEQUE_CAP as isize {
+            return false;
+        }
+        self.slot(b).store(words);
+        // Publish the slot before the new bottom becomes visible to thieves.
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Owner-only: pop the most recently pushed task.
+    pub(crate) fn pop(&self) -> Option<TaskWords> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        // The decremented bottom must be visible before we read top, and
+        // symmetrically for thieves (their fence in `steal`): this pairing is
+        // what makes the one-element race resolvable.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Deque was empty; restore.
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        let words = self.slot(b).load();
+        if t == b {
+            // Last element: race thieves for it with their own CAS.
+            let won = self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return won.then_some(words);
+        }
+        Some(words)
+    }
+
+    /// Thief: take the oldest task. Callable from any thread.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read before the CAS: the strict push guard means this slot cannot
+        // be overwritten until top has advanced past `t`, in which case the
+        // CAS below fails and the (possibly torn) read is discarded.
+        let words = self.slot(t).load();
+        if self
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Success(words)
+    }
+
+    /// Racy emptiness probe (diagnostics/tests only).
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        t >= b
+    }
+}
+
+/// One slot of the injector ring: a lap-encoded sequence word plus payload.
+struct InjectorSlot {
+    seq: AtomicUsize,
+    words: WordSlot,
+}
+
+/// Bounded MPMC FIFO ring (Vyukov style) used as the global injector: the
+/// overflow target for full deques and the submission queue for launches
+/// whose calling thread holds no deque (nested launches).
+pub(crate) struct Injector {
+    head: crossbeam::utils::CachePadded<AtomicUsize>,
+    tail: crossbeam::utils::CachePadded<AtomicUsize>,
+    slots: Box<[InjectorSlot]>,
+}
+
+unsafe impl Sync for Injector {}
+unsafe impl Send for Injector {}
+
+impl Injector {
+    pub(crate) fn new() -> Self {
+        Injector {
+            head: crossbeam::utils::CachePadded::new(AtomicUsize::new(0)),
+            tail: crossbeam::utils::CachePadded::new(AtomicUsize::new(0)),
+            slots: (0..INJECTOR_CAP)
+                .map(|i| InjectorSlot {
+                    seq: AtomicUsize::new(i),
+                    words: WordSlot::default(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Enqueue at the tail. Returns `false` when the ring is full.
+    pub(crate) fn push(&self, words: TaskWords) -> bool {
+        let mask = INJECTOR_CAP - 1;
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        slot.words.store(words);
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if dif < 0 {
+                return false; // full for this lap
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue from the head. Returns `None` when empty.
+    pub(crate) fn pop(&self) -> Option<TaskWords> {
+        let mask = INJECTOR_CAP - 1;
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let words = slot.words.load();
+                        // Free the slot for the producer's next lap.
+                        slot.seq
+                            .store(pos.wrapping_add(INJECTOR_CAP), Ordering::Release);
+                        return Some(words);
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if dif < 0 {
+                return None; // empty for this lap
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Per-participant steal telemetry, padded so hot-path increments by
+/// different participants never share a cache line.
+#[repr(align(128))]
+#[derive(Default)]
+pub(crate) struct WorkerCounters {
+    pub(crate) executed: AtomicU64,
+    pub(crate) stolen: AtomicU64,
+    pub(crate) injected: AtomicU64,
+    pub(crate) splits: AtomicU64,
+    pub(crate) wakes: AtomicU64,
+    pub(crate) parks: AtomicU64,
+}
+
+impl WorkerCounters {
+    pub(crate) fn snapshot(&self) -> StealCounters {
+        StealCounters {
+            executed: self.executed.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one participant's work-stealing counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealCounters {
+    /// Leaf task ranges this participant executed.
+    pub executed: u64,
+    /// Tasks taken from another participant's deque.
+    pub stolen: u64,
+    /// Tasks taken from the global injector.
+    pub injected: u64,
+    /// Split halves this participant pushed (deque or injector).
+    pub splits: u64,
+    /// Steal-wakes this participant sent to idle workers.
+    pub wakes: u64,
+    /// Times this worker went back to idle (workers only; 0 for the caller).
+    pub parks: u64,
+}
+
+impl StealCounters {
+    fn accumulate(&mut self, other: StealCounters) {
+        self.executed += other.executed;
+        self.stolen += other.stolen;
+        self.injected += other.injected;
+        self.splits += other.splits;
+        self.wakes += other.wakes;
+        self.parks += other.parks;
+    }
+}
+
+/// Cumulative work-stealing telemetry for a pool, one entry per participant
+/// (index 0 is the calling-thread slot). Returned by
+/// [`ThreadPool::steal_stats`](crate::ThreadPool::steal_stats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Per-participant counters; index 0 is the caller slot.
+    pub participants: Vec<StealCounters>,
+}
+
+impl StealStats {
+    /// Sum of all participants' counters.
+    pub fn total(&self) -> StealCounters {
+        let mut acc = StealCounters::default();
+        for c in &self.participants {
+            acc.accumulate(*c);
+        }
+        acc
+    }
+}
+
+impl std::fmt::Display for StealStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.total();
+        write!(
+            f,
+            "steal: executed {} stolen {} injected {} splits {} wakes {} parks {}",
+            t.executed, t.stolen, t.injected, t.splits, t.wakes, t.parks
+        )
+    }
+}
+
+/// Tiny xorshift for seeded victim rotation. Seeded per executor entry from
+/// the participant index, so two thieves do not hammer the same victim order.
+pub(crate) struct VictimRng(u64);
+
+impl VictimRng {
+    pub(crate) fn new(seed: usize) -> Self {
+        // Splash the seed so consecutive participant indices diverge; the
+        // constant is the 64-bit golden-ratio mix used by splitmix64.
+        VictimRng((seed as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    pub(crate) fn next(&mut self) -> usize {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn deque_lifo_for_owner() {
+        let d = Deque::new();
+        assert!(d.push([1, 0, 0]));
+        assert!(d.push([2, 0, 0]));
+        assert!(d.push([3, 0, 0]));
+        assert_eq!(d.pop(), Some([3, 0, 0]));
+        assert_eq!(d.pop(), Some([2, 0, 0]));
+        assert_eq!(d.pop(), Some([1, 0, 0]));
+        assert_eq!(d.pop(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn deque_fifo_for_thief() {
+        let d = Deque::new();
+        d.push([1, 0, 0]);
+        d.push([2, 0, 0]);
+        assert_eq!(d.steal(), Steal::Success([1, 0, 0]));
+        assert_eq!(d.pop(), Some([2, 0, 0]));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn deque_refuses_when_full() {
+        let d = Deque::new();
+        for i in 0..DEQUE_CAP {
+            assert!(d.push([i, 0, 0]), "push {i}");
+        }
+        assert!(!d.push([usize::MAX, 0, 0]));
+        // Draining one makes room again.
+        assert_eq!(d.steal(), Steal::Success([0, 0, 0]));
+        assert!(d.push([usize::MAX, 0, 0]));
+    }
+
+    #[test]
+    fn deque_concurrent_steal_owner_pop_each_task_once() {
+        let d = Arc::new(Deque::new());
+        const N: usize = 10_000;
+        let seen = Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || loop {
+                    match d.steal() {
+                        Steal::Success(w) => {
+                            if w[0] == usize::MAX {
+                                break;
+                            }
+                            seen[w[0]].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty | Steal::Retry => std::hint::spin_loop(),
+                    }
+                })
+            })
+            .collect();
+        let mut i = 0;
+        while i < N {
+            if d.push([i, 0, 0]) {
+                i += 1;
+            } else if let Some(w) = d.pop() {
+                seen[w[0]].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Drain the rest locally, then post one sentinel per thief.
+        while let Some(w) = d.pop() {
+            seen[w[0]].fetch_add(1, Ordering::Relaxed);
+        }
+        let mut sentinels = 0;
+        while sentinels < 3 {
+            if d.push([usize::MAX, 0, 0]) {
+                sentinels += 1;
+            }
+        }
+        for t in thieves {
+            t.join().unwrap();
+        }
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn injector_is_fifo_and_bounded() {
+        let q = Injector::new();
+        assert_eq!(q.pop(), None);
+        for i in 0..INJECTOR_CAP {
+            assert!(q.push([i, 0, 0]), "push {i}");
+        }
+        assert!(!q.push([usize::MAX, 0, 0]));
+        for i in 0..INJECTOR_CAP {
+            assert_eq!(q.pop(), Some([i, 0, 0]));
+        }
+        assert_eq!(q.pop(), None);
+        // Reusable after a full lap.
+        assert!(q.push([7, 8, 9]));
+        assert_eq!(q.pop(), Some([7, 8, 9]));
+    }
+
+    #[test]
+    fn injector_concurrent_producers_consumers() {
+        let q = Arc::new(Injector::new());
+        const PER: usize = 5_000;
+        let seen = Arc::new(
+            (0..2 * PER)
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        let id = p * PER + i;
+                        while !q.push([id, 0, 0]) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    let mut got = 0;
+                    while got < PER {
+                        if let Some(w) = q.pop() {
+                            seen[w[0]].fetch_add(1, Ordering::Relaxed);
+                            got += 1;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers.into_iter().chain(consumers) {
+            h.join().unwrap();
+        }
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), 1, "id {i}");
+        }
+    }
+
+    #[test]
+    fn steal_counters_total() {
+        let mut stats = StealStats::default();
+        stats.participants.push(StealCounters {
+            executed: 3,
+            stolen: 1,
+            ..Default::default()
+        });
+        stats.participants.push(StealCounters {
+            executed: 2,
+            wakes: 4,
+            ..Default::default()
+        });
+        let t = stats.total();
+        assert_eq!(t.executed, 5);
+        assert_eq!(t.stolen, 1);
+        assert_eq!(t.wakes, 4);
+        assert!(format!("{stats}").contains("executed 5"));
+    }
+
+    #[test]
+    fn victim_rng_varies_by_seed() {
+        let a: Vec<usize> = {
+            let mut r = VictimRng::new(1);
+            (0..8).map(|_| r.next() % 7).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = VictimRng::new(2);
+            (0..8).map(|_| r.next() % 7).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests of the work-stealing dispatch (DESIGN.md §14): stealing
+//! must never change reduction bit patterns. Tile boundaries are a pure
+//! function of `(n, schedule, participants)`, each tile folds into its own
+//! slot, and the combine sweeps the slots in index order — so which worker
+//! executes a tile (owner, thief, or the caller draining its own launch)
+//! cannot reorder a single floating-point operation.
+
+use proptest::prelude::*;
+use racc_threadpool::{Schedule, ThreadPool};
+
+/// A float fold whose result depends on evaluation order: summing values
+/// of wildly different magnitudes. Any reassociation shows up in the bits.
+fn order_sensitive_value(i: usize) -> f64 {
+    let sign = if i.is_multiple_of(3) { -1.0 } else { 1.0 };
+    sign * (1.0 + i as f64) * (10.0f64).powi((i % 13) as i32 - 6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Run-to-run bit determinism: the same reduction repeated on the same
+    /// pool yields bit-identical f64 results regardless of how stealing
+    /// interleaves across runs — for arbitrary sizes, grains, schedules,
+    /// and pool widths.
+    #[test]
+    fn stealing_never_changes_reduction_bits(
+        n in 0usize..5000,
+        threads in 1usize..6,
+        dynamic in any::<bool>(),
+        chunk in 0usize..64,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let sched = if dynamic { Schedule::Dynamic { chunk } } else { Schedule::Static };
+        let run = || {
+            pool.parallel_reduce(n, sched, 0.0f64, order_sensitive_value, |a, b| a + b)
+                .to_bits()
+        };
+        let first = run();
+        for _ in 0..8 {
+            prop_assert_eq!(run(), first);
+        }
+    }
+
+    /// Pool-width independence for a fixed schedule: the deterministic
+    /// tiling depends on the participant count, so identical pools must
+    /// agree bit-for-bit even though their steal interleavings differ.
+    #[test]
+    fn identical_pools_agree_bit_for_bit(
+        n in 0usize..4000,
+        threads in 1usize..6,
+        chunk in 0usize..48,
+    ) {
+        let sched = Schedule::Dynamic { chunk };
+        let a = ThreadPool::new(threads)
+            .parallel_reduce(n, sched, 0.0f64, order_sensitive_value, |x, y| x + y)
+            .to_bits();
+        let b = ThreadPool::new(threads)
+            .parallel_reduce(n, sched, 0.0f64, order_sensitive_value, |x, y| x + y)
+            .to_bits();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Integer reductions are exact: the stolen-tile fold must equal the
+    /// straight sequential fold no matter the schedule or pool width.
+    #[test]
+    fn integer_reduce_equals_serial_fold_under_stealing(
+        data in prop::collection::vec(any::<i64>(), 0..4000),
+        threads in 1usize..6,
+        chunk in 0usize..32,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let expect: i64 = data.iter().fold(0i64, |a, b| a.wrapping_add(*b));
+        for sched in [Schedule::Static, Schedule::Dynamic { chunk }] {
+            let got = pool.parallel_reduce(
+                data.len(),
+                sched,
+                0i64,
+                |i| data[i],
+                |a, b| a.wrapping_add(b),
+            );
+            prop_assert_eq!(got, expect);
+        }
+    }
+}
+
+/// A panic inside a stolen task must propagate to the caller — and the
+/// pool must stay usable afterwards (poisoned launches drain; workers
+/// return to the idle set).
+#[test]
+fn stolen_task_panic_propagates_and_pool_survives() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let pool = ThreadPool::new(4);
+    for round in 0..20 {
+        let n = 512;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_for(n, Schedule::Dynamic { chunk: 1 }, |i| {
+                if i == 257 {
+                    panic!("boom in tile {round}");
+                }
+            });
+        }));
+        assert!(
+            result.is_err(),
+            "panic must reach the caller (round {round})"
+        );
+    }
+    // The pool still schedules correctly after repeated poisonings.
+    let hits: Vec<AtomicUsize> = (0..1024).map(|_| AtomicUsize::new(0)).collect();
+    pool.parallel_for(hits.len(), Schedule::Dynamic { chunk: 0 }, |i| {
+        hits[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}

@@ -28,6 +28,7 @@ const fn lane(kind: ConstructKind) -> (u32, &'static str) {
         ConstructKind::Fused => (6, "fused"),
         ConstructKind::Fault => (7, "faults"),
         ConstructKind::Compile => (8, "compile"),
+        ConstructKind::Steal => (9, "steals"),
     }
 }
 

@@ -79,6 +79,11 @@ pub enum ConstructKind {
     /// `modeled_ns` is 0, so the modeled timeline stays untouched;
     /// `dims.0` is the number of fused groups produced.
     Compile,
+    /// One successful work-steal in the threadpool's deque core: `dims.0`
+    /// is the number of tiles taken, `geometry` is `(thief, victim)`
+    /// participant indices. Zero-duration marker — the stolen range's
+    /// execution gets its own `WorkerChunk` span.
+    Steal,
 }
 
 impl ConstructKind {
@@ -89,7 +94,7 @@ impl ConstructKind {
 
     /// Every kind, in declaration order. Kept next to the enum; the
     /// `all_kinds_listed_exactly_once` test below pins exhaustiveness.
-    pub const ALL: [ConstructKind; 15] = [
+    pub const ALL: [ConstructKind; 16] = [
         ConstructKind::For1d,
         ConstructKind::For2d,
         ConstructKind::For3d,
@@ -105,6 +110,7 @@ impl ConstructKind {
         ConstructKind::Fused,
         ConstructKind::Fault,
         ConstructKind::Compile,
+        ConstructKind::Steal,
     ];
     /// The lowercase label used in sinks (`for1d`, `reduce2d`, `h2d`, ...).
     pub fn label(self) -> &'static str {
@@ -124,6 +130,7 @@ impl ConstructKind {
             ConstructKind::Fused => "fused",
             ConstructKind::Fault => "fault",
             ConstructKind::Compile => "compile",
+            ConstructKind::Steal => "steal",
         }
     }
 

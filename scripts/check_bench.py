@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed bench series.
+
+Two layers, both over the *committed* ``results/BENCH_*.json`` files (run
+this before any quick-mode smoke regenerates them):
+
+1. Absolute floors — claims the repo makes about itself:
+     * fusion: every ``cg``/``expr`` row must hold ``wall_speedup >= 1.0``
+       (compiled plans never lose to eager);
+     * steal: the ragged-CSR matvec must hold ``wall_speedup >= 1.2`` over
+       the shared-cursor chunk core, and every other workload ``>= 0.98``
+       (the deque core must not tax uniform loops).
+
+2. Baseline drift — every ``results/baselines/BENCH_*.json`` is compared
+   row-by-row against its committed counterpart. A row regresses when it
+   is worse than baseline by more than ``TOLERANCE`` (1.05x): speedups may
+   drop at most 5%, per-launch nanoseconds may grow at most 5%. Rows are
+   keyed by (section/workload, backend, shape) so reordering is harmless;
+   a row *missing* from the current results is a failure, new rows are
+   fine. To accept an intentional change, regenerate the full-size series
+   and copy it over the baseline in the same commit.
+
+Exit code 0 iff every check passes.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "results"
+BASELINES = RESULTS / "baselines"
+TOLERANCE = 1.05
+
+failures = []
+
+
+def check(ok, msg):
+    print(("ok:  " if ok else "FAIL: ") + msg)
+    if not ok:
+        failures.append(msg)
+
+
+def rows(doc):
+    """Yield (key, row) for every series row in a bench document."""
+    if doc["bench"] == "fusion":
+        for sec in ("cg", "expr"):
+            for row in doc.get(sec, []):
+                yield (sec, row["backend"]), row
+    else:
+        for row in doc.get("series", []):
+            key = tuple(
+                row[k] for k in ("workload", "backend", "shape") if k in row
+            )
+            yield key, row
+
+
+def fmt(key):
+    return "/".join(str(k) for k in key)
+
+
+def gate_absolute(name, doc):
+    if doc["bench"] == "fusion":
+        for key, row in rows(doc):
+            s = row["wall_speedup"]
+            check(s >= 1.0, f"{name} {fmt(key)}: wall_speedup {s} >= 1.0")
+    elif doc["bench"] == "steal":
+        for key, row in rows(doc):
+            floor = 1.2 if row["workload"] == "ragged-csr" else 0.98
+            s = row["wall_speedup"]
+            check(s >= floor, f"{name} {fmt(key)}: wall_speedup {s} >= {floor}")
+
+
+def gate_baseline(name, cur, base):
+    cur_rows = dict(rows(cur))
+    for key, brow in rows(base):
+        crow = cur_rows.get(key)
+        if crow is None:
+            check(False, f"{name} {fmt(key)}: row present in current results")
+            continue
+        if "wall_speedup" in brow:
+            b, c = brow["wall_speedup"], crow["wall_speedup"]
+            check(
+                c * TOLERANCE >= b,
+                f"{name} {fmt(key)}: wall_speedup {c} within {TOLERANCE}x of baseline {b}",
+            )
+        elif "ns_per_launch" in brow:
+            b, c = brow["ns_per_launch"], crow["ns_per_launch"]
+            check(
+                c <= b * TOLERANCE,
+                f"{name} {fmt(key)}: ns_per_launch {c} within {TOLERANCE}x of baseline {b}",
+            )
+
+
+def main():
+    committed = sorted(RESULTS.glob("BENCH_*.json"))
+    if not committed:
+        print("FAIL: no committed results/BENCH_*.json found")
+        return 1
+    for path in committed:
+        doc = json.load(open(path))
+        if doc.get("quick"):
+            check(False, f"{path.name}: committed series must be full-size, not quick-mode")
+            continue
+        gate_absolute(path.name, doc)
+        base_path = BASELINES / path.name
+        if base_path.exists():
+            gate_baseline(path.name, doc, json.load(open(base_path)))
+        else:
+            print(f"note: no baseline for {path.name} (add one under results/baselines/)")
+    for base_path in sorted(BASELINES.glob("BENCH_*.json")):
+        check(
+            (RESULTS / base_path.name).exists(),
+            f"{base_path.name}: baseline has a committed counterpart",
+        )
+    if failures:
+        print(f"\n{len(failures)} bench gate failure(s)")
+        return 1
+    print("\nall bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,11 @@ impl Backend for AnyBackend {
     fn sanitizer_report(&self) -> Option<String> {
         dispatch!(self, b => b.sanitizer_report())
     }
+    // Forwarded (not defaulted) so every pool-backed variant — threads and
+    // the simulated accelerators — reports its work-stealing counters.
+    fn steal_stats(&self) -> Option<racc_core::StealStats> {
+        dispatch!(self, b => b.steal_stats())
+    }
     // Forwarded (not defaulted) for the same reason: the simulator back
     // ends own the chaos engine, retry policy, and fault log.
     fn set_chaos(&self, plan: FaultPlan) -> bool {
