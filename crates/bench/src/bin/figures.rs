@@ -41,6 +41,7 @@ fn main() {
         "bench-launch-overhead" => bench_launch_overhead(),
         "bench-fusion" => bench_fusion(),
         "bench-steal" => bench_steal(),
+        "bench-shard" => bench_shard(),
         "trace" => {
             let experiment = args
                 .iter()
@@ -72,7 +73,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|bench-steal|trace|sancheck|all"
+                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|bench-steal|bench-shard|trace|sancheck|all"
             );
             std::process::exit(2);
         }
@@ -1187,6 +1188,200 @@ fn bench_steal() {
     let path = "results/BENCH_steal.json";
     std::fs::write(path, json).expect("write bench JSON");
     println!("\nsteal series written to {path}");
+}
+
+/// Multi-device sharding benchmark: 1→8 simulated-device scaling curves
+/// for the sharded heat3d stencil, the sharded D2Q9 LBM, and the
+/// pipelined distributed CG, with halo/interior overlap on vs off. Every
+/// multi-device field is asserted bit-identical to the single-device run
+/// before anything is reported. Times are **modeled makespans** (the max
+/// per-shard clock; the comm substrate itself is unclocked — pack/unpack
+/// kernels and staging transfers are the device-visible exchange cost).
+/// Prints a table and writes `results/BENCH_shard.json`.
+/// `RACC_BENCH_QUICK=1` shrinks problem sizes and the device sweep.
+fn bench_shard() {
+    use racc_cg::pipelined::PipelinedCg;
+    use racc_lbm::sharded::ShardedLbm;
+    use racc_shard::{run_sharded, ShardApp, ShardOptions, ShardOutcome};
+    use racc_stencil::ShardedHeat3;
+    use std::sync::Arc;
+
+    let quick = std::env::var_os("RACC_BENCH_QUICK").is_some();
+    let device_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    fn factory(_rank: usize) -> racc::Ctx {
+        racc::builder()
+            .backend("cudasim")
+            .build()
+            .expect("cudasim backend compiled in")
+    }
+
+    fn drive<A>(app: Arc<A>, devices: usize, overlap: bool) -> ShardOutcome
+    where
+        A: ShardApp<racc::AnyBackend>,
+    {
+        run_sharded(
+            app,
+            ShardOptions::devices(devices)
+                .overlap(overlap)
+                .checkpoint_every(0),
+            factory,
+        )
+    }
+
+    // Interior-dominated sizes: large enough that the per-step interior
+    // launch outweighs the fixed pack/unpack launch + staging-transfer
+    // cost of the exchange (at toy sizes every curve is halo-bound).
+    let heat = Arc::new(if quick {
+        ShardedHeat3 { n: 32, sweeps: 4 }
+    } else {
+        ShardedHeat3 { n: 160, sweeps: 8 }
+    });
+    let lbm = Arc::new(if quick {
+        ShardedLbm {
+            s: 64,
+            tau: 0.8,
+            steps: 3,
+        }
+    } else {
+        ShardedLbm {
+            s: 512,
+            tau: 0.8,
+            steps: 6,
+        }
+    });
+    let cg = Arc::new(if quick {
+        PipelinedCg {
+            tiles: 16,
+            tile: 64,
+            steps: 10,
+        }
+    } else {
+        PipelinedCg {
+            tiles: 64,
+            tile: 4096,
+            steps: 20,
+        }
+    });
+
+    struct Row {
+        workload: &'static str,
+        devices: usize,
+        overlap: bool,
+        makespan_ns: u64,
+        speedup: f64,
+        overlap_gain: Option<f64>,
+        halo_exchanges: u64,
+    }
+    let mut all_rows: Vec<Row> = Vec::new();
+
+    type Runner = Box<dyn Fn(usize, bool) -> ShardOutcome>;
+    let workloads: Vec<(&'static str, Runner)> = vec![
+        (
+            "heat3d",
+            Box::new(move |d, ov| drive(Arc::clone(&heat), d, ov)),
+        ),
+        ("lbm", Box::new(move |d, ov| drive(Arc::clone(&lbm), d, ov))),
+        ("cg", Box::new(move |d, ov| drive(Arc::clone(&cg), d, ov))),
+    ];
+
+    for (name, run) in &workloads {
+        let base = run(1, true);
+        let base_ns = base.makespan_ns();
+        for &d in device_counts {
+            let on = run(d, true);
+            assert_eq!(
+                on.field, base.field,
+                "{name} on {d} devices must be bit-identical to one device"
+            );
+            let exchanges: u64 = on
+                .reports
+                .iter()
+                .flatten()
+                .map(|r| r.stats.halo_exchanges)
+                .sum();
+            let overlap_gain = (d > 1).then(|| {
+                let off = run(d, false);
+                assert_eq!(
+                    off.field, base.field,
+                    "{name} without overlap must still be bit-identical"
+                );
+                all_rows.push(Row {
+                    workload: name,
+                    devices: d,
+                    overlap: false,
+                    makespan_ns: off.makespan_ns(),
+                    speedup: base_ns as f64 / off.makespan_ns() as f64,
+                    overlap_gain: None,
+                    halo_exchanges: exchanges,
+                });
+                off.makespan_ns() as f64 / on.makespan_ns() as f64
+            });
+            all_rows.push(Row {
+                workload: name,
+                devices: d,
+                overlap: true,
+                makespan_ns: on.makespan_ns(),
+                speedup: base_ns as f64 / on.makespan_ns() as f64,
+                overlap_gain,
+                halo_exchanges: exchanges,
+            });
+        }
+    }
+
+    let mut t = Table::new(
+        "Sharded multi-device scaling — modeled makespan on simulated A100s",
+        &[
+            "workload",
+            "devices",
+            "overlap",
+            "makespan",
+            "speedup",
+            "overlap-gain",
+            "halo-ex",
+        ],
+    );
+    let mut entries = Vec::new();
+    for r in &all_rows {
+        t.row(vec![
+            r.workload.to_string(),
+            r.devices.to_string(),
+            if r.overlap { "on" } else { "off" }.to_string(),
+            fmt_ns(r.makespan_ns as f64),
+            format!("{:.2}x", r.speedup),
+            r.overlap_gain
+                .map_or_else(|| "-".to_string(), |g| format!("{g:.2}x")),
+            r.halo_exchanges.to_string(),
+        ]);
+        let gain = r
+            .overlap_gain
+            .map_or_else(|| "null".to_string(), |g| format!("{g:.3}"));
+        entries.push(format!(
+            "    {{\"workload\": \"{}\", \"backend\": \"cudasim\", \"shape\": \"d{}-overlap-{}\", \
+             \"devices\": {}, \"overlap\": {}, \"makespan_ns\": {}, \
+             \"modeled_speedup\": {:.3}, \"overlap_gain\": {gain}, \
+             \"halo_exchanges\": {}, \"bit_identical\": true}}",
+            r.workload,
+            r.devices,
+            if r.overlap { "on" } else { "off" },
+            r.devices,
+            r.overlap,
+            r.makespan_ns,
+            r.speedup,
+            r.halo_exchanges,
+        ));
+    }
+    t.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard\",\n  \"quick\": {quick},\n  \"series\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    racc::trace::json::validate(&json).expect("bench JSON must be valid");
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_shard.json";
+    std::fs::write(path, json).expect("write bench JSON");
+    println!("\nshard scaling series written to {path}");
 }
 
 /// Ablation: native 2D tiled launch vs flattened 1D launch for the LBM

@@ -20,6 +20,7 @@
 //!   BLAS of `racc-blas` with a hand-written matvec kernel per vendor).
 
 pub mod csr;
+pub mod pipelined;
 pub mod precond;
 pub mod solver;
 pub mod tridiag;

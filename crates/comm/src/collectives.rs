@@ -12,6 +12,13 @@
 //! [`CommError::Disconnected`] at the survivors rather than poisoning the
 //! world with a panic. Misuse (a non-root rank passing a scatter payload)
 //! is still a panic — that is a programming error, not a fault.
+//!
+//! Every *internal* receive — the fan-in legs at the root as much as the
+//! fan-out legs at the leaves — goes through the rank's collective
+//! timeout ([`Rank::set_collective_timeout`]). A rank can die *between*
+//! stages (e.g. after contributing to an allreduce but before the
+//! broadcast), and its buffered messages keep the channel readable for the
+//! legs it already ran; only the timeout bounds the legs it never reached.
 
 use racc_core::{AccScalar, ReduceOp, Sum};
 
@@ -32,7 +39,7 @@ impl Rank {
         let total = if self.rank() == 0 {
             let mut acc = value;
             for peer in 1..self.size() {
-                let v: T = self.recv(peer)?;
+                let v: T = self.recv_collective(peer)?;
                 acc = op.combine(acc, v);
             }
             acc
@@ -79,7 +86,7 @@ impl Rank {
             }
             Ok(value)
         } else {
-            self.recv(0)
+            self.recv_collective(0)
         }
     }
 
@@ -97,7 +104,7 @@ impl Rank {
             let mut all = Vec::with_capacity(self.size());
             all.push(local);
             for peer in 1..self.size() {
-                all.push(self.recv(peer)?);
+                all.push(self.recv_collective(peer)?);
             }
             Some(all)
         } else {
@@ -122,7 +129,7 @@ impl Rank {
         let out = if self.rank() == 0 {
             let mut all: Vec<T> = local;
             for peer in 1..self.size() {
-                let chunk: Vec<T> = self.recv(peer)?;
+                let chunk: Vec<T> = self.recv_collective(peer)?;
                 all.extend(chunk);
             }
             for peer in 1..self.size() {
@@ -131,7 +138,7 @@ impl Rank {
             all
         } else {
             self.send(0, local)?;
-            self.recv(0)?
+            self.recv_collective(0)?
         };
         #[cfg(feature = "trace")]
         self.record_collective("allgather", bytes, t0);
@@ -165,7 +172,7 @@ impl Rank {
             data[s..e].to_vec()
         } else {
             assert!(data.is_none(), "only rank 0 provides the scatter payload");
-            self.recv(0)?
+            self.recv_collective(0)?
         };
         #[cfg(feature = "trace")]
         self.record_collective("scatter", (out.len() * std::mem::size_of::<T>()) as u64, t0);
@@ -306,6 +313,79 @@ mod tests {
         assert_eq!(results[0], Some(Err(CommError::Disconnected)));
         assert_eq!(results[1], Some(Err(CommError::Disconnected)));
         assert_eq!(results[2], None);
+    }
+
+    #[test]
+    fn rank_death_between_allreduce_stages_is_detected_not_hung() {
+        use std::time::Duration;
+        // Rank 2 contributes to the fan-in leg and then dies *between* the
+        // allreduce stages, before its broadcast leg. Rank 1 waits until the
+        // death is observable (its probe of rank 2 disconnects) so the
+        // outcome is deterministic: the root combines rank 2's buffered
+        // contribution, then surfaces `Disconnected` on the dead broadcast
+        // leg. Nobody blocks forever.
+        let results = World::run(3, |c| {
+            if c.rank() == 2 {
+                c.send(0, 2.0f64).unwrap(); // fan-in leg only
+                return None; // dies before the broadcast leg
+            }
+            if c.rank() == 1 {
+                // Blocks until rank 2's channels drop, i.e. it is dead.
+                let probe = c.recv_timeout::<u8>(2, Duration::from_secs(120));
+                assert_eq!(probe, Err(CommError::Disconnected));
+            }
+            Some(c.allreduce_sum(c.rank() as f64))
+        });
+        assert_eq!(results[0], Some(Err(CommError::Disconnected)));
+        // The root sends the broadcast legs in rank order, so rank 1 already
+        // has the total by the time the dead leg errors the root out.
+        assert_eq!(results[1], Some(Ok(3.0)));
+        assert_eq!(results[2], None);
+    }
+
+    #[test]
+    fn wedged_rank_mid_allreduce_times_out_instead_of_hanging() {
+        use std::time::{Duration, Instant};
+        // Rank 2 holds its channels open (alive) but never enters the
+        // collective — the shape of a rank wedged in recovery or stalled
+        // under fault injection. Before the timeout fix the root blocked
+        // forever in its fan-in `recv`; now every internal receive honors
+        // the collective timeout.
+        let t0 = Instant::now();
+        let results = World::run(3, |c| {
+            if c.rank() == 2 {
+                // Stay alive past the others' deadline; rank 0 releases us.
+                let _ = c.recv_timeout::<u8>(0, Duration::from_secs(120));
+                return None;
+            }
+            c.set_collective_timeout(Duration::from_millis(50));
+            let r = c.allreduce_sum(1.0f64);
+            if c.rank() == 0 {
+                let _ = c.send(2, 1u8); // release the wedged rank
+            }
+            Some(r)
+        });
+        assert!(results[0].clone().unwrap().is_err(), "root must not hang");
+        assert!(results[1].clone().unwrap().is_err(), "leaf must not hang");
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "collective must abort well before the wedged rank exits"
+        );
+    }
+
+    #[test]
+    fn collective_timeout_is_configurable_and_clamped() {
+        let results = World::run(1, |c| {
+            let default = c.collective_timeout();
+            c.set_collective_timeout(std::time::Duration::from_micros(3));
+            let floor = c.collective_timeout();
+            c.set_collective_timeout(std::time::Duration::from_secs(9));
+            (default, floor, c.collective_timeout())
+        });
+        let (default, floor, set) = results[0];
+        assert_eq!(default, crate::world::DEFAULT_COLLECTIVE_TIMEOUT);
+        assert_eq!(floor, std::time::Duration::from_millis(1));
+        assert_eq!(set, std::time::Duration::from_secs(9));
     }
 
     #[test]

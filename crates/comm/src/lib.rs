@@ -28,4 +28,4 @@
 mod collectives;
 mod world;
 
-pub use world::{CommError, Rank, World};
+pub use world::{CommError, Rank, World, DEFAULT_COLLECTIVE_TIMEOUT};

@@ -53,6 +53,12 @@ pub(crate) type TraceHandle = Option<Arc<racc_core::trace::TraceRecorder>>;
 #[cfg(not(feature = "trace"))]
 pub(crate) type TraceHandle = ();
 
+/// Default bound on how long a collective waits on any single internal
+/// receive before giving up with [`CommError::Timeout`]. Generous: rank
+/// threads time-slice on small machines, so a healthy-but-descheduled peer
+/// must not be mistaken for a dead one.
+pub const DEFAULT_COLLECTIVE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
 /// A rank's endpoint in the world: its identity plus channels to every
 /// peer. Messages between a fixed (sender, receiver) pair are FIFO.
 pub struct Rank {
@@ -62,6 +68,10 @@ pub struct Rank {
     senders: Vec<Sender<Payload>>,
     /// `receivers[p]` receives messages *from* rank p.
     receivers: Vec<Receiver<Payload>>,
+    /// Per-receive deadline (in milliseconds) applied to every internal
+    /// receive inside the collectives, so a rank dying mid-collective
+    /// surfaces as an error at the survivors instead of hanging them.
+    collective_timeout_ms: std::sync::atomic::AtomicU64,
     /// Shared barrier for collectives.
     pub(crate) barrier: Arc<std::sync::Barrier>,
     /// Span recorder for collective operations, if the world was launched
@@ -135,6 +145,31 @@ impl Rank {
             .downcast::<T>()
             .map(|b| *b)
             .map_err(|_| CommError::TypeMismatch)
+    }
+
+    /// The per-receive deadline currently applied inside collectives.
+    pub fn collective_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(
+            self.collective_timeout_ms
+                .load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Bound every internal receive of subsequent collectives on this rank
+    /// to `timeout` (defaults to [`DEFAULT_COLLECTIVE_TIMEOUT`]). Sub-
+    /// millisecond values round up to 1ms so the bound is never zero.
+    pub fn set_collective_timeout(&self, timeout: std::time::Duration) {
+        let ms = timeout.as_millis().clamp(1, u64::MAX as u128) as u64;
+        self.collective_timeout_ms
+            .store(ms, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Internal receive used by every collective stage: `recv_timeout` with
+    /// the rank's collective deadline, so a peer that died (or wedged)
+    /// mid-collective surfaces as `Disconnected`/`Timeout` instead of
+    /// blocking this rank forever.
+    pub(crate) fn recv_collective<T: Send + 'static>(&self, peer: usize) -> Result<T, CommError> {
+        self.recv_timeout(peer, self.collective_timeout())
     }
 
     /// Paired exchange with `peer`: send `value`, receive theirs. Safe in
@@ -251,6 +286,9 @@ impl World {
                     .into_iter()
                     .map(|r| r.expect("fully wired"))
                     .collect(),
+                collective_timeout_ms: std::sync::atomic::AtomicU64::new(
+                    DEFAULT_COLLECTIVE_TIMEOUT.as_millis() as u64,
+                ),
                 barrier: Arc::clone(&barrier),
                 recorder: recorder.clone(),
             };

@@ -77,6 +77,15 @@ pub struct RuntimeConfig {
     /// knob itself (`racc_threadpool::parse_grain`), this copy is for
     /// introspection.
     pub grain: Option<usize>,
+    /// `RACC_SHARDS` — default simulated-device count for the sharded
+    /// runner (`racc-shard`) when the caller does not pick one. `None`
+    /// when unset, zero, or unparsable.
+    pub shards: Option<usize>,
+    /// `RACC_SHARD_OVERLAP` — whether the sharded runner overlaps halo
+    /// exchange with interior compute on the modeled clock. `None` when
+    /// unset (the runner defaults to overlapping); `Some(false)` is the
+    /// A/B switch the scaling tables use.
+    pub shard_overlap: Option<bool>,
 }
 
 impl RuntimeConfig {
@@ -98,8 +107,20 @@ impl RuntimeConfig {
                 .and_then(|raw| FaultPlan::parse(raw).ok()),
             plan_cache: parse_plan_cache(lookup("RACC_PLAN_CACHE").as_deref()),
             grain: racc_threadpool::parse_grain(lookup("RACC_GRAIN").as_deref()),
+            shards: parse_positive(lookup("RACC_SHARDS").as_deref()),
+            shard_overlap: lookup("RACC_SHARD_OVERLAP")
+                .as_deref()
+                .map(|v| truthy(Some(v))),
         }
     }
+}
+
+/// A positive integer, or `None` for unset/zero/garbage (a bad knob must
+/// never panic a working program).
+fn parse_positive(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// The shared truthy rule: set and not one of the falsy strings. Matches
@@ -188,6 +209,24 @@ mod tests {
         assert_eq!(cfg(&[("RACC_GRAIN", "0")]).grain, None);
         assert_eq!(cfg(&[("RACC_GRAIN", "-3")]).grain, None);
         assert_eq!(cfg(&[("RACC_GRAIN", "coarse")]).grain, None);
+    }
+
+    #[test]
+    fn shard_knobs_parse_counts_and_tristate_overlap() {
+        assert_eq!(cfg(&[]).shards, None);
+        assert_eq!(cfg(&[("RACC_SHARDS", "4")]).shards, Some(4));
+        assert_eq!(cfg(&[("RACC_SHARDS", " 8 ")]).shards, Some(8));
+        assert_eq!(cfg(&[("RACC_SHARDS", "0")]).shards, None);
+        assert_eq!(cfg(&[("RACC_SHARDS", "lots")]).shards, None);
+        assert_eq!(cfg(&[]).shard_overlap, None);
+        assert_eq!(
+            cfg(&[("RACC_SHARD_OVERLAP", "1")]).shard_overlap,
+            Some(true)
+        );
+        assert_eq!(
+            cfg(&[("RACC_SHARD_OVERLAP", "off")]).shard_overlap,
+            Some(false)
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::config::{PlanCacheMode, RuntimeConfig};
 use crate::error::RaccError;
 use crate::profile::KernelProfile;
 use crate::scalar::{AccScalar, Numeric, ReduceOp, Sum};
-use crate::stats::{fold_faults, snapshot_plan_cache, PlanCacheSlot, RuntimeStats};
+use crate::stats::{
+    fold_faults, snapshot_plan_cache, snapshot_shard, PlanCacheSlot, RuntimeStats, ShardCounters,
+};
 use crate::timeline::TimelineSnapshot;
 
 static NEXT_CTX_ID: AtomicU64 = AtomicU64::new(1);
@@ -32,6 +34,10 @@ pub struct Context<B: Backend> {
     /// Home of the fused-plan cache: mode, counters, and the type-erased
     /// cell `racc-fuse` parks its cache in (see [`crate::stats`]).
     plan_cache: PlanCacheSlot,
+    /// Counters the sharded multi-device runner (`racc-shard`) bumps when
+    /// it drives this context; all zero (and hidden from `stats()`)
+    /// otherwise.
+    shard: std::sync::Arc<ShardCounters>,
     /// The span recorder attached at build time (see [`Context::builder`]).
     #[cfg(feature = "trace")]
     tracer: Option<Arc<racc_trace::TraceRecorder>>,
@@ -75,6 +81,7 @@ impl<B: Backend> Context<B> {
             id: NEXT_CTX_ID.fetch_add(1, Ordering::Relaxed),
             fusion: config.fusion,
             plan_cache: PlanCacheSlot::new(config.plan_cache),
+            shard: std::sync::Arc::new(ShardCounters::default()),
             #[cfg(feature = "trace")]
             tracer: None,
         }
@@ -508,7 +515,16 @@ impl<B: Backend> Context<B> {
             faults: fold_faults(&self.backend.fault_log()),
             sanitizer: self.backend.sanitizer_report(),
             steal: self.backend.steal_stats(),
+            shard: snapshot_shard(&self.shard),
         }
+    }
+
+    /// The shard-runner counters of this context. Public for `racc-shard`,
+    /// which bumps them while driving the context as one device of a
+    /// sharded run; application code wants [`Context::stats`] instead.
+    #[doc(hidden)]
+    pub fn shard_counters(&self) -> &std::sync::Arc<ShardCounters> {
+        &self.shard
     }
 
     /// The per-context home of the fused-plan cache. Public for the

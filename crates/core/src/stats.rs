@@ -118,6 +118,59 @@ pub struct FaultStats {
     pub delayed: u64,
 }
 
+/// Shared counters of the sharded multi-device runner (`racc-shard`).
+/// The shard runner increments the counters of the per-rank context it
+/// drives; [`Context::stats`](crate::Context::stats) reads them. Lives in
+/// core for the same reason as [`PlanCacheCounters`]: `ctx.stats()` must
+/// report them without a dependency edge from core to the shard layer.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Completed sharded steps (committed, not counting replays).
+    pub steps: AtomicU64,
+    /// Halo exchanges completed (both sides of one step count once).
+    pub halo_exchanges: AtomicU64,
+    /// Ghost bytes moved by halo exchanges, both directions.
+    pub halo_bytes: AtomicU64,
+    /// Interior-phase kernel launches.
+    pub interior_launches: AtomicU64,
+    /// Boundary-phase kernel launches.
+    pub boundary_launches: AtomicU64,
+    /// Replicated checkpoints taken.
+    pub checkpoints: AtomicU64,
+    /// Reshard events survived (a peer died; the domain was re-split).
+    pub reshards: AtomicU64,
+    /// Steps replayed from a checkpoint after a reshard.
+    pub replayed_steps: AtomicU64,
+}
+
+/// Sharded-execution snapshot inside [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Committed sharded steps.
+    pub steps: u64,
+    /// Completed halo exchanges.
+    pub halo_exchanges: u64,
+    /// Ghost bytes moved, both directions.
+    pub halo_bytes: u64,
+    /// Interior-phase launches.
+    pub interior_launches: u64,
+    /// Boundary-phase launches.
+    pub boundary_launches: u64,
+    /// Replicated checkpoints taken.
+    pub checkpoints: u64,
+    /// Reshard events survived.
+    pub reshards: u64,
+    /// Steps replayed after reshards.
+    pub replayed_steps: u64,
+}
+
+impl ShardStats {
+    /// True when the context never ran under the shard runner.
+    pub fn is_empty(&self) -> bool {
+        *self == ShardStats::default()
+    }
+}
+
 /// One uniform snapshot of a context's runtime machinery — plan cache,
 /// chaos, sanitizer, work-stealing dispatch — returned by
 /// [`Context::stats`](crate::Context::stats).
@@ -133,6 +186,10 @@ pub struct RuntimeStats {
     /// (tasks executed/stolen/injected, splits, wakes, parks). `None` on
     /// back ends without a work-stealing engine.
     pub steal: Option<racc_threadpool::StealStats>,
+    /// Sharded multi-device counters (`racc-shard`): steps, halo traffic,
+    /// checkpoints, reshards. `None` when this context never ran under the
+    /// shard runner.
+    pub shard: Option<ShardStats>,
 }
 
 impl std::fmt::Display for RuntimeStats {
@@ -164,6 +221,18 @@ impl std::fmt::Display for RuntimeStats {
         if let Some(steal) = &self.steal {
             write!(f, "; {steal}")?;
         }
+        if let Some(sh) = &self.shard {
+            write!(
+                f,
+                "; shard: {} steps, {} halos ({} B), {} ckpts, {} reshards ({} replayed)",
+                sh.steps,
+                sh.halo_exchanges,
+                sh.halo_bytes,
+                sh.checkpoints,
+                sh.reshards,
+                sh.replayed_steps
+            )?;
+        }
         Ok(())
     }
 }
@@ -177,6 +246,24 @@ pub(crate) fn snapshot_plan_cache(slot: &PlanCacheSlot) -> PlanCacheStats {
         hits: c.hits.load(Ordering::Relaxed),
         misses: c.misses.load(Ordering::Relaxed),
         evictions: c.evictions.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn snapshot_shard(counters: &ShardCounters) -> Option<ShardStats> {
+    let snap = ShardStats {
+        steps: counters.steps.load(Ordering::Relaxed),
+        halo_exchanges: counters.halo_exchanges.load(Ordering::Relaxed),
+        halo_bytes: counters.halo_bytes.load(Ordering::Relaxed),
+        interior_launches: counters.interior_launches.load(Ordering::Relaxed),
+        boundary_launches: counters.boundary_launches.load(Ordering::Relaxed),
+        checkpoints: counters.checkpoints.load(Ordering::Relaxed),
+        reshards: counters.reshards.load(Ordering::Relaxed),
+        replayed_steps: counters.replayed_steps.load(Ordering::Relaxed),
+    };
+    if snap.is_empty() {
+        None
+    } else {
+        Some(snap)
     }
 }
 
@@ -254,6 +341,7 @@ mod tests {
             faults: FaultStats::default(),
             sanitizer: None,
             steal: None,
+            shard: None,
         };
         let line = stats.to_string();
         assert!(line.contains("90% hit"), "{line}");
@@ -273,6 +361,16 @@ mod tests {
             },
             faults: FaultStats::default(),
             sanitizer: None,
+            shard: Some(ShardStats {
+                steps: 12,
+                halo_exchanges: 24,
+                halo_bytes: 4096,
+                interior_launches: 12,
+                boundary_launches: 12,
+                checkpoints: 3,
+                reshards: 1,
+                replayed_steps: 4,
+            }),
             steal: Some(racc_threadpool::StealStats {
                 participants: vec![racc_threadpool::StealCounters {
                     executed: 10,
@@ -286,6 +384,22 @@ mod tests {
         };
         let line = stats.to_string();
         assert!(line.contains("steal: executed 10 stolen 3"), "{line}");
+        assert!(
+            line.contains("shard: 12 steps, 24 halos (4096 B), 3 ckpts, 1 reshards (4 replayed)"),
+            "{line}"
+        );
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn shard_snapshot_is_none_until_any_counter_moves() {
+        let counters = ShardCounters::default();
+        assert!(snapshot_shard(&counters).is_none());
+        counters.steps.fetch_add(2, Ordering::Relaxed);
+        counters.halo_bytes.fetch_add(128, Ordering::Relaxed);
+        let snap = snapshot_shard(&counters).expect("counters moved");
+        assert_eq!(snap.steps, 2);
+        assert_eq!(snap.halo_bytes, 128);
+        assert!(!snap.is_empty());
     }
 }

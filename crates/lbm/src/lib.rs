@@ -32,6 +32,7 @@ pub mod physics;
 pub mod poiseuille;
 pub mod portable;
 pub mod reference;
+pub mod sharded;
 pub mod vendor;
 
 use racc_core::KernelProfile;

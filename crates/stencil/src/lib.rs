@@ -25,10 +25,12 @@
 //! ```
 
 mod jacobi;
+mod sharded;
 mod stencil2;
 mod stencil3;
 
 pub use jacobi::Jacobi2;
+pub use sharded::{Heat3State, ShardedHeat3};
 pub use stencil2::Stencil2;
 pub use stencil3::Stencil3;
 

@@ -29,6 +29,8 @@ const fn lane(kind: ConstructKind) -> (u32, &'static str) {
         ConstructKind::Fault => (7, "faults"),
         ConstructKind::Compile => (8, "compile"),
         ConstructKind::Steal => (9, "steals"),
+        ConstructKind::Shard => (10, "shards"),
+        ConstructKind::Halo => (11, "halos"),
     }
 }
 
@@ -187,6 +189,28 @@ mod tests {
         validate(&doc).unwrap_or_else(|(at, msg)| panic!("invalid JSON at {at}: {msg}"));
         assert!(doc.contains("\"tid\":5"), "{doc}");
         assert!(doc.contains("\"sancheck\""));
+    }
+
+    #[test]
+    fn shard_and_halo_spans_get_their_own_lanes() {
+        // The PR-3 regression shape: a freshly added kind whose lane index
+        // exceeds a stale hand-sized array. `Shard`/`Halo` are the newest
+        // kinds; exporting them must emit their named lanes, not panic or
+        // silently fold them into lane 0.
+        let spans = vec![
+            Span::new("cudasim", ConstructKind::Shard, "step").modeled(500),
+            Span::new("cudasim", ConstructKind::Halo, "exchange")
+                .payload(4096)
+                .modeled(200),
+        ];
+        let doc = chrome_trace(&[("cudasim", &spans)]);
+        assert!(doc.contains("\"shards\""), "shard lane missing: {doc}");
+        assert!(doc.contains("\"halos\""), "halo lane missing: {doc}");
+        let (shard_tid, _) = lane(ConstructKind::Shard);
+        let (halo_tid, _) = lane(ConstructKind::Halo);
+        assert_ne!(shard_tid, halo_tid);
+        assert!((shard_tid as usize) < NUM_LANES);
+        assert!((halo_tid as usize) < NUM_LANES);
     }
 
     #[test]

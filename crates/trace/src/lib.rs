@@ -84,6 +84,15 @@ pub enum ConstructKind {
     /// participant indices. Zero-duration marker — the stolen range's
     /// execution gets its own `WorkerChunk` span.
     Steal,
+    /// One sharded step (or reshard event) in `racc-shard`: `dims` is
+    /// `(step, shard index, epoch)`, `geometry` is `(rank, shard count)`,
+    /// `modeled_ns` the overlap-accounted step cost on this shard's clock.
+    Shard,
+    /// One completed halo exchange for a sharded step: `payload` is the
+    /// total ghost bytes moved both ways, `modeled_ns` the exchange-side
+    /// (pack/unpack/transfer) cost the step could overlap with interior
+    /// compute.
+    Halo,
 }
 
 impl ConstructKind {
@@ -94,7 +103,7 @@ impl ConstructKind {
 
     /// Every kind, in declaration order. Kept next to the enum; the
     /// `all_kinds_listed_exactly_once` test below pins exhaustiveness.
-    pub const ALL: [ConstructKind; 16] = [
+    pub const ALL: [ConstructKind; 18] = [
         ConstructKind::For1d,
         ConstructKind::For2d,
         ConstructKind::For3d,
@@ -111,6 +120,8 @@ impl ConstructKind {
         ConstructKind::Fault,
         ConstructKind::Compile,
         ConstructKind::Steal,
+        ConstructKind::Shard,
+        ConstructKind::Halo,
     ];
     /// The lowercase label used in sinks (`for1d`, `reduce2d`, `h2d`, ...).
     pub fn label(self) -> &'static str {
@@ -131,6 +142,8 @@ impl ConstructKind {
             ConstructKind::Fault => "fault",
             ConstructKind::Compile => "compile",
             ConstructKind::Steal => "steal",
+            ConstructKind::Shard => "shard",
+            ConstructKind::Halo => "halo",
         }
     }
 

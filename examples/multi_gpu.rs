@@ -1,84 +1,86 @@
 //! Multi-device execution — the paper's "future directions" scenario
-//! (heterogeneous multi-device nodes) on the simulator substrate: split a
-//! DOT across two simulated GPUs, each computing its half, with a peer
-//! copy bringing the partials together.
+//! (multi-device nodes) through the sharding runtime: the heat3d Jacobi
+//! cube split into k-slabs across N simulated GPUs, each step overlapping
+//! the halo exchange with the interior sweep.
+//!
+//! The load-bearing claim is printed and asserted at the end: the sharded
+//! field is **bit-identical** to the single-device run at every device
+//! count, because every site evaluates exactly the same expression no
+//! matter which shard owns it.
 //!
 //! ```text
 //! cargo run --release --example multi_gpu
 //! ```
 
-use racc_cudasim::Cuda;
-use racc_gpusim::KernelCost;
+use racc_shard::{run_sharded, ShardOptions, ShardOutcome};
+use racc_stencil::ShardedHeat3;
+use std::sync::Arc;
+
+fn sharded(devices: usize, overlap: bool) -> ShardOutcome {
+    run_sharded(
+        Arc::new(ShardedHeat3 { n: 128, sweeps: 8 }),
+        ShardOptions::devices(devices).overlap(overlap),
+        |_rank| {
+            racc::builder()
+                .backend("cudasim")
+                .build()
+                .expect("cudasim backend")
+        },
+    )
+}
 
 fn main() {
-    let n = 1 << 22;
-    let half = n / 2;
-    let hx: Vec<f64> = (0..n).map(|i| ((i % 100) as f64) * 0.01).collect();
-    let hy: Vec<f64> = (0..n).map(|i| (((i + 50) % 100) as f64) * 0.01).collect();
-    let expect: f64 = hx.iter().zip(&hy).map(|(a, b)| a * b).sum();
+    println!("sharded heat3d (128^3, 8 sweeps) on simulated CUDA devices\n");
 
-    // Two simulated A100s, each owning half of the vectors.
-    let gpu0 = Cuda::new();
-    let gpu1 = Cuda::new();
+    let one = sharded(1, true);
+    let base_ns = one.makespan_ns() as f64;
     println!(
-        "two devices: #{} and #{} ({})",
-        gpu0.device().id(),
-        gpu1.device().id(),
-        gpu0.device().spec().name
-    );
-
-    let x0 = gpu0.cu_array(&hx[..half]).unwrap();
-    let y0 = gpu0.cu_array(&hy[..half]).unwrap();
-    let x1 = gpu1.cu_array(&hx[half..]).unwrap();
-    let y1 = gpu1.cu_array(&hy[half..]).unwrap();
-
-    // Each device reduces its half with the vendor two-kernel DOT.
-    let (d0, ns0) = racc_blas::vendor::cuda::dot(&gpu0, &x0, &y0);
-    let (d1, ns1) = racc_blas::vendor::cuda::dot(&gpu1, &x1, &y1);
-    println!(
-        "device 0 partial: {d0:.6e} in {:.1} us (modeled)",
-        ns0 as f64 / 1e3
+        "{:>7}  {:>12}  {:>8}  {:>8}  {:>6}",
+        "devices", "makespan", "speedup", "halo-ex", "bits"
     );
     println!(
-        "device 1 partial: {d1:.6e} in {:.1} us (modeled)",
-        ns1 as f64 / 1e3
+        "{:>7}  {:>9.1} us  {:>7.2}x  {:>8}  {:>6}",
+        1,
+        base_ns / 1e3,
+        1.0,
+        one.reports[0].as_ref().unwrap().stats.halo_exchanges,
+        "ref"
     );
 
-    // Ship device 1's partial to device 0 peer-to-peer and combine there.
-    let p1 = gpu1.cu_array(&[d1]).unwrap();
-    let p0 = gpu0.zeros::<f64>(1).unwrap();
-    gpu1.device().copy_to_peer(&p1, gpu0.device(), &p0).unwrap();
-    let partial0 = gpu0.cu_array(&[d0]).unwrap();
-    let out = gpu0.zeros::<f64>(1).unwrap();
-    let (a, b, o) = (
-        gpu0.view(&partial0).unwrap(),
-        gpu0.view(&p0).unwrap(),
-        gpu0.view_mut(&out).unwrap(),
-    );
-    gpu0.launch(1, 1, 0, KernelCost::memory_bound(16.0, 8.0), move |t| {
-        if t.global_id_x() == 0 {
-            o.set(0, a.get(0) + b.get(0));
-        }
-    })
-    .unwrap();
-    let total = gpu0.read_scalar(&out, 0).unwrap();
+    for devices in [2, 4, 8] {
+        let multi = sharded(devices, true);
+        let identical = multi.field == one.field;
+        let exchanges: u64 = multi
+            .reports
+            .iter()
+            .flatten()
+            .map(|r| r.stats.halo_exchanges)
+            .sum();
+        println!(
+            "{:>7}  {:>9.1} us  {:>7.2}x  {:>8}  {:>6}",
+            devices,
+            multi.makespan_ns() as f64 / 1e3,
+            base_ns / multi.makespan_ns() as f64,
+            exchanges,
+            if identical { "equal" } else { "DIFF" }
+        );
+        assert_eq!(
+            multi.field, one.field,
+            "sharded run on {devices} devices must be bit-identical to one device"
+        );
+    }
 
-    println!("\ncombined dot: {total:.6e}");
-    println!("reference:    {expect:.6e}");
-    assert!((total - expect).abs() < 1e-6 * expect);
-
-    // Multi-device wall clock = max of the two device clocks (they ran
-    // concurrently) vs one device doing everything.
-    let multi_ns = gpu0.clock_ns().max(gpu1.clock_ns());
-    let solo = Cuda::new();
-    let sx = solo.cu_array(&hx).unwrap();
-    let sy = solo.cu_array(&hy).unwrap();
-    let t0 = solo.clock_ns();
-    let (_, _) = racc_blas::vendor::cuda::dot(&solo, &sx, &sy);
-    let solo_ns = solo.clock_ns() - t0;
+    // Overlap off: same bits, longer modeled makespan (the exchange no
+    // longer hides behind the interior sweep).
+    let no_overlap = sharded(4, false);
+    assert_eq!(no_overlap.field, one.field);
+    let overlap = sharded(4, true);
     println!(
-        "\nmodeled end-to-end: two devices {:.1} us (incl. transfers) vs one device {:.1} us",
-        multi_ns as f64 / 1e3,
-        solo_ns as f64 / 1e3
+        "\noverlap on 4 devices: {:.1} us with vs {:.1} us without (same bits)",
+        overlap.makespan_ns() as f64 / 1e3,
+        no_overlap.makespan_ns() as f64 / 1e3
     );
+    assert!(overlap.makespan_ns() <= no_overlap.makespan_ns());
+
+    println!("\nall device counts agree bit-for-bit with the single-device run");
 }

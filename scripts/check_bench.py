@@ -9,7 +9,12 @@ this before any quick-mode smoke regenerates them):
        (compiled plans never lose to eager);
      * steal: the ragged-CSR matvec must hold ``wall_speedup >= 1.2`` over
        the shared-cursor chunk core, and every other workload ``>= 0.98``
-       (the deque core must not tax uniform loops).
+       (the deque core must not tax uniform loops);
+     * shard: every row must be bit-identical to the single-device run;
+       heat3d at 4 devices with overlap must hold ``modeled_speedup >=
+       1.7`` (interior-dominated sizes) and ``overlap_gain >= 1.0``
+       (overlapping the halo exchange never loses to running it
+       serially).
 
 2. Baseline drift — every ``results/baselines/BENCH_*.json`` is compared
    row-by-row against its committed counterpart. A row regresses when it
@@ -69,6 +74,21 @@ def gate_absolute(name, doc):
             floor = 1.2 if row["workload"] == "ragged-csr" else 0.98
             s = row["wall_speedup"]
             check(s >= floor, f"{name} {fmt(key)}: wall_speedup {s} >= {floor}")
+    elif doc["bench"] == "shard":
+        for key, row in rows(doc):
+            check(
+                row.get("bit_identical") is True,
+                f"{name} {fmt(key)}: sharded field bit-identical to one device",
+            )
+            if (
+                row["workload"] == "heat3d"
+                and row["devices"] == 4
+                and row["overlap"]
+            ):
+                s = row["modeled_speedup"]
+                check(s >= 1.7, f"{name} {fmt(key)}: modeled_speedup {s} >= 1.7")
+                g = row["overlap_gain"]
+                check(g >= 1.0, f"{name} {fmt(key)}: overlap_gain {g} >= 1.0")
 
 
 def gate_baseline(name, cur, base):
@@ -83,6 +103,12 @@ def gate_baseline(name, cur, base):
             check(
                 c * TOLERANCE >= b,
                 f"{name} {fmt(key)}: wall_speedup {c} within {TOLERANCE}x of baseline {b}",
+            )
+        elif "modeled_speedup" in brow:
+            b, c = brow["modeled_speedup"], crow["modeled_speedup"]
+            check(
+                c * TOLERANCE >= b,
+                f"{name} {fmt(key)}: modeled_speedup {c} within {TOLERANCE}x of baseline {b}",
             )
         elif "ns_per_launch" in brow:
             b, c = brow["ns_per_launch"], crow["ns_per_launch"]

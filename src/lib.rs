@@ -86,6 +86,15 @@ pub use racc_core::trace;
 /// `Context::stats` for the cache counters.
 pub use racc_fuse as fuse;
 
+/// Sharded multi-device execution (`racc-shard`): block domain
+/// decomposition across N simulated devices (one comm rank + one context
+/// each), halo exchange overlapped with interior compute on the modeled
+/// clock, and reshard-and-replay recovery when a rank dies under chaos
+/// injection. See [`shard::run_sharded`] and the `ShardApp`
+/// implementations in `racc-stencil`, `racc-lbm`, and `racc-cg`.
+pub use racc_shard as shard;
+pub use racc_shard::{run_sharded, ShardApp, ShardOptions, ShardOutcome};
+
 #[cfg(feature = "backend-cuda")]
 pub use racc_backend_cuda::CudaBackend;
 #[cfg(feature = "backend-hip")]

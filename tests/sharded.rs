@@ -1,0 +1,156 @@
+//! End-to-end sharded multi-device tests: bit-identity of sharded runs
+//! against single-device runs on every available backend, chaos-driven
+//! rank death with reshard-and-replay recovery, and the shard/halo trace
+//! lanes.
+
+use racc::shard::{run_sharded, ShardOptions, ShardOutcome};
+use racc::{Ctx, FaultPlan, RetryPolicy};
+use racc_cg::pipelined::PipelinedCg;
+use racc_lbm::sharded::ShardedLbm;
+use racc_stencil::ShardedHeat3;
+use std::sync::Arc;
+
+fn heat3d(devices: usize, factory: impl Fn(usize) -> Ctx + Send + Sync + 'static) -> ShardOutcome {
+    run_sharded(
+        Arc::new(ShardedHeat3 { n: 10, sweeps: 6 }),
+        ShardOptions::devices(devices).checkpoint_every(2),
+        factory,
+    )
+}
+
+fn backend_factory(key: &'static str) -> impl Fn(usize) -> Ctx + Send + Sync + 'static {
+    move |_rank| {
+        racc::builder()
+            .backend(key)
+            .build()
+            .expect("backend builds")
+    }
+}
+
+/// The tentpole acceptance property: sharded execution is bit-identical
+/// to the single-device run on every backend — and across backends,
+/// since every site evaluates the same f64 expression.
+#[test]
+fn sharded_heat3d_is_bit_identical_on_every_backend() {
+    let mut reference: Option<Vec<f64>> = None;
+    for key in racc::available_backends() {
+        let one = heat3d(1, backend_factory(key));
+        let three = heat3d(3, backend_factory(key));
+        assert_eq!(one.field, three.field, "{key}: 3 devices vs 1");
+        match &reference {
+            None => reference = Some(one.field),
+            Some(r) => assert_eq!(r, &one.field, "{key} vs first backend"),
+        }
+    }
+}
+
+#[test]
+fn sharded_lbm_and_cg_are_bit_identical_across_device_counts() {
+    let lbm = |devices| {
+        run_sharded(
+            Arc::new(ShardedLbm {
+                s: 14,
+                tau: 0.8,
+                steps: 6,
+            }),
+            ShardOptions::devices(devices),
+            backend_factory("threads"),
+        )
+        .field
+    };
+    assert_eq!(lbm(1), lbm(4), "LBM 4 devices vs 1");
+
+    let cg = |devices| {
+        run_sharded(
+            Arc::new(PipelinedCg {
+                tiles: 8,
+                tile: 12,
+                steps: 15,
+            }),
+            ShardOptions::devices(devices).checkpoint_every(5),
+            backend_factory("serial"),
+        )
+        .field
+    };
+    assert_eq!(cg(1), cg(2), "CG 2 devices vs 1");
+}
+
+/// A rank killed mid-step by injected launch faults is detected by the
+/// survivors, who reshard the domain, replay from the last checkpoint,
+/// and finish with the exact bits of the fault-free run.
+#[test]
+fn chaos_rank_death_recovers_bit_identically() {
+    let fault_free = heat3d(4, backend_factory("cudasim"));
+
+    let doomed = heat3d(4, |rank| {
+        let b = racc::builder().backend("cudasim");
+        let b = if rank == 2 {
+            b.chaos(FaultPlan::parse("launch:nth-9").unwrap())
+                .retry(RetryPolicy::none())
+        } else {
+            b
+        };
+        b.build().expect("cudasim builds")
+    });
+
+    assert_eq!(
+        doomed.field, fault_free.field,
+        "recovered run must match the fault-free bits"
+    );
+    assert_eq!(doomed.survivors(), 3, "exactly one rank died");
+    assert!(doomed.reports[2].is_none(), "rank 2 was the casualty");
+    let survivor = doomed.reports[0].as_ref().unwrap();
+    assert!(survivor.epochs >= 1, "survivors entered a recovery epoch");
+    assert!(survivor.stats.reshards >= 1, "survivors resharded");
+    assert!(survivor.stats.replayed_steps >= 1, "steps were replayed");
+}
+
+/// Shard steps and halo exchanges land on their own trace lanes.
+#[cfg(feature = "trace")]
+#[test]
+fn shard_steps_and_halos_record_trace_spans() {
+    use racc::trace::ConstructKind;
+    use std::sync::Mutex;
+
+    let recorders = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&recorders);
+    let outcome = run_sharded(
+        Arc::new(ShardedHeat3 { n: 8, sweeps: 3 }),
+        ShardOptions::devices(2),
+        move |_rank| {
+            let ctx = racc::builder()
+                .backend("threads")
+                .trace(true)
+                .build()
+                .expect("traced context");
+            sink.lock()
+                .unwrap()
+                .push(Arc::clone(ctx.tracer().expect("tracer armed")));
+            ctx
+        },
+    );
+    assert_eq!(outcome.survivors(), 2);
+
+    let spans: Vec<_> = recorders
+        .lock()
+        .unwrap()
+        .iter()
+        .flat_map(|r| r.spans())
+        .collect();
+    let shard_steps = spans
+        .iter()
+        .filter(|s| s.kind == ConstructKind::Shard)
+        .count();
+    let halos = spans
+        .iter()
+        .filter(|s| s.kind == ConstructKind::Halo)
+        .count();
+    assert!(
+        shard_steps >= 6,
+        "each rank records one Shard span per step (got {shard_steps})"
+    );
+    assert!(
+        halos >= 6,
+        "each rank records Halo spans for its exchanges (got {halos})"
+    );
+}
