@@ -42,6 +42,7 @@ fn main() {
         "bench-fusion" => bench_fusion(),
         "bench-steal" => bench_steal(),
         "bench-shard" => bench_shard(),
+        "bench-serve" => bench_serve(),
         "trace" => {
             let experiment = args
                 .iter()
@@ -73,7 +74,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|bench-steal|bench-shard|trace|sancheck|all"
+                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|bench-steal|bench-shard|bench-serve|trace|sancheck|all"
             );
             std::process::exit(2);
         }
@@ -1382,6 +1383,275 @@ fn bench_shard() {
     let path = "results/BENCH_shard.json";
     std::fs::write(path, json).expect("write bench JSON");
     println!("\nshard scaling series written to {path}");
+}
+
+/// Serving-layer benchmark: a deterministic open-loop synthetic load —
+/// three tenants with fixed weights, arrival rates, and job mixes — driven
+/// through a `racc_serve::Server` over 1/2/4 simulated devices. The
+/// server's hold/release valve stages the whole schedule and replays it in
+/// pure modeled-time order, so admission, fairness, batching, and the
+/// reported makespan are a function of the load alone (identical across
+/// runs and under the CI's `RACC_CHAOS` soak). Every completed job's value
+/// is asserted bit-identical to running the same job alone on a fresh
+/// context before anything is reported. Prints a table and writes
+/// `results/BENCH_serve.json` (modeled throughput, p50/p99 latency,
+/// admission and batching counters). `RACC_BENCH_QUICK=1` shrinks the
+/// load; `RACC_SERVE_LOAD=<k>` scales the job counts.
+fn bench_serve() {
+    use racc_backend_cuda::CudaBackend;
+    use racc_core::{Backend, Context, RaccError, RetryPolicy};
+    use racc_fuse::{lit, load, LazyExt};
+    use racc_serve::{job_fn, JobCtx, Server, ServerOptions, TenantConfig};
+
+    let quick = std::env::var_os("RACC_BENCH_QUICK").is_some();
+    let chaos = std::env::var_os("RACC_CHAOS").is_some();
+    let scale: u64 = std::env::var("RACC_SERVE_LOAD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let device_counts: [usize; 3] = [1, 2, 4];
+
+    let (n_small, n_large) = if quick {
+        (1 << 12, 1 << 14)
+    } else {
+        (1 << 14, 1 << 16)
+    };
+
+    /// The canonical served job: fresh arrays and a fused CG-like update,
+    /// so every execution is independent and the serve-layer value must
+    /// be bit-identical to a solo fresh context.
+    fn cg_value<B: Backend>(
+        ctx: &Context<B>,
+        marks: Option<&JobCtx<'_, B>>,
+        n: usize,
+        alpha: f64,
+    ) -> Result<f64, RaccError> {
+        let mk = |k: usize| ctx.array_from_fn(n, move |i| ((i * k) % 13) as f64 * 0.5 - 3.0);
+        let (x, p, r, s) = (mk(3)?, mk(5)?, mk(7)?, mk(11)?);
+        if let Some(job) = marks {
+            job.uploaded();
+        }
+        let mut l = ctx.lazy();
+        l.store(&x, load(&x) + lit(alpha) * load(&p));
+        let rv = l.assign(&r, load(&r) + lit(-alpha) * load(&s));
+        let v = l.sum(rv.clone() * rv);
+        if let Some(job) = marks {
+            job.computed();
+        }
+        let _ = ctx.to_host(&x)?;
+        Ok(v)
+    }
+
+    // The tenant mix: an interactive tenant (heavy weight, small jobs, the
+    // fastest arrival rate), a batch tenant (unit weight, 4x the work per
+    // job), and a best-effort tenant whose jobs share the interactive
+    // shape — the cross-tenant batching case. (tenant, weight, n, alpha,
+    // shape, jobs, inter-arrival ns).
+    type Mix = (
+        &'static str,
+        u32,
+        usize,
+        f64,
+        Option<&'static str>,
+        u64,
+        u64,
+    );
+    let mix: [Mix; 3] = [
+        (
+            "interactive",
+            4,
+            n_small,
+            0.8125,
+            Some("cg-small"),
+            scale * if quick { 16 } else { 48 },
+            20_000,
+        ),
+        (
+            "batch",
+            1,
+            n_large,
+            0.5,
+            None,
+            scale * if quick { 8 } else { 24 },
+            50_000,
+        ),
+        (
+            "best-effort",
+            1,
+            n_small,
+            0.25,
+            Some("cg-small"),
+            scale * if quick { 8 } else { 24 },
+            40_000,
+        ),
+    ];
+    let total_jobs: u64 = mix.iter().map(|m| m.5).sum();
+
+    // Solo references, one fresh context per distinct job kind.
+    let reference: Vec<u64> = mix
+        .iter()
+        .map(|&(_, _, n, alpha, _, _, _)| {
+            let ctx = Context::new(CudaBackend::new());
+            cg_value(&ctx, None, n, alpha)
+                .expect("solo reference")
+                .to_bits()
+        })
+        .collect();
+
+    struct Row {
+        devices: usize,
+        makespan_ns: u64,
+        throughput: f64,
+        speedup: f64,
+        p50_ns: u64,
+        p99_ns: u64,
+        admitted: u64,
+        completed: u64,
+        rejected: u64,
+        batched_jobs: u64,
+        retried: u64,
+        fallbacks: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut base_makespan = 0u64;
+
+    for &devices in &device_counts {
+        let mut options = ServerOptions::default()
+            .devices(devices)
+            .batch_limit(8)
+            .overlap(true)
+            .fallback(true)
+            .retry(RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ns: 1_000,
+                multiplier: 2,
+            })
+            .hold(true);
+        for &(tenant, weight, ..) in &mix {
+            options = options.tenant(
+                tenant,
+                TenantConfig {
+                    weight,
+                    ..TenantConfig::default()
+                },
+            );
+        }
+        let server = Server::start(options, |_device| Context::new(CudaBackend::new()));
+
+        let mut handles = Vec::new();
+        for (kind, &(tenant, _, n, alpha, shape, jobs, rate_ns)) in mix.iter().enumerate() {
+            for i in 0..jobs {
+                let mut job = job_fn(move |job: &JobCtx<CudaBackend>| {
+                    cg_value(job.ctx(), Some(job), n, alpha)
+                });
+                if let Some(s) = shape {
+                    job = job.with_shape(s);
+                }
+                handles.push((kind, server.submit_at(tenant, i * rate_ns, job)));
+            }
+        }
+        server.release();
+
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut violations = 0u64;
+        for (kind, handle) in handles {
+            match handle.wait() {
+                Ok(done) => {
+                    if done.output.to_bits() != reference[kind] {
+                        violations += 1;
+                    }
+                    latencies.push(done.report.latency_ns());
+                }
+                // Typed admission sheds are load policy, not violations —
+                // but this load fits every queue, so any error is a bug.
+                Err(err) => {
+                    eprintln!("job failed on {devices} device(s): {err}");
+                    violations += 1;
+                }
+            }
+        }
+        assert_eq!(
+            violations, 0,
+            "every served job must complete bit-identical to a solo context"
+        );
+        latencies.sort_unstable();
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        let (p50_ns, p99_ns) = (pct(0.5), pct(0.99));
+
+        let snap = server.shutdown();
+        assert_eq!(snap.totals.admitted, total_jobs);
+        assert_eq!(snap.totals.completed, total_jobs);
+        if devices == 1 {
+            base_makespan = snap.makespan_ns;
+        }
+        rows.push(Row {
+            devices,
+            makespan_ns: snap.makespan_ns,
+            throughput: snap.totals.completed as f64 / (snap.makespan_ns as f64 / 1e9),
+            speedup: base_makespan as f64 / snap.makespan_ns as f64,
+            p50_ns,
+            p99_ns,
+            admitted: snap.totals.admitted,
+            completed: snap.totals.completed,
+            rejected: snap.totals.rejected,
+            batched_jobs: snap.totals.batched_jobs,
+            retried: snap.totals.retried,
+            fallbacks: snap.totals.fallbacks,
+        });
+    }
+
+    let mut t = Table::new(
+        "Serving — open-loop tenant mix on 1/2/4 simulated A100s (modeled)",
+        &[
+            "devices", "makespan", "jobs/s", "speedup", "p50", "p99", "batched", "retried",
+        ],
+    );
+    let mut entries = Vec::new();
+    for r in &rows {
+        t.row(vec![
+            r.devices.to_string(),
+            fmt_ns(r.makespan_ns as f64),
+            format!("{:.0}", r.throughput),
+            format!("{:.2}x", r.speedup),
+            fmt_ns(r.p50_ns as f64),
+            fmt_ns(r.p99_ns as f64),
+            r.batched_jobs.to_string(),
+            r.retried.to_string(),
+        ]);
+        entries.push(format!(
+            "    {{\"workload\": \"serve-mix\", \"backend\": \"cudasim\", \"shape\": \"d{}\", \
+             \"devices\": {}, \"jobs\": {total_jobs}, \"makespan_ns\": {}, \
+             \"throughput_jobs_per_s\": {:.1}, \"modeled_speedup\": {:.3}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"admitted\": {}, \"completed\": {}, \
+             \"rejected\": {}, \"batched_jobs\": {}, \"retried\": {}, \"fallbacks\": {}, \
+             \"dropped_violations\": 0, \"bit_identical\": true}}",
+            r.devices,
+            r.devices,
+            r.makespan_ns,
+            r.throughput,
+            r.speedup,
+            r.p50_ns,
+            r.p99_ns,
+            r.admitted,
+            r.completed,
+            r.rejected,
+            r.batched_jobs,
+            r.retried,
+            r.fallbacks,
+        ));
+    }
+    t.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"chaos\": {chaos},\n  \"series\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    racc::trace::json::validate(&json).expect("bench JSON must be valid");
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_serve.json";
+    std::fs::write(path, json).expect("write bench JSON");
+    println!("\nserve series written to {path}");
 }
 
 /// Ablation: native 2D tiled launch vs flattened 1D launch for the LBM

@@ -266,6 +266,25 @@ impl FaultPlan {
         Ok(FaultPlan::Script(rules))
     }
 
+    /// Derive a decorrelated plan for one member of a pool (shard rank,
+    /// server device) from this plan. Seeded plans get an independent
+    /// xorshift-mixed seed per `salt` — so a single `RACC_CHAOS=42` soaks
+    /// every device of a pool with *different* fault schedules while
+    /// staying fully reproducible. Script plans are explicit about which
+    /// operations fail and pass through unchanged.
+    pub fn for_member(&self, salt: u64) -> FaultPlan {
+        match self {
+            FaultPlan::Seeded { seed } => {
+                let mut x = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                FaultPlan::Seeded { seed: x.max(1) }
+            }
+            FaultPlan::Script(rules) => FaultPlan::Script(rules.clone()),
+        }
+    }
+
     /// Reads `RACC_CHAOS`: `None` when unset or falsy (per [`env_flag`]
     /// semantics), otherwise the parsed plan. A malformed spec is reported
     /// on stderr and treated as off — an env typo must not change program
@@ -547,6 +566,18 @@ mod tests {
                 Some(FaultAction::Fail)
             );
         }
+    }
+
+    #[test]
+    fn for_member_decorrelates_seeded_and_keeps_scripts() {
+        let base = FaultPlan::seeded(42);
+        let a = base.for_member(0);
+        let b = base.for_member(1);
+        assert_ne!(a, b, "pool members draw independent schedules");
+        assert_eq!(a, base.for_member(0), "same member, same schedule");
+        assert_ne!(a, base, "member plans differ from the base seed");
+        let script = FaultPlan::parse("h2d:every-100").unwrap();
+        assert_eq!(script.for_member(3), script, "scripts are explicit");
     }
 
     #[test]

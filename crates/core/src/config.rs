@@ -86,6 +86,18 @@ pub struct RuntimeConfig {
     /// unset (the runner defaults to overlapping); `Some(false)` is the
     /// A/B switch the scaling tables use.
     pub shard_overlap: Option<bool>,
+    /// `RACC_SERVE_DEVICES` — default pool width for the serving layer
+    /// (`racc-serve`) when the caller does not pick one. `None` when
+    /// unset, zero, or unparsable.
+    pub serve_devices: Option<usize>,
+    /// `RACC_SERVE_BATCH` — cap on how many queued same-shape jobs the
+    /// server dispatches as one group. `None` when unset, zero, or
+    /// unparsable (the server defaults to 8).
+    pub serve_batch: Option<usize>,
+    /// `RACC_SERVE_QUEUE` — global submission-queue bound for the serving
+    /// layer's admission control. `None` when unset, zero, or unparsable
+    /// (the server defaults to 256).
+    pub serve_queue: Option<usize>,
 }
 
 impl RuntimeConfig {
@@ -111,6 +123,9 @@ impl RuntimeConfig {
             shard_overlap: lookup("RACC_SHARD_OVERLAP")
                 .as_deref()
                 .map(|v| truthy(Some(v))),
+            serve_devices: parse_positive(lookup("RACC_SERVE_DEVICES").as_deref()),
+            serve_batch: parse_positive(lookup("RACC_SERVE_BATCH").as_deref()),
+            serve_queue: parse_positive(lookup("RACC_SERVE_QUEUE").as_deref()),
         }
     }
 }
@@ -227,6 +242,30 @@ mod tests {
             cfg(&[("RACC_SHARD_OVERLAP", "off")]).shard_overlap,
             Some(false)
         );
+    }
+
+    #[test]
+    fn serve_knobs_parse_positive_integers_only() {
+        let c = cfg(&[]);
+        assert_eq!(c.serve_devices, None);
+        assert_eq!(c.serve_batch, None);
+        assert_eq!(c.serve_queue, None);
+        let c = cfg(&[
+            ("RACC_SERVE_DEVICES", "4"),
+            ("RACC_SERVE_BATCH", " 16 "),
+            ("RACC_SERVE_QUEUE", "512"),
+        ]);
+        assert_eq!(c.serve_devices, Some(4));
+        assert_eq!(c.serve_batch, Some(16));
+        assert_eq!(c.serve_queue, Some(512));
+        let c = cfg(&[
+            ("RACC_SERVE_DEVICES", "0"),
+            ("RACC_SERVE_BATCH", "-2"),
+            ("RACC_SERVE_QUEUE", "plenty"),
+        ]);
+        assert_eq!(c.serve_devices, None);
+        assert_eq!(c.serve_batch, None);
+        assert_eq!(c.serve_queue, None);
     }
 
     #[test]

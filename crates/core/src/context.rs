@@ -13,7 +13,8 @@ use crate::error::RaccError;
 use crate::profile::KernelProfile;
 use crate::scalar::{AccScalar, Numeric, ReduceOp, Sum};
 use crate::stats::{
-    fold_faults, snapshot_plan_cache, snapshot_shard, PlanCacheSlot, RuntimeStats, ShardCounters,
+    fold_faults, snapshot_plan_cache, snapshot_serve, snapshot_shard, PlanCacheSlot, RuntimeStats,
+    ServeCounters, ShardCounters,
 };
 use crate::timeline::TimelineSnapshot;
 
@@ -38,6 +39,10 @@ pub struct Context<B: Backend> {
     /// it drives this context; all zero (and hidden from `stats()`)
     /// otherwise.
     shard: std::sync::Arc<ShardCounters>,
+    /// Counters the multi-tenant serving layer (`racc-serve`) bumps when
+    /// this context is a member of a server's device pool; all zero (and
+    /// hidden from `stats()`) otherwise.
+    serve: std::sync::Arc<ServeCounters>,
     /// The span recorder attached at build time (see [`Context::builder`]).
     #[cfg(feature = "trace")]
     tracer: Option<Arc<racc_trace::TraceRecorder>>,
@@ -82,6 +87,7 @@ impl<B: Backend> Context<B> {
             fusion: config.fusion,
             plan_cache: PlanCacheSlot::new(config.plan_cache),
             shard: std::sync::Arc::new(ShardCounters::default()),
+            serve: std::sync::Arc::new(ServeCounters::default()),
             #[cfg(feature = "trace")]
             tracer: None,
         }
@@ -516,6 +522,7 @@ impl<B: Backend> Context<B> {
             sanitizer: self.backend.sanitizer_report(),
             steal: self.backend.steal_stats(),
             shard: snapshot_shard(&self.shard),
+            serve: snapshot_serve(&self.serve),
         }
     }
 
@@ -525,6 +532,15 @@ impl<B: Backend> Context<B> {
     #[doc(hidden)]
     pub fn shard_counters(&self) -> &std::sync::Arc<ShardCounters> {
         &self.shard
+    }
+
+    /// The serving-layer counters of this context. Public for
+    /// `racc-serve`, which bumps them while dispatching jobs onto this
+    /// context as one device of a server pool; application code wants
+    /// [`Context::stats`] instead.
+    #[doc(hidden)]
+    pub fn serve_counters(&self) -> &std::sync::Arc<ServeCounters> {
+        &self.serve
     }
 
     /// The per-context home of the fused-plan cache. Public for the

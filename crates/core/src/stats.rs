@@ -141,6 +141,9 @@ pub struct ShardCounters {
     pub reshards: AtomicU64,
     /// Steps replayed from a checkpoint after a reshard.
     pub replayed_steps: AtomicU64,
+    /// Status heartbeats sent to ring neighbours (2 per step per rank at
+    /// N >= 3 ranks, vs the N-1 of the old all-to-all exchange).
+    pub heartbeats: AtomicU64,
 }
 
 /// Sharded-execution snapshot inside [`RuntimeStats`].
@@ -162,12 +165,73 @@ pub struct ShardStats {
     pub reshards: u64,
     /// Steps replayed after reshards.
     pub replayed_steps: u64,
+    /// Ring-heartbeat status messages sent.
+    pub heartbeats: u64,
 }
 
 impl ShardStats {
     /// True when the context never ran under the shard runner.
     pub fn is_empty(&self) -> bool {
         *self == ShardStats::default()
+    }
+}
+
+/// Shared counters of the multi-tenant serving layer (`racc-serve`). The
+/// server bumps the counters of every pool context it dispatches onto (and
+/// a pool-wide aggregate of its own); [`Context::stats`](crate::Context::stats)
+/// reads them. Lives in core for the same reason as [`ShardCounters`]:
+/// `ctx.stats()` must report them without a dependency edge from core to
+/// the serving layer.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Jobs accepted past admission control.
+    pub admitted: AtomicU64,
+    /// Jobs shed at admission (tenant or global queue full).
+    pub rejected: AtomicU64,
+    /// Jobs that ran to completion and resolved their handle with `Ok`.
+    pub completed: AtomicU64,
+    /// Jobs that exhausted the degradation ladder and resolved with `Err`.
+    pub failed: AtomicU64,
+    /// Dispatch groups launched (a batch of 1 still counts).
+    pub batches: AtomicU64,
+    /// Jobs that rode a batch of size >= 2.
+    pub batched_jobs: AtomicU64,
+    /// Extra attempts spent retrying faulted jobs on their primary context.
+    pub retried: AtomicU64,
+    /// Jobs that had to fall back to the spare context to complete.
+    pub fallbacks: AtomicU64,
+    /// Scheduler passes that skipped an otherwise-ready tenant because its
+    /// modeled in-flight cap was reached (weighted fairness held it back).
+    pub preempted: AtomicU64,
+}
+
+/// Serving-layer snapshot inside [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs accepted past admission control.
+    pub admitted: u64,
+    /// Jobs shed at admission.
+    pub rejected: u64,
+    /// Jobs completed with `Ok`.
+    pub completed: u64,
+    /// Jobs failed after the full degradation ladder.
+    pub failed: u64,
+    /// Dispatch groups launched.
+    pub batches: u64,
+    /// Jobs that rode a batch of size >= 2.
+    pub batched_jobs: u64,
+    /// Extra retry attempts.
+    pub retried: u64,
+    /// Jobs completed on the fallback context.
+    pub fallbacks: u64,
+    /// Tenant-cap scheduler skips.
+    pub preempted: u64,
+}
+
+impl ServeStats {
+    /// True when the context never served under `racc-serve`.
+    pub fn is_empty(&self) -> bool {
+        *self == ServeStats::default()
     }
 }
 
@@ -190,6 +254,9 @@ pub struct RuntimeStats {
     /// checkpoints, reshards. `None` when this context never ran under the
     /// shard runner.
     pub shard: Option<ShardStats>,
+    /// Multi-tenant serving counters (`racc-serve`): admission, batching,
+    /// retries, fallbacks. `None` when this context never served jobs.
+    pub serve: Option<ServeStats>,
 }
 
 impl std::fmt::Display for RuntimeStats {
@@ -233,6 +300,21 @@ impl std::fmt::Display for RuntimeStats {
                 sh.replayed_steps
             )?;
         }
+        if let Some(sv) = &self.serve {
+            write!(
+                f,
+                "; serve: {} admitted ({} rejected), {} done / {} failed, {} batches ({} co-batched), {} retried, {} fell back, {} preempted",
+                sv.admitted,
+                sv.rejected,
+                sv.completed,
+                sv.failed,
+                sv.batches,
+                sv.batched_jobs,
+                sv.retried,
+                sv.fallbacks,
+                sv.preempted
+            )?;
+        }
         Ok(())
     }
 }
@@ -259,6 +341,26 @@ pub(crate) fn snapshot_shard(counters: &ShardCounters) -> Option<ShardStats> {
         checkpoints: counters.checkpoints.load(Ordering::Relaxed),
         reshards: counters.reshards.load(Ordering::Relaxed),
         replayed_steps: counters.replayed_steps.load(Ordering::Relaxed),
+        heartbeats: counters.heartbeats.load(Ordering::Relaxed),
+    };
+    if snap.is_empty() {
+        None
+    } else {
+        Some(snap)
+    }
+}
+
+pub(crate) fn snapshot_serve(counters: &ServeCounters) -> Option<ServeStats> {
+    let snap = ServeStats {
+        admitted: counters.admitted.load(Ordering::Relaxed),
+        rejected: counters.rejected.load(Ordering::Relaxed),
+        completed: counters.completed.load(Ordering::Relaxed),
+        failed: counters.failed.load(Ordering::Relaxed),
+        batches: counters.batches.load(Ordering::Relaxed),
+        batched_jobs: counters.batched_jobs.load(Ordering::Relaxed),
+        retried: counters.retried.load(Ordering::Relaxed),
+        fallbacks: counters.fallbacks.load(Ordering::Relaxed),
+        preempted: counters.preempted.load(Ordering::Relaxed),
     };
     if snap.is_empty() {
         None
@@ -342,6 +444,7 @@ mod tests {
             sanitizer: None,
             steal: None,
             shard: None,
+            serve: None,
         };
         let line = stats.to_string();
         assert!(line.contains("90% hit"), "{line}");
@@ -370,6 +473,18 @@ mod tests {
                 checkpoints: 3,
                 reshards: 1,
                 replayed_steps: 4,
+                heartbeats: 24,
+            }),
+            serve: Some(ServeStats {
+                admitted: 40,
+                rejected: 2,
+                completed: 39,
+                failed: 1,
+                batches: 11,
+                batched_jobs: 30,
+                retried: 3,
+                fallbacks: 1,
+                preempted: 5,
             }),
             steal: Some(racc_threadpool::StealStats {
                 participants: vec![racc_threadpool::StealCounters {
@@ -388,7 +503,23 @@ mod tests {
             line.contains("shard: 12 steps, 24 halos (4096 B), 3 ckpts, 1 reshards (4 replayed)"),
             "{line}"
         );
+        assert!(
+            line.contains("serve: 40 admitted (2 rejected), 39 done / 1 failed"),
+            "{line}"
+        );
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn serve_snapshot_is_none_until_any_counter_moves() {
+        let counters = ServeCounters::default();
+        assert!(snapshot_serve(&counters).is_none());
+        counters.admitted.fetch_add(5, Ordering::Relaxed);
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let snap = snapshot_serve(&counters).expect("counters moved");
+        assert_eq!(snap.admitted, 5);
+        assert_eq!(snap.rejected, 1);
+        assert!(!snap.is_empty());
     }
 
     #[test]

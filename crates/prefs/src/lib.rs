@@ -34,11 +34,13 @@
 mod error;
 mod parser;
 mod store;
+mod tenant;
 mod value;
 mod writer;
 
 pub use error::{ParseError, PrefsError};
 pub use parser::parse_document;
 pub use store::{Preferences, PREFS_ENV_PREFIX, PREFS_FILE_NAME};
+pub use tenant::{TenantPrefs, TENANT_TABLE_PREFIX};
 pub use value::Value;
 pub use writer::write_document;

@@ -1,0 +1,171 @@
+//! Typed `[tenant.<name>]` tables: per-tenant serving knobs.
+//!
+//! The multi-tenant server (`racc-serve`) reads its admission and fairness
+//! configuration from the same preferences file as the backend choice. Each
+//! tenant gets one dotted table:
+//!
+//! ```toml
+//! [tenant.alice]
+//! weight = 3          # weighted-fair share (default 1)
+//! max_in_flight = 2   # modeled in-flight cap (default unlimited)
+//! queue_depth = 16    # per-tenant admission bound (default 64)
+//! ```
+//!
+//! Every key is optional; the server fills in its defaults for missing ones.
+//! [`Preferences::tenants`] returns the typed view, [`Preferences::set_tenant`]
+//! writes one back — and because the underlying store round-trips, so do
+//! tenant tables.
+
+use crate::store::Preferences;
+
+/// Prefix of the dotted tables holding tenant configuration.
+pub const TENANT_TABLE_PREFIX: &str = "tenant.";
+
+/// One tenant's serving knobs, as written in `[tenant.<name>]`. All fields
+/// optional; `None` means "use the server default".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantPrefs {
+    /// Weighted-fair share relative to other tenants (>= 1).
+    pub weight: Option<u32>,
+    /// Cap on modeled in-flight jobs the scheduler allows this tenant.
+    pub max_in_flight: Option<usize>,
+    /// Per-tenant submission-queue bound for admission control.
+    pub queue_depth: Option<usize>,
+}
+
+fn positive(prefs: &Preferences, table: &str, key: &str) -> Option<u64> {
+    prefs
+        .get_int(table, key)
+        .and_then(|v| u64::try_from(v).ok())
+        .filter(|&v| v > 0)
+}
+
+impl Preferences {
+    /// Every `[tenant.<name>]` table as a typed view, sorted by name.
+    /// Non-positive or mistyped values are treated as unset (a bad knob
+    /// must not panic a server; the caller's defaults apply instead).
+    pub fn tenants(&self) -> Vec<(String, TenantPrefs)> {
+        let mut out = Vec::new();
+        let mut seen: Option<&str> = None;
+        for (table, _, _) in self.iter() {
+            let Some(name) = table.strip_prefix(TENANT_TABLE_PREFIX) else {
+                continue;
+            };
+            if name.is_empty() || seen == Some(name) {
+                continue;
+            }
+            seen = Some(name);
+            out.push((name.to_string(), self.tenant(name)));
+        }
+        out
+    }
+
+    /// The typed view of one `[tenant.<name>]` table (all-`None` when the
+    /// table is absent).
+    pub fn tenant(&self, name: &str) -> TenantPrefs {
+        let table = format!("{TENANT_TABLE_PREFIX}{name}");
+        TenantPrefs {
+            weight: positive(self, &table, "weight").and_then(|v| u32::try_from(v).ok()),
+            max_in_flight: positive(self, &table, "max_in_flight").map(|v| v as usize),
+            queue_depth: positive(self, &table, "queue_depth").map(|v| v as usize),
+        }
+    }
+
+    /// Write one tenant's knobs as `[tenant.<name>]`, skipping `None`
+    /// fields and clearing previously-set ones.
+    pub fn set_tenant(&mut self, name: &str, tenant: &TenantPrefs) {
+        let table = format!("{TENANT_TABLE_PREFIX}{name}");
+        for (key, value) in [
+            ("weight", tenant.weight.map(|v| v as i64)),
+            ("max_in_flight", tenant.max_in_flight.map(|v| v as i64)),
+            ("queue_depth", tenant.queue_depth.map(|v| v as i64)),
+        ] {
+            match value {
+                Some(v) => self.set(&table, key, v),
+                None => {
+                    self.remove(&table, key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_tables_round_trip_through_text() {
+        let mut p = Preferences::new();
+        p.set_tenant(
+            "alice",
+            &TenantPrefs {
+                weight: Some(3),
+                max_in_flight: Some(2),
+                queue_depth: Some(16),
+            },
+        );
+        p.set_tenant(
+            "bob",
+            &TenantPrefs {
+                weight: Some(1),
+                max_in_flight: None,
+                queue_depth: Some(4),
+            },
+        );
+        p.set("racc", "backend", "cudasim");
+        let text = p.to_toml();
+        assert!(text.contains("[tenant.alice]"), "{text}");
+        let q = Preferences::from_toml(&text).unwrap();
+        assert_eq!(q.tenants(), p.tenants());
+        let alice = q.tenant("alice");
+        assert_eq!(alice.weight, Some(3));
+        assert_eq!(alice.max_in_flight, Some(2));
+        assert_eq!(alice.queue_depth, Some(16));
+        let bob = q.tenant("bob");
+        assert_eq!(bob.weight, Some(1));
+        assert_eq!(bob.max_in_flight, None);
+        assert_eq!(bob.queue_depth, Some(4));
+    }
+
+    #[test]
+    fn tenants_lists_only_tenant_tables_sorted() {
+        let text = "[tenant.zoe]\nweight = 2\n\n[racc]\nbackend = \"serial\"\n\n[tenant.ann]\nqueue_depth = 8\n";
+        let p = Preferences::from_toml(text).unwrap();
+        let names: Vec<String> = p.tenants().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["ann", "zoe"]);
+    }
+
+    #[test]
+    fn bad_values_read_as_unset() {
+        let text = "[tenant.odd]\nweight = 0\nmax_in_flight = -3\nqueue_depth = \"lots\"\n";
+        let p = Preferences::from_toml(text).unwrap();
+        assert_eq!(p.tenant("odd"), TenantPrefs::default());
+        assert_eq!(p.tenant("absent"), TenantPrefs::default());
+    }
+
+    #[test]
+    fn set_tenant_clears_dropped_fields() {
+        let mut p = Preferences::new();
+        p.set_tenant(
+            "t",
+            &TenantPrefs {
+                weight: Some(2),
+                max_in_flight: Some(4),
+                queue_depth: Some(8),
+            },
+        );
+        p.set_tenant(
+            "t",
+            &TenantPrefs {
+                weight: Some(5),
+                max_in_flight: None,
+                queue_depth: None,
+            },
+        );
+        let t = p.tenant("t");
+        assert_eq!(t.weight, Some(5));
+        assert_eq!(t.max_in_flight, None);
+        assert_eq!(t.queue_depth, None);
+    }
+}

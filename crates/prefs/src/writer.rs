@@ -77,7 +77,7 @@ pub fn write_document(tables: &BTreeMap<String, BTreeMap<String, Value>>) -> Str
                 first = false;
                 if !table.is_empty() {
                     write!(f, "[")?;
-                    write_key(table, f)?;
+                    write_table_name(table, f)?;
                     writeln!(f, "]")?;
                 }
                 for (key, value) in entries {
@@ -91,6 +91,23 @@ pub fn write_document(tables: &BTreeMap<String, BTreeMap<String, Value>>) -> Str
         }
     }
     format!("{}", Doc(tables))
+}
+
+/// Table headers support dotted names: `[tenant.alice]` round-trips bare
+/// as long as every dot-separated component is a bare key (the form the
+/// parser validates); anything else falls back to a quoted name.
+fn write_table_name(table: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let bare_dotted = table.split('.').all(|part| {
+        !part.is_empty()
+            && part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    });
+    if bare_dotted {
+        write!(f, "{table}")
+    } else {
+        write_string(table, f)
+    }
 }
 
 fn write_key(key: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -1,0 +1,60 @@
+//! Typed serving errors: admission shed, degradation-ladder exhaustion,
+//! and server teardown.
+
+/// Why a submitted job did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control shed the job: the tenant's own queue bound was
+    /// reached. Back off and resubmit.
+    TenantQueueFull {
+        /// The over-budget tenant.
+        tenant: String,
+        /// Its configured queue depth.
+        depth: usize,
+    },
+    /// Admission control shed the job: the server-wide submission queue
+    /// bound was reached (every tenant is backed up).
+    Saturated {
+        /// The configured global queue depth.
+        depth: usize,
+    },
+    /// The job failed on its primary context, exhausted the retry budget,
+    /// and (when a fallback context is configured) failed there too. The
+    /// pool itself survives; only this job's handle resolves with an error.
+    JobFailed {
+        /// The submitting tenant.
+        tenant: String,
+        /// Attempts spent across the degradation ladder (primary retries
+        /// plus the fallback attempt, when one ran).
+        attempts: u32,
+        /// The final attempt's error (or panic payload) rendered to text.
+        error: String,
+    },
+    /// The server shut down before the job could run (or the handle's
+    /// server side was dropped).
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::TenantQueueFull { tenant, depth } => {
+                write!(f, "tenant {tenant:?} queue full (depth {depth}); job shed")
+            }
+            ServeError::Saturated { depth } => {
+                write!(f, "server saturated (global queue depth {depth}); job shed")
+            }
+            ServeError::JobFailed {
+                tenant,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "job from tenant {tenant:?} failed after {attempts} attempt(s): {error}"
+            ),
+            ServeError::Shutdown => write!(f, "server shut down before the job ran"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,223 @@
+//! The job abstraction: what tenants submit, how jobs see their assigned
+//! context, and the handle their results come back through.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use racc_core::{Backend, Context, RaccError};
+
+use crate::error::ServeError;
+
+/// A unit of serveable work: a kernel DAG built with `ctx.lazy()`, a solver
+/// run, a sharded app step — anything that runs against one [`Context`] and
+/// produces a value.
+///
+/// `run` may be called more than once (retries, backend fallback), so it
+/// takes `&self`; each call must recompute the result from scratch against
+/// the context it is handed. Jobs that allocate their arrays inside `run`
+/// are automatically bit-identical to running alone on a fresh context.
+pub trait ServeJob<B: Backend>: Send + 'static {
+    /// The value the job's [`JobHandle`] resolves with.
+    type Output: Send + 'static;
+
+    /// A stable shape key for cross-tenant batching: queued jobs whose
+    /// keys match may be dispatched to one device as a group, where the
+    /// shape-keyed fusion plan cache lets them share one compiled plan.
+    /// `None` (the default) never batches.
+    fn shape(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Run the job against the assigned context.
+    fn run(&self, job: &JobCtx<'_, B>) -> Result<Self::Output, RaccError>;
+}
+
+/// A [`ServeJob`] from a closure plus an optional batching shape key.
+pub struct FnJob<F> {
+    f: F,
+    shape: Option<&'static str>,
+}
+
+/// Wrap a closure as a job. Add a batching key with [`FnJob::with_shape`].
+pub fn job_fn<F>(f: F) -> FnJob<F> {
+    FnJob { f, shape: None }
+}
+
+impl<F> FnJob<F> {
+    /// Set the cross-tenant batching shape key.
+    pub fn with_shape(mut self, shape: &'static str) -> Self {
+        self.shape = Some(shape);
+        self
+    }
+}
+
+impl<B, T, F> ServeJob<B> for FnJob<F>
+where
+    B: Backend,
+    T: Send + 'static,
+    F: for<'a> Fn(&JobCtx<'a, B>) -> Result<T, RaccError> + Send + 'static,
+{
+    type Output = T;
+
+    fn shape(&self) -> Option<&'static str> {
+        self.shape
+    }
+
+    fn run(&self, job: &JobCtx<'_, B>) -> Result<T, RaccError> {
+        (self.f)(job)
+    }
+}
+
+/// The job's view of its assigned pool context, plus optional phase marks.
+///
+/// The server charges each job's modeled cost to the device's three-engine
+/// pipeline (H2D / compute / D2H, the `examples/stream_overlap.rs`
+/// machinery). A job that calls [`uploaded`](JobCtx::uploaded) after its
+/// host-to-device transfers and [`computed`](JobCtx::computed) after its
+/// kernels gets its phases overlapped with neighboring jobs on the modeled
+/// clock; a job that never marks is charged entirely to the compute engine.
+pub struct JobCtx<'a, B: Backend> {
+    ctx: &'a Context<B>,
+    t0: u64,
+    h2d_ns: Cell<Option<u64>>,
+    compute_ns: Cell<Option<u64>>,
+}
+
+impl<'a, B: Backend> JobCtx<'a, B> {
+    pub(crate) fn new(ctx: &'a Context<B>) -> Self {
+        JobCtx {
+            ctx,
+            t0: ctx.modeled_ns(),
+            h2d_ns: Cell::new(None),
+            compute_ns: Cell::new(None),
+        }
+    }
+
+    /// The context this job was dispatched onto.
+    pub fn ctx(&self) -> &'a Context<B> {
+        self.ctx
+    }
+
+    /// Mark the end of the job's upload (H2D) phase. Idempotent: the first
+    /// call wins.
+    pub fn uploaded(&self) {
+        if self.h2d_ns.get().is_none() {
+            self.h2d_ns
+                .set(Some(self.ctx.modeled_ns().saturating_sub(self.t0)));
+        }
+    }
+
+    /// Mark the end of the job's compute phase (everything after is
+    /// charged as D2H). Idempotent: the first call wins.
+    pub fn computed(&self) {
+        if self.compute_ns.get().is_none() {
+            self.compute_ns
+                .set(Some(self.ctx.modeled_ns().saturating_sub(self.t0)));
+        }
+    }
+
+    /// Split the modeled cost since construction into pipeline phases.
+    pub(crate) fn phases(&self) -> Phases {
+        let total = self.ctx.modeled_ns().saturating_sub(self.t0);
+        let h2d = self.h2d_ns.get().unwrap_or(0).min(total);
+        let through_compute = self.compute_ns.get().unwrap_or(total).clamp(h2d, total);
+        Phases {
+            h2d,
+            compute: through_compute - h2d,
+            d2h: total - through_compute,
+        }
+    }
+}
+
+/// A job's modeled cost split across the device pipeline's three engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Phases {
+    pub h2d: u64,
+    pub compute: u64,
+    pub d2h: u64,
+}
+
+impl Phases {
+    pub(crate) fn total(&self) -> u64 {
+        self.h2d + self.compute + self.d2h
+    }
+}
+
+/// How one completed job moved through the server, on the modeled clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// Submission-assigned job id (unique per server).
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Pool device index the job was dispatched onto.
+    pub device: usize,
+    /// Modeled arrival time (admission).
+    pub arrival_ns: u64,
+    /// Modeled dispatch time (left the queue).
+    pub dispatched_ns: u64,
+    /// Modeled completion time (result ready, D2H drained).
+    pub completion_ns: u64,
+    /// Attempts spent (1 = clean first run).
+    pub attempts: u32,
+    /// Whether the fallback context produced the result.
+    pub fell_back: bool,
+    /// Size of the dispatch group this job rode in (1 = alone).
+    pub batch: usize,
+}
+
+impl JobReport {
+    /// Admission-to-completion latency on the modeled clock.
+    pub fn latency_ns(&self) -> u64 {
+        self.completion_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// Time spent queued before dispatch.
+    pub fn queue_delay_ns(&self) -> u64 {
+        self.dispatched_ns.saturating_sub(self.arrival_ns)
+    }
+}
+
+/// A completed job: its output plus the scheduling report.
+#[derive(Debug)]
+pub struct Completed<T> {
+    /// What [`ServeJob::run`] returned.
+    pub output: T,
+    /// How the job moved through the server.
+    pub report: JobReport,
+}
+
+/// The caller's side of one submitted job. Dropping the handle abandons
+/// the result (the job still runs and counts in stats).
+#[derive(Debug)]
+pub struct JobHandle<T> {
+    pub(crate) id: u64,
+    pub(crate) rx: Receiver<Result<Completed<T>, ServeError>>,
+}
+
+impl<T> JobHandle<T> {
+    /// The server-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the job resolves.
+    pub fn wait(self) -> Result<Completed<T>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+
+    /// Block with a real-time bound; `None` on timeout (the handle stays
+    /// usable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Completed<T>, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(res) => Some(res),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServeError::Shutdown)),
+        }
+    }
+}
+
+/// Type-erased output crossing the dispatcher boundary.
+pub(crate) type ErasedOutput = Box<dyn Any + Send>;

@@ -26,11 +26,27 @@
 //!
 //! # Failure detection and recovery
 //!
-//! After every step all ranks run a small all-to-all status exchange. It
-//! enforces lockstep (no rank runs ahead more than one step) and doubles
-//! as a global failure detector: a rank that died mid-step (its device
-//! exhausted the chaos retry budget) stops sending, and every survivor —
-//! neighbor or not — sees `Disconnected`/`Timeout` within one step. Every
+//! After every non-checkpoint step each rank runs a **ring heartbeat**: a
+//! bidirectional status exchange with its two neighbors on the
+//! shard-index ring (`owners[(i ± 1) mod N]`). That is O(N) messages per
+//! step world-wide — 2 per rank at N ≥ 3 (the `heartbeats` counter) —
+//! where the previous all-to-all status cost O(N²). The exchange still
+//! enforces lockstep: a rank only finishes step `s` after its ring
+//! neighbors reach the end of step `s`, so adjacent skew is bounded at
+//! one step and every message pair that actually communicates (halos
+//! between grid neighbors, which are ring-adjacent by construction)
+//! stays exact-step matched. Replicated checkpoints remain all-to-all —
+//! they double as the global barrier that re-zeros skew across the ring.
+//!
+//! Detection is now two-phase but still bounded by one step plus one ring
+//! hop per rank: a rank that died mid-step (its device exhausted the
+//! chaos retry budget) stops sending, its ring neighbors see
+//! `Disconnected`/`Timeout` at their next receive, and each survivor
+//! entering recovery broadcasts `Recover` to *every* live peer. A rank
+//! waiting on a heartbeat that will never come instead pops that
+//! neighbor's `Recover` from the same per-pair FIFO queue, joins the
+//! recovery, and re-broadcasts — so the signal chains around the ring
+//! without any rank polling non-neighbors in the steady state. Every
 //! receive anywhere in the protocol is timeout-guarded; the runner never
 //! calls the world barrier, which would deadlock on a dead rank.
 //!
@@ -709,8 +725,30 @@ impl<'a, B: Backend> ShardHandle<'a, B> {
             .collect()
     }
 
+    /// World ranks adjacent to this rank on the shard-index ring — the
+    /// heartbeat peers. Deduped at N = 2 (both directions are the same
+    /// rank); empty when running alone.
+    fn ring_peers(&self) -> Vec<usize> {
+        let count = self.owners.len();
+        if count <= 1 {
+            return Vec::new();
+        }
+        let prev = self.owners[(self.my_index + count - 1) % count];
+        let next = self.owners[(self.my_index + 1) % count];
+        if prev == next {
+            vec![prev]
+        } else {
+            vec![prev, next]
+        }
+    }
+
+    /// The ring heartbeat: O(N) status messages world-wide per step where
+    /// the old all-to-all cost O(N²). Lockstep with both ring neighbors
+    /// transitively bounds skew everywhere it matters; death detection
+    /// chains around the ring via the `Recover` broadcast (module docs).
     fn exchange_status(&mut self) -> Result<(), ShardError> {
-        for peer in self.live_peers() {
+        let peers = self.ring_peers();
+        for &peer in &peers {
             self.comm.send(
                 peer,
                 Msg::Status {
@@ -719,7 +757,10 @@ impl<'a, B: Backend> ShardHandle<'a, B> {
                 },
             )?;
         }
-        for peer in self.live_peers() {
+        self.counters
+            .heartbeats
+            .fetch_add(peers.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        for &peer in &peers {
             self.expect_status(peer)?;
         }
         Ok(())

@@ -378,3 +378,38 @@ fn allgather_and_periodic_halos_work_at_any_shard_count() {
         assert_eq!(out.field.len(), 9);
     }
 }
+
+#[test]
+fn status_heartbeats_cost_o_n_on_the_ring_not_all_to_all() {
+    // 10 steps with checkpoints every 4 -> 2 checkpoint steps (which sync
+    // all-to-all and skip the ping) and 8 heartbeat steps. On the ring
+    // each rank pings exactly its two index neighbours — one at N = 2,
+    // where both directions collapse onto the same peer — independent of
+    // world size; the old all-to-all sent N - 1 per rank per step.
+    for devices in [2usize, 3, 4, 6] {
+        let out = run_sharded(
+            Arc::new(Diffuse {
+                extent: 24,
+                steps: 10,
+            }),
+            ShardOptions::devices(devices).checkpoint_every(4),
+            |_rank| Context::new(SerialBackend::new()),
+        );
+        let per_rank = if devices == 2 { 8 } else { 16 };
+        for report in out.reports.iter().flatten() {
+            assert_eq!(report.stats.steps, 10);
+            assert_eq!(report.stats.checkpoints, 2);
+            assert_eq!(
+                report.stats.heartbeats, per_rank,
+                "ring heartbeat must send 2 per status step per rank ({devices} devices)"
+            );
+        }
+        let total: u64 = out
+            .reports
+            .iter()
+            .flatten()
+            .map(|r| r.stats.heartbeats)
+            .sum();
+        assert_eq!(total, per_rank * devices as u64);
+    }
+}

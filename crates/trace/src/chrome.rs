@@ -31,6 +31,7 @@ const fn lane(kind: ConstructKind) -> (u32, &'static str) {
         ConstructKind::Steal => (9, "steals"),
         ConstructKind::Shard => (10, "shards"),
         ConstructKind::Halo => (11, "halos"),
+        ConstructKind::Serve => (12, "serve"),
     }
 }
 

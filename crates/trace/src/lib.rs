@@ -93,6 +93,12 @@ pub enum ConstructKind {
     /// (pack/unpack/transfer) cost the step could overlap with interior
     /// compute.
     Halo,
+    /// One job dispatched by the multi-tenant server (`racc-serve`):
+    /// `dims` is `(job id, tenant index, batch size)`, `geometry` is
+    /// `(device index, pool width)`, `payload` the modeled queueing delay
+    /// and `modeled_ns` the admission-to-completion latency on the
+    /// server's modeled clock.
+    Serve,
 }
 
 impl ConstructKind {
@@ -103,7 +109,7 @@ impl ConstructKind {
 
     /// Every kind, in declaration order. Kept next to the enum; the
     /// `all_kinds_listed_exactly_once` test below pins exhaustiveness.
-    pub const ALL: [ConstructKind; 18] = [
+    pub const ALL: [ConstructKind; 19] = [
         ConstructKind::For1d,
         ConstructKind::For2d,
         ConstructKind::For3d,
@@ -122,6 +128,7 @@ impl ConstructKind {
         ConstructKind::Steal,
         ConstructKind::Shard,
         ConstructKind::Halo,
+        ConstructKind::Serve,
     ];
     /// The lowercase label used in sinks (`for1d`, `reduce2d`, `h2d`, ...).
     pub fn label(self) -> &'static str {
@@ -144,6 +151,7 @@ impl ConstructKind {
             ConstructKind::Steal => "steal",
             ConstructKind::Shard => "shard",
             ConstructKind::Halo => "halo",
+            ConstructKind::Serve => "serve",
         }
     }
 

@@ -14,7 +14,11 @@ this before any quick-mode smoke regenerates them):
        heat3d at 4 devices with overlap must hold ``modeled_speedup >=
        1.7`` (interior-dominated sizes) and ``overlap_gain >= 1.0``
        (overlapping the halo exchange never loses to running it
-       serially).
+       serially);
+     * serve: every row must be bit-identical to solo contexts with zero
+       dropped-job violations; the 4-device reference load must hold
+       ``modeled_speedup >= 1.5`` over one context and keep its modeled
+       ``p99_ns`` under 1 ms.
 
 2. Baseline drift — every ``results/baselines/BENCH_*.json`` is compared
    row-by-row against its committed counterpart. A row regresses when it
@@ -89,6 +93,22 @@ def gate_absolute(name, doc):
                 check(s >= 1.7, f"{name} {fmt(key)}: modeled_speedup {s} >= 1.7")
                 g = row["overlap_gain"]
                 check(g >= 1.0, f"{name} {fmt(key)}: overlap_gain {g} >= 1.0")
+    elif doc["bench"] == "serve":
+        for key, row in rows(doc):
+            check(
+                row.get("bit_identical") is True,
+                f"{name} {fmt(key)}: served results bit-identical to solo contexts",
+            )
+            v = row.get("dropped_violations")
+            check(v == 0, f"{name} {fmt(key)}: dropped_violations {v} == 0")
+            if row["devices"] == 4:
+                s = row["modeled_speedup"]
+                check(s >= 1.5, f"{name} {fmt(key)}: modeled_speedup {s} >= 1.5")
+                p99 = row["p99_ns"]
+                check(
+                    p99 <= 1_000_000,
+                    f"{name} {fmt(key)}: reference-load p99 {p99} ns <= 1 ms",
+                )
 
 
 def gate_baseline(name, cur, base):

@@ -95,6 +95,17 @@ pub use racc_fuse as fuse;
 pub use racc_shard as shard;
 pub use racc_shard::{run_sharded, ShardApp, ShardOptions, ShardOutcome};
 
+/// Multi-tenant job serving (`racc-serve`): a background dispatcher
+/// multiplexes concurrently submitted jobs (kernel DAGs, solver runs,
+/// sharded apps) across a pool of backend contexts, with bounded
+/// admission, weighted-fair scheduling per tenant, cross-tenant batching
+/// of same-shape launches over the shared plan cache, modeled
+/// H2D/compute/D2H overlap per device, and a chaos-hardened degradation
+/// ladder (retry → fallback context → fail the one job). See
+/// [`serve::Server::start`] and `examples/serve.rs`.
+pub use racc_serve as serve;
+pub use racc_serve::{ServeJob, Server, ServerOptions, TenantConfig};
+
 #[cfg(feature = "backend-cuda")]
 pub use racc_backend_cuda::CudaBackend;
 #[cfg(feature = "backend-hip")]
