@@ -24,6 +24,7 @@
 //!   observed ≈35% DOT overhead).
 
 mod kernels;
+mod prim;
 
 use std::sync::Arc;
 
@@ -616,6 +617,51 @@ impl Backend for SimBackend {
             op,
         )
     }
+
+    fn prim_scan_1d<T, F, W, O>(
+        &self,
+        n: usize,
+        inclusive: bool,
+        profile: &KernelProfile,
+        read: F,
+        write: W,
+        op: O,
+    ) where
+        T: AccScalar,
+        F: Fn(usize) -> T + Sync,
+        W: Fn(usize, T) + Sync,
+        O: ReduceOp<T>,
+    {
+        self.sim_prim_scan(n, inclusive, profile, read, write, op)
+    }
+
+    fn prim_histogram_1d<F, W>(
+        &self,
+        n: usize,
+        bins: usize,
+        profile: &KernelProfile,
+        key: F,
+        write: W,
+    ) where
+        F: Fn(usize) -> usize + Sync,
+        W: Fn(usize, u64) + Sync,
+    {
+        self.sim_prim_histogram(n, bins, profile, key, write)
+    }
+
+    fn prim_sort_pairs_1d<F, W>(
+        &self,
+        n: usize,
+        key_bits: u32,
+        profile: &KernelProfile,
+        key: F,
+        write: W,
+    ) where
+        F: Fn(usize) -> u64 + Sync,
+        W: Fn(usize, usize) + Sync,
+    {
+        self.sim_prim_sort_pairs(n, key_bits, profile, key, write)
+    }
 }
 
 #[cfg(test)]
@@ -819,6 +865,196 @@ mod tests {
             dying.self_check().is_err(),
             "a hard (permanent) launch failure must outlive any retry budget"
         );
+    }
+
+    #[test]
+    fn sim_scan_matches_serial_reference_bitwise() {
+        for b in [backend(), a100_backend()] {
+            for n in [1usize, 7, 255, 256, 257, 1000, 5000] {
+                let read = |i: usize| ((i as f32) * 0.37).sin() + 1.0e-3;
+                let expect = std::cell::RefCell::new(vec![0.0f32; n]);
+                racc_core::prim::scan_canonical(
+                    n,
+                    true,
+                    &read,
+                    &|i, v| expect.borrow_mut()[i] = v,
+                    racc_core::Sum,
+                );
+                let expect = expect.into_inner();
+                let got: Vec<std::sync::atomic::AtomicU32> = (0..n)
+                    .map(|_| std::sync::atomic::AtomicU32::new(0))
+                    .collect();
+                b.prim_scan_1d(
+                    n,
+                    true,
+                    &KernelProfile::unknown(),
+                    read,
+                    |i, v: f32| got[i].store(v.to_bits(), std::sync::atomic::Ordering::Relaxed),
+                    racc_core::Sum,
+                );
+                for i in 0..n {
+                    assert_eq!(
+                        got[i].load(std::sync::atomic::Ordering::Relaxed),
+                        expect[i].to_bits(),
+                        "n={n} i={i} on {}",
+                        b.key()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sim_exclusive_scan_shifts_inclusive() {
+        let b = backend();
+        let n = 777usize;
+        let read = |i: usize| i as u64 + 1;
+        let got: Vec<std::sync::atomic::AtomicU64> = (0..n)
+            .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
+            .collect();
+        b.prim_scan_1d(
+            n,
+            false,
+            &KernelProfile::unknown(),
+            read,
+            |i, v: u64| got[i].store(v, std::sync::atomic::Ordering::Relaxed),
+            Sum,
+        );
+        let mut run = 0u64;
+        for (i, g) in got.iter().enumerate() {
+            assert_eq!(g.load(std::sync::atomic::Ordering::Relaxed), run, "i={i}");
+            run += read(i);
+        }
+    }
+
+    #[test]
+    fn sim_histogram_matches_serial_reference() {
+        for (b, n, bins) in [
+            (backend(), 10_000usize, 37usize),
+            (a100_backend(), 10_000, 37),
+            // Too many bins for the test device's 4 KiB shared memory:
+            // exercises the global-scratch fallback path.
+            (backend(), 3000, 1500),
+        ] {
+            let key = |i: usize| (i * 2654435761) % bins;
+            let expect = std::cell::RefCell::new(vec![u64::MAX; bins]);
+            racc_core::prim::histogram_canonical(n, bins, &key, &|b, c| expect.borrow_mut()[b] = c);
+            let expect = expect.into_inner();
+            let got: Vec<std::sync::atomic::AtomicU64> = (0..bins)
+                .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
+                .collect();
+            b.prim_histogram_1d(n, bins, &KernelProfile::unknown(), key, |bin, c| {
+                got[bin].store(c, std::sync::atomic::Ordering::Relaxed)
+            });
+            for bin in 0..bins {
+                assert_eq!(
+                    got[bin].load(std::sync::atomic::Ordering::Relaxed),
+                    expect[bin],
+                    "bin={bin} on {} (n={n}, bins={bins})",
+                    b.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_histogram_with_no_elements_still_writes_zero_bins() {
+        let b = backend();
+        let bins = 19usize;
+        let got: Vec<std::sync::atomic::AtomicU64> = (0..bins)
+            .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
+            .collect();
+        b.prim_histogram_1d(
+            0,
+            bins,
+            &KernelProfile::unknown(),
+            |_| 0,
+            |bin, c| got[bin].store(c, std::sync::atomic::Ordering::Relaxed),
+        );
+        assert!(got
+            .iter()
+            .all(|g| g.load(std::sync::atomic::Ordering::Relaxed) == 0));
+    }
+
+    #[test]
+    fn sim_sort_matches_serial_reference() {
+        for b in [backend(), a100_backend()] {
+            // Lots of duplicate keys so stability (ties toward the smaller
+            // index) is load-bearing, across multiple radix passes.
+            let n = 4000usize;
+            let key = |i: usize| ((i * 48271) % 97) as u64 * 65536 + ((i * 16807) % 13) as u64;
+            let expect = std::cell::RefCell::new(vec![usize::MAX; n]);
+            racc_core::prim::sort_pairs_canonical(n, &key, &|r, i| expect.borrow_mut()[r] = i);
+            let expect = expect.into_inner();
+            let got: Vec<std::sync::atomic::AtomicUsize> = (0..n)
+                .map(|_| std::sync::atomic::AtomicUsize::new(usize::MAX))
+                .collect();
+            b.prim_sort_pairs_1d(n, 32, &KernelProfile::unknown(), key, |r, i| {
+                got[r].store(i, std::sync::atomic::Ordering::Relaxed)
+            });
+            for r in 0..n {
+                assert_eq!(
+                    got[r].load(std::sync::atomic::Ordering::Relaxed),
+                    expect[r],
+                    "rank={r} on {}",
+                    b.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prims_charge_modeled_time_and_recover_from_faults() {
+        let b = backend();
+        assert!(b.set_chaos(FaultPlan::parse("launch:nth-2;alloc:nth-1").unwrap()));
+        assert!(b.set_retry(RetryPolicy::default()));
+        let n = 2000usize;
+        let got: Vec<std::sync::atomic::AtomicU64> = (0..n)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
+        b.prim_scan_1d(
+            n,
+            true,
+            &KernelProfile::unknown(),
+            |i| i as u64,
+            |i, v: u64| got[i].store(v, std::sync::atomic::Ordering::Relaxed),
+            Sum,
+        );
+        let mut run = 0u64;
+        for (i, g) in got.iter().enumerate() {
+            run += i as u64;
+            assert_eq!(g.load(std::sync::atomic::Ordering::Relaxed), run);
+        }
+        assert_eq!(b.fault_log().len(), 2, "{:?}", b.fault_log());
+        assert!(b.timeline().modeled_ns() > 0);
+    }
+
+    #[test]
+    fn empty_prims_are_cheap_noops() {
+        let b = backend();
+        b.prim_scan_1d(
+            0,
+            true,
+            &KernelProfile::unknown(),
+            |_| 0.0f64,
+            |_, _| panic!("no output"),
+            Sum,
+        );
+        b.prim_sort_pairs_1d(
+            0,
+            64,
+            &KernelProfile::unknown(),
+            |_| 0,
+            |_, _| panic!("no output"),
+        );
+        b.prim_histogram_1d(
+            3,
+            0,
+            &KernelProfile::unknown(),
+            |_| 0,
+            |_, _| panic!("no bins"),
+        );
+        assert!(b.timeline().modeled_ns() > 0, "overhead still charged");
     }
 
     #[test]

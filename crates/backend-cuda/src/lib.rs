@@ -161,6 +161,36 @@ impl Backend for CudaBackend {
     {
         self.inner.parallel_reduce_3d(m, n, l, p, f, op)
     }
+    fn prim_scan_1d<T, F, W, O>(
+        &self,
+        n: usize,
+        inclusive: bool,
+        p: &KernelProfile,
+        read: F,
+        write: W,
+        op: O,
+    ) where
+        T: AccScalar,
+        F: Fn(usize) -> T + Sync,
+        W: Fn(usize, T) + Sync,
+        O: ReduceOp<T>,
+    {
+        self.inner.prim_scan_1d(n, inclusive, p, read, write, op)
+    }
+    fn prim_histogram_1d<F, W>(&self, n: usize, bins: usize, p: &KernelProfile, key: F, write: W)
+    where
+        F: Fn(usize) -> usize + Sync,
+        W: Fn(usize, u64) + Sync,
+    {
+        self.inner.prim_histogram_1d(n, bins, p, key, write)
+    }
+    fn prim_sort_pairs_1d<F, W>(&self, n: usize, key_bits: u32, p: &KernelProfile, key: F, write: W)
+    where
+        F: Fn(usize) -> u64 + Sync,
+        W: Fn(usize, usize) + Sync,
+    {
+        self.inner.prim_sort_pairs_1d(n, key_bits, p, key, write)
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ fn main() {
         "bench-launch-overhead" => bench_launch_overhead(),
         "bench-fusion" => bench_fusion(),
         "bench-steal" => bench_steal(),
+        "bench-prim" => bench_prim(),
         "bench-shard" => bench_shard(),
         "bench-serve" => bench_serve(),
         "trace" => {
@@ -74,7 +75,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|bench-steal|bench-shard|bench-serve|trace|sancheck|all"
+                "unknown command {other:?}; expected fig8|fig9|fig11|fig13|speedups|overhead|ablate-coalescing|ablate-reduce|ablate-lbm-launch|bench-launch-overhead|bench-fusion|bench-steal|bench-prim|bench-shard|bench-serve|trace|sancheck|all"
             );
             std::process::exit(2);
         }
@@ -1189,6 +1190,149 @@ fn bench_steal() {
     let path = "results/BENCH_steal.json";
     std::fs::write(path, json).expect("write bench JSON");
     println!("\nsteal series written to {path}");
+}
+
+/// Device-primitives benchmark: the particle-binning pipeline (histogram
+/// of cell keys → exclusive scan to cell offsets → sort_by_key to bin the
+/// particles → scan-compacted frontier of occupied cells) on every
+/// compiled-in backend. Every stage's output is asserted **bit-identical**
+/// to the serial reference before anything is reported — including the
+/// `f32` payloads. Times are modeled nanoseconds on the simulated GPUs and
+/// wall-clock on the CPU back ends. Prints a table and writes
+/// `results/BENCH_prim.json`. `RACC_BENCH_QUICK=1` shrinks sizes.
+fn bench_prim() {
+    use racc::prim::PrimExt;
+    use std::time::Instant;
+
+    let quick = std::env::var_os("RACC_BENCH_QUICK").is_some();
+    let sizes: &[usize] = if quick {
+        &[1 << 10]
+    } else {
+        &[1 << 14, 1 << 17]
+    };
+    let reps = if quick { 2 } else { 5 };
+
+    /// One particle-binning step, every stage on the device primitives.
+    /// Returns the host bits of each stage so callers can compare
+    /// backends exactly: (cell counts, cell offsets, binned keys, binned
+    /// value bits, compacted occupied-cell frontier).
+    #[allow(clippy::type_complexity)]
+    fn particle_binning(
+        ctx: &racc::Ctx,
+        n: usize,
+        cells: usize,
+    ) -> (Vec<u64>, Vec<u64>, Vec<u32>, Vec<u32>, Vec<u64>) {
+        // Pseudo-random cell per particle (a hashed position), plus an
+        // f32 payload that must survive the binning bitwise.
+        let keys = ctx
+            .array_from_fn(n, move |i| {
+                ((i as u32).wrapping_mul(2_654_435_761) >> 7) % cells as u32
+            })
+            .unwrap();
+        let values = ctx
+            .array_from_fn(n, |i| ((i * 37) % 1009) as f32 * 0.125 - 63.0)
+            .unwrap();
+
+        let counts = ctx.histogram(&keys, cells).expect("keys are in range");
+        let offsets = ctx.exclusive_scan(&counts).unwrap();
+        let (binned_keys, binned_values) = ctx.sort_by_key(&keys, &values).unwrap();
+
+        // Scan-compacted frontier: occupied cells, densely packed in
+        // ascending cell order via an exclusive scan of occupancy marks.
+        let cv = counts.view();
+        let marks = ctx
+            .array_from_fn(cells, move |c| u64::from(cv.get(c) > 0))
+            .unwrap();
+        let pos = ctx.exclusive_scan(&marks).unwrap();
+        let (mh, ph) = (ctx.to_host(&marks).unwrap(), ctx.to_host(&pos).unwrap());
+        let active = (ph.last().copied().unwrap_or(0) + mh.last().copied().unwrap_or(0)) as usize;
+        let frontier = ctx.zeros::<u64>(active).unwrap();
+        let (mv, pv, fv) = (marks.view(), pos.view(), frontier.view_mut());
+        ctx.parallel_for(cells, &racc::KernelProfile::unknown(), move |c| {
+            if mv.get(c) == 1 {
+                fv.set(pv.get(c) as usize, c as u64);
+            }
+        });
+
+        (
+            ctx.to_host(&counts).unwrap(),
+            ctx.to_host(&offsets).unwrap(),
+            ctx.to_host(&binned_keys).unwrap(),
+            ctx.to_host(&binned_values)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect(),
+            ctx.to_host(&frontier).unwrap(),
+        )
+    }
+
+    let mut t = Table::new(
+        "Device primitives — particle binning (histogram + scan + sort_by_key)",
+        &["backend", "n", "cells", "modeled", "wall", "bit-identical"],
+    );
+    let mut entries = Vec::new();
+    for &n in sizes {
+        let cells = (n / 16).max(8);
+        let reference = {
+            let ctx = racc::context_for("serial").unwrap();
+            particle_binning(&ctx, n, cells)
+        };
+        for key in racc::available_backends() {
+            let ctx = racc::context_for(key).unwrap();
+            ctx.reset_timeline();
+            let out = particle_binning(&ctx, n, cells);
+            let modeled = ctx.modeled_ns();
+            let mut wall = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let _ = particle_binning(&ctx, n, cells);
+                wall = wall.min(t0.elapsed().as_nanos() as f64);
+            }
+            assert_eq!(
+                out, reference,
+                "{key}: particle binning must be bit-identical to the serial reference"
+            );
+            let accel = ctx.is_accelerator();
+            t.row(vec![
+                key.to_string(),
+                n.to_string(),
+                cells.to_string(),
+                if accel {
+                    fmt_ns(modeled as f64)
+                } else {
+                    "-".into()
+                },
+                fmt_ns(wall),
+                "yes".into(),
+            ]);
+            // Simulated GPUs report the deterministic modeled time (drift-
+            // gated by check_bench.py); CPU back ends report wall-clock
+            // only, which is informational — too noisy on shared CI to
+            // gate.
+            let metric = if accel {
+                format!("\"modeled_ns\": {modeled}")
+            } else {
+                format!("\"wall_ns\": {wall:.0}")
+            };
+            entries.push(format!(
+                "    {{\"workload\": \"particle-binning\", \"backend\": \"{key}\", \
+                 \"shape\": \"n{n}\", \"n\": {n}, \"cells\": {cells}, {metric}, \
+                 \"bit_identical\": true}}"
+            ));
+        }
+    }
+    t.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"prim\",\n  \"quick\": {quick},\n  \"series\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    racc::trace::json::validate(&json).expect("bench JSON must be valid");
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_prim.json";
+    std::fs::write(path, json).expect("write bench JSON");
+    println!("\nprim series written to {path}");
 }
 
 /// Multi-device sharding benchmark: 1→8 simulated-device scaling curves

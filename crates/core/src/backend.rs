@@ -171,4 +171,111 @@ pub trait Backend: Send + Sync + 'static {
         T: AccScalar,
         F: Fn(usize, usize, usize) -> T + Sync,
         O: ReduceOp<T>;
+
+    /// Portable scan primitive: writes the inclusive (or exclusive) scan of
+    /// `read(0..n)` under `op` through `write(i, value)`, following the
+    /// canonical two-level tiling of [`crate::prim`] exactly — results are
+    /// bit-identical across backends and run-to-run. `n == 0` writes
+    /// nothing. The default implementation runs the canonical sequential
+    /// reference (correct on any backend, no modeled-cost realism);
+    /// shipped backends override it with parallel implementations of the
+    /// same association.
+    fn prim_scan_1d<T, F, W, O>(
+        &self,
+        n: usize,
+        inclusive: bool,
+        profile: &KernelProfile,
+        read: F,
+        write: W,
+        op: O,
+    ) where
+        T: AccScalar,
+        F: Fn(usize) -> T + Sync,
+        W: Fn(usize, T) + Sync,
+        O: ReduceOp<T>,
+    {
+        #[cfg(not(feature = "trace"))]
+        let _ = profile;
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline().trace_start();
+        crate::prim::scan_canonical(n, inclusive, &read, &write, op);
+        #[cfg(feature = "trace")]
+        self.timeline().record_cpu_construct(
+            self.key(),
+            racc_trace::ConstructKind::Prim,
+            profile,
+            [n as u64, 1, 1],
+            1,
+            t0,
+            0.0,
+        );
+    }
+
+    /// Portable histogram primitive: counts `key(i)` for `i in 0..n` into
+    /// `bins` buckets and writes **every** bin's `u64` count (zeros
+    /// included) through `write(bin, count)`. The caller guarantees
+    /// `key(i) < bins`; out-of-range keys are library-level UB that the
+    /// simulators' bounds checks / simsan turn into a panic (the validated
+    /// `racc-prim` wrapper reports them as a typed error first).
+    fn prim_histogram_1d<F, W>(
+        &self,
+        n: usize,
+        bins: usize,
+        profile: &KernelProfile,
+        key: F,
+        write: W,
+    ) where
+        F: Fn(usize) -> usize + Sync,
+        W: Fn(usize, u64) + Sync,
+    {
+        #[cfg(not(feature = "trace"))]
+        let _ = profile;
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline().trace_start();
+        crate::prim::histogram_canonical(n, bins, &key, &write);
+        #[cfg(feature = "trace")]
+        self.timeline().record_cpu_construct(
+            self.key(),
+            racc_trace::ConstructKind::Prim,
+            profile,
+            [n as u64, bins as u64, 1],
+            1,
+            t0,
+            0.0,
+        );
+    }
+
+    /// Portable sort primitive: stable ascending sort of the order-encoded
+    /// `key(i)` bits (ties toward the smaller index), reporting the
+    /// permutation through `write(rank, original_index)` for `rank in
+    /// 0..n`. `key_bits` bounds the significant low bits of every key (the
+    /// simulators size their radix passes from it). The output permutation
+    /// is unique, so every backend agrees exactly.
+    fn prim_sort_pairs_1d<F, W>(
+        &self,
+        n: usize,
+        key_bits: u32,
+        profile: &KernelProfile,
+        key: F,
+        write: W,
+    ) where
+        F: Fn(usize) -> u64 + Sync,
+        W: Fn(usize, usize) + Sync,
+    {
+        #[cfg(not(feature = "trace"))]
+        let _ = (profile, key_bits);
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline().trace_start();
+        crate::prim::sort_pairs_canonical(n, &key, &write);
+        #[cfg(feature = "trace")]
+        self.timeline().record_cpu_construct(
+            self.key(),
+            racc_trace::ConstructKind::Prim,
+            profile,
+            [n as u64, key_bits as u64, 1],
+            1,
+            t0,
+            0.0,
+        );
+    }
 }

@@ -13,8 +13,8 @@ use crate::error::RaccError;
 use crate::profile::KernelProfile;
 use crate::scalar::{AccScalar, Numeric, ReduceOp, Sum};
 use crate::stats::{
-    fold_faults, snapshot_plan_cache, snapshot_serve, snapshot_shard, PlanCacheSlot, RuntimeStats,
-    ServeCounters, ShardCounters,
+    fold_faults, snapshot_plan_cache, snapshot_prim, snapshot_serve, snapshot_shard, PlanCacheSlot,
+    PrimCounters, RuntimeStats, ServeCounters, ShardCounters,
 };
 use crate::timeline::TimelineSnapshot;
 
@@ -43,6 +43,10 @@ pub struct Context<B: Backend> {
     /// this context is a member of a server's device pool; all zero (and
     /// hidden from `stats()`) otherwise.
     serve: std::sync::Arc<ServeCounters>,
+    /// Counters the device-primitives layer (`racc-prim`) bumps when its
+    /// scans/histograms/sorts run on this context; all zero (and hidden
+    /// from `stats()`) otherwise.
+    prim: std::sync::Arc<PrimCounters>,
     /// The span recorder attached at build time (see [`Context::builder`]).
     #[cfg(feature = "trace")]
     tracer: Option<Arc<racc_trace::TraceRecorder>>,
@@ -88,6 +92,7 @@ impl<B: Backend> Context<B> {
             plan_cache: PlanCacheSlot::new(config.plan_cache),
             shard: std::sync::Arc::new(ShardCounters::default()),
             serve: std::sync::Arc::new(ServeCounters::default()),
+            prim: std::sync::Arc::new(PrimCounters::default()),
             #[cfg(feature = "trace")]
             tracer: None,
         }
@@ -523,6 +528,7 @@ impl<B: Backend> Context<B> {
             steal: self.backend.steal_stats(),
             shard: snapshot_shard(&self.shard),
             serve: snapshot_serve(&self.serve),
+            prim: snapshot_prim(&self.prim),
         }
     }
 
@@ -541,6 +547,14 @@ impl<B: Backend> Context<B> {
     #[doc(hidden)]
     pub fn serve_counters(&self) -> &std::sync::Arc<ServeCounters> {
         &self.serve
+    }
+
+    /// The device-primitive counters of this context. Public for
+    /// `racc-prim`, which bumps them as its scans/histograms/sorts run;
+    /// application code wants [`Context::stats`] instead.
+    #[doc(hidden)]
+    pub fn prim_counters(&self) -> &std::sync::Arc<PrimCounters> {
+        &self.prim
     }
 
     /// The per-context home of the fused-plan cache. Public for the

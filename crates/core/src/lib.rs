@@ -55,6 +55,7 @@ pub mod config;
 mod context;
 pub mod cpumodel;
 mod error;
+pub mod prim;
 mod profile;
 #[cfg(feature = "racecheck")]
 pub mod racecheck;
@@ -83,7 +84,8 @@ pub use racc_threadpool::{StealCounters, StealStats};
 pub use scalar::{AccScalar, Max, Min, Numeric, Prod, ReduceOp, Sum};
 pub use serial::SerialBackend;
 pub use stats::{
-    FaultStats, PlanCacheStats, RuntimeStats, ServeCounters, ServeStats, ShardCounters, ShardStats,
+    FaultStats, PlanCacheStats, PrimCounters, PrimStats, RuntimeStats, ServeCounters, ServeStats,
+    ShardCounters, ShardStats,
 };
 pub use threads::ThreadsBackend;
 pub use timeline::{Timeline, TimelineSnapshot};

@@ -20,9 +20,13 @@ pub trait Numeric: AccScalar + PartialOrd {
     fn add(self, other: Self) -> Self;
     /// Multiplication.
     fn mul(self, other: Self) -> Self;
-    /// Maximum (for floats: IEEE `max`, NaN-propagating-free).
+    /// Maximum. For floats this is IEEE-754 `maximumNumber` (Rust's
+    /// [`f64::max`]): **NaN-dropping** — if exactly one operand is NaN the
+    /// other is returned, and only `NaN.max_of(NaN)` is NaN. See
+    /// [`ReduceOp`] for why this makes `Max`/`Min` reductions
+    /// association-invariant in the presence of NaN.
     fn max_of(self, other: Self) -> Self;
-    /// Minimum.
+    /// Minimum, with the same NaN-dropping contract as [`Numeric::max_of`].
     fn min_of(self, other: Self) -> Self;
 }
 
@@ -62,6 +66,27 @@ impl_numeric_float!(f32, f64);
 /// A reduction monoid: an identity plus an associative combiner. The unit
 /// structs [`Sum`], [`Prod`], [`Max`], [`Min`] cover the common cases; the
 /// paper's `parallel_reduce` is the `Sum` instance.
+///
+/// # NaN contract (floats)
+///
+/// Backends combine partial results in different shapes (a left fold on
+/// serial, fixed tiles combined in index order on the stealing threadpool,
+/// identity-padded shared-memory trees on the simulators), so the combiner
+/// must give the same answer under *any* association. For [`Max`]/[`Min`]
+/// that forces the **NaN-dropping** semantics of [`Numeric::max_of`] /
+/// [`Numeric::min_of`]: a NaN input is discarded at its first combine with
+/// any non-NaN value (including the ±∞ identity used for padding), so
+///
+/// * `Max`/`Min` over inputs containing NaN return the max/min of the
+///   non-NaN values — bit-identically on every backend;
+/// * `Max`/`Min` over all-NaN (or empty) inputs return the identity
+///   (`-inf` / `+inf`), **not** NaN.
+///
+/// A NaN-*propagating* max would not be associativity-stable here: whether
+/// NaN survived would depend on tile boundaries. Callers that need to
+/// detect NaN should reduce `x.is_nan()` separately. [`Sum`]/[`Prod`]
+/// propagate NaN as ordinary float arithmetic does, identically under any
+/// association.
 pub trait ReduceOp<T>: Copy + Send + Sync + 'static {
     /// The identity element of the monoid.
     fn identity(&self) -> T;
@@ -99,7 +124,8 @@ impl<T: Numeric> ReduceOp<T> for Prod {
     }
 }
 
-/// Maximum reduction.
+/// Maximum reduction. NaN inputs are dropped (see the [`ReduceOp`] NaN
+/// contract); all-NaN inputs reduce to `-inf`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Max;
 
@@ -114,7 +140,8 @@ impl<T: Numeric> ReduceOp<T> for Max {
     }
 }
 
-/// Minimum reduction.
+/// Minimum reduction. NaN inputs are dropped (see the [`ReduceOp`] NaN
+/// contract); all-NaN inputs reduce to `+inf`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Min;
 
@@ -158,6 +185,37 @@ mod tests {
         assert_eq!(fold(Max, &[-1.0f64, -2.0]), -1.0);
         assert_eq!(fold::<i32, _>(Max, &[]), i32::MIN);
         assert_eq!(fold::<u32, _>(Min, &[]), u32::MAX);
+    }
+
+    #[test]
+    fn max_min_drop_nan_under_any_association() {
+        // The pinned NaN contract: NaN is discarded at its first combine
+        // with a non-NaN (identity padding included), so left folds and
+        // identity-padded trees agree bitwise.
+        let xs = [f64::NAN, 3.0, f64::NAN, -7.0, 5.0];
+        let folded = fold(Max, &xs);
+        assert_eq!(folded.to_bits(), 5.0f64.to_bits());
+        assert_eq!(fold(Min, &xs).to_bits(), (-7.0f64).to_bits());
+        // Tree association (pairwise, identity-padded to a power of two),
+        // the shape the simulators' shared-memory reduction uses.
+        let mut level: Vec<f64> = xs.to_vec();
+        level.resize(8, Max.identity());
+        while level.len() > 1 {
+            level = level.chunks(2).map(|c| Max.combine(c[0], c[1])).collect();
+        }
+        assert_eq!(level[0].to_bits(), folded.to_bits());
+    }
+
+    #[test]
+    fn max_min_over_all_nan_return_identity() {
+        let xs = [f32::NAN, f32::NAN];
+        assert_eq!(fold(Max, &xs), f32::NEG_INFINITY);
+        assert_eq!(fold(Min, &xs), f32::INFINITY);
+    }
+
+    #[test]
+    fn sum_propagates_nan() {
+        assert!(fold(Sum, &[1.0f64, f64::NAN, 2.0]).is_nan());
     }
 
     #[test]

@@ -317,6 +317,132 @@ impl Backend for SerialBackend {
         );
         acc
     }
+
+    fn prim_scan_1d<T, F, W, O>(
+        &self,
+        n: usize,
+        inclusive: bool,
+        profile: &KernelProfile,
+        read: F,
+        write: W,
+        op: O,
+    ) where
+        T: AccScalar,
+        F: Fn(usize) -> T + Sync,
+        W: Fn(usize, T) + Sync,
+        O: ReduceOp<T>,
+    {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
+        self.begin_bracket();
+        // The canonical two-level association *is* the reference the other
+        // backends are pinned against (see `crate::prim`).
+        crate::prim::scan_canonical(
+            n,
+            inclusive,
+            &|i| {
+                tag(i as u64);
+                read(i)
+            },
+            &write,
+            op,
+        );
+        self.end_bracket();
+        // Two sweeps over the data: tile totals, then the output pass.
+        let ns = self.cpu.kernel_time_ns(2 * n, profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::Prim,
+            profile,
+            [n as u64, 1, 1],
+            1,
+            t0,
+            ns,
+        );
+    }
+
+    fn prim_histogram_1d<F, W>(
+        &self,
+        n: usize,
+        bins: usize,
+        profile: &KernelProfile,
+        key: F,
+        write: W,
+    ) where
+        F: Fn(usize) -> usize + Sync,
+        W: Fn(usize, u64) + Sync,
+    {
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
+        self.begin_bracket();
+        crate::prim::histogram_canonical(
+            n,
+            bins,
+            &|i| {
+                tag(i as u64);
+                key(i)
+            },
+            &write,
+        );
+        self.end_bracket();
+        let ns = self.cpu.kernel_time_ns(n + bins, profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::Prim,
+            profile,
+            [n as u64, bins as u64, 1],
+            1,
+            t0,
+            ns,
+        );
+    }
+
+    fn prim_sort_pairs_1d<F, W>(
+        &self,
+        n: usize,
+        key_bits: u32,
+        profile: &KernelProfile,
+        key: F,
+        write: W,
+    ) where
+        F: Fn(usize) -> u64 + Sync,
+        W: Fn(usize, usize) + Sync,
+    {
+        #[cfg(not(feature = "trace"))]
+        let _ = key_bits;
+        #[cfg(feature = "trace")]
+        let t0 = self.timeline.trace_start();
+        self.begin_bracket();
+        crate::prim::sort_pairs_canonical(
+            n,
+            &|i| {
+                tag(i as u64);
+                key(i)
+            },
+            &write,
+        );
+        self.end_bracket();
+        // Comparison sort on one core: n log2 n element visits.
+        let log_n = usize::BITS - n.max(1).leading_zeros();
+        let ns = self
+            .cpu
+            .kernel_time_ns(n * (log_n as usize).max(1), profile);
+        self.timeline.charge_launch(ns);
+        #[cfg(feature = "trace")]
+        self.timeline.record_cpu_construct(
+            "serial",
+            racc_trace::ConstructKind::Prim,
+            profile,
+            [n as u64, key_bits as u64, 1],
+            1,
+            t0,
+            ns,
+        );
+    }
 }
 
 #[cfg(test)]

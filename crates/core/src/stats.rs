@@ -235,6 +235,42 @@ impl ServeStats {
     }
 }
 
+/// Device-primitive counters (`racc-prim`), bumped through
+/// [`Context::prim_counters`](crate::Context::prim_counters) by the
+/// primitives layer. Lives in core so [`RuntimeStats`] can report it
+/// without a dependency on the outer crate.
+#[derive(Debug, Default)]
+pub struct PrimCounters {
+    /// Scan invocations (inclusive + exclusive).
+    pub scans: AtomicU64,
+    /// Histogram invocations (validated + unchecked).
+    pub histograms: AtomicU64,
+    /// `sort_by_key` / sort-permutation invocations.
+    pub sorts: AtomicU64,
+    /// Elements processed across all primitive invocations.
+    pub elements: AtomicU64,
+}
+
+/// Device-primitive snapshot inside [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrimStats {
+    /// Scan invocations.
+    pub scans: u64,
+    /// Histogram invocations.
+    pub histograms: u64,
+    /// Sort invocations.
+    pub sorts: u64,
+    /// Elements processed across all primitive invocations.
+    pub elements: u64,
+}
+
+impl PrimStats {
+    /// True when the context never ran a device primitive.
+    pub fn is_empty(&self) -> bool {
+        *self == PrimStats::default()
+    }
+}
+
 /// One uniform snapshot of a context's runtime machinery — plan cache,
 /// chaos, sanitizer, work-stealing dispatch — returned by
 /// [`Context::stats`](crate::Context::stats).
@@ -257,6 +293,9 @@ pub struct RuntimeStats {
     /// Multi-tenant serving counters (`racc-serve`): admission, batching,
     /// retries, fallbacks. `None` when this context never served jobs.
     pub serve: Option<ServeStats>,
+    /// Device-primitive counters (`racc-prim`): scans, histograms, sorts.
+    /// `None` when this context never ran a primitive.
+    pub prim: Option<PrimStats>,
 }
 
 impl std::fmt::Display for RuntimeStats {
@@ -315,6 +354,13 @@ impl std::fmt::Display for RuntimeStats {
                 sv.preempted
             )?;
         }
+        if let Some(pr) = &self.prim {
+            write!(
+                f,
+                "; prim: {} scans, {} histograms, {} sorts ({} elems)",
+                pr.scans, pr.histograms, pr.sorts, pr.elements
+            )?;
+        }
         Ok(())
     }
 }
@@ -361,6 +407,20 @@ pub(crate) fn snapshot_serve(counters: &ServeCounters) -> Option<ServeStats> {
         retried: counters.retried.load(Ordering::Relaxed),
         fallbacks: counters.fallbacks.load(Ordering::Relaxed),
         preempted: counters.preempted.load(Ordering::Relaxed),
+    };
+    if snap.is_empty() {
+        None
+    } else {
+        Some(snap)
+    }
+}
+
+pub(crate) fn snapshot_prim(counters: &PrimCounters) -> Option<PrimStats> {
+    let snap = PrimStats {
+        scans: counters.scans.load(Ordering::Relaxed),
+        histograms: counters.histograms.load(Ordering::Relaxed),
+        sorts: counters.sorts.load(Ordering::Relaxed),
+        elements: counters.elements.load(Ordering::Relaxed),
     };
     if snap.is_empty() {
         None
@@ -445,6 +505,7 @@ mod tests {
             steal: None,
             shard: None,
             serve: None,
+            prim: None,
         };
         let line = stats.to_string();
         assert!(line.contains("90% hit"), "{line}");
@@ -496,9 +557,19 @@ mod tests {
                     parks: 2,
                 }],
             }),
+            prim: Some(PrimStats {
+                scans: 4,
+                histograms: 2,
+                sorts: 1,
+                elements: 7000,
+            }),
         };
         let line = stats.to_string();
         assert!(line.contains("steal: executed 10 stolen 3"), "{line}");
+        assert!(
+            line.contains("prim: 4 scans, 2 histograms, 1 sorts (7000 elems)"),
+            "{line}"
+        );
         assert!(
             line.contains("shard: 12 steps, 24 halos (4096 B), 3 ckpts, 1 reshards (4 replayed)"),
             "{line}"
@@ -508,6 +579,18 @@ mod tests {
             "{line}"
         );
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn prim_snapshot_is_none_until_any_counter_moves() {
+        let counters = PrimCounters::default();
+        assert!(snapshot_prim(&counters).is_none());
+        counters.scans.fetch_add(2, Ordering::Relaxed);
+        counters.elements.fetch_add(512, Ordering::Relaxed);
+        let snap = snapshot_prim(&counters).expect("counters moved");
+        assert_eq!(snap.scans, 2);
+        assert_eq!(snap.elements, 512);
+        assert!(!snap.is_empty());
     }
 
     #[test]

@@ -32,6 +32,7 @@ const fn lane(kind: ConstructKind) -> (u32, &'static str) {
         ConstructKind::Shard => (10, "shards"),
         ConstructKind::Halo => (11, "halos"),
         ConstructKind::Serve => (12, "serve"),
+        ConstructKind::Prim => (13, "prims"),
     }
 }
 

@@ -99,6 +99,12 @@ pub enum ConstructKind {
     /// and `modeled_ns` the admission-to-completion latency on the
     /// server's modeled clock.
     Serve,
+    /// One portable device primitive (`racc-prim`): a whole `scan`,
+    /// `histogram` or `sort_by_key` invocation — block-local phases plus
+    /// the cross-block combine — recorded as a single span. `dims.0` is
+    /// the element count, `dims.1` the bins / radix passes where that
+    /// applies, and `modeled_ns` the summed cost of the internal launches.
+    Prim,
 }
 
 impl ConstructKind {
@@ -109,7 +115,7 @@ impl ConstructKind {
 
     /// Every kind, in declaration order. Kept next to the enum; the
     /// `all_kinds_listed_exactly_once` test below pins exhaustiveness.
-    pub const ALL: [ConstructKind; 19] = [
+    pub const ALL: [ConstructKind; 20] = [
         ConstructKind::For1d,
         ConstructKind::For2d,
         ConstructKind::For3d,
@@ -129,6 +135,7 @@ impl ConstructKind {
         ConstructKind::Shard,
         ConstructKind::Halo,
         ConstructKind::Serve,
+        ConstructKind::Prim,
     ];
     /// The lowercase label used in sinks (`for1d`, `reduce2d`, `h2d`, ...).
     pub fn label(self) -> &'static str {
@@ -152,6 +159,7 @@ impl ConstructKind {
             ConstructKind::Shard => "shard",
             ConstructKind::Halo => "halo",
             ConstructKind::Serve => "serve",
+            ConstructKind::Prim => "prim",
         }
     }
 

@@ -19,6 +19,9 @@ this before any quick-mode smoke regenerates them):
        dropped-job violations; the 4-device reference load must hold
        ``modeled_speedup >= 1.5`` over one context and keep its modeled
        ``p99_ns`` under 1 ms.
+     * prim: every particle-binning row must be bit-identical to the
+       serial reference (histogram, scans, and sort_by_key included —
+       the primitives' cross-backend contract).
 
 2. Baseline drift — every ``results/baselines/BENCH_*.json`` is compared
    row-by-row against its committed counterpart. A row regresses when it
@@ -93,6 +96,12 @@ def gate_absolute(name, doc):
                 check(s >= 1.7, f"{name} {fmt(key)}: modeled_speedup {s} >= 1.7")
                 g = row["overlap_gain"]
                 check(g >= 1.0, f"{name} {fmt(key)}: overlap_gain {g} >= 1.0")
+    elif doc["bench"] == "prim":
+        for key, row in rows(doc):
+            check(
+                row.get("bit_identical") is True,
+                f"{name} {fmt(key)}: primitives bit-identical to the serial reference",
+            )
     elif doc["bench"] == "serve":
         for key, row in rows(doc):
             check(
@@ -135,6 +144,15 @@ def gate_baseline(name, cur, base):
             check(
                 c <= b * TOLERANCE,
                 f"{name} {fmt(key)}: ns_per_launch {c} within {TOLERANCE}x of baseline {b}",
+            )
+        elif "modeled_ns" in brow:
+            # Analytic-model times are deterministic: drift means the
+            # modeled cost of the primitives changed. (Wall-clock rows
+            # carry ``wall_ns`` instead and are informational only.)
+            b, c = brow["modeled_ns"], crow["modeled_ns"]
+            check(
+                c <= b * TOLERANCE,
+                f"{name} {fmt(key)}: modeled_ns {c} within {TOLERANCE}x of baseline {b}",
             )
 
 

@@ -106,6 +106,15 @@ pub use racc_shard::{run_sharded, ShardApp, ShardOptions, ShardOutcome};
 pub use racc_serve as serve;
 pub use racc_serve::{ServeJob, Server, ServerOptions, TenantConfig};
 
+/// Portable device primitives (`racc-prim`): inclusive/exclusive scan,
+/// histogram, and stable sort-by-key, bit-identical across every backend
+/// (including `f32` under work stealing) via the canonical fixed-tile
+/// combine in `racc_core::prim`. Import [`PrimExt`] (in the prelude) to
+/// call them as `ctx.inclusive_scan(..)` / `ctx.histogram(..)` /
+/// `ctx.sort_by_key(..)`.
+pub use racc_prim as prim;
+pub use racc_prim::{PrimError, PrimExt, SortKey};
+
 #[cfg(feature = "backend-cuda")]
 pub use racc_backend_cuda::CudaBackend;
 #[cfg(feature = "backend-hip")]
@@ -148,6 +157,7 @@ pub mod prelude {
     };
 
     pub use racc_fuse::{lit, load, Expr, Lazy, LazyExt, ReduceKind};
+    pub use racc_prim::{PrimError, PrimExt, SortKey};
     // The pre-plan-cache spellings, kept importable for one release.
     #[allow(deprecated)]
     pub use racc_fuse::{Fused, FusedExt};
@@ -297,6 +307,36 @@ impl Backend for AnyBackend {
         O: ReduceOp<T>,
     {
         dispatch!(self, b => b.parallel_reduce_3d(m, n, l, p, f, op))
+    }
+    fn prim_scan_1d<T, F, W, O>(
+        &self,
+        n: usize,
+        inclusive: bool,
+        p: &KernelProfile,
+        read: F,
+        write: W,
+        op: O,
+    ) where
+        T: AccScalar,
+        F: Fn(usize) -> T + Sync,
+        W: Fn(usize, T) + Sync,
+        O: ReduceOp<T>,
+    {
+        dispatch!(self, b => b.prim_scan_1d(n, inclusive, p, read, write, op))
+    }
+    fn prim_histogram_1d<F, W>(&self, n: usize, bins: usize, p: &KernelProfile, key: F, write: W)
+    where
+        F: Fn(usize) -> usize + Sync,
+        W: Fn(usize, u64) + Sync,
+    {
+        dispatch!(self, b => b.prim_histogram_1d(n, bins, p, key, write))
+    }
+    fn prim_sort_pairs_1d<F, W>(&self, n: usize, key_bits: u32, p: &KernelProfile, key: F, write: W)
+    where
+        F: Fn(usize) -> u64 + Sync,
+        W: Fn(usize, usize) + Sync,
+    {
+        dispatch!(self, b => b.prim_sort_pairs_1d(n, key_bits, p, key, write))
     }
 }
 
